@@ -1,0 +1,375 @@
+package siesta
+
+import (
+	"testing"
+
+	"siesta/internal/apps"
+	"siesta/internal/baselines/minime"
+	"siesta/internal/blocks"
+	"siesta/internal/core"
+	"siesta/internal/experiments"
+	"siesta/internal/merge"
+	"siesta/internal/mpi"
+	"siesta/internal/perfmodel"
+	"siesta/internal/platform"
+	"siesta/internal/sequitur"
+	"siesta/internal/trace"
+)
+
+// Benchmarks regenerating the paper's evaluation. Each benchmark runs the
+// corresponding experiment driver and reports the experiment's headline
+// error statistics as custom metrics, so `go test -bench` output doubles as
+// a results table. The quick configuration (trimmed rank ladders) keeps a
+// full -bench=. pass in CI time; run cmd/siesta-bench for the full ladders.
+
+var benchCfg = experiments.Config{Quick: true, Seed: 1}
+
+// BenchmarkTable3 regenerates Table 3 (proxy-app specification: trace size,
+// size_C, overhead, error).
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table3(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var meanErr, meanOv float64
+		for _, r := range rows {
+			meanErr += r.Error
+			meanOv += r.Overhead
+		}
+		b.ReportMetric(meanErr/float64(len(rows))*100, "%replay-error")
+		b.ReportMetric(meanOv/float64(len(rows))*100, "%overhead")
+	}
+}
+
+// BenchmarkFig4 regenerates Figure 4 (single computation event vs MINIME).
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig4(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var m, s float64
+		for _, r := range rows {
+			m += r.MINIMEError
+			s += r.SiestaError
+		}
+		b.ReportMetric(m/float64(len(rows))*100, "%minime-err")
+		b.ReportMetric(s/float64(len(rows))*100, "%siesta-err")
+	}
+}
+
+// BenchmarkFig5 regenerates Figure 5 (computation event sequences vs MINIME).
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig5(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var m, s float64
+		for _, r := range rows {
+			m += r.MINIMEError
+			s += r.SiestaError
+		}
+		b.ReportMetric(m/float64(len(rows))*100, "%minime-err")
+		b.ReportMetric(s/float64(len(rows))*100, "%siesta-err")
+	}
+}
+
+// BenchmarkFig6 regenerates Figure 6 (execution-time comparison, including
+// the Pilgrim number quoted in §3.4.1).
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, sum, err := experiments.Fig6(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(sum.Siesta*100, "%siesta")
+		b.ReportMetric(sum.SiestaScaled*100, "%siesta-scaled")
+		b.ReportMetric(sum.ScalaBench*100, "%scalabench")
+		b.ReportMetric(sum.Pilgrim*100, "%pilgrim")
+	}
+}
+
+// BenchmarkFig7 regenerates Figure 7 (robustness to MPI implementation
+// changes).
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, sum, err := experiments.Fig7(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(sum.Siesta*100, "%siesta")
+		b.ReportMetric(sum.ScalaBench*100, "%scalabench")
+	}
+}
+
+// BenchmarkFig8 regenerates Figure 8 (portability between platforms A and C).
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, sum, err := experiments.Fig8(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(sum.Siesta*100, "%siesta")
+		b.ReportMetric(sum.ScalaBench*100, "%scalabench")
+	}
+}
+
+// BenchmarkFig9 regenerates Figure 9 (BT/CG ported from platform A to B).
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _, ported, err := experiments.Fig9(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(ported.Siesta*100, "%siesta-onB")
+		b.ReportMetric(ported.ScalaBench*100, "%scalabench-onB")
+	}
+}
+
+// --- ablation benchmarks (design choices called out in DESIGN.md) ----------
+
+// benchTrace records one MG trace for the ablations.
+func benchTrace(b *testing.B) *trace.Trace {
+	b.Helper()
+	spec, err := apps.ByName("MG")
+	if err != nil {
+		b.Fatal(err)
+	}
+	fn, err := spec.Build(apps.Params{Ranks: 8, Iters: 6, WorkScale: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := trace.NewRecorder(8, trace.Config{})
+	w := mpi.NewWorld(mpi.Config{Size: 8, Interceptor: rec, Seed: 2})
+	if _, err := w.Run(fn); err != nil {
+		b.Fatal(err)
+	}
+	return rec.Trace("A", "openmpi")
+}
+
+// BenchmarkAblationRunLength compares grammar sizes with and without the
+// Sequitur run-length extension.
+func BenchmarkAblationRunLength(b *testing.B) {
+	tr := benchTrace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		with, err := merge.Build(tr, merge.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		without, err := merge.Build(tr, merge.Options{DisableRunLength: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(with.Encode())), "B-with-RLE")
+		b.ReportMetric(float64(len(without.Encode())), "B-without-RLE")
+	}
+}
+
+// BenchmarkAblationMainMerge compares program sizes with and without the
+// LCS-based main-rule merge.
+func BenchmarkAblationMainMerge(b *testing.B) {
+	tr := benchTrace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		with, err := merge.Build(tr, merge.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		without, err := merge.Build(tr, merge.Options{DisableMainMerge: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(with.Encode())), "B-merged")
+		b.ReportMetric(float64(len(without.Encode())), "B-unmerged")
+	}
+}
+
+// BenchmarkAblationClusterThreshold sweeps the computation-event clustering
+// threshold and reports the resulting cluster counts.
+func BenchmarkAblationClusterThreshold(b *testing.B) {
+	spec, err := apps.ByName("StirTurb")
+	if err != nil {
+		b.Fatal(err)
+	}
+	fn, err := spec.Build(apps.Params{Ranks: 8, Iters: 8, WorkScale: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		for _, th := range []float64{0.01, 0.05, 0.20} {
+			rec := trace.NewRecorder(8, trace.Config{ClusterThreshold: th})
+			w := mpi.NewWorld(mpi.Config{Size: 8, Interceptor: rec, NoiseSigma: 0.004, Seed: 3})
+			if _, err := w.Run(fn); err != nil {
+				b.Fatal(err)
+			}
+			tr := rec.Trace("A", "openmpi")
+			n := 0
+			for _, rt := range tr.Ranks {
+				n += len(rt.Clusters)
+			}
+			switch th {
+			case 0.01:
+				b.ReportMetric(float64(n), "clusters@1%")
+			case 0.05:
+				b.ReportMetric(float64(n), "clusters@5%")
+			case 0.20:
+				b.ReportMetric(float64(n), "clusters@20%")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationQPvsMINIME runs both computation-proxy searches on the
+// same target and reports both six-metric errors.
+func BenchmarkAblationQPvsMINIME(b *testing.B) {
+	p := platform.A
+	target := perfmodel.Measure(p, perfmodel.Kernel{
+		IntOps: 4e6, FPOps: 8e6, DivOps: 2e5, Loads: 5e6, Stores: 2e6,
+		Branches: 3e6, RandBranches: 2e5, MissLines: 4e5,
+	})
+	bm := blocks.MeasureB(p, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		combo, err := blocks.Search(bm, target)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mini := minime.Synthesize(p, target, minime.Options{})
+		b.ReportMetric(combo.Counters(p).RelError(target)*100, "%qp-err")
+		b.ReportMetric(mini.Counters(p).RelError(target)*100, "%minime-err")
+	}
+}
+
+// BenchmarkAblationRelativeRanks quantifies §2.2's relative-rank encoding:
+// unique p2p records across ranks with and without it.
+func BenchmarkAblationRelativeRanks(b *testing.B) {
+	spec, err := apps.ByName("Sweep3d")
+	if err != nil {
+		b.Fatal(err)
+	}
+	fn, err := spec.Build(apps.Params{Ranks: 16, Iters: 2, WorkScale: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	count := func(absolute bool) int {
+		rec := trace.NewRecorder(16, trace.Config{AbsoluteRanks: absolute})
+		w := mpi.NewWorld(mpi.Config{Size: 16, Interceptor: rec, Seed: 4})
+		if _, err := w.Run(fn); err != nil {
+			b.Fatal(err)
+		}
+		keys := map[string]bool{}
+		for _, rt := range rec.Trace("A", "openmpi").Ranks {
+			for _, r := range rt.Table {
+				keys[r.KeyString()] = true
+			}
+		}
+		return len(keys)
+	}
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(float64(count(false)), "records-relative")
+		b.ReportMetric(float64(count(true)), "records-absolute")
+	}
+}
+
+// --- component microbenchmarks ---------------------------------------------
+
+// BenchmarkSequitur measures grammar inference throughput on a periodic
+// trace-like sequence.
+func BenchmarkSequitur(b *testing.B) {
+	phrase := []int{0, 1, 2, 1, 3, 4, 4, 5}
+	tokens := make([]int, 0, 8*4096)
+	for i := 0; i < 4096; i++ {
+		tokens = append(tokens, phrase...)
+	}
+	b.SetBytes(int64(len(tokens)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bu := sequitur.New()
+		bu.AppendAll(tokens)
+		if bu.Grammar().NumSymbols() > 64 {
+			b.Fatal("grammar blew up")
+		}
+	}
+}
+
+// BenchmarkQPSearch measures one constrained computation-proxy search.
+func BenchmarkQPSearch(b *testing.B) {
+	p := platform.A
+	bm := blocks.MeasureB(p, nil)
+	target := perfmodel.Measure(p, perfmodel.Kernel{
+		IntOps: 1e7, FPOps: 5e6, Loads: 8e6, Stores: 3e6, Branches: 3e6, MissLines: 5e5,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := blocks.Search(bm, target); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMPIRuntime measures simulated runtime throughput in MPI calls per
+// second on a communication-heavy ring.
+func BenchmarkMPIRuntime(b *testing.B) {
+	const ranks, iters = 8, 200
+	for i := 0; i < b.N; i++ {
+		w := mpi.NewWorld(mpi.Config{Size: ranks})
+		_, err := w.Run(func(r *mpi.Rank) {
+			c := r.World()
+			next := (r.Rank() + 1) % r.Size()
+			prev := (r.Rank() - 1 + r.Size()) % r.Size()
+			for it := 0; it < iters; it++ {
+				r.Sendrecv(c, next, 0, 1024, prev, 0)
+				r.Allreduce(c, 8, mpi.OpSum)
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(ranks*iters*2), "calls/op")
+}
+
+// BenchmarkEndToEnd measures one full synthesis (trace → grammar → QP →
+// proxy) for CG at 8 ranks.
+func BenchmarkEndToEnd(b *testing.B) {
+	spec, err := apps.ByName("CG")
+	if err != nil {
+		b.Fatal(err)
+	}
+	fn, err := spec.Build(apps.Params{Ranks: 8, Iters: 4, WorkScale: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Synthesize(fn, core.Options{Ranks: 8, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProxyReplay measures proxy replay speed separately from
+// generation.
+func BenchmarkProxyReplay(b *testing.B) {
+	spec, err := apps.ByName("CG")
+	if err != nil {
+		b.Fatal(err)
+	}
+	fn, err := spec.Build(apps.Params{Ranks: 8, Iters: 4, WorkScale: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := core.Synthesize(fn, core.Options{Ranks: 8, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := res.RunProxy(nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

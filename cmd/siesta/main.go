@@ -1,0 +1,169 @@
+// Command siesta is the end-to-end proxy-app synthesizer CLI: it traces one
+// of the built-in MPI applications on the simulated runtime, extracts the
+// grammar, searches computation proxies, and emits the generated C proxy-app
+// plus a fidelity report comparing the proxy replay against the original.
+//
+// Usage:
+//
+//	siesta -app CG -ranks 8 [-iters N] [-scale 10] [-platform A] [-impl openmpi]
+//	       [-o proxy.c] [-trace trace.bin] [-report]
+//
+// The list of applications comes from the paper's Table 3; run with
+// -list to enumerate them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"siesta/internal/apps"
+	"siesta/internal/codegen"
+	"siesta/internal/core"
+	"siesta/internal/extrapolate"
+	"siesta/internal/mpi"
+	"siesta/internal/netmodel"
+	"siesta/internal/perfmodel"
+	"siesta/internal/platform"
+	"siesta/internal/proxy"
+)
+
+func main() {
+	appName := flag.String("app", "CG", "application to synthesize a proxy for")
+	ranks := flag.Int("ranks", 8, "number of MPI ranks")
+	iters := flag.Int("iters", 0, "iteration override (0 = application default)")
+	scale := flag.Float64("scale", 1, "shrink factor (10 = Siesta-scaled)")
+	platName := flag.String("platform", "A", "generation platform: A, B or C")
+	implName := flag.String("impl", "openmpi", "MPI implementation: openmpi, mpich, mvapich")
+	outC := flag.String("o", "", "write the generated C proxy-app to this file")
+	outTrace := flag.String("trace", "", "write the encoded trace to this file")
+	report := flag.Bool("report", true, "print the fidelity report")
+	list := flag.Bool("list", false, "list available applications and exit")
+	extrap := flag.Int("extrapolate", 0, "re-target the proxy to this rank count (fully SPMD programs only)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	if *list {
+		for _, s := range apps.All() {
+			fmt.Printf("%-10s %s\n", s.Name, s.Description)
+		}
+		return
+	}
+
+	die := func(err error) {
+		fmt.Fprintf(os.Stderr, "siesta: %v\n", err)
+		os.Exit(1)
+	}
+
+	spec, err := apps.ByName(*appName)
+	if err != nil {
+		die(err)
+	}
+	plat, err := platform.ByName(*platName)
+	if err != nil {
+		die(err)
+	}
+	impl, err := netmodel.ByName(*implName)
+	if err != nil {
+		die(err)
+	}
+	fn, err := spec.Build(apps.Params{Ranks: *ranks, Iters: *iters})
+	if err != nil {
+		die(err)
+	}
+
+	res, err := core.Synthesize(fn, core.Options{
+		Platform: plat, Impl: impl, Ranks: *ranks, Scale: *scale, Seed: *seed,
+	})
+	if err != nil {
+		die(err)
+	}
+
+	if *outTrace != "" {
+		if err := os.WriteFile(*outTrace, res.Trace.Encode(), 0o644); err != nil {
+			die(err)
+		}
+		fmt.Printf("trace written to %s (%d bytes encoded, %d bytes raw equivalent)\n",
+			*outTrace, len(res.Trace.Encode()), res.Trace.RawSize())
+	}
+	if *outC != "" {
+		if err := os.WriteFile(*outC, []byte(res.Generated.CSource()), 0o644); err != nil {
+			die(err)
+		}
+		fmt.Printf("generated C proxy-app written to %s\n", *outC)
+	}
+
+	if *report {
+		printReport(res, *scale)
+	}
+
+	if *extrap > 0 {
+		prog, err := extrapolate.Extrapolate(res.Program, *extrap)
+		if err != nil {
+			die(err)
+		}
+		gen, err := codegen.Generate(prog, codegen.Options{Platform: plat})
+		if err != nil {
+			die(err)
+		}
+		prox, err := proxy.New(gen).Run(mpi.Config{
+			Platform: plat, Impl: impl, Seed: *seed + 2, NoiseSigma: 0.004, RunVariation: 0.02,
+		})
+		if err != nil {
+			die(err)
+		}
+		// Compare against a real run at the new scale.
+		fnBig, err := spec.Build(apps.Params{Ranks: *extrap, Iters: *iters})
+		if err != nil {
+			die(err)
+		}
+		w := mpi.NewWorld(mpi.Config{
+			Platform: plat, Impl: impl, Size: *extrap,
+			Seed: *seed + 3, NoiseSigma: 0.004, RunVariation: 0.02,
+		})
+		orig, err := w.Run(fnBig)
+		if err != nil {
+			die(err)
+		}
+		fmt.Printf("extrapolated to %d ranks (weak-scaling: per-rank behaviour preserved):\n", *extrap)
+		fmt.Printf("  proxy %.6gs vs original-at-%d-ranks %.6gs (error %.2f%%)\n",
+			float64(prox.ExecTime), *extrap, float64(orig.ExecTime),
+			core.TimeError(float64(prox.ExecTime), float64(orig.ExecTime))*100)
+	}
+}
+
+func printReport(res *core.Result, scale float64) {
+	st := res.Program.Stats()
+	fmt.Printf("=== synthesis report: %d ranks on platform %s / %s ===\n",
+		res.Opts.Ranks, res.Opts.Platform.Name, res.Opts.Impl.Name)
+	fmt.Printf("trace:   %d events, raw size %d bytes, tracing overhead %.2f%%\n",
+		res.Trace.TotalEvents(), res.Trace.RawSize(), res.Overhead*100)
+	fmt.Printf("grammar: %d terminals, %d computation clusters, %d rules, %d main group(s), size_C %d bytes\n",
+		st.Terminals, st.Clusters, st.Rules, st.MainGroups, res.Generated.SizeC)
+
+	prox, err := res.RunProxy(nil, nil)
+	if err != nil {
+		fmt.Printf("proxy replay failed: %v\n", err)
+		return
+	}
+	origT := float64(res.BaselineRun.ExecTime)
+	proxT := float64(prox.ExecTime)
+	fmt.Printf("time:    original %.6gs, proxy %.6gs", origT, proxT)
+	if scale > 1 {
+		fmt.Printf(", reported (×%.0f) %.6gs", scale, float64(res.Proxy.ReportedTime(prox)))
+		fmt.Printf(", time error %.2f%%\n",
+			core.TimeError(float64(res.Proxy.ReportedTime(prox)), origT)*100)
+	} else {
+		fmt.Printf(", time error %.2f%%\n", core.TimeError(proxT, origT)*100)
+	}
+	comp := prox
+	if scale > 1 {
+		comp = core.ScaleBack(prox, scale)
+	}
+	fmt.Printf("error:   mean relative replay error %.2f%% across %d metrics and %d ranks\n",
+		core.ReplayError(res.BaselineRun, comp)*100, int(perfmodel.NumMetrics)+1, res.Opts.Ranks)
+
+	o, p := res.BaselineRun.TotalCompute(), comp.TotalCompute()
+	fmt.Printf("rates:   IPC %.3f→%.3f  CMR %.4f→%.4f  BMR %.4f→%.4f\n",
+		o.IPC(), p.IPC(), o.CMR(), p.CMR(), o.BMR(), p.BMR())
+}

@@ -1,0 +1,67 @@
+// MPI implementation robustness (the paper's Figure 7 scenario): a proxy is
+// generated under openmpi, then executed under openmpi, mpich and mvapich.
+// Because Siesta's grammar keeps every MPI call and its parameters
+// losslessly, the proxy repriced under a different implementation moves the
+// same way the original does; a histogram-compressed replay does not.
+//
+//	go run ./examples/mpi-impl-robustness
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"siesta/internal/apps"
+	"siesta/internal/baselines/scalabench"
+	"siesta/internal/core"
+	"siesta/internal/mpi"
+	"siesta/internal/netmodel"
+)
+
+func main() {
+	const ranks = 16
+	spec, err := apps.ByName("MG")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fn, err := spec.Build(apps.Params{Ranks: ranks})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := core.Synthesize(fn, core.Options{Ranks: ranks, Seed: 9, Impl: netmodel.OpenMPI})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sb, err := scalabench.Generate(res.Trace, scalabench.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== MG proxy generated under openmpi, executed under three implementations ===")
+	fmt.Printf("%-10s %12s %12s %12s %8s %8s\n", "impl", "original", "Siesta", "ScalaBench", "errS", "errSB")
+	for _, im := range netmodel.All {
+		w := mpi.NewWorld(mpi.Config{Impl: im, Size: ranks, NoiseSigma: 0.004,
+			RunVariation: 0.02, Seed: 4321})
+		orig, err := w.Run(fn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prox, err := res.RunProxy(nil, im)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sbRes, err := sb.Run(mpi.Config{Impl: im, Seed: 99, RunVariation: 0.02})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %11.5gs %11.5gs %11.5gs %7.2f%% %7.2f%%\n",
+			im.Name,
+			float64(orig.ExecTime), float64(prox.ExecTime), float64(sbRes.ExecTime),
+			core.TimeError(float64(prox.ExecTime), float64(orig.ExecTime))*100,
+			core.TimeError(float64(sbRes.ExecTime), float64(orig.ExecTime))*100)
+	}
+	fmt.Println("\nMG's halo exchanges shrink by level; the histogram-based baseline merges the")
+	fmt.Println("distinct volumes and replays distorted messages, so repricing under a new MPI")
+	fmt.Println("implementation drifts — while the lossless grammar replay stays aligned.")
+}

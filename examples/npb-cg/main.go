@@ -1,0 +1,67 @@
+// NPB CG end to end: trace the conjugate-gradient kernel, synthesize both a
+// full and a shrunk (Siesta-scaled) proxy, and reproduce this program's rows
+// of the paper's Table 3 and Figure 6.
+//
+//	go run ./examples/npb-cg [-ranks 16]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"siesta/internal/apps"
+	"siesta/internal/core"
+)
+
+func main() {
+	ranks := flag.Int("ranks", 16, "MPI ranks (power of two)")
+	flag.Parse()
+
+	spec, err := apps.ByName("CG")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("=== %s: %s ===\n", spec.Name, spec.Description)
+
+	fn, err := spec.Build(apps.Params{Ranks: *ranks})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Full-fidelity proxy.
+	res, err := core.Synthesize(fn, core.Options{Ranks: *ranks, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	prox, err := res.RunProxy(nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Siesta-scaled proxy (shrink factor 10, the paper's default).
+	scaled, err := core.Synthesize(fn, core.Options{Ranks: *ranks, Seed: 7, Scale: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sprox, err := scaled.RunProxy(nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	origT := float64(res.BaselineRun.ExecTime)
+	fmt.Printf("Table 3 row:   trace %d B, size_C %d B, overhead %.2f%%, error %.2f%%\n",
+		res.Trace.RawSize(), res.Generated.SizeC, res.Overhead*100,
+		core.ReplayError(res.BaselineRun, prox)*100)
+	fmt.Printf("Figure 6 bars: original %.5gs | Siesta %.5gs | Siesta-scaled (reported) %.5gs\n",
+		origT, float64(prox.ExecTime), float64(scaled.Proxy.ReportedTime(sprox)))
+	fmt.Printf("               scaled proxy actually ran for %.5gs — %.1f× faster than the original\n",
+		float64(sprox.ExecTime), origT/float64(sprox.ExecTime))
+
+	// The computation-proxy table: what the QP search produced per cluster.
+	fmt.Println("computation proxies (block repetition counts per cluster):")
+	for i, combo := range res.Generated.Combos {
+		fmt.Printf("  cluster %d (%d events): x = %v\n",
+			i, res.Program.Clusters[i].N, combo.Counts)
+	}
+}

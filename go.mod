@@ -1,0 +1,3 @@
+module siesta
+
+go 1.22

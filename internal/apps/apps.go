@@ -1,0 +1,128 @@
+// Package apps provides skeleton reimplementations of the MPI programs the
+// paper evaluates (Table 3): the NPB kernels BT, CG, MG, SP and IS, the
+// Sweep3D neutron-transport wavefront code, and three FLASH simulation
+// problems (Sedov, Sod, StirTurb). Each skeleton reproduces the program's
+// published communication topology (halo exchanges, transposes, V-cycles,
+// wavefronts, AMR guard-cell fills) and describes its computation phases as
+// abstract operation mixes with the program's characteristic profile
+// (memory-bound SpMV, FP-dense solves, integer histogramming, ...). Siesta
+// consumes only the programs' traces, so skeletons with the right trace
+// structure exercise the pipeline exactly as the real codes would — at
+// laptop scale (problem sizes are scaled down from the paper's class-D
+// inputs; see DESIGN.md).
+package apps
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"siesta/internal/mpi"
+)
+
+// Params selects a concrete configuration of an application.
+type Params struct {
+	Ranks int
+	// Iters overrides the app's default iteration count when positive.
+	Iters int
+	// WorkScale multiplies per-rank computation volume; 0 means 1.0.
+	// Experiments use it to keep virtual runtimes in a convenient range.
+	WorkScale float64
+}
+
+func (p Params) iters(def int) int {
+	if p.Iters > 0 {
+		return p.Iters
+	}
+	return def
+}
+
+func (p Params) work() float64 {
+	if p.WorkScale > 0 {
+		return p.WorkScale
+	}
+	return 1
+}
+
+// Spec describes one application.
+type Spec struct {
+	Name         string
+	Description  string
+	DefaultIters int
+	// ValidRanks reports whether the app supports the process count.
+	ValidRanks func(int) bool
+	// Build returns the SPMD function for the configuration.
+	Build func(Params) (func(*mpi.Rank), error)
+}
+
+// registry holds all built-in applications in presentation order.
+var registry []*Spec
+
+// All lists the built-in applications (Table 3 order).
+func All() []*Spec { return registry }
+
+// ByName finds an application.
+func ByName(name string) (*Spec, error) {
+	for _, s := range registry {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	var names []string
+	for _, s := range registry {
+		names = append(names, s.Name)
+	}
+	sort.Strings(names)
+	return nil, fmt.Errorf("apps: unknown application %q (have %v)", name, names)
+}
+
+// register appends a spec; called from init functions of the app files.
+func register(s *Spec) { registry = append(registry, s) }
+
+// --- rank-geometry helpers -------------------------------------------------
+
+// isSquare reports whether p is a perfect square.
+func isSquare(p int) bool {
+	r := int(math.Round(math.Sqrt(float64(p))))
+	return r*r == p
+}
+
+// isPow2 reports whether p is a power of two.
+func isPow2(p int) bool { return p > 0 && p&(p-1) == 0 }
+
+// grid2D factors p into the most square rows×cols decomposition.
+func grid2D(p int) (rows, cols int) {
+	rows = int(math.Sqrt(float64(p)))
+	for rows > 1 && p%rows != 0 {
+		rows--
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	return rows, p / rows
+}
+
+// grid3D factors p (a power of two) into a 3D decomposition nx×ny×nz with
+// nx ≥ ny ≥ nz, as NPB MG does.
+func grid3D(p int) (nx, ny, nz int) {
+	nx, ny, nz = 1, 1, 1
+	dims := [3]*int{&nx, &ny, &nz}
+	i := 0
+	for p > 1 {
+		*dims[i%3] *= 2
+		p /= 2
+		i++
+	}
+	return nx, ny, nz
+}
+
+// validateRanks builds the common constructor prologue.
+func validateRanks(s *Spec, p Params) error {
+	if p.Ranks <= 0 {
+		return fmt.Errorf("apps: %s: rank count must be positive", s.Name)
+	}
+	if !s.ValidRanks(p.Ranks) {
+		return fmt.Errorf("apps: %s does not support %d ranks", s.Name, p.Ranks)
+	}
+	return nil
+}

@@ -1,0 +1,258 @@
+package apps
+
+import (
+	"testing"
+
+	"siesta/internal/merge"
+	"siesta/internal/mpi"
+	"siesta/internal/netmodel"
+	"siesta/internal/platform"
+	"siesta/internal/trace"
+)
+
+// ranksFor picks a valid small rank count per app.
+func ranksFor(s *Spec) int {
+	for _, p := range []int{8, 9, 16, 4, 2} {
+		if s.ValidRanks(p) {
+			return p
+		}
+	}
+	return 1
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"BT", "CG", "IS", "MG", "SP", "Sweep3d", "Sedov", "Sod", "StirTurb", "BTIO", "LULESH"}
+	if len(All()) != len(want) {
+		t.Fatalf("registry has %d apps, want %d", len(All()), len(want))
+	}
+	for _, name := range want {
+		s, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if s.Description == "" || s.DefaultIters <= 0 {
+			t.Errorf("%s: incomplete spec", name)
+		}
+	}
+	if _, err := ByName("LINPACK"); err == nil {
+		t.Fatal("unknown app should error")
+	}
+}
+
+func TestRankValidation(t *testing.T) {
+	bt, _ := ByName("BT")
+	if bt.ValidRanks(8) || !bt.ValidRanks(9) || !bt.ValidRanks(16) {
+		t.Error("BT should demand square rank counts")
+	}
+	cg, _ := ByName("CG")
+	if cg.ValidRanks(9) || !cg.ValidRanks(16) {
+		t.Error("CG should demand power-of-two rank counts")
+	}
+	if _, err := bt.Build(Params{Ranks: 8}); err == nil {
+		t.Error("building BT on 8 ranks should fail")
+	}
+	if _, err := bt.Build(Params{Ranks: 0}); err == nil {
+		t.Error("zero ranks should fail")
+	}
+}
+
+func TestGridHelpers(t *testing.T) {
+	if r, c := grid2D(12); r*c != 12 || r > c {
+		t.Errorf("grid2D(12) = %d×%d", r, c)
+	}
+	if x, y, z := grid3D(8); x*y*z != 8 || x < y || y < z {
+		t.Errorf("grid3D(8) = %d×%d×%d", x, y, z)
+	}
+	if x, y, z := grid3D(32); x*y*z != 32 {
+		t.Errorf("grid3D(32) = %d×%d×%d", x, y, z)
+	}
+	if !isSquare(25) || isSquare(24) || !isPow2(32) || isPow2(24) {
+		t.Error("predicates wrong")
+	}
+	if intSqrt(17) != 4 || intSqrt(16) != 4 {
+		t.Error("intSqrt wrong")
+	}
+}
+
+// TestAllAppsRunAndTrace executes every app at a small scale under the
+// recorder and sanity-checks its run and trace.
+func TestAllAppsRunAndTrace(t *testing.T) {
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			ranks := ranksFor(s)
+			fn, err := s.Build(Params{Ranks: ranks, Iters: 3, WorkScale: 0.05})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := trace.NewRecorder(ranks, trace.Config{})
+			w := mpi.NewWorld(mpi.Config{Size: ranks, Interceptor: rec, NoiseSigma: 0.004, Seed: 7})
+			res, err := w.Run(fn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ExecTime <= 0 {
+				t.Error("no virtual time elapsed")
+			}
+			for i := range res.Ranks {
+				if res.Ranks[i].Compute[0] == 0 {
+					t.Errorf("rank %d did no computation", i)
+				}
+				if res.Ranks[i].Calls == 0 {
+					t.Errorf("rank %d made no MPI calls", i)
+				}
+			}
+			tr := rec.Trace("A", "openmpi")
+			if tr.TotalEvents() == 0 {
+				t.Fatal("empty trace")
+			}
+			h := tr.FuncHistogram()
+			if h["MPI_Compute"] == 0 {
+				t.Error("no computation events recorded")
+			}
+		})
+	}
+}
+
+// TestAllAppsLosslessPipeline round-trips every app's trace through the
+// grammar pipeline and checks lossless expansion.
+func TestAllAppsLosslessPipeline(t *testing.T) {
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			ranks := ranksFor(s)
+			fn, err := s.Build(Params{Ranks: ranks, Iters: 4, WorkScale: 0.05})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := trace.NewRecorder(ranks, trace.Config{})
+			w := mpi.NewWorld(mpi.Config{Size: ranks, Interceptor: rec, NoiseSigma: 0.004, Seed: 3})
+			if _, err := w.Run(fn); err != nil {
+				t.Fatal(err)
+			}
+			tr := rec.Trace("A", "openmpi")
+			// Build self-verifies per-rank lossless expansion.
+			if _, err := merge.Build(tr, merge.Options{}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestAppsRunOnAllPlatformsAndImpls(t *testing.T) {
+	cg, _ := ByName("CG")
+	fn, err := cg.Build(Params{Ranks: 8, Iters: 2, WorkScale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var times []float64
+	for _, p := range platform.All {
+		for _, im := range netmodel.All {
+			w := mpi.NewWorld(mpi.Config{Platform: p, Impl: im, Size: 8, Seed: 1})
+			res, err := w.Run(fn)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", p.Name, im.Name, err)
+			}
+			times = append(times, float64(res.ExecTime))
+		}
+	}
+	// Environments must matter: not all nine times identical.
+	allSame := true
+	for _, v := range times[1:] {
+		if v != times[0] {
+			allSame = false
+		}
+	}
+	if allSame {
+		t.Error("execution time insensitive to platform/implementation")
+	}
+}
+
+func TestAppTraceSizeOrdering(t *testing.T) {
+	// Table 3's qualitative ordering at fixed ranks: IS traces are tiny,
+	// Sod small among FLASH, BT/SP/CG/Sweep3d large.
+	size := func(name string) int {
+		s, _ := ByName(name)
+		ranks := ranksFor(s)
+		fn, err := s.Build(Params{Ranks: ranks, Iters: s.DefaultIters, WorkScale: 0.05})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := trace.NewRecorder(ranks, trace.Config{})
+		w := mpi.NewWorld(mpi.Config{Size: ranks, Interceptor: rec, Seed: 5})
+		if _, err := w.Run(fn); err != nil {
+			t.Fatal(err)
+		}
+		return rec.Trace("A", "openmpi").RawSize()
+	}
+	is, bt, sweep, sod := size("IS"), size("BT"), size("Sweep3d"), size("Sod")
+	if is >= bt || is >= sweep {
+		t.Errorf("IS trace (%d) should be far smaller than BT (%d) and Sweep3d (%d)", is, bt, sweep)
+	}
+	if sod >= sweep {
+		t.Errorf("Sod trace (%d) should be smaller than Sweep3d (%d)", sod, sweep)
+	}
+}
+
+func TestDeterministicTraces(t *testing.T) {
+	mg, _ := ByName("MG")
+	run := func() int {
+		fn, err := mg.Build(Params{Ranks: 8, Iters: 3, WorkScale: 0.05})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := trace.NewRecorder(8, trace.Config{})
+		w := mpi.NewWorld(mpi.Config{Size: 8, Interceptor: rec, NoiseSigma: 0.01, Seed: 9})
+		if _, err := w.Run(fn); err != nil {
+			t.Fatal(err)
+		}
+		return len(rec.Trace("A", "openmpi").Encode())
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed should give identical traces: %d vs %d bytes", a, b)
+	}
+}
+
+func TestSedovLoadImbalance(t *testing.T) {
+	sedov, _ := ByName("Sedov")
+	fn, err := sedov.Build(Params{Ranks: 8, Iters: 4, WorkScale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := mpi.NewWorld(mpi.Config{Size: 8, Seed: 2})
+	res, err := w.Run(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	centre := res.Ranks[4].Compute[0]
+	edge := res.Ranks[0].Compute[0]
+	if centre <= edge {
+		t.Errorf("blast-centre rank should work harder: centre %v vs edge %v", centre, edge)
+	}
+}
+
+func TestStirTurbHasMoreClustersThanSod(t *testing.T) {
+	count := func(name string) int {
+		s, _ := ByName(name)
+		fn, err := s.Build(Params{Ranks: 4, Iters: 8, WorkScale: 0.05})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := trace.NewRecorder(4, trace.Config{})
+		w := mpi.NewWorld(mpi.Config{Size: 4, Interceptor: rec, Seed: 4})
+		if _, err := w.Run(fn); err != nil {
+			t.Fatal(err)
+		}
+		tr := rec.Trace("A", "openmpi")
+		n := 0
+		for _, rt := range tr.Ranks {
+			n += len(rt.Clusters)
+		}
+		return n
+	}
+	if count("StirTurb") <= count("Sod") {
+		t.Error("StirTurb's drifting profile should produce more computation clusters than Sod")
+	}
+}

@@ -1,0 +1,63 @@
+package apps
+
+import (
+	"siesta/internal/mpi"
+	"siesta/internal/perfmodel"
+)
+
+func init() {
+	register(&Spec{
+		Name:         "BTIO",
+		Description:  "NPB BT-IO: the BT pseudo-application with periodic collective checkpointing to a shared file (the I/O-trace extension of paper §2.1)",
+		DefaultIters: 12,
+		ValidRanks:   isSquare,
+		Build:        buildBTIO,
+	})
+}
+
+// buildBTIO wraps the BT skeleton with the BT-IO "full" access pattern:
+// every few iterations each rank appends its solution block to a shared
+// checkpoint file with a collective write, and the file is read back
+// collectively for verification at the end.
+func buildBTIO(p Params) (func(*mpi.Rank), error) {
+	spec, _ := ByName("BTIO")
+	if err := validateRanks(spec, p); err != nil {
+		return nil, err
+	}
+	iters := p.iters(spec.DefaultIters)
+	perRank := float64(btCells/p.Ranks) * p.work()
+	rhs := scaleKernel(perfmodel.Kernel{
+		FPOps: 38, IntOps: 6, Loads: 14, Stores: 5, Branches: 9,
+	}, perRank/8)
+	rhs.MissLines = int64(perRank / 48)
+	solve := scaleKernel(perfmodel.Kernel{
+		FPOps: 25, IntOps: 4, Loads: 9, Stores: 4, Branches: 7,
+	}, perRank/24)
+	solve.DivOps = int64(perRank / 160)
+	solve.MissLines = int64(perRank / 100)
+	btBody := btLike(1, btCells, rhs, solve) // one iteration per call
+
+	const writeEvery = 4
+	return func(r *mpi.Rank) {
+		c := r.World()
+		P := r.Size()
+		blockBytes := 5 * 8 * (btCells / P) / 64 // checkpointed slab per rank
+		f := r.FileOpen(c, "btio.out")
+		writes := 0
+		for it := 0; it < iters; it++ {
+			btBody(r)
+			if it%writeEvery == writeEvery-1 {
+				offset := (writes*P + r.Rank()) * blockBytes
+				r.FileWriteAtAll(f, offset, blockBytes)
+				writes++
+			}
+		}
+		// Verification pass: read the checkpoints back.
+		for w := 0; w < writes; w++ {
+			offset := (w*P + r.Rank()) * blockBytes
+			r.FileReadAtAll(f, offset, blockBytes)
+		}
+		r.FileClose(f)
+		r.Allreduce(c, 8, mpi.OpSum) // verification residual
+	}, nil
+}

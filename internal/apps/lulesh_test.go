@@ -1,0 +1,109 @@
+package apps
+
+import (
+	"testing"
+
+	"siesta/internal/merge"
+	"siesta/internal/mpi"
+	"siesta/internal/trace"
+)
+
+func TestIsCube(t *testing.T) {
+	for _, p := range []int{1, 8, 27, 64} {
+		if !isCube(p) {
+			t.Errorf("%d should be a cube", p)
+		}
+	}
+	for _, p := range []int{2, 4, 9, 16, 26, 28} {
+		if isCube(p) {
+			t.Errorf("%d should not be a cube", p)
+		}
+	}
+	if intCbrt(27) != 3 || intCbrt(28) != 3 || intCbrt(8) != 2 {
+		t.Error("intCbrt wrong")
+	}
+}
+
+func TestLULESHNeighbourStructure(t *testing.T) {
+	// A 2×2×2 cube: every rank is a corner with exactly 3 faces, 3 edges
+	// and 1 corner neighbour = 7 partners, each exchanged twice per
+	// exchange phase (isend+irecv), two phases per iteration.
+	spec, err := ByName("LULESH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, err := spec.Build(Params{Ranks: 8, Iters: 2, WorkScale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder(8, trace.Config{})
+	w := mpi.NewWorld(mpi.Config{Size: 8, Interceptor: rec, Seed: 6})
+	if _, err := w.Run(fn); err != nil {
+		t.Fatal(err)
+	}
+	tr := rec.Trace("A", "openmpi")
+	h := tr.FuncHistogram()
+	// 8 ranks × 7 partners × 2 phases × 2 iterations.
+	wantSends := 8 * 7 * 2 * 2
+	if h["MPI_Isend"] != wantSends || h["MPI_Irecv"] != wantSends {
+		t.Errorf("isend/irecv = %d/%d, want %d", h["MPI_Isend"], h["MPI_Irecv"], wantSends)
+	}
+	if h["MPI_Allreduce"] != 8*2 {
+		t.Errorf("allreduce = %d, want 16", h["MPI_Allreduce"])
+	}
+}
+
+func TestLULESHMainGroupsByPosition(t *testing.T) {
+	// At 27 ranks the cube has corners, edge-, face- and interior ranks
+	// with different neighbour sets; the merge must keep them in separate
+	// main groups while remaining lossless (verified inside Build).
+	spec, err := ByName("LULESH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, err := spec.Build(Params{Ranks: 27, Iters: 2, WorkScale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder(27, trace.Config{})
+	w := mpi.NewWorld(mpi.Config{Size: 27, Interceptor: rec, Seed: 6})
+	if _, err := w.Run(fn); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := merge.Build(rec.Trace("A", "openmpi"), merge.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Mains) < 2 {
+		t.Errorf("27-rank LULESH should split into positional main groups, got %d", len(prog.Mains))
+	}
+	if len(prog.Mains) > 27 {
+		t.Errorf("too many groups: %d", len(prog.Mains))
+	}
+	// The interior rank (centre of a 3×3×3 cube) is unique.
+	centre := 13
+	for _, m := range prog.Mains {
+		if m.Ranks.Contains(centre) && m.Ranks.Len() != 1 {
+			t.Errorf("interior rank grouped with %s", m.Ranks)
+		}
+	}
+}
+
+func TestBTIOWritesScaleWithIterations(t *testing.T) {
+	count := func(iters int) int {
+		spec, _ := ByName("BTIO")
+		fn, err := spec.Build(Params{Ranks: 4, Iters: iters, WorkScale: 0.05})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := trace.NewRecorder(4, trace.Config{})
+		w := mpi.NewWorld(mpi.Config{Size: 4, Interceptor: rec, Seed: 8})
+		if _, err := w.Run(fn); err != nil {
+			t.Fatal(err)
+		}
+		return rec.Trace("A", "openmpi").FuncHistogram()["MPI_File_write_at_all"]
+	}
+	if c4, c12 := count(4), count(12); c12 != 3*c4 {
+		t.Errorf("checkpoint writes should scale with iterations: %d vs %d", c4, c12)
+	}
+}

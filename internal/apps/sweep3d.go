@@ -1,0 +1,82 @@
+package apps
+
+import (
+	"siesta/internal/mpi"
+	"siesta/internal/perfmodel"
+)
+
+// Scaled-down Sweep3D volume (the paper uses a 1000³ input).
+const sweepCells = 400_000_000
+
+func init() {
+	register(&Spec{
+		Name:         "Sweep3d",
+		Description:  "ASCI Sweep3D: discrete-ordinates neutron transport; 2D process grid swept by wavefronts from all 8 octants",
+		DefaultIters: 3,
+		ValidRanks:   func(p int) bool { return p >= 1 },
+		Build:        buildSweep3D,
+	})
+}
+
+// buildSweep3D implements the classic wavefront: for each octant the sweep
+// enters at one corner of the 2D process grid and propagates; each rank
+// receives its upstream i- and j-boundaries, computes the angular block, and
+// sends downstream. The recv-compute-send dependence chain is exactly what
+// makes Sweep3D traces long and strongly ordered.
+func buildSweep3D(p Params) (func(*mpi.Rank), error) {
+	spec, _ := ByName("Sweep3d")
+	if err := validateRanks(spec, p); err != nil {
+		return nil, err
+	}
+	iters := p.iters(spec.DefaultIters)
+	const kBlocks = 4 // pipelined k-plane blocks per octant
+	return func(r *mpi.Rank) {
+		c := r.World()
+		P := r.Size()
+		rows, cols := grid2D(P)
+		row, col := r.Rank()/cols, r.Rank()%cols
+		perRank := float64(sweepCells/P) * p.work() / float64(kBlocks)
+
+		// The transport kernel: FP-heavy with the upwinding branches that
+		// give Sweep3D its branchy profile.
+		sweep := scaleKernel(perfmodel.Kernel{
+			FPOps: 20, IntOps: 4, Loads: 10, Stores: 3, Branches: 6,
+		}, perRank/8)
+		sweep.RandBranches = int64(perRank / 64)
+		sweep.MissLines = int64(perRank / 25)
+
+		iBytes := 8 * (1 << 19) / rows
+		jBytes := 8 * (1 << 19) / cols
+
+		// The 8 octants: ±i × ±j × two k directions.
+		type octant struct{ di, dj int }
+		octants := []octant{
+			{+1, +1}, {+1, -1}, {-1, +1}, {-1, -1},
+			{+1, +1}, {+1, -1}, {-1, +1}, {-1, -1},
+		}
+		neighbor := func(dr, dc int) int {
+			nr, nc := row+dr, col+dc
+			if nr < 0 || nr >= rows || nc < 0 || nc >= cols {
+				return mpi.ProcNull
+			}
+			return nr*cols + nc
+		}
+
+		for it := 0; it < iters; it++ {
+			for _, oct := range octants {
+				upI := neighbor(-oct.di, 0)
+				dnI := neighbor(oct.di, 0)
+				upJ := neighbor(0, -oct.dj)
+				dnJ := neighbor(0, oct.dj)
+				for kb := 0; kb < kBlocks; kb++ {
+					r.Recv(c, upI, 60)
+					r.Recv(c, upJ, 61)
+					r.Compute(sweep)
+					r.Send(c, dnI, 60, iBytes)
+					r.Send(c, dnJ, 61, jBytes)
+				}
+			}
+			r.Allreduce(c, 8, mpi.OpSum) // flux convergence check
+		}
+	}, nil
+}

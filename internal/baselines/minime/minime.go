@@ -1,0 +1,167 @@
+// Package minime reimplements the MINIME-style computation synthesizer the
+// paper compares against in §3.3 (Deniz et al., IEEE TC 2015). MINIME
+// synthesizes benchmarks by iteratively adjusting code-block repetition
+// counts until the synthetic code's Instructions-Per-Cycle, Cache Miss Rate
+// and Branch Misprediction Rate match the target program's. Unlike Siesta's
+// one-shot constrained QP over six absolute counters, MINIME's loop greedily
+// chases the three *rates*, which converges to coarser local optima — the
+// gap Figures 4 and 5 measure.
+package minime
+
+import (
+	"math"
+
+	"siesta/internal/blocks"
+	"siesta/internal/perfmodel"
+	"siesta/internal/platform"
+)
+
+// Options tunes the iterative search.
+type Options struct {
+	MaxIters int     // default 60
+	Tol      float64 // rate convergence tolerance, default 2%
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIters == 0 {
+		o.MaxIters = 300
+	}
+	if o.Tol == 0 {
+		o.Tol = 0.02
+	}
+	return o
+}
+
+// RateError is the mean relative error over the three MINIME metrics (IPC,
+// CMR, BMR) — the similarity measure of Figures 4 and 5.
+func RateError(c, ref perfmodel.Counters) float64 {
+	sum, n := 0.0, 0
+	for _, pair := range [][2]float64{
+		{c.IPC(), ref.IPC()},
+		{c.CMR(), ref.CMR()},
+		{c.BMR(), ref.BMR()},
+	} {
+		if pair[1] == 0 {
+			continue
+		}
+		sum += math.Abs(pair[0]-pair[1]) / pair[1]
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Synthesize runs the MINIME-style iterative search for a block combination
+// whose rates match the target's, scaled to the target's instruction count.
+func Synthesize(p *platform.Platform, target perfmodel.Counters, opts Options) blocks.Combination {
+	opts = opts.withDefaults()
+	var c blocks.Combination
+	if target[perfmodel.INS] <= 0 {
+		return c
+	}
+
+	// Seed: enough of block 1 to reach the instruction budget.
+	b1 := perfmodel.Measure(p, blocks.Kernel(0, p))
+	c.Counts[0] = int64(target[perfmodel.INS] / b1[perfmodel.INS])
+	if c.Counts[0] < 1 {
+		c.Counts[0] = 1
+	}
+	c.Counts[10] = c.Counts[0]
+
+	for iter := 0; iter < opts.MaxIters; iter++ {
+		cur := c.Counters(p)
+		eIPC := relErr(cur.IPC(), target.IPC())
+		eCMR := relErr(cur.CMR(), target.CMR())
+		eBMR := relErr(cur.BMR(), target.BMR())
+		if eIPC < opts.Tol && eCMR < opts.Tol && eBMR < opts.Tol {
+			break
+		}
+		// Greedy: attack the worst rate with the block that moves it,
+		// stepping proportionally to the remaining error.
+		prop := func(base int64, err float64) int64 {
+			s := int64(float64(base) * err / 4)
+			if s < 1 {
+				s = 1
+			}
+			return s
+		}
+		dec := func(i int, by int64) {
+			c.Counts[i] -= by
+			if c.Counts[i] < 0 {
+				c.Counts[i] = 0
+			}
+		}
+		switch worst(eIPC, eCMR, eBMR) {
+		case 0: // IPC
+			if cur.IPC() > target.IPC() {
+				c.Counts[2] += prop(c.Counts[2]+c.Total()/16, eIPC) // block3: divisions drag IPC down
+			} else if c.Counts[2] > 0 {
+				dec(2, prop(c.Counts[2], eIPC))
+			} else {
+				c.Counts[1] += prop(c.Counts[1]+1, eIPC) // block2: dense adds push IPC up
+			}
+		case 1: // CMR
+			if cur.CMR() < target.CMR() {
+				c.Counts[6] += prop(c.Counts[6]+1, eCMR) // block7: cache misses
+			} else if c.Counts[6] > 0 {
+				dec(6, prop(c.Counts[6], eCMR))
+			} else {
+				c.Counts[1] += prop(c.Counts[1]+1, eCMR) // dilute
+			}
+		case 2: // BMR
+			if cur.BMR() < target.BMR() {
+				c.Counts[4] += prop(c.Counts[4]+1, eBMR) // block5: random branches
+			} else if c.Counts[4] > 0 {
+				dec(4, prop(c.Counts[4], eBMR))
+			} else {
+				c.Counts[0] += prop(c.Counts[0]+1, eBMR) // dilute with predictable work
+			}
+		}
+		normalizeWrapper(&c)
+	}
+
+	// Rescale to the instruction budget (rates are scale-invariant).
+	cur := c.Counters(p)
+	if cur[perfmodel.INS] > 0 {
+		f := target[perfmodel.INS] / cur[perfmodel.INS]
+		for i := range c.Counts {
+			c.Counts[i] = int64(math.Round(float64(c.Counts[i]) * f))
+		}
+	}
+	normalizeWrapper(&c)
+	return c
+}
+
+// normalizeWrapper restores the structural constraint x₁₁ ≥ Σx₁..₉.
+func normalizeWrapper(c *blocks.Combination) {
+	var wrapped int64
+	for i := 0; i < 9; i++ {
+		wrapped += c.Counts[i]
+	}
+	if c.Counts[10] < wrapped {
+		c.Counts[10] = wrapped
+	}
+}
+
+func relErr(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 0
+		}
+		return 1
+	}
+	return math.Abs(a-b) / math.Abs(b)
+}
+
+func worst(a, b, c float64) int {
+	switch {
+	case a >= b && a >= c:
+		return 0
+	case b >= c:
+		return 1
+	default:
+		return 2
+	}
+}

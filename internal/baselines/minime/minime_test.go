@@ -1,0 +1,116 @@
+package minime
+
+import (
+	"testing"
+
+	"siesta/internal/blocks"
+	"siesta/internal/perfmodel"
+	"siesta/internal/platform"
+)
+
+// appTarget is a realistic whole-program computation aggregate.
+func appTarget(p *platform.Platform) perfmodel.Counters {
+	k := perfmodel.Kernel{
+		IntOps: 4e6, FPOps: 8e6, DivOps: 2e5, Loads: 5e6, Stores: 2e6,
+		Branches: 3e6, RandBranches: 2e5, MissLines: 4e5,
+	}
+	return perfmodel.Measure(p, k)
+}
+
+func TestSynthesizeMatchesRates(t *testing.T) {
+	p := platform.A
+	target := appTarget(p)
+	c := Synthesize(p, target, Options{})
+	if !c.Valid() {
+		t.Fatalf("combination violates constraints: %+v", c)
+	}
+	got := c.Counters(p)
+	if e := RateError(got, target); e > 0.25 {
+		t.Errorf("rate error %.3f too large\n got %v\nwant %v", e, got, target)
+	}
+	// Instruction budget approximately honoured.
+	if rel := got[perfmodel.INS] / target[perfmodel.INS]; rel < 0.5 || rel > 2 {
+		t.Errorf("INS scale off by %.2f×", rel)
+	}
+}
+
+func TestSiestaBeatsMinimeOnSixMetrics(t *testing.T) {
+	// The Fig. 4 relationship: on the six-metric (absolute counter)
+	// comparison, Siesta's QP must beat MINIME's rate-chasing loop.
+	p := platform.A
+	target := appTarget(p)
+	mini := Synthesize(p, target, Options{})
+	bm := blocks.MeasureB(p, nil)
+	siesta, err := blocks.Search(bm, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eMini := mini.Counters(p).RelError(target)
+	eSiesta := siesta.Counters(p).RelError(target)
+	if eSiesta >= eMini {
+		t.Errorf("Siesta (%.4f) should beat MINIME (%.4f) on six-metric error", eSiesta, eMini)
+	}
+}
+
+func TestSiestaAtLeastComparableOnRates(t *testing.T) {
+	// Fig. 4 shows Siesta "slightly better" even on MINIME's own metrics.
+	p := platform.A
+	target := appTarget(p)
+	mini := Synthesize(p, target, Options{})
+	bm := blocks.MeasureB(p, nil)
+	siesta, err := blocks.Search(bm, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eMini := RateError(mini.Counters(p), target)
+	eSiesta := RateError(siesta.Counters(p), target)
+	if eSiesta > eMini*1.5 {
+		t.Errorf("Siesta rate error %.4f should be comparable to MINIME's %.4f", eSiesta, eMini)
+	}
+}
+
+func TestZeroTarget(t *testing.T) {
+	c := Synthesize(platform.A, perfmodel.Counters{}, Options{})
+	if c.Total() != 0 {
+		t.Errorf("zero target should synthesize nothing, got %+v", c)
+	}
+}
+
+func TestRateError(t *testing.T) {
+	a := appTarget(platform.A)
+	if RateError(a, a) != 0 {
+		t.Error("self rate error should be 0")
+	}
+	var zero perfmodel.Counters
+	if RateError(a, zero) != 0 {
+		t.Error("zero reference should contribute nothing")
+	}
+}
+
+func TestSequenceAccumulation(t *testing.T) {
+	// Fig. 5: mimicking each event separately and summing, Siesta's
+	// absolute-counter fits add up; MINIME's rate-only fits drift.
+	p := platform.A
+	events := []perfmodel.Kernel{
+		{IntOps: 1e6, FPOps: 2e6, Loads: 1e6, Stores: 4e5, Branches: 8e5, MissLines: 1e5},
+		{IntOps: 3e6, DivOps: 1e5, Loads: 2e6, Stores: 8e5, Branches: 1.1e6, RandBranches: 1e5, MissLines: 2e4},
+		{IntOps: 5e5, FPOps: 4e6, Loads: 1.5e6, Stores: 5e5, Branches: 1.2e6, MissLines: 3e5},
+	}
+	bm := blocks.MeasureB(p, nil)
+	var origSum, miniSum, siestaSum perfmodel.Counters
+	for _, k := range events {
+		target := perfmodel.Measure(p, k)
+		origSum.Add(target)
+		miniSum.Add(Synthesize(p, target, Options{}).Counters(p))
+		sc, err := blocks.Search(bm, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		siestaSum.Add(sc.Counters(p))
+	}
+	eMini := RateError(miniSum, origSum)
+	eSiesta := RateError(siestaSum, origSum)
+	if eSiesta >= eMini {
+		t.Errorf("summed sequence: Siesta (%.4f) should beat MINIME (%.4f)", eSiesta, eMini)
+	}
+}

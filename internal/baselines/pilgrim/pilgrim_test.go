@@ -1,0 +1,94 @@
+package pilgrim
+
+import (
+	"testing"
+
+	"siesta/internal/apps"
+	"siesta/internal/mpi"
+	"siesta/internal/trace"
+)
+
+func traceApp(t *testing.T, name string, ranks, iters int) (*trace.Trace, *mpi.RunResult) {
+	t.Helper()
+	spec, err := apps.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, err := spec.Build(apps.Params{Ranks: ranks, Iters: iters, WorkScale: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder(ranks, trace.Config{})
+	w := mpi.NewWorld(mpi.Config{Size: ranks, Interceptor: rec, NoiseSigma: 0.004, Seed: 51})
+	orig, err := w.Run(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec.Trace("A", "openmpi"), orig
+}
+
+func TestCommunicationReplayIsLossless(t *testing.T) {
+	tr, orig := traceApp(t, "MG", 8, 3)
+	p, err := Generate(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(mpi.Config{Seed: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same number of MPI calls per rank: the communication is lossless.
+	for i := range orig.Ranks {
+		if res.Ranks[i].Calls != orig.Ranks[i].Calls {
+			t.Errorf("rank %d: %d calls vs original %d", i, res.Ranks[i].Calls, orig.Ranks[i].Calls)
+		}
+	}
+}
+
+func TestExecutionTimeGrosslyUnderestimates(t *testing.T) {
+	// The paper quotes 84.30% mean time error for Pilgrim: no computation
+	// fill means the replay runs mostly on communication time.
+	tr, orig := traceApp(t, "CG", 8, 4)
+	p, err := Generate(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(mpi.Config{Seed: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errFrac := (float64(orig.ExecTime) - float64(res.ExecTime)) / float64(orig.ExecTime)
+	if errFrac < 0.5 {
+		t.Errorf("Pilgrim replay should underestimate by a lot, got %.1f%% (proxy %v, orig %v)",
+			errFrac*100, res.ExecTime, orig.ExecTime)
+	}
+	if res.TotalCompute()[0] != 0 {
+		t.Error("Pilgrim proxies must not execute computation")
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	tr, _ := traceApp(t, "IS", 8, 5)
+	p, err := Generate(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SizeBytes() <= 0 {
+		t.Error("size should be positive")
+	}
+	if p.SizeBytes() >= tr.RawSize() {
+		t.Error("compressed size should beat the raw trace")
+	}
+}
+
+func TestHandlesFlash(t *testing.T) {
+	// Unlike ScalaBench, Pilgrim handles communicator operations.
+	tr, _ := traceApp(t, "Sod", 8, 3)
+	p, err := Generate(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(mpi.Config{Seed: 61}); err != nil {
+		t.Fatal(err)
+	}
+}

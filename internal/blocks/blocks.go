@@ -1,0 +1,197 @@
+// Package blocks implements the paper's 11 predefined code blocks (Fig. 2)
+// and the computation-proxy search of §2.4. Each block is described as an
+// abstract operation mix per repetition; a micro-benchmark measures each
+// block's six-metric column on a given platform to form the B matrix, and
+// Search solves the constrained quadratic program for the repetition counts
+// x that make the linear combination Bx match a target counter vector t.
+package blocks
+
+import (
+	"fmt"
+	"math"
+
+	"siesta/internal/perfmodel"
+	"siesta/internal/platform"
+	"siesta/internal/qp"
+)
+
+// NumBlocks is the number of predefined code blocks.
+const NumBlocks = 11
+
+// Names documents each block, mirroring the comments in the paper's Fig. 2.
+var Names = [NumBlocks]string{
+	"simple add (high IPC)",
+	"add with low LST/INS",
+	"simple div (low IPC)",
+	"div with low LST/INS",
+	"misprediction with high IPC",
+	"misprediction with low IPC",
+	"cache miss",
+	"cache miss with high IPC",
+	"cache miss with low IPC",
+	"empty cycle (branch)",
+	"wrapper loop (linear combination)",
+}
+
+// missLines is the number of cache-line touches blocks 7–9 make per
+// repetition: they stream over twice the L1 data cache, one line per
+// iteration, so every touch misses.
+func missLines(p *platform.Platform) int64 {
+	return int64(2 * p.L1KB * 1024 / p.CachelineB)
+}
+
+// Kernel returns the abstract operation mix of one repetition of block i
+// (0-based: block1 is index 0) on the given platform. Blocks 7–9 depend on
+// the platform's cache geometry, which is why the paper re-runs its
+// micro-benchmarks per system.
+func Kernel(i int, p *platform.Platform) perfmodel.Kernel {
+	n := missLines(p)
+	switch i {
+	case 0: // block1: i1 = i2+i3
+		return perfmodel.Kernel{IntOps: 1, Loads: 2, Stores: 1}
+	case 1: // block2: i1 = i2+i3+i4+i5+i6, operands in registers
+		return perfmodel.Kernel{IntOps: 4, Loads: 1, Stores: 1}
+	case 2: // block3: d1 = d1/d2
+		return perfmodel.Kernel{DivOps: 1, Loads: 2, Stores: 1}
+	case 3: // block4: d1 = d2/d3/d4/d5/d6, operands in registers
+		return perfmodel.Kernel{DivOps: 4, Loads: 1, Stores: 1}
+	case 4: // block5: 20 data-dependent branches over random bits, add body
+		return perfmodel.Kernel{IntOps: 30, Loads: 2, Stores: 1, Branches: 21, RandBranches: 20}
+	case 5: // block6: 20 data-dependent branches, division body
+		return perfmodel.Kernel{IntOps: 25, DivOps: 10, Loads: 2, Stores: 1, Branches: 21, RandBranches: 20}
+	case 6: // block7: stride-cacheline stores over 2×L1
+		return perfmodel.Kernel{IntOps: 2 * n, Stores: n, Branches: n, MissLines: n}
+	case 7: // block8: same walk, add-heavy body
+		return perfmodel.Kernel{IntOps: 4 * n, Stores: n, Branches: n, MissLines: n}
+	case 8: // block9: same walk, division body
+		return perfmodel.Kernel{IntOps: n, DivOps: 2 * n, Stores: n, Branches: n, MissLines: n}
+	case 9: // block10: empty loop iteration
+		return perfmodel.Kernel{IntOps: 1, Branches: 1}
+	case 10: // block11: wrapper loop iteration (counter + body dispatch)
+		return perfmodel.Kernel{IntOps: 2, Branches: 1}
+	default:
+		panic(fmt.Sprintf("blocks: no block %d", i))
+	}
+}
+
+// Combination is a solved linear combination: Counts[i] repetitions of block
+// i+1. For blocks 1–9 the count is the number of body repetitions; for
+// blocks 10 and 11 it is the loop trip count.
+type Combination struct {
+	Counts [NumBlocks]int64
+}
+
+// Kernel returns the total operation mix of replaying the combination.
+func (c Combination) Kernel(p *platform.Platform) perfmodel.Kernel {
+	var k perfmodel.Kernel
+	for i, n := range c.Counts {
+		if n > 0 {
+			k = k.Add(Kernel(i, p).ScaleInt(n))
+		}
+	}
+	return k
+}
+
+// Counters measures the combination's exact counters on a platform.
+func (c Combination) Counters(p *platform.Platform) perfmodel.Counters {
+	return perfmodel.Measure(p, c.Kernel(p))
+}
+
+// Seconds reports the combination's execution time on a platform.
+func (c Combination) Seconds(p *platform.Platform) float64 {
+	return perfmodel.Seconds(p, c.Kernel(p))
+}
+
+// Total reports the summed repetition counts, a rough size measure.
+func (c Combination) Total() int64 {
+	var t int64
+	for _, n := range c.Counts {
+		t += n
+	}
+	return t
+}
+
+// Valid reports whether the combination satisfies the structural constraint
+// x₁₁ ≥ Σ x₁..₉ (the wrapper loop must cover every wrapped block's
+// iteration overhead) and non-negativity.
+func (c Combination) Valid() bool {
+	var wrapped int64
+	for i := 0; i < 9; i++ {
+		if c.Counts[i] < 0 {
+			return false
+		}
+		wrapped += c.Counts[i]
+	}
+	return c.Counts[9] >= 0 && c.Counts[10] >= wrapped
+}
+
+// MeasureB runs the micro-benchmark: one repetition of each block, measured
+// through the platform's (optionally noisy) counter model, producing the
+// 6×11 matrix B whose column j is block j's metric vector.
+func MeasureB(p *platform.Platform, noise *perfmodel.Noise) *qp.Matrix {
+	b := qp.NewMatrix(int(perfmodel.NumMetrics), NumBlocks)
+	for j := 0; j < NumBlocks; j++ {
+		c := perfmodel.MeasureNoisy(p, Kernel(j, p), noise)
+		for i := 0; i < int(perfmodel.NumMetrics); i++ {
+			b.Set(i, j, c[i])
+		}
+	}
+	return b
+}
+
+// Search solves the paper's constrained QP for a combination whose metric
+// vector approximates target:
+//
+//	min Σᵢ (1/tᵢ²)(bᵢ·x − tᵢ)²  s.t.  x ≥ 0,  x₁₁ ≥ Σ x₁..₉.
+//
+// The coupling constraint is eliminated by substituting x₁₁ = s + Σ x₁..₉
+// with s ≥ 0, leaving a pure NNLS problem; the continuous solution is then
+// rounded to integers with the constraint re-established.
+func Search(bm *qp.Matrix, target perfmodel.Counters) (Combination, error) {
+	if bm.Rows != int(perfmodel.NumMetrics) || bm.Cols != NumBlocks {
+		return Combination{}, fmt.Errorf("blocks: B matrix is %dx%d, want %dx%d",
+			bm.Rows, bm.Cols, perfmodel.NumMetrics, NumBlocks)
+	}
+	// Substituted matrix B′: columns 0..8 gain column 10 (each wrapped
+	// repetition implies one wrapper iteration); column 9 is block 10;
+	// column 10 becomes the slack s (pure wrapper iterations).
+	bs := qp.NewMatrix(bm.Rows, NumBlocks)
+	for i := 0; i < bm.Rows; i++ {
+		w := bm.At(i, 10)
+		for j := 0; j < 9; j++ {
+			bs.Set(i, j, bm.At(i, j)+w)
+		}
+		bs.Set(i, 9, bm.At(i, 9))
+		bs.Set(i, 10, w)
+	}
+	t := make([]float64, bm.Rows)
+	for i := range t {
+		t[i] = target[i]
+	}
+	y, err := qp.WeightedNNLS(bs, t)
+	if err != nil {
+		return Combination{}, fmt.Errorf("blocks: search failed: %w", err)
+	}
+	var c Combination
+	var wrapped int64
+	for j := 0; j < 9; j++ {
+		c.Counts[j] = roundNonneg(y[j])
+		wrapped += c.Counts[j]
+	}
+	c.Counts[9] = roundNonneg(y[9])
+	c.Counts[10] = wrapped + roundNonneg(y[10])
+	return c, nil
+}
+
+func roundNonneg(v float64) int64 {
+	if v <= 0 || math.IsNaN(v) {
+		return 0
+	}
+	return int64(math.Round(v))
+}
+
+// FitError reports the mean relative error between the combination's exact
+// counters on p and the target, the quantity the paper's Figures 4–5 plot.
+func FitError(c Combination, p *platform.Platform, target perfmodel.Counters) float64 {
+	return c.Counters(p).RelError(target)
+}

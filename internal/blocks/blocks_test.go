@@ -1,0 +1,239 @@
+package blocks
+
+import (
+	"math/rand"
+	"testing"
+
+	"siesta/internal/perfmodel"
+	"siesta/internal/platform"
+)
+
+func TestKernelsDistinct(t *testing.T) {
+	// Every block must have a distinct operation mix on a given platform,
+	// otherwise the B matrix loses rank for no benefit.
+	seen := map[perfmodel.Kernel]int{}
+	for i := 0; i < NumBlocks; i++ {
+		k := Kernel(i, platform.A)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("blocks %d and %d have identical kernels", prev, i)
+		}
+		seen[k] = i
+		if k.IsZero() {
+			t.Errorf("block %d does no work", i)
+		}
+	}
+}
+
+func TestKernelOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Kernel(99) should panic")
+		}
+	}()
+	Kernel(99, platform.A)
+}
+
+func TestBlockCharacters(t *testing.T) {
+	p := platform.A
+	m := func(i int) perfmodel.Counters { return perfmodel.Measure(p, Kernel(i, p)) }
+	// block1 high IPC vs block3 low IPC
+	if m(0).IPC() <= m(2).IPC() {
+		t.Error("block1 should out-IPC block3")
+	}
+	// block2 lower LST/INS than block1
+	if m(1)[perfmodel.LST]/m(1)[perfmodel.INS] >= m(0)[perfmodel.LST]/m(0)[perfmodel.INS] {
+		t.Error("block2 should have lower LST/INS than block1")
+	}
+	// blocks 5,6 generate mispredictions
+	if m(4)[perfmodel.MSP] < 5 || m(5)[perfmodel.MSP] < 5 {
+		t.Error("misprediction blocks should mispredict")
+	}
+	// blocks 7–9 generate cache misses; others generate none
+	for i := 0; i < NumBlocks; i++ {
+		misses := m(i)[perfmodel.L1DCM]
+		if i >= 6 && i <= 8 && misses == 0 {
+			t.Errorf("block %d should miss in cache", i)
+		}
+		if (i < 6 || i > 8) && misses != 0 {
+			t.Errorf("block %d should not miss in cache", i)
+		}
+	}
+}
+
+func TestMissLinesTrackCacheGeometry(t *testing.T) {
+	// Blocks 7–9 walk 2× the L1; their per-repetition misses must differ
+	// when cache geometry differs. A and B share L1 sizes, so compare
+	// against a synthetic platform.
+	small := *platform.A
+	small.L1KB = 16
+	a := Kernel(6, platform.A).MissLines
+	s := Kernel(6, &small).MissLines
+	if s*2 != a {
+		t.Errorf("halving L1 should halve the walk: %d vs %d", s, a)
+	}
+}
+
+func TestMeasureBShape(t *testing.T) {
+	b := MeasureB(platform.A, nil)
+	if b.Rows != int(perfmodel.NumMetrics) || b.Cols != NumBlocks {
+		t.Fatalf("B is %dx%d", b.Rows, b.Cols)
+	}
+	// Column j equals block j's exact counters with nil noise.
+	for j := 0; j < NumBlocks; j++ {
+		c := perfmodel.Measure(platform.A, Kernel(j, platform.A))
+		for i := 0; i < b.Rows; i++ {
+			if b.At(i, j) != c[i] {
+				t.Fatalf("B[%d][%d] = %v, want %v", i, j, b.At(i, j), c[i])
+			}
+		}
+	}
+}
+
+func TestSearchRecoversKnownCombination(t *testing.T) {
+	// Build a target from a known valid combination and verify the search
+	// reproduces its counters closely (not necessarily the same counts —
+	// blocks are non-orthogonal).
+	p := platform.A
+	want := Combination{Counts: [NumBlocks]int64{1000, 500, 200, 0, 50, 0, 3, 0, 0, 4000, 2000}}
+	want.Counts[10] += sumFirst9(want) // ensure validity
+	target := want.Counters(p)
+
+	bm := MeasureB(p, nil)
+	got, err := Search(bm, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Valid() {
+		t.Fatalf("search returned invalid combination: %+v", got)
+	}
+	if e := FitError(got, p, target); e > 0.05 {
+		t.Errorf("fit error %.4f too large; got %+v", e, got)
+	}
+}
+
+func sumFirst9(c Combination) int64 {
+	var s int64
+	for i := 0; i < 9; i++ {
+		s += c.Counts[i]
+	}
+	return s
+}
+
+func TestSearchSatisfiesCouplingConstraint(t *testing.T) {
+	p := platform.A
+	bm := MeasureB(p, nil)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		var target perfmodel.Counters
+		target[perfmodel.INS] = float64(1e5 + rng.Intn(1e7))
+		target[perfmodel.CYC] = target[perfmodel.INS] / (0.3 + rng.Float64()*3)
+		target[perfmodel.LST] = target[perfmodel.INS] * (0.1 + rng.Float64()*0.4)
+		target[perfmodel.L1DCM] = target[perfmodel.LST] * rng.Float64() * 0.1
+		target[perfmodel.BRCN] = target[perfmodel.INS] * (0.05 + rng.Float64()*0.2)
+		target[perfmodel.MSP] = target[perfmodel.BRCN] * rng.Float64() * 0.2
+		c, err := Search(bm, target)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !c.Valid() {
+			t.Fatalf("trial %d: constraint violated: %+v", trial, c)
+		}
+	}
+}
+
+func TestSearchWithNoisyB(t *testing.T) {
+	// The paper measures B with real (noisy) counters; the search must
+	// still land close.
+	p := platform.A
+	want := Combination{Counts: [NumBlocks]int64{5000, 0, 1000, 0, 100, 0, 10, 0, 0, 0, 20000}}
+	target := want.Counters(p)
+	bm := MeasureB(p, perfmodel.NewNoise(0.01, 3))
+	got, err := Search(bm, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := FitError(got, p, target); e > 0.10 {
+		t.Errorf("fit error %.4f too large under noisy B", e)
+	}
+}
+
+func TestSearchPortability(t *testing.T) {
+	// A combination searched on platform A should, when replayed on B,
+	// take longer in seconds — computation proxies inherit platform
+	// sensitivity (the paper's Fig. 9 mechanism).
+	p := platform.A
+	app := perfmodel.Kernel{IntOps: 5e6, FPOps: 2e6, DivOps: 1e5, Loads: 3e6,
+		Stores: 1e6, Branches: 1e6, RandBranches: 5e4, MissLines: 5e4}
+	target := perfmodel.Measure(p, app)
+	bm := MeasureB(p, nil)
+	c, err := Search(bm, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origA := perfmodel.Seconds(platform.A, app)
+	origB := perfmodel.Seconds(platform.B, app)
+	proxA := c.Seconds(platform.A)
+	proxB := c.Seconds(platform.B)
+	if proxB <= proxA {
+		t.Error("proxy should slow down on platform B like the original")
+	}
+	// The A→B slowdown ratio should be in the same ballpark.
+	ratioOrig := origB / origA
+	ratioProx := proxB / proxA
+	if ratioProx < ratioOrig*0.5 || ratioProx > ratioOrig*2.0 {
+		t.Errorf("slowdown ratio: original %.2f×, proxy %.2f× — too far apart", ratioOrig, ratioProx)
+	}
+}
+
+func TestSearchZeroTarget(t *testing.T) {
+	bm := MeasureB(platform.A, nil)
+	c, err := Search(bm, perfmodel.Counters{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Total() != 0 {
+		t.Errorf("zero target should yield empty combination, got %+v", c)
+	}
+}
+
+func TestSearchBadMatrix(t *testing.T) {
+	bm := MeasureB(platform.A, nil)
+	bad := bm.Clone()
+	bad.Cols--
+	if _, err := Search(bad, perfmodel.Counters{}); err == nil {
+		t.Fatal("wrong-shape B should error")
+	}
+}
+
+func TestCombinationValid(t *testing.T) {
+	var c Combination
+	if !c.Valid() {
+		t.Error("zero combination should be valid")
+	}
+	c.Counts[0] = 5
+	if c.Valid() {
+		t.Error("wrapped blocks without wrapper iterations should be invalid")
+	}
+	c.Counts[10] = 5
+	if !c.Valid() {
+		t.Error("exactly-covered wrapper should be valid")
+	}
+	c.Counts[1] = -1
+	if c.Valid() {
+		t.Error("negative counts should be invalid")
+	}
+}
+
+func TestCombinationKernelScaling(t *testing.T) {
+	p := platform.A
+	var one, two Combination
+	one.Counts[0], one.Counts[10] = 10, 10
+	two.Counts[0], two.Counts[10] = 20, 20
+	k1, k2 := one.Kernel(p), two.Kernel(p)
+	if k1.ScaleInt(2) != k2 {
+		t.Error("kernel should scale linearly with counts")
+	}
+	if one.Total() != 20 || two.Total() != 40 {
+		t.Error("Total wrong")
+	}
+}

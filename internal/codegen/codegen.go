@@ -1,0 +1,318 @@
+// Package codegen implements Siesta's code generation (paper §2.7 and
+// Algorithm 1). From a merged Program it produces (a) the computation-proxy
+// table — one searched block combination per computation cluster, (b) an
+// optionally comm-shrunk copy of the program for scaled proxies, (c) the
+// generated C source text, and (d) the size_C accounting (exported grammar +
+// computation code blocks).
+package codegen
+
+import (
+	"fmt"
+	"math"
+
+	"siesta/internal/blocks"
+	"siesta/internal/merge"
+	"siesta/internal/perfmodel"
+	"siesta/internal/platform"
+	"siesta/internal/trace"
+)
+
+// Options controls generation.
+type Options struct {
+	// Platform is the system the micro-benchmarks run on (where the proxy
+	// is generated). Defaults to platform.A.
+	Platform *platform.Platform
+	// Scale is the shrinking factor; 1 (or 0) disables shrinking, 10 is
+	// the paper's Siesta-scaled default.
+	Scale float64
+	// BenchNoise perturbs the micro-benchmark B matrix like real counter
+	// readings would; nil measures exactly.
+	BenchNoise *perfmodel.Noise
+	// CommSamples are (function, bytes, duration) observations from the
+	// trace, used to fit the blocking-communication regression that
+	// drives communication shrinking. Required when Scale > 1.
+	CommSamples []CommSample
+}
+
+// CommSample is one blocking-communication timing observation.
+type CommSample struct {
+	Func  string
+	Bytes int
+	Dur   float64
+}
+
+// Regression is a least-squares linear fit T(bytes) = Alpha + Beta·bytes of
+// one MPI function's execution time against its communication volume.
+type Regression struct {
+	Alpha, Beta float64
+	N           int
+}
+
+// Predict evaluates the fit.
+func (rg Regression) Predict(bytes int) float64 {
+	return rg.Alpha + rg.Beta*float64(bytes)
+}
+
+// ShrinkBytes inverts the fit: the volume whose predicted time is the
+// original's divided by scale, clamped to [0, bytes].
+func (rg Regression) ShrinkBytes(bytes int, scale float64) int {
+	if rg.Beta <= 0 || rg.N < 2 {
+		return bytes
+	}
+	target := rg.Predict(bytes) / scale
+	nb := (target - rg.Alpha) / rg.Beta
+	if nb < 0 {
+		nb = 0
+	}
+	if nb > float64(bytes) {
+		nb = float64(bytes)
+	}
+	return int(math.Round(nb))
+}
+
+// Generated is the output of code generation: everything needed to run or
+// print the proxy-app.
+type Generated struct {
+	Prog   *merge.Program       // possibly comm-shrunk program
+	Combos []blocks.Combination // per computation cluster
+	Scale  float64
+	// SleepTimes are the per-cluster mean durations, retained so the
+	// sleep-replay ablation can run from the same artifact.
+	SleepTimes  []float64
+	Regressions map[string]Regression
+	// SizeC is the exported representation size: encoded program plus the
+	// computation code-block table (paper Table 3's size_C).
+	SizeC int
+	// GeneratedOn names the platform whose B matrix the search used.
+	GeneratedOn string
+}
+
+// blockingFuncs are the calls whose duration scales with volume and which
+// communication shrinking therefore rewrites. Non-blocking calls "take tiny
+// execution time and can be neglected" (paper §2.7).
+var blockingFuncs = map[string]bool{
+	"MPI_Send": true, "MPI_Recv": true, "MPI_Sendrecv": true,
+	"MPI_Isend": true, // transfers expose at Wait once computation shrinks
+	"MPI_Bcast": true, "MPI_Reduce": true, "MPI_Allreduce": true,
+	"MPI_Gather": true, "MPI_Scatter": true, "MPI_Allgather": true,
+	"MPI_Alltoall": true, "MPI_Alltoallv": true, "MPI_Gatherv": true,
+	"MPI_Allgatherv": true,
+}
+
+// CollectCommSamples gathers blocking-communication timing samples from a
+// trace for the shrink regression. Non-blocking calls are excluded: their
+// call duration measures only software overhead, not the transfer, so they
+// would poison the fit — their volumes are still shrunk (through the
+// matching blocking fit) because the transfers they start expose at Wait.
+func CollectCommSamples(tr *trace.Trace) []CommSample {
+	var out []CommSample
+	for _, rt := range tr.Ranks {
+		if len(rt.Durs) != len(rt.Events) {
+			continue // trace without timing (e.g. decoded from disk)
+		}
+		for i, id := range rt.Events {
+			r := rt.Table[id]
+			if blockingFuncs[r.Func] && r.Func != "MPI_Isend" {
+				out = append(out, CommSample{Func: r.Func, Bytes: r.Bytes, Dur: rt.Durs[i]})
+			}
+		}
+	}
+	return out
+}
+
+// fitRegressions computes one linear fit per function, on the *minimum*
+// duration observed per (function, volume): call durations in a trace
+// include synchronization waits (rendezvous partners, collective
+// stragglers), and the minimum isolates the transfer cost the shrink model
+// needs. Many traces exercise a function at a single message size (a fixed
+// halo width, say), which makes the per-function fit degenerate; those
+// functions fall back to a pooled fit over all blocking samples, which spans
+// the trace's full volume range.
+func fitRegressions(samples []CommSample) map[string]Regression {
+	type key struct {
+		f string
+		b int
+	}
+	mins := map[key]float64{}
+	for _, s := range samples {
+		k := key{s.Func, s.Bytes}
+		if v, ok := mins[k]; !ok || s.Dur < v {
+			mins[k] = s.Dur
+		}
+	}
+	samples = samples[:0:0]
+	for k, v := range mins {
+		samples = append(samples, CommSample{Func: k.f, Bytes: k.b, Dur: v})
+	}
+	type acc struct {
+		n                float64
+		sx, sy, sxx, sxy float64
+		minx, maxx       float64
+	}
+	fit := func(a *acc) (Regression, bool) {
+		rg := Regression{N: int(a.n)}
+		den := a.n*a.sxx - a.sx*a.sx
+		// Require genuine volume variance for a meaningful slope.
+		if a.n >= 2 && a.maxx > a.minx && den > 1e-30 {
+			rg.Beta = (a.n*a.sxy - a.sx*a.sy) / den
+			rg.Alpha = (a.sy - rg.Beta*a.sx) / a.n
+			if rg.Beta < 0 {
+				rg.Beta = 0
+				rg.Alpha = a.sy / a.n
+			}
+			if rg.Alpha < 0 {
+				rg.Alpha = 0
+			}
+			return rg, rg.Beta > 0
+		}
+		if a.n > 0 {
+			rg.Alpha = a.sy / a.n
+		}
+		return rg, false
+	}
+	accs := map[string]*acc{}
+	var pooled acc
+	add := func(a *acc, x, y float64) {
+		if a.n == 0 || x < a.minx {
+			a.minx = x
+		}
+		if a.n == 0 || x > a.maxx {
+			a.maxx = x
+		}
+		a.n++
+		a.sx += x
+		a.sy += y
+		a.sxx += x * x
+		a.sxy += x * y
+	}
+	for _, s := range samples {
+		a := accs[s.Func]
+		if a == nil {
+			a = &acc{}
+			accs[s.Func] = a
+		}
+		add(a, float64(s.Bytes), s.Dur)
+		add(&pooled, float64(s.Bytes), s.Dur)
+	}
+	pooledFit, pooledOK := fit(&pooled)
+	out := map[string]Regression{}
+	for f, a := range accs {
+		rg, ok := fit(a)
+		if !ok && pooledOK {
+			// Keep the function's own intercept scale but borrow the
+			// pooled slope: T = mean(T_f) shifted by the pooled β.
+			rg = Regression{
+				Alpha: maxFloat(0, a.sy/a.n-pooledFit.Beta*a.sx/a.n),
+				Beta:  pooledFit.Beta,
+				N:     pooledFit.N,
+			}
+		}
+		out[f] = rg
+	}
+	// Non-blocking sends shrink through the blocking-send fit: the
+	// transfer they start is priced the same on the wire.
+	if sendRg, ok := out["MPI_Send"]; ok && sendRg.Beta > 0 {
+		out["MPI_Isend"] = sendRg
+	} else if pooledOK {
+		out["MPI_Isend"] = pooledFit
+	}
+	return out
+}
+
+func maxFloat(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Generate runs the full code-generation stage.
+func Generate(prog *merge.Program, opts Options) (*Generated, error) {
+	if opts.Platform == nil {
+		opts.Platform = platform.A
+	}
+	if opts.Scale <= 0 {
+		opts.Scale = 1
+	}
+	g := &Generated{
+		Prog:        prog,
+		Scale:       opts.Scale,
+		GeneratedOn: opts.Platform.Name,
+	}
+
+	// Computation proxies: one constrained-QP search per cluster (§2.4),
+	// against targets divided by the scaling factor (§2.7).
+	bm := blocks.MeasureB(opts.Platform, opts.BenchNoise)
+	g.Combos = make([]blocks.Combination, len(prog.Clusters))
+	g.SleepTimes = make([]float64, len(prog.Clusters))
+	for i, cl := range prog.Clusters {
+		target := cl.Target()
+		if opts.Scale != 1 {
+			target = target.Scale(1 / opts.Scale)
+		}
+		combo, err := blocks.Search(bm, target)
+		if err != nil {
+			return nil, fmt.Errorf("codegen: cluster %d: %w", i, err)
+		}
+		g.Combos[i] = combo
+		g.SleepTimes[i] = cl.MeanTime() / opts.Scale
+	}
+
+	// Communication shrinking (§2.7): fit blocking-call time against
+	// volume and rewrite volumes so each call's predicted time shrinks by
+	// the scaling factor.
+	if opts.Scale != 1 {
+		g.Regressions = fitRegressions(opts.CommSamples)
+		g.Prog = shrinkProgram(prog, g.Regressions, opts.Scale)
+	}
+
+	g.SizeC = len(g.Prog.Encode()) + len(encodeCombos(g.Combos))
+	return g, nil
+}
+
+// shrinkProgram clones the program with blocking-communication volumes
+// rewritten through the regressions.
+func shrinkProgram(p *merge.Program, regs map[string]Regression, scale float64) *merge.Program {
+	out := *p
+	out.Terminals = make([]*trace.Record, len(p.Terminals))
+	for i, r := range p.Terminals {
+		if !blockingFuncs[r.Func] {
+			out.Terminals[i] = r
+			continue
+		}
+		rg, ok := regs[r.Func]
+		if !ok {
+			out.Terminals[i] = r
+			continue
+		}
+		c := r.Clone()
+		c.Bytes = rg.ShrinkBytes(r.Bytes, scale)
+		if len(c.Counts) > 0 {
+			// v-collectives: shrink per-destination counts in the
+			// same proportion as the total.
+			ratio := 0.0
+			if r.Bytes > 0 {
+				ratio = float64(c.Bytes) / float64(r.Bytes)
+			}
+			for j := range c.Counts {
+				c.Counts[j] = int(math.Round(float64(c.Counts[j]) * ratio))
+			}
+		}
+		out.Terminals[i] = c
+	}
+	return &out
+}
+
+// encodeCombos serializes the computation code-block table; its size counts
+// toward size_C ("the sum of the size of the symbol table and the
+// computation code blocks").
+func encodeCombos(combos []blocks.Combination) []byte {
+	var e trace.Enc
+	e.Int(len(combos))
+	for _, c := range combos {
+		for _, n := range c.Counts {
+			e.Varint(n)
+		}
+	}
+	return e.Bytes()
+}

@@ -1,0 +1,209 @@
+// Package core is Siesta's top-level pipeline (paper Fig. 1): given an MPI
+// application (a function over the simulated runtime), it traces
+// communication and computation events, searches computation proxies,
+// extracts intra- and inter-process grammars, and generates a synthetic
+// proxy-app — plus the error metrics the evaluation section reports.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"siesta/internal/codegen"
+	"siesta/internal/merge"
+	"siesta/internal/mpi"
+	"siesta/internal/netmodel"
+	"siesta/internal/perfmodel"
+	"siesta/internal/platform"
+	"siesta/internal/proxy"
+	"siesta/internal/trace"
+	"siesta/internal/vtime"
+)
+
+// Options configures one synthesis run.
+type Options struct {
+	// Execution environment for the traced run.
+	Platform   *platform.Platform // default platform.A
+	Impl       *netmodel.Impl     // default OpenMPI
+	Ranks      int                // required
+	NoiseSigma float64            // counter noise; default 0.004
+	// RunVariation is run-to-run environmental jitter (default 2%); it is
+	// what separates two executions of the same binary on a real cluster
+	// and sets the error floor every proxy comparison sits on. Negative
+	// disables it.
+	RunVariation float64
+	Seed         uint64
+
+	// Pipeline knobs.
+	Trace trace.Config
+	Merge merge.Options
+	Scale float64 // proxy shrink factor; 0/1 = unscaled
+	// BenchNoise controls micro-benchmark noise for the B matrix; when
+	// nil a small default noise tied to Seed is used.
+	BenchNoise *perfmodel.Noise
+}
+
+func (o Options) withDefaults() Options {
+	if o.Platform == nil {
+		o.Platform = platform.A
+	}
+	if o.Impl == nil {
+		o.Impl = netmodel.OpenMPI
+	}
+	if o.NoiseSigma == 0 {
+		o.NoiseSigma = 0.004
+	}
+	if o.RunVariation == 0 {
+		o.RunVariation = 0.02
+	} else if o.RunVariation < 0 {
+		o.RunVariation = 0
+	}
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if o.BenchNoise == nil {
+		o.BenchNoise = perfmodel.NewNoise(0.002, o.Seed^0xb10c5)
+	}
+	return o
+}
+
+// Result bundles everything one synthesis produces.
+type Result struct {
+	Opts Options
+
+	// BaselineRun is the uninstrumented execution (ground truth);
+	// TracedRun is the instrumented execution the trace came from.
+	BaselineRun *mpi.RunResult
+	TracedRun   *mpi.RunResult
+	// Overhead is the relative slowdown tracing imposed (Table 3).
+	Overhead float64
+
+	Trace     *trace.Trace
+	Program   *merge.Program
+	Generated *codegen.Generated
+	Proxy     *proxy.App
+}
+
+// Synthesize runs the full pipeline on the application.
+func Synthesize(app func(*mpi.Rank), opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if opts.Ranks <= 0 {
+		return nil, fmt.Errorf("core: Ranks must be positive")
+	}
+	res := &Result{Opts: opts}
+
+	// Ground-truth run, without instrumentation.
+	base := mpi.NewWorld(mpi.Config{
+		Platform: opts.Platform, Impl: opts.Impl, Size: opts.Ranks,
+		NoiseSigma: opts.NoiseSigma, RunVariation: opts.RunVariation, Seed: opts.Seed,
+	})
+	var err error
+	if res.BaselineRun, err = base.Run(app); err != nil {
+		return nil, fmt.Errorf("core: baseline run: %w", err)
+	}
+
+	// Traced run: same seeds, plus the PMPI recorder.
+	rec := trace.NewRecorder(opts.Ranks, opts.Trace)
+	traced := mpi.NewWorld(mpi.Config{
+		Platform: opts.Platform, Impl: opts.Impl, Size: opts.Ranks,
+		NoiseSigma: opts.NoiseSigma, RunVariation: opts.RunVariation,
+		Seed: opts.Seed, Interceptor: rec,
+	})
+	if res.TracedRun, err = traced.Run(app); err != nil {
+		return nil, fmt.Errorf("core: traced run: %w", err)
+	}
+	res.Overhead = relDiff(float64(res.TracedRun.ExecTime), float64(res.BaselineRun.ExecTime))
+	res.Trace = rec.Trace(opts.Platform.Name, opts.Impl.Name)
+
+	// Grammar extraction and merging.
+	if res.Program, err = merge.Build(res.Trace, opts.Merge); err != nil {
+		return nil, fmt.Errorf("core: merge: %w", err)
+	}
+
+	// Code generation.
+	genOpts := codegen.Options{
+		Platform:   opts.Platform,
+		Scale:      opts.Scale,
+		BenchNoise: opts.BenchNoise,
+	}
+	if opts.Scale > 1 {
+		genOpts.CommSamples = codegen.CollectCommSamples(res.Trace)
+	}
+	if res.Generated, err = codegen.Generate(res.Program, genOpts); err != nil {
+		return nil, fmt.Errorf("core: generate: %w", err)
+	}
+	res.Proxy = proxy.New(res.Generated)
+	return res, nil
+}
+
+// RunProxy executes the generated proxy in a given environment (defaulting
+// to the generation environment) and returns the run result.
+func (r *Result) RunProxy(p *platform.Platform, im *netmodel.Impl) (*mpi.RunResult, error) {
+	if p == nil {
+		p = r.Opts.Platform
+	}
+	if im == nil {
+		im = r.Opts.Impl
+	}
+	return r.Proxy.Run(mpi.Config{
+		Platform: p, Impl: im,
+		NoiseSigma: r.Opts.NoiseSigma, RunVariation: r.Opts.RunVariation,
+		Seed: r.Opts.Seed + 1,
+	})
+}
+
+// relDiff is |a−b|/|b| with a zero-safe denominator.
+func relDiff(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 0
+		}
+		return 1
+	}
+	return math.Abs(a-b) / math.Abs(b)
+}
+
+// TimeError is the paper's execution-time metric 100×|T_gen−T_app|/T_app,
+// as a fraction (not percent).
+func TimeError(gen, app float64) float64 { return relDiff(gen, app) }
+
+// ReplayError is Table 3's "Error" column: the mean relative error between
+// the original program and the proxy across all six performance metrics and
+// the per-rank execution time, averaged over all processes.
+func ReplayError(orig, prox *mpi.RunResult) float64 {
+	if len(orig.Ranks) != len(prox.Ranks) {
+		return 1
+	}
+	var sum float64
+	var n int
+	for i := range orig.Ranks {
+		o, p := &orig.Ranks[i], &prox.Ranks[i]
+		for m := perfmodel.Metric(0); m < perfmodel.NumMetrics; m++ {
+			if o.Compute[m] == 0 {
+				continue
+			}
+			sum += relDiff(p.Compute[m], o.Compute[m])
+			n++
+		}
+		sum += relDiff(float64(p.FinishTime), float64(o.FinishTime))
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// ScaleBack multiplies a scaled proxy's counters and times back up by the
+// scaling factor so it can be compared against the unscaled original with
+// ReplayError.
+func ScaleBack(prox *mpi.RunResult, scale float64) *mpi.RunResult {
+	adj := &mpi.RunResult{Ranks: make([]mpi.RankResult, len(prox.Ranks))}
+	for i := range prox.Ranks {
+		adj.Ranks[i] = prox.Ranks[i]
+		adj.Ranks[i].Compute = prox.Ranks[i].Compute.Scale(scale)
+		adj.Ranks[i].FinishTime = vtime.Time(float64(prox.Ranks[i].FinishTime) * scale)
+	}
+	adj.ExecTime = vtime.Duration(float64(prox.ExecTime) * scale)
+	return adj
+}

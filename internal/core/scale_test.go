@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"siesta/internal/apps"
+)
+
+// TestPaperScaleConfigurations runs the pipeline at the paper's lowest
+// evaluated process count (64 ranks) for a representative subset, verifying
+// the system handles real scale, not just the CI ladders. Skipped in -short
+// mode.
+func TestPaperScaleConfigurations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale run skipped in short mode")
+	}
+	cases := []struct {
+		program string
+		ranks   int
+	}{
+		{"CG", 64},
+		{"BT", 64},
+		{"MG", 64},
+		{"LULESH", 64},
+		{"Sweep3d", 64},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.program, func(t *testing.T) {
+			t.Parallel()
+			spec, err := apps.ByName(c.program)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fn, err := spec.Build(apps.Params{Ranks: c.ranks, Iters: 3, WorkScale: 0.25})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Synthesize(fn, Options{Ranks: c.ranks, Seed: 19})
+			if err != nil {
+				t.Fatal(err)
+			}
+			prox, err := res.RunProxy(nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e := ReplayError(res.BaselineRun, prox); e > 0.12 {
+				t.Errorf("%s@%d: replay error %.2f%%", c.program, c.ranks, e*100)
+			}
+			// size_C must stay tiny even at 64 ranks (Table 3's point).
+			if res.Generated.SizeC > res.Trace.RawSize()/4 {
+				t.Errorf("%s@%d: size_C %d vs raw %d — compression collapsed",
+					c.program, c.ranks, res.Generated.SizeC, res.Trace.RawSize())
+			}
+		})
+	}
+}

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"siesta/internal/apps"
+	"siesta/internal/baselines/minime"
+	"siesta/internal/blocks"
+	"siesta/internal/merge"
+	"siesta/internal/mpi"
+	"siesta/internal/perfmodel"
+	"siesta/internal/platform"
+	"siesta/internal/trace"
+)
+
+// Ablations quantifies the design choices DESIGN.md calls out, beyond the
+// paper's own evaluation.
+type AblationResults struct {
+	// Sequitur run-length extension: encoded program bytes.
+	SizeWithRLE, SizeWithoutRLE int
+	// LCS main-rule merge: encoded program bytes.
+	SizeMerged, SizeUnmerged int
+	// Relative-rank encoding: unique records across ranks.
+	RecordsRelative, RecordsAbsolute int
+	// Computation-event clustering threshold sweep: thresholds → total
+	// cluster counts.
+	ClusterThresholds []float64
+	ClusterCounts     []int
+	// Computation-proxy search: six-metric error of the constrained QP vs
+	// the MINIME-style iterative loop on an identical target.
+	QPError, MINIMEError float64
+}
+
+// Ablations runs every ablation at a small fixed scale.
+func Ablations(cfg Config) (*AblationResults, error) {
+	cfg = cfg.withDefaults()
+	out := &AblationResults{}
+
+	// Grammar ablations on an MG trace (level-structured, loopy).
+	mgTrace, err := traceOf(cfg, "MG", 8, 6)
+	if err != nil {
+		return nil, err
+	}
+	with, err := merge.Build(mgTrace, merge.Options{})
+	if err != nil {
+		return nil, err
+	}
+	withoutRLE, err := merge.Build(mgTrace, merge.Options{DisableRunLength: true})
+	if err != nil {
+		return nil, err
+	}
+	unmerged, err := merge.Build(mgTrace, merge.Options{DisableMainMerge: true})
+	if err != nil {
+		return nil, err
+	}
+	out.SizeWithRLE = len(with.Encode())
+	out.SizeWithoutRLE = len(withoutRLE.Encode())
+	out.SizeMerged = out.SizeWithRLE
+	out.SizeUnmerged = len(unmerged.Encode())
+
+	// Relative-rank encoding on Sweep3D (edge/corner-rich wavefront).
+	for _, absolute := range []bool{false, true} {
+		spec, err := apps.ByName("Sweep3d")
+		if err != nil {
+			return nil, err
+		}
+		fn, err := spec.Build(apps.Params{Ranks: 16, Iters: 2, WorkScale: cfg.WorkScale})
+		if err != nil {
+			return nil, err
+		}
+		rec := trace.NewRecorder(16, trace.Config{AbsoluteRanks: absolute})
+		w := mpi.NewWorld(mpi.Config{Size: 16, Interceptor: rec, Seed: cfg.Seed})
+		if _, err := w.Run(fn); err != nil {
+			return nil, err
+		}
+		keys := map[string]bool{}
+		for _, rt := range rec.Trace("A", "openmpi").Ranks {
+			for _, r := range rt.Table {
+				keys[r.KeyString()] = true
+			}
+		}
+		if absolute {
+			out.RecordsAbsolute = len(keys)
+		} else {
+			out.RecordsRelative = len(keys)
+		}
+	}
+
+	// Clustering threshold sweep on StirTurb (drifting profiles).
+	out.ClusterThresholds = []float64{0.01, 0.05, 0.20}
+	for _, th := range out.ClusterThresholds {
+		spec, err := apps.ByName("StirTurb")
+		if err != nil {
+			return nil, err
+		}
+		fn, err := spec.Build(apps.Params{Ranks: 8, Iters: 8, WorkScale: cfg.WorkScale})
+		if err != nil {
+			return nil, err
+		}
+		rec := trace.NewRecorder(8, trace.Config{ClusterThreshold: th})
+		w := mpi.NewWorld(mpi.Config{Size: 8, Interceptor: rec, NoiseSigma: 0.004, Seed: cfg.Seed})
+		if _, err := w.Run(fn); err != nil {
+			return nil, err
+		}
+		n := 0
+		for _, rt := range rec.Trace("A", "openmpi").Ranks {
+			n += len(rt.Clusters)
+		}
+		out.ClusterCounts = append(out.ClusterCounts, n)
+	}
+
+	// QP vs MINIME on one mixed target.
+	p := platform.A
+	target := perfmodel.Measure(p, perfmodel.Kernel{
+		IntOps: 4e6, FPOps: 8e6, DivOps: 2e5, Loads: 5e6, Stores: 2e6,
+		Branches: 3e6, RandBranches: 2e5, MissLines: 4e5,
+	})
+	bm := blocks.MeasureB(p, nil)
+	combo, err := blocks.Search(bm, target)
+	if err != nil {
+		return nil, err
+	}
+	out.QPError = combo.Counters(p).RelError(target)
+	out.MINIMEError = minime.Synthesize(p, target, minime.Options{}).Counters(p).RelError(target)
+	return out, nil
+}
+
+// traceOf records one app configuration.
+func traceOf(cfg Config, program string, ranks, iters int) (*trace.Trace, error) {
+	spec, err := apps.ByName(program)
+	if err != nil {
+		return nil, err
+	}
+	fn, err := spec.Build(apps.Params{Ranks: ranks, Iters: iters, WorkScale: cfg.WorkScale})
+	if err != nil {
+		return nil, err
+	}
+	rec := trace.NewRecorder(ranks, trace.Config{})
+	w := mpi.NewWorld(mpi.Config{Size: ranks, Interceptor: rec, NoiseSigma: 0.004, Seed: cfg.Seed})
+	if _, err := w.Run(fn); err != nil {
+		return nil, err
+	}
+	return rec.Trace("A", "openmpi"), nil
+}
+
+// FormatAblations renders the ablation report.
+func FormatAblations(a *AblationResults) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sequitur run-length extension (MG):   %d B with, %d B without (%.1f%% saved)\n",
+		a.SizeWithRLE, a.SizeWithoutRLE, 100*(1-float64(a.SizeWithRLE)/float64(a.SizeWithoutRLE)))
+	fmt.Fprintf(&b, "LCS main-rule merge (MG):             %d B merged, %d B unmerged (%.1f%% saved)\n",
+		a.SizeMerged, a.SizeUnmerged, 100*(1-float64(a.SizeMerged)/float64(a.SizeUnmerged)))
+	fmt.Fprintf(&b, "Relative-rank encoding (Sweep3d):     %d unique records relative, %d absolute (%.1f× reduction)\n",
+		a.RecordsRelative, a.RecordsAbsolute, float64(a.RecordsAbsolute)/float64(a.RecordsRelative))
+	b.WriteString("Clustering threshold sweep (StirTurb):")
+	for i, th := range a.ClusterThresholds {
+		fmt.Fprintf(&b, "  %g%%→%d clusters", th*100, a.ClusterCounts[i])
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "Computation-proxy search:             QP %.2f%% vs MINIME-style loop %.2f%% six-metric error\n",
+		a.QPError*100, a.MINIMEError*100)
+	return b.String()
+}

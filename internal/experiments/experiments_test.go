@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+var quick = Config{Quick: true, Seed: 3}
+
+func TestTable3(t *testing.T) {
+	rows, err := Table3(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 9 programs × 2 quick ladder rungs.
+	if len(rows) != 18 {
+		t.Fatalf("got %d rows, want 18", len(rows))
+	}
+	for _, r := range rows {
+		if r.TraceBytes <= 0 || r.SizeC <= 0 {
+			t.Errorf("%s/%d: non-positive sizes", r.Program, r.Ranks)
+		}
+		// Compression: size_C far below the raw trace (paper: MB → KB).
+		if r.SizeC*4 > r.TraceBytes {
+			t.Errorf("%s/%d: size_C %d too close to trace %d", r.Program, r.Ranks, r.SizeC, r.TraceBytes)
+		}
+		// Overhead and error in the paper's ranges (<~8%, <~9%).
+		if r.Overhead < 0 || r.Overhead > 0.12 {
+			t.Errorf("%s/%d: overhead %.2f%% out of range", r.Program, r.Ranks, r.Overhead*100)
+		}
+		if r.Error < 0 || r.Error > 0.12 {
+			t.Errorf("%s/%d: error %.2f%% out of range", r.Program, r.Ranks, r.Error*100)
+		}
+	}
+	out := FormatTable3(rows)
+	if !strings.Contains(out, "BT") || !strings.Contains(out, "size_C") {
+		t.Error("formatting broken")
+	}
+}
+
+func TestTable3TraceGrowsWithRanks(t *testing.T) {
+	rows, err := Table3(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byProg := map[string][]Table3Row{}
+	for _, r := range rows {
+		byProg[r.Program] = append(byProg[r.Program], r)
+	}
+	for prog, rs := range byProg {
+		if len(rs) < 2 {
+			continue
+		}
+		if rs[1].TraceBytes <= rs[0].TraceBytes {
+			t.Errorf("%s: trace size should grow with ranks (%d -> %d)",
+				prog, rs[0].TraceBytes, rs[1].TraceBytes)
+		}
+	}
+}
+
+func TestFig4(t *testing.T) {
+	rows, err := Fig4(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	var mMini, mSiesta float64
+	for _, r := range rows {
+		mMini += r.MINIMEError
+		mSiesta += r.SiestaError
+		if r.SiestaError > 0.25 {
+			t.Errorf("%s: Siesta single-event rate error %.1f%%", r.Program, r.SiestaError*100)
+		}
+	}
+	// Fig. 4: Siesta works slightly better than MINIME on average.
+	if mSiesta >= mMini {
+		t.Errorf("Siesta mean rate error %.4f should beat MINIME %.4f", mSiesta/9, mMini/9)
+	}
+	out := FormatRates("fig4", rows)
+	if !strings.Contains(out, "mean rate error") {
+		t.Error("formatting broken")
+	}
+}
+
+func TestFig5(t *testing.T) {
+	rows, err := Fig5(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mMini, mSiesta float64
+	for _, r := range rows {
+		mMini += r.MINIMEError
+		mSiesta += r.SiestaError
+	}
+	// Fig. 5: on sequences Siesta's advantage persists.
+	if mSiesta >= mMini {
+		t.Errorf("sequence: Siesta %.4f should beat MINIME %.4f", mSiesta/9, mMini/9)
+	}
+	// And Siesta's six-metric superiority is decisive.
+	for _, r := range rows {
+		if r.SiestaErr6 >= r.MINIMEError6 {
+			t.Errorf("%s: Siesta 6-metric %.3f should beat MINIME %.3f",
+				r.Program, r.SiestaErr6, r.MINIMEError6)
+		}
+	}
+}
+
+func TestFig6(t *testing.T) {
+	rows, sum, err := Fig6(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 18 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// The paper's ordering: Siesta < Siesta-scaled < ScalaBench ≪ Pilgrim.
+	if !(sum.Siesta < sum.ScalaBench) {
+		t.Errorf("Siesta (%.2f%%) should beat ScalaBench (%.2f%%)", sum.Siesta*100, sum.ScalaBench*100)
+	}
+	if !(sum.Pilgrim > 3*sum.ScalaBench) {
+		t.Errorf("Pilgrim (%.2f%%) should be far worse than ScalaBench (%.2f%%)", sum.Pilgrim*100, sum.ScalaBench*100)
+	}
+	if sum.Pilgrim < 0.5 {
+		t.Errorf("Pilgrim error %.2f%% should be huge (paper: 84.30%%)", sum.Pilgrim*100)
+	}
+	if sum.Siesta > 0.12 {
+		t.Errorf("Siesta mean error %.2f%% too large (paper: 5.30%%)", sum.Siesta*100)
+	}
+	// FLASH rows must show ScalaBench crashes (the paper's missing bars).
+	flashCrashes := 0
+	for _, r := range rows {
+		switch r.Program {
+		case "Sedov", "Sod", "StirTurb":
+			if math.IsNaN(r.ScalaBench) {
+				flashCrashes++
+			}
+		}
+	}
+	if flashCrashes == 0 {
+		t.Error("ScalaBench should crash on FLASH traces")
+	}
+	out := FormatFig6(rows, sum)
+	if !strings.Contains(out, "crash") {
+		t.Error("crashes should be visible in the formatted table")
+	}
+}
+
+func TestFig7(t *testing.T) {
+	rows, sum, err := Fig7(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 9 programs × 2 rungs × 3 implementations.
+	if len(rows) != 54 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Paper: Siesta 5.78% vs ScalaBench 33.58% under implementation change.
+	if sum.Siesta >= sum.ScalaBench {
+		t.Errorf("Siesta (%.2f%%) should beat ScalaBench (%.2f%%) across implementations",
+			sum.Siesta*100, sum.ScalaBench*100)
+	}
+	if sum.Siesta > 0.15 {
+		t.Errorf("Siesta mean error %.2f%% too large", sum.Siesta*100)
+	}
+}
+
+func TestFig8(t *testing.T) {
+	rows, sum, err := Fig8(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 { // 3 programs × 2 directions
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Paper: Siesta 6.83% vs ScalaBench 18.11%.
+	if sum.Siesta >= sum.ScalaBench {
+		t.Errorf("Siesta (%.2f%%) should beat ScalaBench (%.2f%%) across platforms",
+			sum.Siesta*100, sum.ScalaBench*100)
+	}
+}
+
+func TestFig9(t *testing.T) {
+	rows, sameA, portedB, err := Fig9(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // 2 programs × 1 rung × 2 environments (quick)
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// On the generation platform both tools are close; after porting to B
+	// ScalaBench collapses (paper: 13.68% vs 70.44%).
+	if portedB.Siesta >= portedB.ScalaBench {
+		t.Errorf("on B: Siesta (%.2f%%) should beat ScalaBench (%.2f%%)",
+			portedB.Siesta*100, portedB.ScalaBench*100)
+	}
+	if portedB.ScalaBench < 2*sameA.ScalaBench {
+		t.Errorf("ScalaBench error should blow up on the ported platform: %.2f%% -> %.2f%%",
+			sameA.ScalaBench*100, portedB.ScalaBench*100)
+	}
+	out := FormatEnvRows("fig9", rows, "")
+	if !strings.Contains(out, "on B") {
+		t.Error("formatting broken")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	a, err := Ablations(Config{Quick: true, Seed: 3, WorkScale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SizeWithRLE >= a.SizeWithoutRLE {
+		t.Error("run-length extension should shrink the program")
+	}
+	if a.SizeMerged >= a.SizeUnmerged {
+		t.Error("LCS merge should shrink the program")
+	}
+	if a.RecordsRelative*2 > a.RecordsAbsolute {
+		t.Errorf("relative encoding should at least halve records: %d vs %d",
+			a.RecordsRelative, a.RecordsAbsolute)
+	}
+	for i := 1; i < len(a.ClusterCounts); i++ {
+		if a.ClusterCounts[i] > a.ClusterCounts[i-1] {
+			t.Error("looser thresholds should not increase cluster counts")
+		}
+	}
+	if a.QPError >= a.MINIMEError {
+		t.Errorf("QP (%.3f) should beat the iterative loop (%.3f)", a.QPError, a.MINIMEError)
+	}
+	if !strings.Contains(FormatAblations(a), "Sequitur") {
+		t.Error("formatting broken")
+	}
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"siesta/internal/baselines/pilgrim"
+	"siesta/internal/baselines/scalabench"
+	"siesta/internal/core"
+	"siesta/internal/mpi"
+)
+
+// Fig6Row compares proxy execution times against the original program for
+// one configuration. Times are virtual seconds; NaN marks a generator that
+// failed on this input (the paper's missing ScalaBench bars).
+type Fig6Row struct {
+	Program      string
+	Ranks        int
+	Original     float64
+	Siesta       float64
+	SiestaScaled float64 // scaled proxy's reported time (exec × factor)
+	ScalaBench   float64
+	Pilgrim      float64
+	ScalaErr     string // failure reason when ScalaBench is NaN
+}
+
+// Fig6Summary aggregates the mean percentage errors the paper quotes
+// (§3.4.1: Siesta 5.30%, Siesta-scaled 9.31%, ScalaBench 13.13%, and
+// Pilgrim 84.30% in the text).
+type Fig6Summary struct {
+	Siesta, SiestaScaled, ScalaBench, Pilgrim float64
+}
+
+// Fig6 reproduces the execution-time comparison across all programs.
+func Fig6(cfg Config) ([]Fig6Row, Fig6Summary, error) {
+	cfg = cfg.withDefaults()
+	var rows []Fig6Row
+	var eS, eSS, eSB, eP []float64
+	for _, program := range programs() {
+		for _, ranks := range cfg.ladder(program) {
+			row := Fig6Row{Program: program, Ranks: ranks,
+				ScalaBench: math.NaN(), Pilgrim: math.NaN()}
+
+			res, err := cfg.synthesize(program, ranks, 1)
+			if err != nil {
+				return nil, Fig6Summary{}, fmt.Errorf("fig6 %s/%d: %w", program, ranks, err)
+			}
+			row.Original = float64(res.BaselineRun.ExecTime)
+
+			prox, err := res.RunProxy(nil, nil)
+			if err != nil {
+				return nil, Fig6Summary{}, err
+			}
+			row.Siesta = float64(prox.ExecTime)
+			eS = append(eS, core.TimeError(row.Siesta, row.Original))
+
+			scaled, err := cfg.synthesize(program, ranks, 10)
+			if err != nil {
+				return nil, Fig6Summary{}, err
+			}
+			sprox, err := scaled.RunProxy(nil, nil)
+			if err != nil {
+				return nil, Fig6Summary{}, err
+			}
+			row.SiestaScaled = float64(scaled.Proxy.ReportedTime(sprox))
+			eSS = append(eSS, core.TimeError(row.SiestaScaled, row.Original))
+
+			// ScalaBench, with the paper's observed failure modes.
+			sbOpts := scalabench.Options{}
+			if program == "SP" {
+				sbOpts.MaxRanks = scalabenchSPCrashRanks
+			}
+			if sb, err := scalabench.Generate(res.Trace, sbOpts); err != nil {
+				row.ScalaErr = err.Error()
+			} else if sbRes, err := sb.Run(mpi.Config{Seed: cfg.Seed + 7, RunVariation: 0.02}); err != nil {
+				row.ScalaErr = err.Error()
+			} else {
+				row.ScalaBench = float64(sbRes.ExecTime)
+				eSB = append(eSB, core.TimeError(row.ScalaBench, row.Original))
+			}
+
+			// Pilgrim: communication-only replay.
+			if pg, err := pilgrim.Generate(res.Trace); err == nil {
+				if pgRes, err := pg.Run(mpi.Config{Seed: cfg.Seed + 9, RunVariation: 0.02}); err == nil {
+					row.Pilgrim = float64(pgRes.ExecTime)
+					eP = append(eP, core.TimeError(row.Pilgrim, row.Original))
+				}
+			}
+
+			rows = append(rows, row)
+		}
+	}
+	return rows, Fig6Summary{
+		Siesta:       mean(eS),
+		SiestaScaled: mean(eSS),
+		ScalaBench:   mean(eSB),
+		Pilgrim:      mean(eP),
+	}, nil
+}
+
+// FormatFig6 renders the comparison.
+func FormatFig6(rows []Fig6Row, sum Fig6Summary) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-9s %6s %12s %12s %14s %12s %12s\n",
+		"Program", "Ranks", "Original", "Siesta", "Siesta-scaled", "ScalaBench", "Pilgrim")
+	f := func(v float64) string {
+		if math.IsNaN(v) {
+			return "crash"
+		}
+		return fmt.Sprintf("%.4gs", v)
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9s %6d %12s %12s %14s %12s %12s\n",
+			r.Program, r.Ranks, f(r.Original), f(r.Siesta), f(r.SiestaScaled),
+			f(r.ScalaBench), f(r.Pilgrim))
+	}
+	fmt.Fprintf(&b, "mean %%error: Siesta %s, Siesta-scaled %s, ScalaBench %s, Pilgrim %s\n",
+		pct(sum.Siesta), pct(sum.SiestaScaled), pct(sum.ScalaBench), pct(sum.Pilgrim))
+	fmt.Fprintf(&b, "(paper: 5.30%%, 9.31%%, 13.13%%, 84.30%%)\n")
+	return b.String()
+}

@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"siesta/internal/apps"
+	"siesta/internal/baselines/scalabench"
+	"siesta/internal/core"
+	"siesta/internal/mpi"
+	"siesta/internal/netmodel"
+	"siesta/internal/platform"
+)
+
+// synthesizeOn is synthesize with an explicit generation environment.
+func (c Config) synthesizeOn(program string, ranks int, p *platform.Platform, im *netmodel.Impl) (*core.Result, error) {
+	spec, err := apps.ByName(program)
+	if err != nil {
+		return nil, err
+	}
+	fn, err := spec.Build(apps.Params{Ranks: ranks, Iters: c.iterations(spec), WorkScale: c.WorkScale})
+	if err != nil {
+		return nil, err
+	}
+	return core.Synthesize(fn, core.Options{
+		Ranks: ranks, Platform: p, Impl: im,
+		Seed: c.Seed + uint64(ranks)*131,
+	})
+}
+
+// EnvRow compares original, Siesta and ScalaBench execution times in one
+// execution environment for a proxy generated in another.
+type EnvRow struct {
+	Program    string
+	Ranks      int
+	Env        string // execution environment label
+	Original   float64
+	Siesta     float64
+	ScalaBench float64 // NaN when generation failed
+}
+
+// EnvSummary carries the two mean errors each robustness figure reports.
+type EnvSummary struct {
+	Siesta, ScalaBench float64
+}
+
+// runEnvComparison generates proxies in the base environment and compares
+// them against the original under each target environment.
+func (cfg Config) runEnvComparison(
+	progs []string,
+	ranksOf func(string) []int,
+	genPlat *platform.Platform, genImpl *netmodel.Impl,
+	targets []struct {
+		label string
+		p     *platform.Platform
+		im    *netmodel.Impl
+	},
+) ([]EnvRow, EnvSummary, error) {
+	var rows []EnvRow
+	var eS, eSB []float64
+	for _, program := range progs {
+		for _, ranks := range ranksOf(program) {
+			res, err := cfg.synthesizeOn(program, ranks, genPlat, genImpl)
+			if err != nil {
+				return nil, EnvSummary{}, fmt.Errorf("%s/%d: %w", program, ranks, err)
+			}
+			sbOpts := scalabench.Options{}
+			if program == "SP" {
+				sbOpts.MaxRanks = scalabenchSPCrashRanks
+			}
+			sb, sbErr := scalabench.Generate(res.Trace, sbOpts)
+
+			for _, tgt := range targets {
+				orig, err := cfg.runOriginal(program, ranks, tgt.p, tgt.im)
+				if err != nil {
+					return nil, EnvSummary{}, err
+				}
+				prox, err := res.RunProxy(tgt.p, tgt.im)
+				if err != nil {
+					return nil, EnvSummary{}, err
+				}
+				row := EnvRow{
+					Program: program, Ranks: ranks, Env: tgt.label,
+					Original:   float64(orig.ExecTime),
+					Siesta:     float64(prox.ExecTime),
+					ScalaBench: math.NaN(),
+				}
+				eS = append(eS, core.TimeError(row.Siesta, row.Original))
+				if sbErr == nil {
+					sbRes, err := sb.Run(mpi.Config{Platform: tgt.p, Impl: tgt.im, Seed: cfg.Seed + 7, RunVariation: 0.02})
+					if err == nil {
+						row.ScalaBench = float64(sbRes.ExecTime)
+						eSB = append(eSB, core.TimeError(row.ScalaBench, row.Original))
+					}
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, EnvSummary{Siesta: mean(eS), ScalaBench: mean(eSB)}, nil
+}
+
+// Fig7 reproduces the MPI-implementation robustness experiment: proxies
+// generated under openmpi, executed under openmpi, mpich and mvapich.
+func Fig7(cfg Config) ([]EnvRow, EnvSummary, error) {
+	cfg = cfg.withDefaults()
+	targets := []struct {
+		label string
+		p     *platform.Platform
+		im    *netmodel.Impl
+	}{
+		{"openmpi", platform.A, netmodel.OpenMPI},
+		{"mpich", platform.A, netmodel.MPICH},
+		{"mvapich", platform.A, netmodel.MVAPICH},
+	}
+	return cfg.runEnvComparison(programs(), cfg.ladder, platform.A, netmodel.OpenMPI, targets)
+}
+
+// Fig8 reproduces the A↔C platform-portability experiment: MG, IS and SP at
+// 16 ranks (the paper's limit imposed by platform C's core count), generated
+// on each platform and executed on the other.
+func Fig8(cfg Config) ([]EnvRow, EnvSummary, error) {
+	cfg = cfg.withDefaults()
+	progs := []string{"MG", "IS", "SP"}
+	ranksOf := func(string) []int { return []int{16} }
+
+	aToC, s1, err := cfg.runEnvComparison(progs, ranksOf, platform.A, netmodel.OpenMPI,
+		[]struct {
+			label string
+			p     *platform.Platform
+			im    *netmodel.Impl
+		}{{"A to C", platform.C, netmodel.OpenMPI}})
+	if err != nil {
+		return nil, EnvSummary{}, err
+	}
+	cToA, s2, err := cfg.runEnvComparison(progs, ranksOf, platform.C, netmodel.OpenMPI,
+		[]struct {
+			label string
+			p     *platform.Platform
+			im    *netmodel.Impl
+		}{{"C to A", platform.A, netmodel.OpenMPI}})
+	if err != nil {
+		return nil, EnvSummary{}, err
+	}
+	rows := append(aToC, cToA...)
+	sum := EnvSummary{
+		Siesta:     (s1.Siesta + s2.Siesta) / 2,
+		ScalaBench: (s1.ScalaBench + s2.ScalaBench) / 2,
+	}
+	return rows, sum, nil
+}
+
+// Fig9 reproduces the A→B portability experiment: BT and CG at 16–64 ranks,
+// generated on platform A and executed on both A and B.
+func Fig9(cfg Config) ([]EnvRow, EnvSummary, EnvSummary, error) {
+	cfg = cfg.withDefaults()
+	ranksOf := func(program string) []int {
+		var l []int
+		if program == "BT" {
+			l = []int{16, 25, 36}
+		} else {
+			l = []int{16, 32, 64}
+		}
+		if cfg.Quick {
+			return l[:1]
+		}
+		return l
+	}
+	targets := []struct {
+		label string
+		p     *platform.Platform
+		im    *netmodel.Impl
+	}{
+		{"on A", platform.A, netmodel.OpenMPI},
+		{"on B", platform.B, netmodel.OpenMPI},
+	}
+	rows, _, err := cfg.runEnvComparison([]string{"BT", "CG"}, ranksOf, platform.A, netmodel.OpenMPI, targets)
+	if err != nil {
+		return nil, EnvSummary{}, EnvSummary{}, err
+	}
+	// Split summaries: same-platform (A) and ported (B).
+	var sA, sbA, sB, sbB []float64
+	for _, r := range rows {
+		eS := core.TimeError(r.Siesta, r.Original)
+		if r.Env == "on A" {
+			sA = append(sA, eS)
+		} else {
+			sB = append(sB, eS)
+		}
+		if !math.IsNaN(r.ScalaBench) {
+			eSB := core.TimeError(r.ScalaBench, r.Original)
+			if r.Env == "on A" {
+				sbA = append(sbA, eSB)
+			} else {
+				sbB = append(sbB, eSB)
+			}
+		}
+	}
+	return rows,
+		EnvSummary{Siesta: mean(sA), ScalaBench: mean(sbA)},
+		EnvSummary{Siesta: mean(sB), ScalaBench: mean(sbB)},
+		nil
+}
+
+// FormatEnvRows renders a robustness comparison.
+func FormatEnvRows(title string, rows []EnvRow, notes string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-9s %6s %-10s %12s %12s %12s\n", "Program", "Ranks", "Env", "Original", "Siesta", "ScalaBench")
+	f := func(v float64) string {
+		if math.IsNaN(v) {
+			return "crash"
+		}
+		return fmt.Sprintf("%.4gs", v)
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9s %6d %-10s %12s %12s %12s\n",
+			r.Program, r.Ranks, r.Env, f(r.Original), f(r.Siesta), f(r.ScalaBench))
+	}
+	if notes != "" {
+		b.WriteString(notes + "\n")
+	}
+	return b.String()
+}

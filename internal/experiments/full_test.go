@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestFullNumbers runs every experiment at the full (non-quick) ladders and
+// asserts the paper's headline orderings at that scale; its printed output
+// is the source of EXPERIMENTS.md's measured numbers. Takes a few seconds;
+// skipped under -short.
+func TestFullNumbers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full ladders skipped in short mode")
+	}
+	cfg := Config{Seed: 3}
+	t0 := time.Now()
+	rows, err := Table3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("Table3 took %v\n%s\n", time.Since(t0), FormatTable3(rows))
+	for _, r := range rows {
+		if r.Error > 0.10 {
+			t.Errorf("table3 %s/%d error %.2f%% above the paper's band", r.Program, r.Ranks, r.Error*100)
+		}
+	}
+
+	t0 = time.Now()
+	f6, sum, err := Fig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("Fig6 took %v\n%s\n", time.Since(t0), FormatFig6(f6, sum))
+	// The paper's full ordering must hold at full scale:
+	// Siesta < Siesta-scaled < ScalaBench ≪ Pilgrim.
+	if !(sum.Siesta < sum.SiestaScaled && sum.SiestaScaled < sum.ScalaBench && sum.ScalaBench < sum.Pilgrim/3) {
+		t.Errorf("fig6 ordering broken: %.2f%% / %.2f%% / %.2f%% / %.2f%%",
+			sum.Siesta*100, sum.SiestaScaled*100, sum.ScalaBench*100, sum.Pilgrim*100)
+	}
+
+	t0 = time.Now()
+	_, s7, err := Fig7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("Fig7 took %v Siesta %.2f%% ScalaBench %.2f%%\n", time.Since(t0), s7.Siesta*100, s7.ScalaBench*100)
+	if s7.Siesta >= s7.ScalaBench {
+		t.Error("fig7 ordering broken")
+	}
+
+	t0 = time.Now()
+	_, s8, err := Fig8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("Fig8 took %v Siesta %.2f%% ScalaBench %.2f%%\n", time.Since(t0), s8.Siesta*100, s8.ScalaBench*100)
+	if s8.Siesta >= s8.ScalaBench {
+		t.Error("fig8 ordering broken")
+	}
+
+	t0 = time.Now()
+	_, sA, sB, err := Fig9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("Fig9 took %v onA: S %.2f%% SB %.2f%% | onB: S %.2f%% SB %.2f%%\n",
+		time.Since(t0), sA.Siesta*100, sA.ScalaBench*100, sB.Siesta*100, sB.ScalaBench*100)
+	// Fig9's headline: ported to B, ScalaBench collapses (paper 70.44%)
+	// while Siesta holds.
+	if sB.ScalaBench < 0.4 || sB.Siesta > 0.15 {
+		t.Errorf("fig9 ported-to-B shape broken: Siesta %.2f%%, ScalaBench %.2f%%",
+			sB.Siesta*100, sB.ScalaBench*100)
+	}
+}

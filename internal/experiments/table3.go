@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"siesta/internal/core"
+)
+
+// Table3Row is one row of the paper's Table 3: the specification of one
+// generated proxy-app.
+type Table3Row struct {
+	Program    string
+	Ranks      int
+	TraceBytes int     // raw (uncompressed, per-event) trace size
+	SizeC      int     // exported grammar + computation block table
+	Overhead   float64 // tracing slowdown, fraction
+	Error      float64 // mean relative replay error, fraction
+}
+
+// Table3 regenerates the paper's Table 3 across all programs and the scaled
+// rank ladder: trace size, size_C, tracing overhead, and replay error.
+func Table3(cfg Config) ([]Table3Row, error) {
+	cfg = cfg.withDefaults()
+	var rows []Table3Row
+	for _, program := range programs() {
+		for _, ranks := range cfg.ladder(program) {
+			res, err := cfg.synthesize(program, ranks, 1)
+			if err != nil {
+				return nil, fmt.Errorf("table3 %s/%d: %w", program, ranks, err)
+			}
+			prox, err := res.RunProxy(nil, nil)
+			if err != nil {
+				return nil, fmt.Errorf("table3 %s/%d proxy: %w", program, ranks, err)
+			}
+			rows = append(rows, Table3Row{
+				Program:    program,
+				Ranks:      ranks,
+				TraceBytes: res.Trace.RawSize(),
+				SizeC:      res.Generated.SizeC,
+				Overhead:   res.Overhead,
+				Error:      core.ReplayError(res.BaselineRun, prox),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatTable3 renders rows the way the paper prints them.
+func FormatTable3(rows []Table3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-9s %7s %12s %10s %9s %7s\n", "Program", "Ranks", "TraceSize", "size_C", "Overhead", "Error")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9s %7d %12s %10s %9s %7s\n",
+			r.Program, r.Ranks, humanBytes(r.TraceBytes), humanBytes(r.SizeC),
+			pct(r.Overhead), pct(r.Error))
+	}
+	return b.String()
+}
+
+func humanBytes(n int) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

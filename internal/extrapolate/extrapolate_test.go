@@ -1,0 +1,230 @@
+package extrapolate
+
+import (
+	"testing"
+
+	"siesta/internal/apps"
+	"siesta/internal/codegen"
+	"siesta/internal/core"
+	"siesta/internal/merge"
+	"siesta/internal/mpi"
+	"siesta/internal/perfmodel"
+	"siesta/internal/proxy"
+	"siesta/internal/trace"
+)
+
+// ringApp is a fully SPMD halo ring whose per-rank behaviour is independent
+// of the rank count — the eligible class.
+func ringApp(iters int) func(*mpi.Rank) {
+	return func(r *mpi.Rank) {
+		c := r.World()
+		next := (r.Rank() + 1) % r.Size()
+		prev := (r.Rank() - 1 + r.Size()) % r.Size()
+		k := perfmodel.Kernel{FPOps: 4e6, IntOps: 1e6, Loads: 3e6, Stores: 1e6, Branches: 1.4e6, MissLines: 2e5}
+		for it := 0; it < iters; it++ {
+			r.Compute(k)
+			r.Sendrecv(c, next, 0, 65536, prev, 0)
+			r.Sendrecv(c, prev, 1, 65536, next, 1)
+			r.Allreduce(c, 8, mpi.OpMax)
+		}
+	}
+}
+
+// program traces an app and merges it.
+func program(t *testing.T, fn func(*mpi.Rank), ranks int) *merge.Program {
+	t.Helper()
+	rec := trace.NewRecorder(ranks, trace.Config{})
+	w := mpi.NewWorld(mpi.Config{Size: ranks, Interceptor: rec, Seed: 7})
+	if _, err := w.Run(fn); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := merge.Build(rec.Trace("A", "openmpi"), merge.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestExtrapolateMatchesRealTrace(t *testing.T) {
+	// The gold standard: extrapolating 8 → 16 must produce, per rank, the
+	// exact event sequence a real 16-rank trace produces.
+	fn := ringApp(5)
+	p8 := program(t, fn, 8)
+	p16real := program(t, fn, 16)
+
+	p16, err := Extrapolate(p8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p16.NumRanks != 16 {
+		t.Fatal("rank count not updated")
+	}
+	for rank := 0; rank < 16; rank++ {
+		got, err := p16.ExpandRank(rank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := p16real.ExpandRank(rank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("rank %d: %d events extrapolated vs %d real", rank, len(got), len(want))
+		}
+		// Compare the resolved records (terminal ids differ between the
+		// two programs; their key strings must match).
+		for i := range got {
+			g := p16.Terminals[got[i]].KeyString()
+			w := p16real.Terminals[want[i]].KeyString()
+			if g != w {
+				t.Fatalf("rank %d event %d: extrapolated %q vs real %q", rank, i, g, w)
+			}
+		}
+	}
+}
+
+func TestExtrapolatedProxyRuns(t *testing.T) {
+	fn := ringApp(5)
+	p8 := program(t, fn, 8)
+	p24, err := Extrapolate(p8, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := codegen.Generate(p24, codegen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := proxy.New(gen).Run(mpi.Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare against the real application at 24 ranks.
+	w := mpi.NewWorld(mpi.Config{Size: 24, Seed: 3})
+	orig, err := w.Run(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := relErr(float64(res.ExecTime), float64(orig.ExecTime))
+	if rel > 0.15 {
+		t.Errorf("extrapolated proxy time error %.1f%% (proxy %v, orig %v)",
+			rel*100, res.ExecTime, orig.ExecTime)
+	}
+	for i := range res.Ranks {
+		if res.Ranks[i].Calls != orig.Ranks[i].Calls {
+			t.Fatalf("rank %d: %d calls vs %d", i, res.Ranks[i].Calls, orig.Ranks[i].Calls)
+		}
+	}
+}
+
+func TestExtrapolateDownscale(t *testing.T) {
+	fn := ringApp(3)
+	p8 := program(t, fn, 8)
+	p4, err := Extrapolate(p8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p4real := program(t, fn, 4)
+	for rank := 0; rank < 4; rank++ {
+		got, _ := p4.ExpandRank(rank)
+		want, _ := p4real.ExpandRank(rank)
+		if len(got) != len(want) {
+			t.Fatalf("rank %d: %d vs %d events", rank, len(got), len(want))
+		}
+		for i := range got {
+			if p4.Terminals[got[i]].KeyString() != p4real.Terminals[want[i]].KeyString() {
+				t.Fatalf("rank %d event %d mismatch", rank, i)
+			}
+		}
+	}
+}
+
+func TestRejectsRankDependentPrograms(t *testing.T) {
+	// CG's butterfly gives per-column main groups: not extrapolable.
+	spec, err := apps.ByName("CG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, err := spec.Build(apps.Params{Ranks: 8, Iters: 2, WorkScale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := program(t, fn, 8)
+	if _, err := Extrapolate(p, 16); err == nil {
+		t.Fatal("CG should be rejected (butterfly structure)")
+	}
+}
+
+func TestRejectsAlltoallv(t *testing.T) {
+	spec, err := apps.ByName("IS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, err := spec.Build(apps.Params{Ranks: 8, Iters: 2, WorkScale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := program(t, fn, 8)
+	if _, err := Extrapolate(p, 16); err == nil {
+		t.Fatal("IS should be rejected (alltoallv counts)")
+	}
+}
+
+func TestRejectsBadRankCount(t *testing.T) {
+	p8 := program(t, ringApp(2), 8)
+	if _, err := Extrapolate(p8, 0); err == nil {
+		t.Fatal("zero ranks should be rejected")
+	}
+}
+
+func TestWideNeighbourhoodBound(t *testing.T) {
+	// A ±3 neighbourhood cannot be expressed at 4 ranks (offsets alias).
+	wide := func(r *mpi.Rank) {
+		c := r.World()
+		for it := 0; it < 2; it++ {
+			r.Compute(perfmodel.Kernel{IntOps: 1e6, Loads: 4e5, Branches: 2e5})
+			for d := 1; d <= 3; d++ {
+				r.Sendrecv(c, (r.Rank()+d)%r.Size(), d, 1024, (r.Rank()-d+r.Size())%r.Size(), d)
+			}
+		}
+	}
+	p := program(t, wide, 8)
+	if _, err := Extrapolate(p, 4); err == nil {
+		t.Fatal("±3 pattern at 4 ranks should be rejected")
+	}
+	if _, err := Extrapolate(p, 32); err != nil {
+		t.Fatalf("±3 pattern at 32 ranks should extrapolate: %v", err)
+	}
+}
+
+func TestEndToEndViaCore(t *testing.T) {
+	// The extension composes with the standard pipeline outputs.
+	res, err := core.Synthesize(ringApp(4), core.Options{Ranks: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Extrapolate(res.Program, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(big); err != nil {
+		t.Fatalf("extrapolated program should itself be eligible: %v", err)
+	}
+	gen, err := codegen.Generate(big, codegen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := proxy.New(gen).Run(mpi.Config{Seed: 6}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func relErr(a, b float64) float64 {
+	if b == 0 {
+		return 1
+	}
+	d := (a - b) / b
+	if d < 0 {
+		return -d
+	}
+	return d
+}

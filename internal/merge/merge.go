@@ -1,0 +1,381 @@
+package merge
+
+import (
+	"fmt"
+	"strings"
+
+	"siesta/internal/perfmodel"
+	"siesta/internal/rankset"
+	"siesta/internal/sequitur"
+	"siesta/internal/trace"
+)
+
+// Options tunes the merge pipeline. The zero value gives the paper's
+// defaults.
+type Options struct {
+	// DisableRunLength turns off the Sequitur run-length extension (for
+	// the ablation benchmark).
+	DisableRunLength bool
+	// ClusterThreshold is the relative distance for merging computation
+	// clusters across ranks; 0 selects 5% (matching the tracing default).
+	ClusterThreshold float64
+	// MainSimilarity is the maximum normalized edit distance between main
+	// rules in one cluster (paper: "we first cluster the main rules into
+	// several groups according to their minimum edit distance"); 0
+	// selects 0.3.
+	MainSimilarity float64
+	// DisableMainMerge keeps every rank's main rule separate (ablation).
+	DisableMainMerge bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.ClusterThreshold == 0 {
+		o.ClusterThreshold = 0.05
+	}
+	if o.MainSimilarity == 0 {
+		o.MainSimilarity = 0.3
+	}
+	return o
+}
+
+// Globalized is a trace rewritten onto a single global symbol table: the
+// output of the terminal-table merge (§2.6.1).
+type Globalized struct {
+	Terminals []*trace.Record
+	Clusters  []*trace.Cluster
+	Seqs      [][]int // per-rank event sequences over global terminal ids
+}
+
+// Globalize merges the per-rank terminal tables and computation clusters
+// into global tables and rewrites every rank's event sequence onto them.
+// The merge has the tree-reduction structure of §2.6.1 (⌈log₂P⌉ rounds);
+// the sequential fold below produces the identical table because interning
+// is associative.
+func Globalize(tr *trace.Trace, clusterThreshold float64) *Globalized {
+	g := &Globalized{Seqs: make([][]int, len(tr.Ranks))}
+	index := map[string]int{}
+	for _, rt := range tr.Ranks {
+		// Map this rank's local compute clusters to global clusters.
+		clusterMap := make([]int, len(rt.Clusters))
+		for li, lc := range rt.Clusters {
+			found := -1
+			for gi, gc := range g.Clusters {
+				if clusterDist(lc.Rep, gc.Rep) <= clusterThreshold {
+					found = gi
+					break
+				}
+			}
+			if found < 0 {
+				cp := *lc
+				g.Clusters = append(g.Clusters, &cp)
+				found = len(g.Clusters) - 1
+			} else {
+				gc := g.Clusters[found]
+				gc.Sum.Add(lc.Sum)
+				gc.N += lc.N
+				gc.TimeSum += lc.TimeSum
+			}
+			clusterMap[li] = found
+		}
+		// Intern this rank's records under global cluster ids.
+		recMap := make([]int, len(rt.Table))
+		for li, r := range rt.Table {
+			gr := r
+			if r.IsCompute() {
+				gr = r.Clone()
+				gr.ComputeCluster = clusterMap[r.ComputeCluster]
+			}
+			key := gr.KeyString()
+			gi, ok := index[key]
+			if !ok {
+				gi = len(g.Terminals)
+				g.Terminals = append(g.Terminals, gr.Clone())
+				index[key] = gi
+			}
+			recMap[li] = gi
+		}
+		seq := make([]int, len(rt.Events))
+		for i, id := range rt.Events {
+			seq[i] = recMap[id]
+		}
+		g.Seqs[rt.Rank] = seq
+	}
+	return g
+}
+
+func clusterDist(a, b perfmodel.Counters) float64 {
+	var worst float64
+	for i := range a {
+		den := b[i]
+		if den < 1 {
+			den = 1
+		}
+		d := (a[i] - b[i]) / den
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// Build runs the whole inter-process extraction: globalize terminals, infer
+// per-rank grammars, merge non-terminals depth-first, cluster and LCS-merge
+// main rules.
+func Build(tr *trace.Trace, opts Options) (*Program, error) {
+	opts = opts.withDefaults()
+	glob := Globalize(tr, opts.ClusterThreshold)
+
+	p := &Program{
+		NumRanks:    tr.NumRanks,
+		Platform:    tr.Platform,
+		Impl:        tr.Impl,
+		Terminals:   glob.Terminals,
+		Clusters:    glob.Clusters,
+		MergeRounds: log2ceil(tr.NumRanks),
+	}
+
+	// Intra-process grammar inference over global ids (§2.5).
+	grammars := make([]*sequitur.Grammar, len(glob.Seqs))
+	for rank, seq := range glob.Seqs {
+		b := sequitur.NewWithOptions(!opts.DisableRunLength)
+		b.AppendAll(seq)
+		grammars[rank] = b.Grammar()
+	}
+
+	// Depth-ordered non-terminal merge (§2.6.2): identical rule bodies
+	// across ranks collapse; shallow rules first so deeper signatures can
+	// reference merged ids.
+	sigIndex := map[string]int{}
+	ruleMap := make([]map[int]int, len(grammars)) // rank -> local rule -> merged id
+	maxDepth := 0
+	depths := make([][]int, len(grammars))
+	for rank, g := range grammars {
+		depths[rank] = g.Depths()
+		for i := 1; i < len(g.Rules); i++ {
+			if depths[rank][i] > maxDepth {
+				maxDepth = depths[rank][i]
+			}
+		}
+		ruleMap[rank] = map[int]int{}
+	}
+	for level := 1; level <= maxDepth; level++ {
+		for rank, g := range grammars {
+			for li := 1; li < len(g.Rules); li++ {
+				if depths[rank][li] != level {
+					continue
+				}
+				body := convertBody(g.Rules[li], ruleMap[rank])
+				sig := signature(body)
+				id, ok := sigIndex[sig]
+				if !ok {
+					id = len(p.Rules)
+					p.Rules = append(p.Rules, body)
+					sigIndex[sig] = id
+				}
+				ruleMap[rank][li] = id
+			}
+		}
+	}
+
+	// Main rules: convert, cluster by edit distance, merge by LCS.
+	mains := make([][]Sym, len(grammars))
+	for rank, g := range grammars {
+		mains[rank] = convertBody(g.Rules[0], ruleMap[rank])
+	}
+	if opts.DisableMainMerge {
+		for rank, body := range mains {
+			p.Mains = append(p.Mains, singleRankMain(rank, body))
+		}
+		return p, nil
+	}
+
+	type group struct {
+		rep    []Sym
+		merged Main
+	}
+	var groups []*group
+	for rank, body := range mains {
+		placed := false
+		for _, gr := range groups {
+			if similar(gr.rep, body, opts.MainSimilarity) {
+				gr.merged = lcsMerge(gr.merged, singleRankMain(rank, body))
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			groups = append(groups, &group{rep: body, merged: singleRankMain(rank, body)})
+		}
+	}
+	for _, gr := range groups {
+		p.Mains = append(p.Mains, gr.merged)
+	}
+
+	// Losslessness self-check: every rank's expansion must reproduce its
+	// globalized sequence exactly.
+	for rank, want := range glob.Seqs {
+		got, err := p.ExpandRank(rank)
+		if err != nil {
+			return nil, err
+		}
+		if !intsEqual(got, want) {
+			return nil, fmt.Errorf("merge: rank %d expansion diverges from trace (%d vs %d events)",
+				rank, len(got), len(want))
+		}
+	}
+	return p, nil
+}
+
+func singleRankMain(rank int, body []Sym) Main {
+	m := Main{Ranks: rankset.Single(rank)}
+	for _, s := range body {
+		m.Body = append(m.Body, MainSym{Sym: s, Ranks: rankset.Single(rank)})
+	}
+	return m
+}
+
+func convertBody(body []sequitur.Sym, ruleMap map[int]int) []Sym {
+	out := make([]Sym, len(body))
+	for i, s := range body {
+		if s.IsRule {
+			out[i] = Sym{Ref: ruleMap[s.Ref], IsRule: true, Count: s.Count}
+		} else {
+			out[i] = Sym{Ref: s.Ref, Count: s.Count}
+		}
+	}
+	return out
+}
+
+func signature(body []Sym) string {
+	var b strings.Builder
+	for _, s := range body {
+		if s.IsRule {
+			fmt.Fprintf(&b, "r%d^%d;", s.Ref, s.Count)
+		} else {
+			fmt.Fprintf(&b, "t%d^%d;", s.Ref, s.Count)
+		}
+	}
+	return b.String()
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func log2ceil(n int) int {
+	steps := 0
+	for v := 1; v < n; v <<= 1 {
+		steps++
+	}
+	return steps
+}
+
+// editCellCap bounds the DP table size; beyond it two mains are simply
+// declared dissimilar rather than spending quadratic memory.
+const editCellCap = 4 << 20
+
+// similar reports whether the normalized edit distance between two symbol
+// sequences is within the threshold.
+func similar(a, b []Sym, threshold float64) bool {
+	n, m := len(a), len(b)
+	if n == 0 && m == 0 {
+		return true
+	}
+	max := n
+	if m > max {
+		max = m
+	}
+	if (n+1)*(m+1) > editCellCap {
+		return false
+	}
+	d := editDistance(a, b)
+	return float64(d)/float64(max) <= threshold
+}
+
+// editDistance is the Levenshtein distance over symbols (exact matches
+// only), with O(min(n,m)) memory.
+func editDistance(a, b []Sym) int {
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			best := prev[j-1] + cost
+			if v := prev[j] + 1; v < best {
+				best = v
+			}
+			if v := cur[j-1] + 1; v < best {
+				best = v
+			}
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// lcsMerge merges two main rules (paper Fig. 3): symbols on the longest
+// common subsequence take the union of both rank lists; symbols off it are
+// interleaved in their original order with their own rank lists.
+func lcsMerge(a, b Main) Main {
+	n, m := len(a.Body), len(b.Body)
+	// LCS DP over exact symbol equality.
+	dp := make([][]int32, n+1)
+	for i := range dp {
+		dp[i] = make([]int32, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if a.Body[i].Sym == b.Body[j].Sym {
+				dp[i][j] = dp[i+1][j+1] + 1
+			} else if dp[i+1][j] >= dp[i][j+1] {
+				dp[i][j] = dp[i+1][j]
+			} else {
+				dp[i][j] = dp[i][j+1]
+			}
+		}
+	}
+	out := Main{Ranks: a.Ranks.Union(b.Ranks)}
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case a.Body[i].Sym == b.Body[j].Sym:
+			out.Body = append(out.Body, MainSym{
+				Sym:   a.Body[i].Sym,
+				Ranks: a.Body[i].Ranks.Union(b.Body[j].Ranks),
+			})
+			i++
+			j++
+		case dp[i+1][j] >= dp[i][j+1]:
+			out.Body = append(out.Body, a.Body[i])
+			i++
+		default:
+			out.Body = append(out.Body, b.Body[j])
+			j++
+		}
+	}
+	out.Body = append(out.Body, a.Body[i:]...)
+	out.Body = append(out.Body, b.Body[j:]...)
+	return out
+}

@@ -1,0 +1,217 @@
+// Package merge implements Siesta's inter-process pattern extraction (paper
+// §2.6): merging per-rank terminal tables into a global table (with the
+// log₂P tree-reduction structure), merging identical non-terminals across
+// ranks in depth order, and merging SPMD main rules with the LCS-based
+// algorithm under edit-distance clustering. Its output, Program, is the
+// compressed whole-job representation that code generation consumes and
+// whose encoded size is the paper's size_C.
+package merge
+
+import (
+	"fmt"
+
+	"siesta/internal/perfmodel"
+	"siesta/internal/rankset"
+	"siesta/internal/trace"
+)
+
+// Sym is one grammar symbol in the merged program: a reference to a global
+// terminal or to a merged rule, with a run-length count.
+type Sym struct {
+	Ref    int
+	IsRule bool
+	Count  int
+}
+
+// MainSym is a main-rule symbol annotated with the set of ranks that execute
+// it.
+type MainSym struct {
+	Sym
+	Ranks *rankset.Set
+}
+
+// Main is one merged main-rule group: the shared body for a cluster of
+// SPMD-similar ranks.
+type Main struct {
+	Ranks *rankset.Set // all ranks in the group
+	Body  []MainSym
+}
+
+// Program is the merged, compressed representation of a whole job's trace.
+type Program struct {
+	NumRanks  int
+	Platform  string
+	Impl      string
+	Terminals []*trace.Record  // global terminal table
+	Clusters  []*trace.Cluster // global computation clusters
+	Rules     [][]Sym          // merged non-terminal rules
+	Mains     []Main           // one per main-rule cluster
+
+	// MergeRounds records the ⌈log₂P⌉ tree-reduction depth of the
+	// terminal-table merge, for reports.
+	MergeRounds int
+}
+
+// Stats summarizes a Program for reports and Table 3.
+type Stats struct {
+	Terminals    int
+	Clusters     int
+	Rules        int
+	RuleSymbols  int
+	MainGroups   int
+	MainSymbols  int
+	EncodedBytes int
+}
+
+// Stats computes the program's summary.
+func (p *Program) Stats() Stats {
+	s := Stats{
+		Terminals:  len(p.Terminals),
+		Clusters:   len(p.Clusters),
+		Rules:      len(p.Rules),
+		MainGroups: len(p.Mains),
+	}
+	for _, r := range p.Rules {
+		s.RuleSymbols += len(r)
+	}
+	for _, m := range p.Mains {
+		s.MainSymbols += len(m.Body)
+	}
+	s.EncodedBytes = len(p.Encode())
+	return s
+}
+
+// mainOf returns the main group containing the rank.
+func (p *Program) mainOf(rank int) (*Main, error) {
+	for i := range p.Mains {
+		if p.Mains[i].Ranks.Contains(rank) {
+			return &p.Mains[i], nil
+		}
+	}
+	return nil, fmt.Errorf("merge: rank %d has no main rule", rank)
+}
+
+// ExpandRank reconstructs the rank's full global-terminal-id event sequence.
+// This is the losslessness check: for every rank the expansion must equal
+// the rank's original trace rewritten to global ids.
+func (p *Program) ExpandRank(rank int) ([]int, error) {
+	m, err := p.mainOf(rank)
+	if err != nil {
+		return nil, err
+	}
+	var out []int
+	var expand func(s Sym) error
+	expand = func(s Sym) error {
+		for c := 0; c < s.Count; c++ {
+			if !s.IsRule {
+				out = append(out, s.Ref)
+				continue
+			}
+			if s.Ref < 0 || s.Ref >= len(p.Rules) {
+				return fmt.Errorf("merge: dangling rule ref %d", s.Ref)
+			}
+			for _, inner := range p.Rules[s.Ref] {
+				if err := expand(inner); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	for _, ms := range m.Body {
+		if !ms.Ranks.Contains(rank) {
+			continue
+		}
+		if err := expand(ms.Sym); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Encode serializes the program in the compact binary currency shared with
+// the trace layer. Its length is the paper's size_C (minus the computation
+// code-block table, which code generation appends).
+func (p *Program) Encode() []byte {
+	var e trace.Enc
+	e.Str("SIESTA-PROG1")
+	e.Int(p.NumRanks)
+	e.Str(p.Platform)
+	e.Str(p.Impl)
+	e.Int(p.MergeRounds)
+	e.Int(len(p.Terminals))
+	for _, r := range p.Terminals {
+		encodeRecord(&e, r)
+	}
+	e.Int(len(p.Clusters))
+	for _, c := range p.Clusters {
+		for i := 0; i < int(perfmodel.NumMetrics); i++ {
+			e.Float(c.Sum[i])
+		}
+		e.Int(c.N)
+		e.Float(c.TimeSum)
+	}
+	e.Int(len(p.Rules))
+	for _, r := range p.Rules {
+		e.Int(len(r))
+		for _, s := range r {
+			encodeSym(&e, s)
+		}
+	}
+	e.Int(len(p.Mains))
+	for _, m := range p.Mains {
+		e.Ints(m.Ranks.Ranks())
+		e.Int(len(m.Body))
+		for _, ms := range m.Body {
+			encodeSym(&e, ms.Sym)
+			encodeIntervals(&e, ms.Ranks)
+		}
+	}
+	return e.Bytes()
+}
+
+func encodeSym(e *trace.Enc, s Sym) {
+	e.Int(s.Ref)
+	if s.IsRule {
+		e.Int(1)
+	} else {
+		e.Int(0)
+	}
+	e.Int(s.Count)
+}
+
+// encodeIntervals stores a rank set as interval pairs, the compact form the
+// generated code's branch conditions use.
+func encodeIntervals(e *trace.Enc, s *rankset.Set) {
+	iv := s.Intervals()
+	e.Int(len(iv))
+	for _, p := range iv {
+		e.Int(p[0])
+		e.Int(p[1])
+	}
+}
+
+// encodeRecord mirrors the trace codec's record encoding. (The trace package
+// keeps its encoder unexported; duplicating the five-line walk here keeps
+// the packages decoupled without exporting codec internals.)
+func encodeRecord(e *trace.Enc, r *trace.Record) {
+	e.Str(r.Func)
+	e.Int(r.DestRel)
+	e.Int(r.SrcRel)
+	e.Int(r.Tag)
+	e.Int(r.Bytes)
+	e.Int(r.RecvTag)
+	e.Int(r.Root)
+	e.Str(r.Op)
+	e.Int(r.CommPool)
+	e.Int(r.NewCommPool)
+	e.Int(r.ReqPool)
+	e.Ints(r.ReqPools)
+	e.Ints(r.Counts)
+	e.Int(r.Color)
+	e.Int(r.Key)
+	e.Int(r.ComputeCluster)
+	e.Int(r.FilePool)
+	e.Int(r.OffsetRel)
+	e.Str(r.FileName)
+}

@@ -1,0 +1,180 @@
+package mpi
+
+import (
+	"fmt"
+
+	"siesta/internal/netmodel"
+	"siesta/internal/vtime"
+)
+
+// collective runs the shared synchronization for one collective instance:
+// all ranks of c must call it with the same sequence number; the slot
+// completes when the last rank arrives, and every rank leaves at
+// max(arrival times) + modelled cost.
+func (r *Rank) collective(c *Comm, op netmodel.CollOp, bytes int, split [2]int, isSplit bool) *collSlot {
+	w := r.world
+	seq := r.seqs[c.id]
+	r.seqs[c.id] = seq + 1
+
+	w.mu.Lock()
+	key := collKey{commID: c.id, seq: seq}
+	slot := w.collectiveSlot(c, seq, op)
+	slot.arrived++
+	if t := r.clock.Now(); t > slot.maxIn {
+		slot.maxIn = t
+	}
+	if bytes > slot.maxBytes {
+		slot.maxBytes = bytes
+	}
+	if isSplit {
+		if slot.splitArgs == nil {
+			slot.splitArgs = map[int][2]int{}
+		}
+		slot.splitArgs[r.rank] = split
+	}
+	if slot.arrived == slot.expected {
+		w.finishCollective(c, key, slot)
+	}
+	w.mu.Unlock()
+	<-slot.done
+	r.abortIfFailed()
+	r.clock.AdvanceTo(slot.outTime)
+	return slot
+}
+
+// Barrier blocks until all ranks of c have entered it.
+func (r *Rank) Barrier(c *Comm) {
+	call := &Call{Func: "MPI_Barrier", Comm: c}
+	r.beginCall(call)
+	r.collective(c, netmodel.Barrier, 0, [2]int{}, false)
+	r.endCall(call)
+}
+
+// Bcast broadcasts bytes from root to all ranks of c.
+func (r *Rank) Bcast(c *Comm, root, bytes int) {
+	call := &Call{Func: "MPI_Bcast", Comm: c, Root: root, Bytes: bytes}
+	r.beginCall(call)
+	r.collective(c, netmodel.Bcast, bytes, [2]int{}, false)
+	r.endCall(call)
+}
+
+// Reduce reduces bytes from all ranks of c onto root with the given op.
+func (r *Rank) Reduce(c *Comm, root, bytes int, op ReduceOp) {
+	call := &Call{Func: "MPI_Reduce", Comm: c, Root: root, Bytes: bytes, Op: op}
+	r.beginCall(call)
+	r.collective(c, netmodel.Reduce, bytes, [2]int{}, false)
+	r.endCall(call)
+}
+
+// Allreduce reduces bytes across all ranks of c, leaving the result
+// everywhere.
+func (r *Rank) Allreduce(c *Comm, bytes int, op ReduceOp) {
+	call := &Call{Func: "MPI_Allreduce", Comm: c, Bytes: bytes, Op: op}
+	r.beginCall(call)
+	r.collective(c, netmodel.Allreduce, bytes, [2]int{}, false)
+	r.endCall(call)
+}
+
+// Gather gathers bytes per rank onto root.
+func (r *Rank) Gather(c *Comm, root, bytes int) {
+	call := &Call{Func: "MPI_Gather", Comm: c, Root: root, Bytes: bytes}
+	r.beginCall(call)
+	r.collective(c, netmodel.Gather, bytes, [2]int{}, false)
+	r.endCall(call)
+}
+
+// Scatter scatters bytes per rank from root.
+func (r *Rank) Scatter(c *Comm, root, bytes int) {
+	call := &Call{Func: "MPI_Scatter", Comm: c, Root: root, Bytes: bytes}
+	r.beginCall(call)
+	r.collective(c, netmodel.Scatter, bytes, [2]int{}, false)
+	r.endCall(call)
+}
+
+// Allgather gathers bytes per rank to all ranks.
+func (r *Rank) Allgather(c *Comm, bytes int) {
+	call := &Call{Func: "MPI_Allgather", Comm: c, Bytes: bytes}
+	r.beginCall(call)
+	r.collective(c, netmodel.Allgather, bytes, [2]int{}, false)
+	r.endCall(call)
+}
+
+// Alltoall exchanges bytes with every rank of c.
+func (r *Rank) Alltoall(c *Comm, bytes int) {
+	call := &Call{Func: "MPI_Alltoall", Comm: c, Bytes: bytes}
+	r.beginCall(call)
+	r.collective(c, netmodel.Alltoall, bytes*c.Size(), [2]int{}, false)
+	r.endCall(call)
+}
+
+// Alltoallv exchanges per-destination byte counts with every rank of c;
+// counts[i] is the byte count this rank sends to comm rank i.
+func (r *Rank) Alltoallv(c *Comm, counts []int) {
+	if len(counts) != c.Size() {
+		panic(fmt.Sprintf("mpi: Alltoallv counts length %d != comm size %d", len(counts), c.Size()))
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	call := &Call{Func: "MPI_Alltoallv", Comm: c, Bytes: total, Counts: append([]int(nil), counts...)}
+	r.beginCall(call)
+	r.collective(c, netmodel.Alltoall, total, [2]int{}, false)
+	r.endCall(call)
+}
+
+// Allgatherv gathers per-rank byte counts to all ranks; bytes is this rank's
+// contribution.
+func (r *Rank) Allgatherv(c *Comm, bytes int) {
+	call := &Call{Func: "MPI_Allgatherv", Comm: c, Bytes: bytes}
+	r.beginCall(call)
+	r.collective(c, netmodel.Allgather, bytes, [2]int{}, false)
+	r.endCall(call)
+}
+
+// Gatherv gathers a variable per-rank byte count onto root.
+func (r *Rank) Gatherv(c *Comm, root, bytes int) {
+	call := &Call{Func: "MPI_Gatherv", Comm: c, Root: root, Bytes: bytes}
+	r.beginCall(call)
+	r.collective(c, netmodel.Gather, bytes, [2]int{}, false)
+	r.endCall(call)
+}
+
+// CommSplit partitions c by color; ranks sharing a color form a new
+// communicator ordered by key then world rank. A negative color returns nil
+// (MPI_UNDEFINED). New communicator ids are assigned deterministically.
+func (r *Rank) CommSplit(c *Comm, color, key int) *Comm {
+	call := &Call{Func: "MPI_Comm_split", Comm: c, Color: color, Key: key}
+	r.beginCall(call)
+	slot := r.collective(c, netmodel.Barrier, 0, [2]int{color, key}, true)
+	nc := slot.newComms[r.rank]
+	call.NewComm = nc
+	r.endCall(call)
+	return nc
+}
+
+// CommDup duplicates c with a fresh id.
+func (r *Rank) CommDup(c *Comm) *Comm {
+	call := &Call{Func: "MPI_Comm_dup", Comm: c}
+	r.beginCall(call)
+	slot := r.collective(c, netmodel.Barrier, 0, [2]int{0, c.RankOf(r.rank)}, true)
+	nc := slot.newComms[r.rank]
+	call.NewComm = nc
+	r.endCall(call)
+	return nc
+}
+
+// CommFree releases a communicator handle. The simulated runtime keeps no
+// per-comm state worth reclaiming, but the call is intercepted so the trace
+// layer can recycle its communicator pool ids, as the paper requires.
+func (r *Rank) CommFree(c *Comm) {
+	call := &Call{Func: "MPI_Comm_free", Comm: c}
+	r.beginCall(call)
+	r.clock.Advance(r.world.cfg.Impl.CallOverhead())
+	r.endCall(call)
+}
+
+// Wtime mirrors MPI_Wtime: the rank's virtual time in seconds.
+func (r *Rank) Wtime() float64 { return float64(r.clock.Now()) }
+
+var _ = vtime.Duration(0)

@@ -1,0 +1,73 @@
+package mpi
+
+import (
+	"siesta/internal/netmodel"
+)
+
+// Non-blocking collectives (MPI-3): the caller registers its arrival and
+// receives a request that completes when every rank of the communicator has
+// entered the operation. The collective sequencer is shared with the
+// blocking path, so blocking and non-blocking collectives on one
+// communicator stay totally ordered, as the standard requires.
+
+// slotWaiter links a pending request to the rank to wake on completion.
+type slotWaiter struct {
+	req  *Request
+	rank *Rank
+}
+
+// icollective registers arrival at a collective without blocking.
+func (r *Rank) icollective(c *Comm, op netmodel.CollOp, bytes int) *Request {
+	w := r.world
+	seq := r.seqs[c.id]
+	r.seqs[c.id] = seq + 1
+	req := r.newRequest(reqRecv)
+	r.clock.Advance(w.cfg.Impl.CallOverhead())
+
+	w.mu.Lock()
+	key := collKey{commID: c.id, seq: seq}
+	slot := w.collectiveSlot(c, seq, op)
+	slot.arrived++
+	if t := r.clock.Now(); t > slot.maxIn {
+		slot.maxIn = t
+	}
+	if bytes > slot.maxBytes {
+		slot.maxBytes = bytes
+	}
+	slot.waiters = append(slot.waiters, slotWaiter{req: req, rank: r})
+	if slot.arrived == slot.expected {
+		w.finishCollective(c, key, slot)
+	}
+	w.mu.Unlock()
+	return req
+}
+
+// Ibarrier starts a non-blocking barrier.
+func (r *Rank) Ibarrier(c *Comm) *Request {
+	call := &Call{Func: "MPI_Ibarrier", Comm: c}
+	r.beginCall(call)
+	req := r.icollective(c, netmodel.Barrier, 0)
+	call.Request = req
+	r.endCall(call)
+	return req
+}
+
+// Ibcast starts a non-blocking broadcast.
+func (r *Rank) Ibcast(c *Comm, root, bytes int) *Request {
+	call := &Call{Func: "MPI_Ibcast", Comm: c, Root: root, Bytes: bytes}
+	r.beginCall(call)
+	req := r.icollective(c, netmodel.Bcast, bytes)
+	call.Request = req
+	r.endCall(call)
+	return req
+}
+
+// Iallreduce starts a non-blocking allreduce.
+func (r *Rank) Iallreduce(c *Comm, bytes int, op ReduceOp) *Request {
+	call := &Call{Func: "MPI_Iallreduce", Comm: c, Bytes: bytes, Op: op}
+	r.beginCall(call)
+	req := r.icollective(c, netmodel.Allreduce, bytes)
+	call.Request = req
+	r.endCall(call)
+	return req
+}

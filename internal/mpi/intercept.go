@@ -1,0 +1,82 @@
+package mpi
+
+import (
+	"siesta/internal/perfmodel"
+	"siesta/internal/vtime"
+)
+
+// Call carries the full parameter set of one MPI call, the analogue of what
+// a PMPI wrapper sees. Fields are populated per function; unused fields stay
+// at their zero values.
+type Call struct {
+	Func  string
+	Start vtime.Time
+	End   vtime.Time
+
+	Comm    *Comm
+	NewComm *Comm // result of Comm_split / Comm_dup
+
+	Dest   int // destination comm rank for sends
+	Source int // requested source (may be AnySource) for receives
+	Tag    int
+	Bytes  int
+
+	// Sendrecv's receive half.
+	RecvTag   int
+	RecvBytes int
+
+	// Resolved source for receives (differs from Source with AnySource).
+	SourceResolved int
+
+	Root   int
+	Op     ReduceOp
+	Counts []int // per-rank counts for v-variants
+
+	Color, Key int // Comm_split arguments
+
+	Request  *Request
+	Requests []*Request // Waitall / Waitany / Testall
+
+	// MPI-IO fields.
+	File     *File
+	FileName string
+	Offset   int
+
+	// CompletedIndex is the index Waitany resolved to.
+	CompletedIndex int
+
+	// Flag is the boolean outcome of Test/Testall/Iprobe, recorded by the
+	// runtime so interceptors need not touch live request state from
+	// outside the lock.
+	Flag bool
+}
+
+// Interceptor is the PMPI hook: it observes every MPI call on every rank and
+// every computation region between calls. Methods are invoked on the calling
+// rank's goroutine, so implementations may charge tracing overhead through
+// Rank.AddOverhead and keep per-rank state without locking (indexed by
+// r.Rank()).
+type Interceptor interface {
+	// BeforeCall fires on call entry, before any cost is charged.
+	BeforeCall(r *Rank, call *Call)
+	// AfterCall fires on call exit with Start/End populated.
+	AfterCall(r *Rank, call *Call)
+	// OnCompute fires after each computation region with its measured
+	// counters. A zero kernel with zero counters reports an Elapse
+	// (untimed sleep) region.
+	OnCompute(r *Rank, k perfmodel.Kernel, c perfmodel.Counters, start, end vtime.Time)
+}
+
+// NopInterceptor is an Interceptor that does nothing; embed it to implement
+// only the hooks you need.
+type NopInterceptor struct{}
+
+// BeforeCall implements Interceptor.
+func (NopInterceptor) BeforeCall(*Rank, *Call) {}
+
+// AfterCall implements Interceptor.
+func (NopInterceptor) AfterCall(*Rank, *Call) {}
+
+// OnCompute implements Interceptor.
+func (NopInterceptor) OnCompute(*Rank, perfmodel.Kernel, perfmodel.Counters, vtime.Time, vtime.Time) {
+}

@@ -1,0 +1,156 @@
+package mpi
+
+import (
+	"fmt"
+
+	"siesta/internal/vtime"
+)
+
+// This file implements the MPI-IO subset the paper's §2.1 points at when it
+// notes that "the process of I/O trace is similar to that of communication
+// trace" and can be handled "via further engineering efforts": collective
+// file open/close, independent read/write at explicit offsets, and
+// collective write_at_all/read_at_all, priced by a shared parallel-
+// filesystem model.
+
+// Parallel filesystem model: a single shared store per job. Independent
+// operations get one client stream's bandwidth; collective operations
+// aggregate into the full filesystem bandwidth (the two-phase I/O effect).
+const (
+	fsLatencySec     = 100e-6 // per-operation latency
+	fsStreamBwBps    = 1.2e9  // one client stream
+	fsAggregateBwBps = 6.0e9  // whole filesystem, collective access
+)
+
+// File is an open simulated MPI file handle.
+type File struct {
+	id     int
+	name   string
+	comm   *Comm
+	closed bool
+}
+
+// ID reports the runtime file handle id (dense per communicator creation
+// order, like communicator ids, so the trace layer's pool renaming can
+// reproduce it).
+func (f *File) ID() int { return f.id }
+
+// Name reports the file's name.
+func (f *File) Name() string { return f.name }
+
+// FileOpen opens a file collectively on the communicator.
+func (r *Rank) FileOpen(c *Comm, name string) *File {
+	call := &Call{Func: "MPI_File_open", Comm: c, FileName: name}
+	r.beginCall(call)
+	slot := r.collective(c, 0 /* barrier-priced */, 0, [2]int{}, false)
+	// The first rank past the barrier allocates the group's handle; file
+	// ids are dense in open order, so the trace layer's pool renaming
+	// reproduces them.
+	w := r.world
+	w.mu.Lock()
+	if slot.sharedFile == nil {
+		slot.sharedFile = &File{id: w.nextFileID, name: name, comm: c}
+		w.nextFileID++
+	}
+	f := slot.sharedFile
+	w.mu.Unlock()
+	r.clock.Advance(vtime.Duration(fsLatencySec)) // open round trip
+	call.File = f
+	r.endCall(call)
+	return f
+}
+
+// checkOpen panics if the file is nil or already closed (reading the shared
+// flag under the world lock).
+func (r *Rank) checkOpen(fn string, f *File) {
+	if f == nil {
+		panic(fmt.Sprintf("mpi: %s on nil file", fn))
+	}
+	r.world.mu.Lock()
+	closed := f.closed
+	r.world.mu.Unlock()
+	if closed {
+		panic(fmt.Sprintf("mpi: %s on closed file %q", fn, f.name))
+	}
+}
+
+// FileClose closes the file collectively.
+func (r *Rank) FileClose(f *File) {
+	call := &Call{Func: "MPI_File_close", Comm: f.comm, File: f}
+	r.beginCall(call)
+	r.collective(f.comm, 0, 0, [2]int{}, false)
+	r.clock.Advance(vtime.Duration(fsLatencySec / 2))
+	// Every rank of the collective marks the shared handle closed; guard
+	// the write so concurrent closers do not race.
+	r.world.mu.Lock()
+	f.closed = true
+	r.world.mu.Unlock()
+	r.endCall(call)
+}
+
+// FileWriteAt writes bytes at an explicit offset, independently.
+func (r *Rank) FileWriteAt(f *File, offset, bytes int) {
+	r.fileIndependent("MPI_File_write_at", f, offset, bytes)
+}
+
+// FileReadAt reads bytes at an explicit offset, independently.
+func (r *Rank) FileReadAt(f *File, offset, bytes int) {
+	r.fileIndependent("MPI_File_read_at", f, offset, bytes)
+}
+
+func (r *Rank) fileIndependent(fn string, f *File, offset, bytes int) {
+	r.checkOpen(fn, f)
+	call := &Call{Func: fn, Comm: f.comm, File: f, Offset: offset, Bytes: bytes}
+	r.beginCall(call)
+	// An independent stream contends with every other rank of the job for
+	// the filesystem's aggregate bandwidth.
+	bw := fsStreamBwBps
+	if shared := fsAggregateBwBps / float64(r.world.cfg.Size); shared < bw {
+		bw = shared
+	}
+	cost := fsLatencySec + float64(bytes)/bw
+	r.clock.Advance(vtime.Duration(cost * r.world.commJitter))
+	r.endCall(call)
+}
+
+// FileWriteAtAll writes collectively: all ranks of the file's communicator
+// participate, and the aggregated transfer uses the filesystem's full
+// bandwidth (two-phase collective I/O).
+func (r *Rank) FileWriteAtAll(f *File, offset, bytes int) {
+	r.fileCollective("MPI_File_write_at_all", f, offset, bytes)
+}
+
+// FileReadAtAll reads collectively.
+func (r *Rank) FileReadAtAll(f *File, offset, bytes int) {
+	r.fileCollective("MPI_File_read_at_all", f, offset, bytes)
+}
+
+func (r *Rank) fileCollective(fn string, f *File, offset, bytes int) {
+	r.checkOpen(fn, f)
+	call := &Call{Func: fn, Comm: f.comm, File: f, Offset: offset, Bytes: bytes}
+	r.beginCall(call)
+	c := f.comm
+	seq := r.seqs[c.id]
+	r.seqs[c.id] = seq + 1
+	w := r.world
+	w.mu.Lock()
+	key := collKey{commID: c.id, seq: seq}
+	slot := w.collectiveSlot(c, seq, 0)
+	slot.arrived++
+	if t := r.clock.Now(); t > slot.maxIn {
+		slot.maxIn = t
+	}
+	slot.maxBytes += bytes // aggregate volume
+	if slot.arrived == slot.expected {
+		total := float64(slot.maxBytes)
+		cost := fsLatencySec + total/fsAggregateBwBps
+		slot.outTime = slot.maxIn.Add(vtime.Duration(cost * w.commJitter))
+		delete(w.colls, key)
+		close(slot.done)
+	}
+	w.mu.Unlock()
+	<-slot.done
+	r.abortIfFailed()
+	r.clock.AdvanceTo(slot.outTime)
+	r.endCall(call)
+}

@@ -1,0 +1,136 @@
+package mpi
+
+import (
+	"testing"
+
+	"siesta/internal/vtime"
+)
+
+func TestFileOpenSharedHandle(t *testing.T) {
+	w := newTestWorld(4)
+	ids := make([]int, 4)
+	_, err := w.Run(func(r *Rank) {
+		f := r.FileOpen(r.World(), "out.dat")
+		ids[r.Rank()] = f.ID()
+		if f.Name() != "out.dat" {
+			panic("file name lost")
+		}
+		r.FileClose(f)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids[1:] {
+		if id != ids[0] {
+			t.Fatal("ranks should share one file handle per collective open")
+		}
+	}
+}
+
+func TestFileIDsDense(t *testing.T) {
+	w := newTestWorld(2)
+	_, err := w.Run(func(r *Rank) {
+		c := r.World()
+		f1 := r.FileOpen(c, "a")
+		f2 := r.FileOpen(c, "b")
+		if f1.ID() != 0 || f2.ID() != 1 {
+			panic("file ids should be dense in open order")
+		}
+		r.FileClose(f1)
+		r.FileClose(f2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndependentWriteCost(t *testing.T) {
+	w := newTestWorld(1)
+	var small, large vtime.Duration
+	_, err := w.Run(func(r *Rank) {
+		f := r.FileOpen(r.World(), "x")
+		t0 := r.Now()
+		r.FileWriteAt(f, 0, 4096)
+		small = r.Now().Sub(t0)
+		t0 = r.Now()
+		r.FileWriteAt(f, 4096, 64<<20)
+		large = r.Now().Sub(t0)
+		r.FileReadAt(f, 0, 4096)
+		r.FileClose(f)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large <= small {
+		t.Errorf("64MB write (%v) should cost more than 4KB (%v)", large, small)
+	}
+	// 64 MB at ~1.2 GB/s ≈ 53 ms.
+	if large.Seconds() < 0.02 || large.Seconds() > 0.2 {
+		t.Errorf("64MB write cost %v implausible", large)
+	}
+}
+
+func TestFilesystemContention(t *testing.T) {
+	// Per-rank independent bandwidth shrinks as more ranks hammer the
+	// shared filesystem.
+	const chunk = 16 << 20
+	perOp := func(ranks int) vtime.Duration {
+		w := newTestWorld(ranks)
+		var d vtime.Duration
+		_, err := w.Run(func(r *Rank) {
+			f := r.FileOpen(r.World(), "x")
+			t0 := r.Now()
+			r.FileWriteAt(f, r.Rank()*chunk, chunk)
+			if r.Rank() == 0 {
+				d = r.Now().Sub(t0)
+			}
+			r.FileClose(f)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	if solo, crowded := perOp(1), perOp(16); crowded <= solo {
+		t.Errorf("16-way contention (%v) should slow a write vs solo (%v)", crowded, solo)
+	}
+}
+
+func TestCollectiveWriteBeatsContendedIndependent(t *testing.T) {
+	// With many ranks, the two-phase collective path (full aggregate
+	// bandwidth, one latency) beats contended independent streams.
+	const P = 16
+	const chunk = 16 << 20
+	run := func(coll bool) vtime.Duration {
+		w := newTestWorld(P)
+		res, err := w.Run(func(r *Rank) {
+			f := r.FileOpen(r.World(), "x")
+			if coll {
+				r.FileWriteAtAll(f, r.Rank()*chunk, chunk)
+			} else {
+				r.FileWriteAt(f, r.Rank()*chunk, chunk)
+			}
+			r.FileClose(f)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.ExecTime
+	}
+	indep, coll := run(false), run(true)
+	if coll > indep {
+		t.Errorf("collective write (%v) should not lose to contended independent (%v)", coll, indep)
+	}
+}
+
+func TestWriteOnClosedFilePanics(t *testing.T) {
+	w := newTestWorld(1)
+	_, err := w.Run(func(r *Rank) {
+		f := r.FileOpen(r.World(), "x")
+		r.FileClose(f)
+		r.FileWriteAt(f, 0, 16)
+	})
+	if err == nil {
+		t.Fatal("write after close should abort the run")
+	}
+}

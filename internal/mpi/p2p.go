@@ -1,0 +1,350 @@
+package mpi
+
+import (
+	"fmt"
+
+	"siesta/internal/vtime"
+)
+
+// resolveRecv computes the virtual completion time of a matched transfer.
+// For eager messages the data travels independently of the receiver; for
+// rendezvous the transfer starts only when both sides are ready.
+func resolveRecv(m *message, recvPost vtime.Time) vtime.Time {
+	if m.eager {
+		return vtime.Max(recvPost, m.readyTime.Add(m.wire))
+	}
+	start := vtime.Max(m.readyTime, recvPost)
+	return start.Add(m.wire)
+}
+
+// completeMatch finalizes a (message, posted receive) pair. Caller holds
+// w.mu. It resolves the receive request, and for rendezvous transfers also
+// resolves the send request and wakes the sender.
+func completeMatch(m *message, pr *postedRecv) {
+	done := resolveRecv(m, pr.postTime)
+	pr.req.done = true
+	pr.req.time = float64(done)
+	pr.req.st = Status{Source: m.srcComm, Tag: m.tag, Bytes: m.bytes}
+	if pr.buf != nil && m.payload != nil {
+		copy(pr.buf, m.payload)
+	}
+	pr.owner.cond.Broadcast()
+	if !m.eager && m.sendReq != nil {
+		m.sendReq.done = true
+		m.sendReq.time = float64(done)
+		if m.sender != nil {
+			m.sender.cond.Broadcast()
+		}
+	}
+}
+
+// matches reports whether a posted receive accepts a message.
+func (pr *postedRecv) matches(m *message) bool {
+	if pr.commID != m.commID {
+		return false
+	}
+	if pr.src != AnySource && pr.src != m.srcComm {
+		return false
+	}
+	if pr.tag != AnyTag && pr.tag != m.tag {
+		return false
+	}
+	return true
+}
+
+// postMessage routes a newly sent message: match against posted receives in
+// post order, or enqueue as unexpected. Caller holds w.mu. The destination
+// rank is woken either way — an unmatched arrival may still be what a
+// blocked Probe is waiting for.
+func (w *World) postMessage(m *message) {
+	queue := w.posted[m.dstWorld]
+	for i, pr := range queue {
+		if pr.matches(m) {
+			w.posted[m.dstWorld] = append(queue[:i:i], queue[i+1:]...)
+			completeMatch(m, pr)
+			return
+		}
+	}
+	w.mailbox[m.dstWorld] = append(w.mailbox[m.dstWorld], m)
+	w.ranks[m.dstWorld].cond.Broadcast()
+}
+
+// postRecv registers a receive: match against unexpected messages in arrival
+// order, or enqueue. Caller holds w.mu.
+func (w *World) postRecv(pr *postedRecv) {
+	box := w.mailbox[pr.owner.rank]
+	for i, m := range box {
+		if pr.matches(m) {
+			w.mailbox[pr.owner.rank] = append(box[:i:i], box[i+1:]...)
+			completeMatch(m, pr)
+			return
+		}
+	}
+	w.posted[pr.owner.rank] = append(w.posted[pr.owner.rank], pr)
+}
+
+// buildMessage prices and assembles an outgoing message. dst is a rank in c.
+func (r *Rank) buildMessage(c *Comm, dst, tag, bytes int, payload []byte, req *Request) *message {
+	w := r.world
+	dstWorld := c.WorldRank(dst)
+	var data []byte
+	if payload != nil {
+		data = append([]byte(nil), payload...)
+	}
+	return &message{
+		commID:    c.id,
+		srcComm:   c.RankOf(r.rank),
+		srcWorld:  r.rank,
+		dstWorld:  dstWorld,
+		tag:       tag,
+		bytes:     bytes,
+		payload:   data,
+		eager:     w.cfg.Impl.Eager(bytes),
+		readyTime: r.clock.Now(),
+		wire:      vtime.Duration(float64(w.cfg.Impl.WireTime(w.cfg.Platform, r.rank, dstWorld, bytes)) * w.commJitter),
+		sendReq:   req,
+	}
+}
+
+// Send performs a blocking standard-mode send of bytes to dst (rank in c)
+// with the given tag. Eager messages complete locally; rendezvous messages
+// block until the receiver matches, exactly like a real large send.
+func (r *Rank) Send(c *Comm, dst, tag, bytes int) {
+	r.sendPayload(c, dst, tag, bytes, nil)
+}
+
+// SendBytes is Send with an actual payload, for examples and tests that
+// want data to arrive. len(data) is used as the message size.
+func (r *Rank) SendBytes(c *Comm, dst, tag int, data []byte) {
+	r.sendPayload(c, dst, tag, len(data), data)
+}
+
+func (r *Rank) sendPayload(c *Comm, dst, tag, bytes int, payload []byte) {
+	call := &Call{Func: "MPI_Send", Comm: c, Dest: dst, Tag: tag, Bytes: bytes}
+	r.beginCall(call)
+	if dst != ProcNull {
+		w := r.world
+		r.clock.Advance(w.cfg.Impl.SendLocalCost(w.cfg.Platform, r.rank, c.WorldRank(dst), bytes))
+		m := r.buildMessage(c, dst, tag, bytes, payload, nil)
+		if m.eager {
+			w.mu.Lock()
+			w.postMessage(m)
+			w.mu.Unlock()
+		} else {
+			req := r.newRequest(reqSend)
+			m.sendReq = req
+			m.sender = r
+			w.mu.Lock()
+			w.postMessage(m)
+			for !req.done && !w.aborted() {
+				r.cond.Wait()
+			}
+			w.mu.Unlock()
+			r.abortIfFailed()
+			r.clock.AdvanceTo(vtime.Time(req.time))
+		}
+	}
+	r.endCall(call)
+}
+
+// Recv performs a blocking receive from src (rank in c, or AnySource) with
+// the given tag (or AnyTag). It returns the resolved status.
+func (r *Rank) Recv(c *Comm, src, tag int) Status {
+	return r.recvInto(c, src, tag, nil)
+}
+
+// RecvBytes is Recv copying any payload into buf.
+func (r *Rank) RecvBytes(c *Comm, src, tag int, buf []byte) Status {
+	return r.recvInto(c, src, tag, buf)
+}
+
+func (r *Rank) recvInto(c *Comm, src, tag int, buf []byte) Status {
+	call := &Call{Func: "MPI_Recv", Comm: c, Source: src, Tag: tag}
+	r.beginCall(call)
+	var st Status
+	if src != ProcNull {
+		w := r.world
+		req := r.newRequest(reqRecv)
+		pr := &postedRecv{
+			commID: c.id, src: src, tag: tag,
+			postTime: r.clock.Now(), req: req, owner: r, buf: buf,
+		}
+		w.mu.Lock()
+		w.postRecv(pr)
+		for !req.done && !w.aborted() {
+			r.cond.Wait()
+		}
+		w.mu.Unlock()
+		r.abortIfFailed()
+		r.clock.AdvanceTo(vtime.Time(req.time))
+		r.clock.Advance(w.cfg.Impl.CallOverhead())
+		st = req.st
+	}
+	call.Bytes = st.Bytes
+	call.SourceResolved = st.Source
+	r.endCall(call)
+	return st
+}
+
+// Isend starts a non-blocking send and returns its request.
+func (r *Rank) Isend(c *Comm, dst, tag, bytes int) *Request {
+	call := &Call{Func: "MPI_Isend", Comm: c, Dest: dst, Tag: tag, Bytes: bytes}
+	r.beginCall(call)
+	w := r.world
+	req := r.newRequest(reqSend)
+	if dst == ProcNull {
+		req.done, req.nul = true, true
+		req.time = float64(r.clock.Now())
+	} else {
+		r.clock.Advance(w.cfg.Impl.CallOverhead())
+		m := r.buildMessage(c, dst, tag, bytes, nil, req)
+		m.sender = r
+		if m.eager {
+			// Eager non-blocking sends complete immediately.
+			req.done = true
+			req.time = float64(r.clock.Now())
+			m.sendReq = nil
+		}
+		w.mu.Lock()
+		w.postMessage(m)
+		w.mu.Unlock()
+	}
+	call.Request = req
+	r.endCall(call)
+	return req
+}
+
+// Irecv starts a non-blocking receive and returns its request.
+func (r *Rank) Irecv(c *Comm, src, tag int) *Request {
+	call := &Call{Func: "MPI_Irecv", Comm: c, Source: src, Tag: tag}
+	r.beginCall(call)
+	w := r.world
+	req := r.newRequest(reqRecv)
+	if src == ProcNull {
+		req.done, req.nul = true, true
+		req.time = float64(r.clock.Now())
+	} else {
+		r.clock.Advance(w.cfg.Impl.CallOverhead())
+		pr := &postedRecv{
+			commID: c.id, src: src, tag: tag,
+			postTime: r.clock.Now(), req: req, owner: r,
+		}
+		w.mu.Lock()
+		w.postRecv(pr)
+		w.mu.Unlock()
+	}
+	call.Request = req
+	r.endCall(call)
+	return req
+}
+
+// Wait blocks until the request completes and returns its status (zero for
+// sends).
+func (r *Rank) Wait(req *Request) Status {
+	call := &Call{Func: "MPI_Wait", Request: req}
+	r.beginCall(call)
+	st := r.waitOne(req)
+	call.Bytes = st.Bytes
+	r.endCall(call)
+	return st
+}
+
+// Waitall blocks until every request completes.
+func (r *Rank) Waitall(reqs []*Request) {
+	call := &Call{Func: "MPI_Waitall", Requests: reqs}
+	r.beginCall(call)
+	for _, req := range reqs {
+		r.waitOne(req)
+	}
+	r.endCall(call)
+}
+
+func (r *Rank) waitOne(req *Request) Status {
+	if req == nil {
+		return Status{}
+	}
+	if req.owner != r.rank {
+		panic(fmt.Sprintf("mpi: rank %d waiting on request owned by rank %d", r.rank, req.owner))
+	}
+	w := r.world
+	w.mu.Lock()
+	for !req.done && !w.aborted() {
+		r.cond.Wait()
+	}
+	w.mu.Unlock()
+	r.abortIfFailed()
+	r.clock.AdvanceTo(vtime.Time(req.time))
+	r.clock.Advance(w.cfg.Impl.CallOverhead())
+	st := req.st
+	resetIfPersistent(req)
+	return st
+}
+
+// Test reports whether the request has completed, without blocking. When it
+// has, the rank's clock absorbs the completion time, as MPI_Test does.
+func (r *Rank) Test(req *Request) (bool, Status) {
+	call := &Call{Func: "MPI_Test", Request: req}
+	r.beginCall(call)
+	w := r.world
+	w.mu.Lock()
+	done := req.done
+	w.mu.Unlock()
+	r.clock.Advance(w.cfg.Impl.CallOverhead())
+	var st Status
+	if done {
+		r.clock.AdvanceTo(vtime.Time(req.time))
+		st = req.st
+	}
+	call.Bytes = st.Bytes
+	call.Flag = done
+	r.endCall(call)
+	return done, st
+}
+
+// Sendrecv performs a combined send and receive, deadlock-free as per the
+// standard (implemented as Isend+Irecv+Waitall internally, priced as one
+// call).
+func (r *Rank) Sendrecv(c *Comm, dst, sendTag, sendBytes, src, recvTag int) Status {
+	call := &Call{
+		Func: "MPI_Sendrecv", Comm: c,
+		Dest: dst, Tag: sendTag, Bytes: sendBytes,
+		Source: src, RecvTag: recvTag,
+	}
+	r.beginCall(call)
+	w := r.world
+	var sreq, rreq *Request
+	if dst != ProcNull {
+		sreq = r.newRequest(reqSend)
+		m := r.buildMessage(c, dst, sendTag, sendBytes, nil, sreq)
+		m.sender = r
+		if m.eager {
+			sreq.done = true
+			sreq.time = float64(r.clock.Now())
+			m.sendReq = nil
+		}
+		w.mu.Lock()
+		w.postMessage(m)
+		w.mu.Unlock()
+	}
+	if src != ProcNull {
+		rreq = r.newRequest(reqRecv)
+		pr := &postedRecv{
+			commID: c.id, src: src, tag: recvTag,
+			postTime: r.clock.Now(), req: rreq, owner: r,
+		}
+		w.mu.Lock()
+		w.postRecv(pr)
+		w.mu.Unlock()
+	}
+	var st Status
+	if sreq != nil {
+		r.waitOne(sreq)
+	}
+	if rreq != nil {
+		st = r.waitOne(rreq)
+	}
+	call.SourceResolved = st.Source
+	call.RecvBytes = st.Bytes
+	r.endCall(call)
+	return st
+}

@@ -1,0 +1,117 @@
+package mpi
+
+import (
+	"sync"
+
+	"siesta/internal/perfmodel"
+	"siesta/internal/platform"
+	"siesta/internal/vtime"
+)
+
+// Rank is one simulated MPI process. All methods must be called from the
+// rank's own goroutine (the function passed to World.Run); the runtime
+// enforces MPI's process-local semantics this way.
+type Rank struct {
+	world *World
+	rank  int
+	clock vtime.Clock
+	cond  *sync.Cond // signaled when something this rank may wait on changes
+	noise *perfmodel.Noise
+
+	jitter float64 // run-to-run computation speed factor (1 = nominal)
+
+	nextReqID int
+	seqs      map[int]int // per-communicator collective sequence numbers
+
+	// accumulated results
+	commTime     vtime.Duration
+	computeTime  vtime.Duration
+	computeTotal perfmodel.Counters
+	calls        int
+}
+
+// Rank reports this process's rank in the world communicator.
+func (r *Rank) Rank() int { return r.rank }
+
+// Size reports the world size.
+func (r *Rank) Size() int { return r.world.cfg.Size }
+
+// World returns the communicator containing all ranks (MPI_COMM_WORLD).
+func (r *Rank) World() *Comm { return r.world.world }
+
+// Now reports the rank's current virtual time.
+func (r *Rank) Now() vtime.Time { return r.clock.Now() }
+
+// Platform reports the hardware platform model this rank executes on.
+func (r *Rank) Platform() *platform.Platform { return r.world.cfg.Platform }
+
+// AddOverhead advances the rank's clock by d without counting it as either
+// communication or computation. The tracing layer uses this to charge its
+// own instrumentation cost, which is how the paper's "overhead" column is
+// measured.
+func (r *Rank) AddOverhead(d vtime.Duration) { r.clock.Advance(d) }
+
+// Compute executes a computation region described by an abstract operation
+// mix. The region's hardware counters are measured through the platform's
+// performance model (with this rank's noise stream) and the clock advances
+// by the measured cycle count. This is the boundary the tracer observes as a
+// virtual MPI_Compute call.
+func (r *Rank) Compute(k perfmodel.Kernel) perfmodel.Counters {
+	start := r.clock.Now()
+	c := perfmodel.MeasureNoisy(r.world.cfg.Platform, k, r.noise)
+	// Counters are counts and stay exact; the jitter models frequency
+	// wobble, which moves wall time but not retired-event counts.
+	dt := vtime.Duration(r.world.cfg.Platform.CyclesToSeconds(c[perfmodel.CYC]) * r.jitter)
+	r.clock.Advance(dt)
+	r.computeTime += dt
+	r.computeTotal.Add(c)
+	if ic := r.world.cfg.Interceptor; ic != nil {
+		ic.OnCompute(r, k, c, start, r.clock.Now())
+	}
+	return c
+}
+
+// Elapse advances the rank's clock by a fixed duration, modelling an
+// untimed pause. Sleep-based proxy replays (the ScalaBench baseline) use it:
+// unlike Compute, its duration is platform-independent by construction.
+func (r *Rank) Elapse(d vtime.Duration) {
+	start := r.clock.Now()
+	r.clock.Advance(d)
+	r.computeTime += d
+	if ic := r.world.cfg.Interceptor; ic != nil {
+		ic.OnCompute(r, perfmodel.Kernel{}, perfmodel.Counters{}, start, r.clock.Now())
+	}
+}
+
+// newRequest allocates a deterministic per-rank request.
+func (r *Rank) newRequest(kind int) *Request {
+	req := &Request{id: r.nextReqID, kind: kind, owner: r.rank}
+	r.nextReqID++
+	return req
+}
+
+// beginCall notes a call start for the interceptor and accounting.
+func (r *Rank) beginCall(call *Call) {
+	call.Start = r.clock.Now()
+	r.calls++
+	if ic := r.world.cfg.Interceptor; ic != nil {
+		ic.BeforeCall(r, call)
+	}
+}
+
+// endCall notes a call end.
+func (r *Rank) endCall(call *Call) {
+	call.End = r.clock.Now()
+	r.commTime += call.End.Sub(call.Start)
+	if ic := r.world.cfg.Interceptor; ic != nil {
+		ic.AfterCall(r, call)
+	}
+}
+
+// abortIfFailed panics if another rank already tore the world down, so that
+// blocked ranks unwind promptly. The panic is absorbed by World.Run.
+func (r *Rank) abortIfFailed() {
+	if r.world.aborted() {
+		panic("run aborted by failure on another rank")
+	}
+}

@@ -1,0 +1,320 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"siesta/internal/netmodel"
+	"siesta/internal/perfmodel"
+	"siesta/internal/platform"
+	"siesta/internal/vtime"
+)
+
+// Config describes one simulated execution environment.
+type Config struct {
+	Platform *platform.Platform // hardware model (defaults to platform.A)
+	Impl     *netmodel.Impl     // MPI implementation model (defaults to OpenMPI)
+	Size     int                // number of ranks
+	// NoiseSigma is the relative stddev of performance-counter readings;
+	// 0 means exact counters.
+	NoiseSigma float64
+	// RunVariation is the relative stddev of run-to-run environmental
+	// variation: each rank's computation speed and the job's network
+	// weather draw deterministic multiplicative factors from Seed. Two
+	// runs with different seeds behave like two real cluster jobs; 0
+	// makes runs with equal configuration bit-identical.
+	RunVariation float64
+	// Seed decorrelates noise and jitter streams across runs.
+	Seed uint64
+	// Interceptor, when set, observes every MPI call and computation
+	// region (the PMPI hook).
+	Interceptor Interceptor
+}
+
+// World is one simulated MPI job: a set of ranks, their message router and
+// collective sequencer, and the accumulated per-rank results.
+type World struct {
+	cfg        Config
+	commJitter float64 // per-run network weather factor
+	mu         sync.Mutex
+	ranks      []*Rank
+
+	// Message routing state, all guarded by mu.
+	mailbox [][]*message    // unexpected messages per destination world rank
+	posted  [][]*postedRecv // posted receives per destination world rank
+	colls   map[collKey]*collSlot
+
+	world      *Comm
+	nextCommID int
+	nextFileID int
+
+	failed error
+}
+
+// message is one in-flight point-to-point message.
+type message struct {
+	commID    int
+	srcComm   int // source rank in the communicator
+	dstWorld  int
+	srcWorld  int
+	tag       int
+	bytes     int
+	payload   []byte
+	eager     bool
+	readyTime vtime.Time     // when the sender's data became available
+	wire      vtime.Duration // transfer duration once underway
+	sendReq   *Request       // resolves when transfer completes (rendezvous)
+	sender    *Rank          // for waking a blocked rendezvous sender
+}
+
+// postedRecv is a receive waiting for a matching message.
+type postedRecv struct {
+	commID   int
+	src      int // comm rank or AnySource
+	tag      int // or AnyTag
+	postTime vtime.Time
+	req      *Request
+	owner    *Rank
+	buf      []byte
+}
+
+type collKey struct {
+	commID int
+	seq    int
+}
+
+// collSlot synchronizes one collective operation instance.
+type collSlot struct {
+	expected int
+	arrived  int
+	maxIn    vtime.Time
+	maxBytes int
+	op       netmodel.CollOp
+	done     chan struct{}
+	outTime  vtime.Time
+	// split bookkeeping
+	splitArgs map[int][2]int // world rank -> (color, key)
+	newComms  map[int]*Comm  // world rank -> resulting comm
+	// file-open bookkeeping: the handle shared by the group
+	sharedFile *File
+	// non-blocking collective requests resolved at completion
+	waiters []slotWaiter
+}
+
+// NewWorld creates a simulated MPI job. It panics on invalid configuration
+// because a bad config is a programming error in the harness, not a runtime
+// condition.
+func NewWorld(cfg Config) *World {
+	if cfg.Platform == nil {
+		cfg.Platform = platform.A
+	}
+	if cfg.Impl == nil {
+		cfg.Impl = netmodel.OpenMPI
+	}
+	if cfg.Size <= 0 {
+		panic(fmt.Sprintf("mpi: invalid world size %d", cfg.Size))
+	}
+	if max := cfg.Platform.MaxRanks(); max > 0 && cfg.Size > max {
+		panic(fmt.Sprintf("mpi: platform %s hosts at most %d ranks, requested %d",
+			cfg.Platform.Name, max, cfg.Size))
+	}
+	w := &World{
+		cfg:        cfg,
+		commJitter: perfmodel.JitterFactor(cfg.RunVariation, cfg.Seed^0xc0111d),
+		mailbox:    make([][]*message, cfg.Size),
+		posted:     make([][]*postedRecv, cfg.Size),
+		colls:      make(map[collKey]*collSlot),
+		nextCommID: 1,
+	}
+	ranks := make([]int, cfg.Size)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	w.world = w.newComm(0, ranks)
+	w.ranks = make([]*Rank, cfg.Size)
+	for i := 0; i < cfg.Size; i++ {
+		w.ranks[i] = &Rank{
+			world:  w,
+			rank:   i,
+			noise:  perfmodel.NewNoise(cfg.NoiseSigma, cfg.Seed^uint64(i)*0x9e3779b97f4a7c15+uint64(i)),
+			jitter: perfmodel.JitterFactor(cfg.RunVariation, cfg.Seed+0x7e57*uint64(i+1)),
+			seqs:   map[int]int{},
+		}
+		w.ranks[i].cond = sync.NewCond(&w.mu)
+	}
+	return w
+}
+
+func (w *World) newComm(id int, worldRanks []int) *Comm {
+	c := &Comm{id: id, ranks: worldRanks, index: make(map[int]int, len(worldRanks))}
+	for i, wr := range worldRanks {
+		c.index[wr] = i
+	}
+	for _, wr := range worldRanks {
+		if !w.cfg.Platform.SameNode(worldRanks[0], wr) {
+			c.inter = true
+			break
+		}
+	}
+	return c
+}
+
+// Size reports the number of ranks in the world.
+func (w *World) Size() int { return w.cfg.Size }
+
+// Platform reports the hardware platform model.
+func (w *World) Platform() *platform.Platform { return w.cfg.Platform }
+
+// Impl reports the MPI implementation model.
+func (w *World) Impl() *netmodel.Impl { return w.cfg.Impl }
+
+// RankResult is one rank's outcome of a run.
+type RankResult struct {
+	Rank        int
+	FinishTime  vtime.Time         // rank-local virtual time at Finalize
+	CommTime    vtime.Duration     // virtual time spent inside MPI calls
+	Compute     perfmodel.Counters // accumulated computation counters
+	ComputeTime vtime.Duration     // virtual time spent in computation regions
+	Calls       int                // number of MPI calls issued
+}
+
+// RunResult aggregates a completed run.
+type RunResult struct {
+	Ranks    []RankResult
+	ExecTime vtime.Duration // max finish time across ranks
+}
+
+// TotalCompute sums computation counters across all ranks.
+func (r *RunResult) TotalCompute() perfmodel.Counters {
+	var c perfmodel.Counters
+	for i := range r.Ranks {
+		c.Add(r.Ranks[i].Compute)
+	}
+	return c
+}
+
+// Run executes the SPMD function on every rank and returns the per-rank
+// results. A panic on any rank aborts the run and is reported as an error.
+func (w *World) Run(app func(r *Rank)) (*RunResult, error) {
+	var wg sync.WaitGroup
+	wg.Add(w.cfg.Size)
+	for i := 0; i < w.cfg.Size; i++ {
+		go func(r *Rank) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					w.mu.Lock()
+					if w.failed == nil {
+						w.failed = fmt.Errorf("mpi: rank %d panicked: %v", r.rank, p)
+					}
+					// Wake everyone so blocked ranks can bail out.
+					for _, rr := range w.ranks {
+						rr.cond.Broadcast()
+					}
+					for _, slot := range w.colls {
+						select {
+						case <-slot.done:
+						default:
+							close(slot.done)
+						}
+					}
+					w.mu.Unlock()
+				}
+			}()
+			app(r)
+		}(w.ranks[i])
+	}
+	wg.Wait()
+	if w.failed != nil {
+		return nil, w.failed
+	}
+	res := &RunResult{Ranks: make([]RankResult, w.cfg.Size)}
+	for i, r := range w.ranks {
+		res.Ranks[i] = RankResult{
+			Rank:        i,
+			FinishTime:  r.clock.Now(),
+			CommTime:    r.commTime,
+			Compute:     r.computeTotal,
+			ComputeTime: r.computeTime,
+			Calls:       r.calls,
+		}
+		if vtime.Duration(res.Ranks[i].FinishTime) > res.ExecTime {
+			res.ExecTime = vtime.Duration(res.Ranks[i].FinishTime)
+		}
+	}
+	return res, nil
+}
+
+// aborted reports whether the run has failed; blocked ranks poll this after
+// wakeups so a panic on one rank unblocks the others.
+func (w *World) aborted() bool { return w.failed != nil }
+
+// collectiveSlot returns (creating if needed) the slot for a collective
+// instance. Caller holds w.mu.
+func (w *World) collectiveSlot(c *Comm, seq int, op netmodel.CollOp) *collSlot {
+	key := collKey{commID: c.id, seq: seq}
+	slot, ok := w.colls[key]
+	if !ok {
+		slot = &collSlot{
+			expected: len(c.ranks),
+			op:       op,
+			done:     make(chan struct{}),
+		}
+		w.colls[key] = slot
+	}
+	return slot
+}
+
+// finishCollective completes a slot once all ranks have arrived.
+// Caller holds w.mu.
+func (w *World) finishCollective(c *Comm, key collKey, slot *collSlot) {
+	cost := w.cfg.Impl.CollectiveCost(w.cfg.Platform, slot.op, slot.maxBytes, len(c.ranks), c.inter)
+	cost = vtime.Duration(float64(cost) * w.commJitter)
+	slot.outTime = slot.maxIn.Add(cost)
+	if slot.splitArgs != nil {
+		w.resolveSplit(c, slot)
+	}
+	for _, sw := range slot.waiters {
+		sw.req.done = true
+		sw.req.time = float64(slot.outTime)
+		sw.rank.cond.Broadcast()
+	}
+	delete(w.colls, key)
+	close(slot.done)
+}
+
+// resolveSplit groups split participants by color, orders them by key then
+// world rank, and assigns new communicator ids deterministically in
+// ascending color order. Caller holds w.mu.
+func (w *World) resolveSplit(c *Comm, slot *collSlot) {
+	byColor := map[int][]int{} // color -> world ranks
+	var colors []int
+	for wr, ck := range slot.splitArgs {
+		color := ck[0]
+		if color < 0 { // MPI_UNDEFINED: rank gets no communicator
+			continue
+		}
+		if _, ok := byColor[color]; !ok {
+			colors = append(colors, color)
+		}
+		byColor[color] = append(byColor[color], wr)
+	}
+	sort.Ints(colors)
+	slot.newComms = map[int]*Comm{}
+	for _, color := range colors {
+		members := byColor[color]
+		sort.Slice(members, func(i, j int) bool {
+			ki, kj := slot.splitArgs[members[i]][1], slot.splitArgs[members[j]][1]
+			if ki != kj {
+				return ki < kj
+			}
+			return members[i] < members[j]
+		})
+		nc := w.newComm(w.nextCommID, members)
+		w.nextCommID++
+		for _, wr := range members {
+			slot.newComms[wr] = nc
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package netmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"siesta/internal/platform"
+)
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"openmpi", "mpich", "mvapich"} {
+		im, err := ByName(name)
+		if err != nil || im.Name != name {
+			t.Fatalf("ByName(%q) = %v, %v", name, im, err)
+		}
+	}
+	if _, err := ByName("lam"); err == nil {
+		t.Fatal("unknown implementation should error")
+	}
+}
+
+func TestWireTimeMonotoneInSize(t *testing.T) {
+	f := func(a, b uint16) bool {
+		n1, n2 := int(a), int(b)
+		if n1 > n2 {
+			n1, n2 = n2, n1
+		}
+		t1 := OpenMPI.WireTime(platform.A, 0, 1, n1)
+		t2 := OpenMPI.WireTime(platform.A, 0, 1, n2)
+		return t1 <= t2+1e-18
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntraVsInterNode(t *testing.T) {
+	// Ranks 0 and 1 share a node on A; ranks 0 and 40 do not.
+	intra := OpenMPI.WireTime(platform.A, 0, 1, 1024)
+	inter := OpenMPI.WireTime(platform.A, 0, 40, 1024)
+	if intra >= inter {
+		t.Errorf("intra-node (%v) should beat inter-node (%v)", intra, inter)
+	}
+}
+
+func TestSingleNodePlatformUsesSharedMemory(t *testing.T) {
+	// Platform C has no network; any pair must price as shared memory.
+	tc := OpenMPI.WireTime(platform.C, 0, 27, 1024)
+	ts := OpenMPI.WireTime(platform.C, 0, 1, 1024)
+	if tc != ts {
+		t.Errorf("single-node platform should use one transport: %v vs %v", tc, ts)
+	}
+}
+
+func TestEagerThresholds(t *testing.T) {
+	if !OpenMPI.Eager(4096) || OpenMPI.Eager(4097) {
+		t.Error("openmpi eager threshold wrong")
+	}
+	// Thresholds must differ across implementations for Fig. 7 to bite.
+	if OpenMPI.EagerThreshold == MPICH.EagerThreshold &&
+		MPICH.EagerThreshold == MVAPICH.EagerThreshold {
+		t.Error("implementations should have distinct eager thresholds")
+	}
+}
+
+func TestRendezvousPaysHandshake(t *testing.T) {
+	n := OpenMPI.EagerThreshold
+	eager := OpenMPI.WireTime(platform.A, 0, 40, n)
+	rndv := OpenMPI.WireTime(platform.A, 0, 40, n+1)
+	perByte := eager.Seconds() / float64(n)
+	if (rndv - eager).Seconds() <= perByte { // more than one byte's worth of extra cost
+		t.Errorf("rendezvous (%v) should cost visibly more than eager (%v)", rndv, eager)
+	}
+}
+
+func TestImplementationsPriceDifferently(t *testing.T) {
+	// The Fig. 7 experiment requires the same traffic to cost differently
+	// under different implementations.
+	msg := 64 * 1024
+	a := OpenMPI.WireTime(platform.A, 0, 40, msg)
+	b := MPICH.WireTime(platform.A, 0, 40, msg)
+	c := MVAPICH.WireTime(platform.A, 0, 40, msg)
+	if a == b || b == c || a == c {
+		t.Errorf("implementations price identically: %v %v %v", a, b, c)
+	}
+}
+
+func TestCollectiveCostGrowsWithRanks(t *testing.T) {
+	for _, op := range []CollOp{Barrier, Bcast, Reduce, Allreduce, Gather, Scatter, Allgather, Alltoall, Scan, ReduceScatter} {
+		c8 := OpenMPI.CollectiveCost(platform.A, op, 1024, 8, true)
+		c64 := OpenMPI.CollectiveCost(platform.A, op, 1024, 64, true)
+		if c64 <= c8 {
+			t.Errorf("%v: cost at 64 ranks (%v) should exceed 8 ranks (%v)", op, c64, c8)
+		}
+	}
+}
+
+func TestCollectiveCostGrowsWithBytes(t *testing.T) {
+	for _, op := range []CollOp{Bcast, Reduce, Allreduce, Allgather, Alltoall, Scan, ReduceScatter} {
+		small := OpenMPI.CollectiveCost(platform.A, op, 64, 16, true)
+		big := OpenMPI.CollectiveCost(platform.A, op, 1<<20, 16, true)
+		if big <= small {
+			t.Errorf("%v: cost should grow with payload", op)
+		}
+	}
+}
+
+func TestSingleRankCollectiveIsOverheadOnly(t *testing.T) {
+	got := OpenMPI.CollectiveCost(platform.A, Allreduce, 1<<20, 1, false)
+	if got != OpenMPI.CallOverhead() {
+		t.Errorf("1-rank collective = %v, want pure call overhead %v", got, OpenMPI.CallOverhead())
+	}
+}
+
+func TestSendLocalCostEagerVsRendezvous(t *testing.T) {
+	eager := OpenMPI.SendLocalCost(platform.A, 0, 1, 1024)
+	rndv := OpenMPI.SendLocalCost(platform.A, 0, 1, 1<<20)
+	if eager <= OpenMPI.CallOverhead() {
+		t.Error("eager send should pay a copy beyond overhead")
+	}
+	if rndv != OpenMPI.CallOverhead() {
+		t.Error("rendezvous send local cost should be pure overhead")
+	}
+}
+
+func TestCollOpString(t *testing.T) {
+	if Barrier.String() != "Barrier" || Alltoall.String() != "Alltoall" ||
+		Scan.String() != "Scan" || ReduceScatter.String() != "ReduceScatter" {
+		t.Error("CollOp names wrong")
+	}
+	if CollOp(99).String() == "" {
+		t.Error("unknown op should still format")
+	}
+}

@@ -1,0 +1,94 @@
+package perfmodel
+
+import (
+	"math"
+
+	"siesta/internal/platform"
+)
+
+// Noise models the measurement imperfection of real hardware counters: the
+// paper notes "the statistics from the performance counter are noisy" and
+// clusters similar computation events for exactly that reason. Noise is a
+// deterministic hash-based multiplicative jitter so runs are reproducible.
+type Noise struct {
+	// Sigma is the relative standard deviation of counter readings.
+	// Real PAPI counter noise is on the order of a fraction of a percent
+	// for stable kernels; 0 disables noise entirely.
+	Sigma float64
+	// Seed decorrelates independent measurement campaigns.
+	Seed uint64
+
+	state uint64 // sample counter, advances per reading
+}
+
+// NewNoise returns a noise source with the given relative sigma and seed.
+func NewNoise(sigma float64, seed uint64) *Noise {
+	return &Noise{Sigma: sigma, Seed: seed}
+}
+
+// splitmix64 is the standard 64-bit mixing function; it gives us a
+// high-quality deterministic stream without importing math/rand.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// gauss produces a standard normal deviate from two uniform hashes using the
+// Box–Muller transform.
+func (n *Noise) gauss() float64 {
+	n.state++
+	u1 := float64(splitmix64(n.Seed^n.state*0x9e3779b97f4a7c15)>>11) / float64(1<<53)
+	u2 := float64(splitmix64(n.Seed+n.state*0x2545f4914f6cdd1d)>>11) / float64(1<<53)
+	if u1 < 1e-300 {
+		u1 = 1e-300
+	}
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Perturb applies multiplicative jitter to every counter. INS is left exact
+// (retired instruction counts are architecturally precise); the
+// microarchitectural counters (CYC, L1_DCM, MSP...) jitter independently.
+func (n *Noise) Perturb(c Counters) Counters {
+	if n == nil || n.Sigma == 0 {
+		return c
+	}
+	for i := Metric(0); i < NumMetrics; i++ {
+		if i == INS {
+			continue
+		}
+		f := 1 + n.Sigma*n.gauss()
+		if f < 0.5 {
+			f = 0.5 // clamp pathological tails
+		}
+		c[i] *= f
+	}
+	return c
+}
+
+// MeasureNoisy measures the kernel and perturbs the reading. A nil noise
+// source yields exact measurements.
+func MeasureNoisy(p *platform.Platform, k Kernel, n *Noise) Counters {
+	return n.Perturb(Measure(p, k))
+}
+
+// JitterFactor derives a deterministic multiplicative factor ≈ N(1, sigma)
+// from a seed, clamped to [0.5, 1.5]. The runtime uses it to model run-to-
+// run environmental variation (DVFS wobble, network weather): two runs with
+// different seeds execute the same program at slightly different speeds,
+// exactly like two submissions of the same job on a real cluster.
+func JitterFactor(sigma float64, seed uint64) float64 {
+	if sigma == 0 {
+		return 1
+	}
+	n := &Noise{Sigma: sigma, Seed: seed}
+	f := 1 + sigma*n.gauss()
+	if f < 0.5 {
+		f = 0.5
+	}
+	if f > 1.5 {
+		f = 1.5
+	}
+	return f
+}

@@ -1,0 +1,171 @@
+// Package perfmodel is the simulation's stand-in for PAPI and the hardware
+// it reads. It maps abstract operation mixes (Kernel) executed on a given
+// platform to the six hardware performance counters of the paper's Table 1
+// plus a cycle count, and adds deterministic seeded measurement noise so the
+// pipeline has to cope with the same imperfection real counters exhibit.
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+
+	"siesta/internal/platform"
+)
+
+// Metric indexes the six performance metrics of Table 1.
+type Metric int
+
+// The six metrics, in the paper's order.
+const (
+	INS   Metric = iota // instructions
+	CYC                 // cycles
+	LST                 // load/store instructions
+	L1DCM               // L1 data cache misses
+	BRCN                // conditional branches
+	MSP                 // mispredicted conditional branches
+	NumMetrics
+)
+
+// Names of the metrics, indexable by Metric.
+var metricNames = [NumMetrics]string{"INS", "CYC", "LST", "L1_DCM", "BR_CN", "MSP"}
+
+func (m Metric) String() string {
+	if m < 0 || m >= NumMetrics {
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+	return metricNames[m]
+}
+
+// Counters is one sample of the six hardware counters.
+type Counters [NumMetrics]float64
+
+// Add accumulates o into c.
+func (c *Counters) Add(o Counters) {
+	for i := range c {
+		c[i] += o[i]
+	}
+}
+
+// Scale multiplies every counter by f and returns the result.
+func (c Counters) Scale(f float64) Counters {
+	for i := range c {
+		c[i] *= f
+	}
+	return c
+}
+
+// IPC reports instructions per cycle.
+func (c Counters) IPC() float64 {
+	if c[CYC] == 0 {
+		return 0
+	}
+	return c[INS] / c[CYC]
+}
+
+// CMR reports the cache miss rate (L1 data misses per load/store).
+func (c Counters) CMR() float64 {
+	if c[LST] == 0 {
+		return 0
+	}
+	return c[L1DCM] / c[LST]
+}
+
+// BMR reports the branch misprediction rate.
+func (c Counters) BMR() float64 {
+	if c[BRCN] == 0 {
+		return 0
+	}
+	return c[MSP] / c[BRCN]
+}
+
+// RelError reports the mean relative error of c against the reference ref
+// across the six metrics, skipping metrics whose reference value is zero.
+func (c Counters) RelError(ref Counters) float64 {
+	var sum float64
+	var n int
+	for i := range c {
+		if ref[i] == 0 {
+			continue
+		}
+		sum += math.Abs(c[i]-ref[i]) / math.Abs(ref[i])
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Kernel is an abstract operation mix describing one computation region.
+// Applications (package apps) and the predefined proxy code blocks (package
+// blocks) both describe their computation this way, so original programs and
+// synthesized proxies are measured by the exact same model — cross-platform
+// behaviour is emergent rather than baked in.
+type Kernel struct {
+	IntOps       int64 // simple integer ALU operations
+	FPOps        int64 // pipelined floating-point operations (add/mul)
+	DivOps       int64 // long-latency divisions, serialized
+	Loads        int64 // load instructions
+	Stores       int64 // store instructions
+	Branches     int64 // well-structured conditional branches (loop exits &c.)
+	RandBranches int64 // data-dependent branches, ~50% mispredicted
+	MissLines    int64 // cache-line touches guaranteed to miss in L1D
+}
+
+// Add returns the element-wise sum of k and o.
+func (k Kernel) Add(o Kernel) Kernel {
+	return Kernel{
+		IntOps:       k.IntOps + o.IntOps,
+		FPOps:        k.FPOps + o.FPOps,
+		DivOps:       k.DivOps + o.DivOps,
+		Loads:        k.Loads + o.Loads,
+		Stores:       k.Stores + o.Stores,
+		Branches:     k.Branches + o.Branches,
+		RandBranches: k.RandBranches + o.RandBranches,
+		MissLines:    k.MissLines + o.MissLines,
+	}
+}
+
+// ScaleInt returns k with every field multiplied by n.
+func (k Kernel) ScaleInt(n int64) Kernel {
+	return Kernel{
+		IntOps:       k.IntOps * n,
+		FPOps:        k.FPOps * n,
+		DivOps:       k.DivOps * n,
+		Loads:        k.Loads * n,
+		Stores:       k.Stores * n,
+		Branches:     k.Branches * n,
+		RandBranches: k.RandBranches * n,
+		MissLines:    k.MissLines * n,
+	}
+}
+
+// IsZero reports whether the kernel performs no work.
+func (k Kernel) IsZero() bool { return k == Kernel{} }
+
+// Measure runs the kernel on the platform and returns exact (noise-free)
+// counter values. The cycle model is an additive bottleneck model: issue-
+// limited base cycles plus serialized division latency, exposed memory
+// latency after memory-level-parallelism overlap, and misprediction bubbles.
+func Measure(p *platform.Platform, k Kernel) Counters {
+	var c Counters
+	ins := float64(k.IntOps + k.FPOps + k.DivOps + k.Loads + k.Stores + k.Branches + k.RandBranches)
+	c[INS] = ins
+	c[LST] = float64(k.Loads + k.Stores)
+	c[L1DCM] = float64(k.MissLines)
+	c[BRCN] = float64(k.Branches + k.RandBranches)
+	msp := float64(k.Branches)*(1-p.PredictorHitRate) + float64(k.RandBranches)*0.5
+	c[MSP] = msp
+
+	base := ins / p.IssueWidth
+	div := float64(k.DivOps) * p.DivLatency
+	mem := float64(k.MissLines) * p.L1MissPenalty * (1 - p.MLPOverlap)
+	bra := msp * p.MispredictCost
+	c[CYC] = base + div + mem + bra
+	return c
+}
+
+// Seconds reports the wall-clock seconds the kernel takes on the platform.
+func Seconds(p *platform.Platform, k Kernel) float64 {
+	return p.CyclesToSeconds(Measure(p, k)[CYC])
+}

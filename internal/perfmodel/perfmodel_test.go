@@ -1,0 +1,236 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"siesta/internal/platform"
+)
+
+func TestMeasureBasicIdentities(t *testing.T) {
+	k := Kernel{IntOps: 100, FPOps: 50, DivOps: 10, Loads: 40, Stores: 20,
+		Branches: 30, RandBranches: 8, MissLines: 5}
+	c := Measure(platform.A, k)
+	wantINS := float64(100 + 50 + 10 + 40 + 20 + 30 + 8)
+	if c[INS] != wantINS {
+		t.Errorf("INS = %v, want %v", c[INS], wantINS)
+	}
+	if c[LST] != 60 {
+		t.Errorf("LST = %v, want 60", c[LST])
+	}
+	if c[L1DCM] != 5 {
+		t.Errorf("L1_DCM = %v, want 5", c[L1DCM])
+	}
+	if c[BRCN] != 38 {
+		t.Errorf("BR_CN = %v, want 38", c[BRCN])
+	}
+	if c[MSP] <= 0 || c[MSP] > c[BRCN] {
+		t.Errorf("MSP = %v out of range (BR_CN=%v)", c[MSP], c[BRCN])
+	}
+	if c[CYC] < c[INS]/platform.A.IssueWidth {
+		t.Errorf("CYC = %v below issue-limited floor", c[CYC])
+	}
+}
+
+func TestMeasureZeroKernel(t *testing.T) {
+	c := Measure(platform.A, Kernel{})
+	for i := Metric(0); i < NumMetrics; i++ {
+		if c[i] != 0 {
+			t.Errorf("%v = %v for empty kernel", i, c[i])
+		}
+	}
+}
+
+func TestDivisionsSlowThingsDown(t *testing.T) {
+	add := Kernel{IntOps: 1000}
+	div := Kernel{DivOps: 1000}
+	ca, cd := Measure(platform.A, add), Measure(platform.A, div)
+	if cd[CYC] <= ca[CYC] {
+		t.Errorf("divisions (%v cyc) should cost more than adds (%v cyc)", cd[CYC], ca[CYC])
+	}
+	if cd.IPC() >= ca.IPC() {
+		t.Errorf("division IPC %v should be below add IPC %v", cd.IPC(), ca.IPC())
+	}
+}
+
+func TestCacheMissesSlowThingsDown(t *testing.T) {
+	hit := Kernel{Loads: 1000, IntOps: 1000}
+	miss := Kernel{Loads: 1000, IntOps: 1000, MissLines: 1000}
+	if Measure(platform.A, miss)[CYC] <= Measure(platform.A, hit)[CYC] {
+		t.Error("misses should add cycles")
+	}
+}
+
+func TestPlatformSensitivity(t *testing.T) {
+	// The same kernel must take longer (in seconds) on the Xeon Phi (B)
+	// than on the modern Xeon (A) — the basis of the Fig. 9 experiment.
+	k := Kernel{IntOps: 1e6, FPOps: 5e5, Loads: 4e5, Stores: 2e5, Branches: 1e5, MissLines: 1e4}
+	ta, tb := Seconds(platform.A, k), Seconds(platform.B, k)
+	if tb <= ta {
+		t.Errorf("kernel on B (%v s) should be slower than on A (%v s)", tb, ta)
+	}
+}
+
+func TestKernelAddScale(t *testing.T) {
+	a := Kernel{IntOps: 1, FPOps: 2, DivOps: 3, Loads: 4, Stores: 5, Branches: 6, RandBranches: 7, MissLines: 8}
+	if got := a.Add(a); got != a.ScaleInt(2) {
+		t.Fatalf("Add/ScaleInt mismatch: %+v vs %+v", got, a.ScaleInt(2))
+	}
+	if !(Kernel{}).IsZero() || a.IsZero() {
+		t.Fatal("IsZero is wrong")
+	}
+}
+
+func TestMeasureLinearity(t *testing.T) {
+	// Property: Measure is linear in the kernel — the foundation of the
+	// paper's "linear combination of code blocks" formulation.
+	f := func(i1, i2, l1, l2, s1, s2 uint16) bool {
+		k1 := Kernel{IntOps: int64(i1), Loads: int64(l1), Stores: int64(s1)}
+		k2 := Kernel{IntOps: int64(i2), Loads: int64(l2), Stores: int64(s2)}
+		c1, c2 := Measure(platform.A, k1), Measure(platform.A, k2)
+		sum := Measure(platform.A, k1.Add(k2))
+		for m := Metric(0); m < NumMetrics; m++ {
+			if math.Abs(sum[m]-(c1[m]+c2[m])) > 1e-6*(1+math.Abs(sum[m])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRates(t *testing.T) {
+	c := Counters{}
+	c[INS], c[CYC], c[LST], c[L1DCM], c[BRCN], c[MSP] = 100, 50, 40, 4, 20, 2
+	if got := c.IPC(); got != 2 {
+		t.Errorf("IPC = %v", got)
+	}
+	if got := c.CMR(); got != 0.1 {
+		t.Errorf("CMR = %v", got)
+	}
+	if got := c.BMR(); got != 0.1 {
+		t.Errorf("BMR = %v", got)
+	}
+	var zero Counters
+	if zero.IPC() != 0 || zero.CMR() != 0 || zero.BMR() != 0 {
+		t.Error("zero counters should give zero rates, not NaN")
+	}
+}
+
+func TestRelError(t *testing.T) {
+	ref := Counters{}
+	ref[INS], ref[CYC] = 100, 200
+	c := ref
+	if e := c.RelError(ref); e != 0 {
+		t.Errorf("self error = %v", e)
+	}
+	c[INS] = 110 // 10% off on one of two nonzero metrics
+	if e := c.RelError(ref); math.Abs(e-0.05) > 1e-12 {
+		t.Errorf("RelError = %v, want 0.05", e)
+	}
+	var zero Counters
+	if e := c.RelError(zero); e != 0 {
+		t.Errorf("all-zero reference should give 0, got %v", e)
+	}
+}
+
+func TestCountersAddScale(t *testing.T) {
+	a := Counters{1, 2, 3, 4, 5, 6}
+	b := a
+	b.Add(a)
+	if b != a.Scale(2) {
+		t.Fatalf("Add/Scale mismatch: %v vs %v", b, a.Scale(2))
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	want := []string{"INS", "CYC", "LST", "L1_DCM", "BR_CN", "MSP"}
+	for i, w := range want {
+		if Metric(i).String() != w {
+			t.Errorf("Metric(%d) = %q, want %q", i, Metric(i), w)
+		}
+	}
+	if Metric(99).String() == "" {
+		t.Error("out-of-range metric should still format")
+	}
+}
+
+func TestNoiseDeterminism(t *testing.T) {
+	k := Kernel{IntOps: 1e6, Loads: 3e5, Stores: 1e5, Branches: 1e5, MissLines: 2e3}
+	n1 := NewNoise(0.01, 42)
+	n2 := NewNoise(0.01, 42)
+	c1 := MeasureNoisy(platform.A, k, n1)
+	c2 := MeasureNoisy(platform.A, k, n2)
+	if c1 != c2 {
+		t.Fatal("same seed must give identical noisy measurements")
+	}
+	n3 := NewNoise(0.01, 43)
+	if c3 := MeasureNoisy(platform.A, k, n3); c3 == c1 {
+		t.Fatal("different seeds should perturb differently")
+	}
+}
+
+func TestNoiseLeavesINSExact(t *testing.T) {
+	k := Kernel{IntOps: 1e6, Loads: 3e5}
+	exact := Measure(platform.A, k)
+	noisy := MeasureNoisy(platform.A, k, NewNoise(0.05, 7))
+	if noisy[INS] != exact[INS] {
+		t.Error("INS should be architecturally exact")
+	}
+	if noisy[CYC] == exact[CYC] {
+		t.Error("CYC should jitter under noise")
+	}
+}
+
+func TestNoiseMagnitude(t *testing.T) {
+	// Average relative deviation should be on the order of sigma.
+	k := Kernel{IntOps: 1e6, Loads: 3e5, Stores: 1e5, Branches: 5e4, MissLines: 1e3}
+	exact := Measure(platform.A, k)
+	n := NewNoise(0.01, 99)
+	var dev float64
+	const reps = 200
+	for i := 0; i < reps; i++ {
+		c := MeasureNoisy(platform.A, k, n)
+		dev += math.Abs(c[CYC]-exact[CYC]) / exact[CYC]
+	}
+	dev /= reps
+	if dev < 0.001 || dev > 0.05 {
+		t.Errorf("mean CYC deviation %v, want around 0.008 for sigma=0.01", dev)
+	}
+}
+
+func TestNilNoiseIsExact(t *testing.T) {
+	k := Kernel{IntOps: 12345, Loads: 678}
+	if MeasureNoisy(platform.A, k, nil) != Measure(platform.A, k) {
+		t.Fatal("nil noise must measure exactly")
+	}
+}
+
+func TestJitterFactor(t *testing.T) {
+	if JitterFactor(0, 42) != 1 {
+		t.Error("zero sigma should be exactly 1")
+	}
+	if JitterFactor(0.02, 1) != JitterFactor(0.02, 1) {
+		t.Error("jitter must be deterministic per seed")
+	}
+	if JitterFactor(0.02, 1) == JitterFactor(0.02, 2) {
+		t.Error("different seeds should jitter differently")
+	}
+	// Clamped and centred: across many seeds the mean is near 1 and every
+	// value stays in [0.5, 1.5].
+	sum := 0.0
+	const n = 2000
+	for seed := uint64(0); seed < n; seed++ {
+		f := JitterFactor(0.05, seed)
+		if f < 0.5 || f > 1.5 {
+			t.Fatalf("jitter %v out of clamp range", f)
+		}
+		sum += f
+	}
+	if mean := sum / n; mean < 0.99 || mean > 1.01 {
+		t.Errorf("jitter mean %v should be ~1", mean)
+	}
+}

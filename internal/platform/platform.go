@@ -1,0 +1,129 @@
+// Package platform models the hardware platforms of the paper's Table 2 as
+// analytic microarchitecture descriptions. A Platform converts abstract
+// operation mixes (see package perfmodel) into hardware-counter values and
+// cycle counts, playing the role that the physical Xeon/Xeon Phi nodes play
+// in the paper. Platforms are immutable after construction.
+package platform
+
+import "fmt"
+
+// Platform describes one hardware platform: the externally visible
+// specification of Table 2 plus the microarchitectural cost parameters the
+// performance model needs.
+type Platform struct {
+	Name         string  // "A", "B", "C"
+	Processor    string  // marketing name, for reports
+	CoresPerNode int     // ranks placed per node before spilling to the next
+	MemoryGB     int     // per node, informational
+	L1KB         int     // L1 data cache size
+	L2KB         int     // L2 cache size
+	CachelineB   int     // cache line size in bytes
+	FreqGHz      float64 // core clock
+	Network      string  // interconnect name; "" means single-node only
+
+	// Microarchitectural cost parameters (per-core).
+	IssueWidth       float64 // sustainable instructions per cycle ceiling
+	DivLatency       float64 // cycles per (fp or integer) division, serialized
+	L1MissPenalty    float64 // average cycles per L1D miss after overlap
+	MLPOverlap       float64 // fraction of miss latency hidden by overlap [0,1)
+	MispredictCost   float64 // cycles per mispredicted branch
+	PredictorHitRate float64 // prediction accuracy for well-structured branches
+}
+
+// NodeOf reports the node index hosting the given rank under block placement.
+func (p *Platform) NodeOf(rank int) int {
+	if p.CoresPerNode <= 0 {
+		return 0
+	}
+	return rank / p.CoresPerNode
+}
+
+// SameNode reports whether two ranks are placed on the same node.
+func (p *Platform) SameNode(a, b int) bool { return p.NodeOf(a) == p.NodeOf(b) }
+
+// MaxRanks reports how many ranks the platform can host; 0 means unlimited
+// (multi-node cluster). Platform C is a single server.
+func (p *Platform) MaxRanks() int {
+	if p.Network == "" {
+		return p.CoresPerNode
+	}
+	return 0
+}
+
+// Validate checks internal consistency of the parameters.
+func (p *Platform) Validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("platform: missing name")
+	case p.FreqGHz <= 0:
+		return fmt.Errorf("platform %s: frequency must be positive", p.Name)
+	case p.CoresPerNode <= 0:
+		return fmt.Errorf("platform %s: cores per node must be positive", p.Name)
+	case p.L1KB <= 0 || p.CachelineB <= 0:
+		return fmt.Errorf("platform %s: cache geometry must be positive", p.Name)
+	case p.IssueWidth <= 0:
+		return fmt.Errorf("platform %s: issue width must be positive", p.Name)
+	case p.MLPOverlap < 0 || p.MLPOverlap >= 1:
+		return fmt.Errorf("platform %s: MLP overlap must be in [0,1)", p.Name)
+	case p.PredictorHitRate < 0 || p.PredictorHitRate > 1:
+		return fmt.Errorf("platform %s: predictor hit rate must be in [0,1]", p.Name)
+	}
+	return nil
+}
+
+// CyclesToSeconds converts a cycle count on this platform to seconds.
+func (p *Platform) CyclesToSeconds(cycles float64) float64 {
+	return cycles / (p.FreqGHz * 1e9)
+}
+
+// The three platforms of Table 2. The externally specified rows (cores,
+// memory, caches, frequency, network) match the paper; the microarchitectural
+// cost parameters are calibrated so that the platforms differ the way the
+// paper's results need them to: B (Xeon Phi) is a low-frequency, narrow,
+// high-miss-penalty machine, A and C are conventional Xeons of similar
+// character with A slightly newer and faster.
+var (
+	// A models the Intel Xeon Scale 6248 cluster (Mellanox HDR).
+	A = &Platform{
+		Name: "A", Processor: "Intel Xeon Scale 6248",
+		CoresPerNode: 40, MemoryGB: 192,
+		L1KB: 32, L2KB: 1024, CachelineB: 64,
+		FreqGHz: 2.5, Network: "Mellanox HDR",
+		IssueWidth: 4.0, DivLatency: 18,
+		L1MissPenalty: 14, MLPOverlap: 0.55,
+		MispredictCost: 16, PredictorHitRate: 0.97,
+	}
+	// B models the Intel Xeon Phi 7210 cluster (Intel OPA).
+	B = &Platform{
+		Name: "B", Processor: "Intel Xeon Phi 7210",
+		CoresPerNode: 64, MemoryGB: 96,
+		L1KB: 32, L2KB: 256, CachelineB: 64,
+		FreqGHz: 1.3, Network: "Intel OPA",
+		IssueWidth: 2.0, DivLatency: 32,
+		L1MissPenalty: 30, MLPOverlap: 0.35,
+		MispredictCost: 12, PredictorHitRate: 0.93,
+	}
+	// C models the single-node Intel Xeon E5-2680 v4 server (no network).
+	C = &Platform{
+		Name: "C", Processor: "Intel Xeon E5-2680 V4",
+		CoresPerNode: 28, MemoryGB: 128,
+		L1KB: 32, L2KB: 256, CachelineB: 64,
+		FreqGHz: 2.4, Network: "",
+		IssueWidth: 3.6, DivLatency: 20,
+		L1MissPenalty: 16, MLPOverlap: 0.50,
+		MispredictCost: 15, PredictorHitRate: 0.96,
+	}
+)
+
+// All lists the built-in platforms.
+var All = []*Platform{A, B, C}
+
+// ByName returns the built-in platform with the given name.
+func ByName(name string) (*Platform, error) {
+	for _, p := range All {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("platform: unknown platform %q", name)
+}

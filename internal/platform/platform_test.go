@@ -1,0 +1,79 @@
+package platform
+
+import "testing"
+
+func TestBuiltinsValidate(t *testing.T) {
+	for _, p := range All {
+		if err := p.Validate(); err != nil {
+			t.Errorf("platform %s invalid: %v", p.Name, err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"A", "B", "C"} {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if p.Name != name {
+			t.Fatalf("ByName(%q) = %s", name, p.Name)
+		}
+	}
+	if _, err := ByName("Z"); err == nil {
+		t.Fatal("ByName(Z) should fail")
+	}
+}
+
+func TestNodePlacement(t *testing.T) {
+	if A.NodeOf(0) != 0 || A.NodeOf(39) != 0 || A.NodeOf(40) != 1 {
+		t.Fatal("block placement on A is wrong")
+	}
+	if !A.SameNode(0, 39) || A.SameNode(39, 40) {
+		t.Fatal("SameNode on A is wrong")
+	}
+}
+
+func TestMaxRanks(t *testing.T) {
+	if A.MaxRanks() != 0 {
+		t.Errorf("cluster A should be unlimited, got %d", A.MaxRanks())
+	}
+	if C.MaxRanks() != C.CoresPerNode {
+		t.Errorf("single-node C should cap at %d, got %d", C.CoresPerNode, C.MaxRanks())
+	}
+}
+
+func TestCyclesToSeconds(t *testing.T) {
+	got := A.CyclesToSeconds(2.5e9)
+	if got != 1.0 {
+		t.Fatalf("2.5G cycles at 2.5GHz = %v s, want 1", got)
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	bad := []*Platform{
+		{},
+		{Name: "X"},
+		{Name: "X", FreqGHz: 1},
+		{Name: "X", FreqGHz: 1, CoresPerNode: 2},
+		{Name: "X", FreqGHz: 1, CoresPerNode: 2, L1KB: 32, CachelineB: 64},
+		{Name: "X", FreqGHz: 1, CoresPerNode: 2, L1KB: 32, CachelineB: 64, IssueWidth: 2, MLPOverlap: 1.5},
+		{Name: "X", FreqGHz: 1, CoresPerNode: 2, L1KB: 32, CachelineB: 64, IssueWidth: 2, PredictorHitRate: 2},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad platform %d validated", i)
+		}
+	}
+}
+
+func TestPlatformsDiffer(t *testing.T) {
+	// The portability experiments rely on B being a materially slower,
+	// narrower machine than A.
+	if B.FreqGHz >= A.FreqGHz {
+		t.Error("B should be slower-clocked than A")
+	}
+	if B.IssueWidth >= A.IssueWidth {
+		t.Error("B should be narrower than A")
+	}
+}

@@ -1,0 +1,104 @@
+// Package proxy executes generated proxy-apps on the simulated MPI runtime.
+// It is the in-simulation equivalent of compiling and running the generated
+// C program: the merged grammar is walked per rank, communication terminals
+// replay the recorded MPI calls (with pool-renamed handles and decoded
+// relative ranks), and computation terminals replay their searched block
+// combinations — or recorded sleep times, or nothing, for the ablation and
+// baseline modes.
+package proxy
+
+import (
+	"fmt"
+
+	"siesta/internal/codegen"
+	"siesta/internal/merge"
+	"siesta/internal/mpi"
+	"siesta/internal/vtime"
+)
+
+// Mode selects how computation events are replayed.
+type Mode int
+
+const (
+	// ComputeBlocks replays the searched block combinations (Siesta).
+	ComputeBlocks Mode = iota
+	// SleepReplay advances the clock by the recorded mean duration — the
+	// platform-insensitive strategy of sleep-based generators.
+	SleepReplay
+	// NoCompute skips computation events entirely (communication-only
+	// replay, as Pilgrim does).
+	NoCompute
+)
+
+// App is a runnable proxy application.
+type App struct {
+	Gen  *codegen.Generated
+	Mode Mode
+}
+
+// New returns a proxy app in ComputeBlocks mode.
+func New(gen *codegen.Generated) *App { return &App{Gen: gen} }
+
+// RankFunc returns the SPMD function that replays the proxy on each rank.
+func (a *App) RankFunc() func(*mpi.Rank) {
+	prog := a.Gen.Prog
+	return func(r *mpi.Rank) {
+		rp := NewReplayer(r.World())
+		var main *merge.Main
+		for i := range prog.Mains {
+			if prog.Mains[i].Ranks.Contains(r.Rank()) {
+				main = &prog.Mains[i]
+				break
+			}
+		}
+		if main == nil {
+			panic(fmt.Sprintf("proxy: rank %d has no main rule", r.Rank()))
+		}
+		for _, ms := range main.Body {
+			if ms.Ranks.Contains(r.Rank()) {
+				a.execSym(r, rp, ms.Sym)
+			}
+		}
+	}
+}
+
+// Run executes the proxy in the given environment. The config's Size is
+// forced to the program's rank count.
+func (a *App) Run(cfg mpi.Config) (*mpi.RunResult, error) {
+	cfg.Size = a.Gen.Prog.NumRanks
+	w := mpi.NewWorld(cfg)
+	res, err := w.Run(a.RankFunc())
+	if err != nil {
+		return nil, fmt.Errorf("proxy: replay failed: %w", err)
+	}
+	return res, nil
+}
+
+// ReportedTime converts a proxy execution time into the reported estimate:
+// scaled proxies multiply back by the scaling factor (paper §3.4.1).
+func (a *App) ReportedTime(res *mpi.RunResult) vtime.Duration {
+	return vtime.Duration(float64(res.ExecTime) * a.Gen.Scale)
+}
+
+func (a *App) execSym(r *mpi.Rank, rp *Replayer, s merge.Sym) {
+	for c := 0; c < s.Count; c++ {
+		if s.IsRule {
+			for _, inner := range a.Gen.Prog.Rules[s.Ref] {
+				a.execSym(r, rp, inner)
+			}
+			continue
+		}
+		rec := a.Gen.Prog.Terminals[s.Ref]
+		if rec.IsCompute() {
+			switch a.Mode {
+			case ComputeBlocks:
+				r.Compute(a.Gen.Combos[rec.ComputeCluster].Kernel(r.Platform()))
+			case SleepReplay:
+				r.Elapse(vtime.Duration(a.Gen.SleepTimes[rec.ComputeCluster]))
+			case NoCompute:
+			}
+			continue
+		}
+		rp.ExecComm(r, rec)
+	}
+}

@@ -1,0 +1,206 @@
+package proxy
+
+import (
+	"testing"
+
+	"siesta/internal/apps"
+	"siesta/internal/codegen"
+	"siesta/internal/merge"
+	"siesta/internal/mpi"
+	"siesta/internal/netmodel"
+	"siesta/internal/platform"
+	"siesta/internal/trace"
+)
+
+// synth traces an app and generates a proxy for it.
+func synth(t *testing.T, name string, ranks, iters int, scale float64) (*codegen.Generated, *mpi.RunResult, *trace.Trace) {
+	t.Helper()
+	spec, err := apps.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, err := spec.Build(apps.Params{Ranks: ranks, Iters: iters, WorkScale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder(ranks, trace.Config{})
+	w := mpi.NewWorld(mpi.Config{Size: ranks, Interceptor: rec, NoiseSigma: 0.004, Seed: 21})
+	orig, err := w.Run(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := rec.Trace("A", "openmpi")
+	prog, err := merge.Build(tr, merge.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := codegen.Options{Scale: scale}
+	if scale > 1 {
+		opts.CommSamples = codegen.CollectCommSamples(tr)
+	}
+	gen, err := codegen.Generate(prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gen, orig, tr
+}
+
+func TestProxyReplaysAllApps(t *testing.T) {
+	for _, name := range []string{"CG", "MG", "IS", "BT", "SP", "Sweep3d", "Sedov", "Sod", "StirTurb"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			ranks := 8
+			if name == "BT" || name == "SP" {
+				ranks = 9
+			}
+			gen, orig, _ := synth(t, name, ranks, 3, 1)
+			app := New(gen)
+			res, err := app.Run(mpi.Config{Seed: 99})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ExecTime <= 0 {
+				t.Fatal("proxy consumed no virtual time")
+			}
+			// Call-count fidelity: lossless communication replay means
+			// the proxy issues exactly as many MPI calls per rank.
+			for i := range orig.Ranks {
+				if res.Ranks[i].Calls != orig.Ranks[i].Calls {
+					t.Errorf("rank %d: proxy made %d calls, original %d",
+						i, res.Ranks[i].Calls, orig.Ranks[i].Calls)
+				}
+			}
+		})
+	}
+}
+
+func TestProxyTimeCloseToOriginal(t *testing.T) {
+	gen, orig, _ := synth(t, "CG", 8, 4, 1)
+	res, err := New(gen).Run(mpi.Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := relErr(float64(res.ExecTime), float64(orig.ExecTime))
+	if rel > 0.15 {
+		t.Errorf("proxy time error %.1f%% too large (proxy %v, orig %v)", rel*100, res.ExecTime, orig.ExecTime)
+	}
+}
+
+func TestProxyCountersCloseToOriginal(t *testing.T) {
+	gen, orig, _ := synth(t, "MG", 8, 4, 1)
+	res, err := New(gen).Run(mpi.Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, p := orig.TotalCompute(), res.TotalCompute()
+	if e := p.RelError(o); e > 0.15 {
+		t.Errorf("counter error %.1f%% too large\norig %v\nprox %v", e*100, o, p)
+	}
+}
+
+func TestScaledProxyIsFaster(t *testing.T) {
+	gen1, orig, _ := synth(t, "CG", 8, 4, 1)
+	gen10, _, _ := synth(t, "CG", 8, 4, 10)
+	r1, err := New(gen1).Run(mpi.Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r10, err := New(gen10).Run(mpi.Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r10.ExecTime >= r1.ExecTime {
+		t.Fatalf("scaled proxy (%v) should be faster than unscaled (%v)", r10.ExecTime, r1.ExecTime)
+	}
+	// Reported (scaled-back) time should approximate the original.
+	app10 := New(gen10)
+	reported := float64(app10.ReportedTime(r10))
+	if rel := relErr(reported, float64(orig.ExecTime)); rel > 0.35 {
+		t.Errorf("scaled-back time error %.1f%% (reported %.4g, orig %.4g)", rel*100, reported, float64(orig.ExecTime))
+	}
+}
+
+func TestSleepReplayInsensitiveToPlatform(t *testing.T) {
+	gen, _, _ := synth(t, "CG", 8, 3, 1)
+	sleep := &App{Gen: gen, Mode: SleepReplay}
+	ra, err := sleep.Run(mpi.Config{Platform: platform.A, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := sleep.Run(mpi.Config{Platform: platform.B, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sleep replay's computation time is fixed; only communication varies.
+	// The block-replay proxy must move much more across platforms.
+	blocksApp := New(gen)
+	ba, err := blocksApp.Run(mpi.Config{Platform: platform.A, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := blocksApp.Run(mpi.Config{Platform: platform.B, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sleepShift := relErr(float64(rb.ExecTime), float64(ra.ExecTime))
+	blockShift := relErr(float64(bb.ExecTime), float64(ba.ExecTime))
+	if blockShift <= sleepShift {
+		t.Errorf("block replay should track platforms more than sleep replay: %.2f vs %.2f", blockShift, sleepShift)
+	}
+}
+
+func TestNoComputeModeUndershoots(t *testing.T) {
+	gen, orig, _ := synth(t, "CG", 8, 3, 1)
+	nc := &App{Gen: gen, Mode: NoCompute}
+	res, err := nc.Run(mpi.Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(res.ExecTime) > 0.7*float64(orig.ExecTime) {
+		t.Errorf("comm-only replay should grossly undershoot: %v vs %v", res.ExecTime, orig.ExecTime)
+	}
+}
+
+func TestProxyRunsUnderOtherImplementations(t *testing.T) {
+	gen, _, _ := synth(t, "MG", 8, 3, 1)
+	app := New(gen)
+	var times []float64
+	for _, im := range netmodel.All {
+		res, err := app.Run(mpi.Config{Impl: im, Seed: 5})
+		if err != nil {
+			t.Fatalf("%s: %v", im.Name, err)
+		}
+		times = append(times, float64(res.ExecTime))
+	}
+	if times[0] == times[1] && times[1] == times[2] {
+		t.Error("implementation change should move proxy time")
+	}
+}
+
+func TestProxyDeterministic(t *testing.T) {
+	gen, _, _ := synth(t, "IS", 8, 3, 1)
+	app := New(gen)
+	r1, err := app.Run(mpi.Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := app.Run(mpi.Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.ExecTime != r2.ExecTime {
+		t.Errorf("same seed, different times: %v vs %v", r1.ExecTime, r2.ExecTime)
+	}
+}
+
+func relErr(a, b float64) float64 {
+	if b == 0 {
+		return 1
+	}
+	d := (a - b) / b
+	if d < 0 {
+		return -d
+	}
+	return d
+}

@@ -1,0 +1,208 @@
+package proxy
+
+import (
+	"fmt"
+
+	"siesta/internal/mpi"
+	"siesta/internal/trace"
+)
+
+// Replayer replays communication records on the simulated runtime for one
+// rank, maintaining the handle pools (communicators, requests) that the
+// trace layer's pool renaming presumes. It is shared by the Siesta proxy
+// executor and the baseline replayers (ScalaBench, Pilgrim).
+type Replayer struct {
+	comms map[int]*mpi.Comm
+	reqs  map[int]*mpi.Request
+	files map[int]*mpi.File
+}
+
+// NewReplayer starts a replay session with the world communicator bound to
+// pool id 0.
+func NewReplayer(world *mpi.Comm) *Replayer {
+	return &Replayer{
+		comms: map[int]*mpi.Comm{0: world},
+		reqs:  map[int]*mpi.Request{},
+		files: map[int]*mpi.File{},
+	}
+}
+
+func (rp *Replayer) comm(pool int) *mpi.Comm {
+	c, ok := rp.comms[pool]
+	if !ok {
+		panic(fmt.Sprintf("proxy: dangling communicator pool id %d", pool))
+	}
+	return c
+}
+
+// decodeRel turns a relative-rank encoding back into a comm rank for this
+// process.
+func decodeRel(c *mpi.Comm, me, rel int) int {
+	switch rel {
+	case trace.Wildcard:
+		return mpi.AnySource
+	case trace.NoRank:
+		return mpi.ProcNull
+	}
+	return (me + rel) % c.Size()
+}
+
+func decodeTag(tag int) int {
+	if tag == trace.Wildcard {
+		return mpi.AnyTag
+	}
+	if tag == trace.NoRank {
+		return 0
+	}
+	return tag
+}
+
+// ExecComm replays one communication record. Computation records
+// (MPI_Compute) are the caller's business — different replayers handle them
+// differently — and panic here.
+func (rp *Replayer) ExecComm(r *mpi.Rank, rec *trace.Record) {
+	if rec.IsCompute() {
+		panic("proxy: ExecComm called with a computation record")
+	}
+	c := rp.comm(rec.CommPool)
+	me := c.RankOf(r.Rank())
+	switch rec.Func {
+	case "MPI_Send":
+		r.Send(c, decodeRel(c, me, rec.DestRel), rec.Tag, rec.Bytes)
+	case "MPI_Ssend":
+		r.Ssend(c, decodeRel(c, me, rec.DestRel), rec.Tag, rec.Bytes)
+	case "MPI_Probe":
+		r.Probe(c, decodeRel(c, me, rec.SrcRel), decodeTag(rec.Tag))
+	case "MPI_Iprobe":
+		r.Iprobe(c, decodeRel(c, me, rec.SrcRel), decodeTag(rec.Tag))
+	case "MPI_Recv":
+		r.Recv(c, decodeRel(c, me, rec.SrcRel), decodeTag(rec.Tag))
+	case "MPI_Isend":
+		rp.reqs[rec.ReqPool] = r.Isend(c, decodeRel(c, me, rec.DestRel), rec.Tag, rec.Bytes)
+	case "MPI_Irecv":
+		rp.reqs[rec.ReqPool] = r.Irecv(c, decodeRel(c, me, rec.SrcRel), decodeTag(rec.Tag))
+	case "MPI_Wait":
+		req := rp.reqs[rec.ReqPool]
+		r.Wait(req)
+		if req == nil || !req.Persistent() {
+			delete(rp.reqs, rec.ReqPool)
+		}
+	case "MPI_Waitall":
+		reqs := make([]*mpi.Request, 0, len(rec.ReqPools))
+		for _, q := range rec.ReqPools {
+			if req, ok := rp.reqs[q]; ok {
+				reqs = append(reqs, req)
+				if !req.Persistent() {
+					delete(rp.reqs, q)
+				}
+			}
+		}
+		r.Waitall(reqs)
+	case "MPI_Test":
+		if req, ok := rp.reqs[rec.ReqPool]; ok {
+			if done, _ := r.Test(req); done {
+				delete(rp.reqs, rec.ReqPool)
+			}
+		}
+	case "MPI_Waitany":
+		// Replay deterministically waits on the request the trace saw
+		// complete; the others stay pending.
+		if req, ok := rp.reqs[rec.ReqPool]; ok {
+			r.Wait(req)
+			delete(rp.reqs, rec.ReqPool)
+		}
+	case "MPI_Testall":
+		reqs := make([]*mpi.Request, 0, len(rec.ReqPools))
+		for _, q := range rec.ReqPools {
+			if req, ok := rp.reqs[q]; ok {
+				reqs = append(reqs, req)
+			}
+		}
+		if r.Testall(reqs) {
+			for _, q := range rec.ReqPools {
+				delete(rp.reqs, q)
+			}
+		}
+	case "MPI_Sendrecv":
+		r.Sendrecv(c, decodeRel(c, me, rec.DestRel), rec.Tag, rec.Bytes,
+			decodeRel(c, me, rec.SrcRel), decodeTag(rec.RecvTag))
+	case "MPI_Barrier":
+		r.Barrier(c)
+	case "MPI_Bcast":
+		r.Bcast(c, rec.Root, rec.Bytes)
+	case "MPI_Reduce":
+		r.Reduce(c, rec.Root, rec.Bytes, mpi.ReduceOp(rec.Op))
+	case "MPI_Allreduce":
+		r.Allreduce(c, rec.Bytes, mpi.ReduceOp(rec.Op))
+	case "MPI_Scan":
+		r.Scan(c, rec.Bytes, mpi.ReduceOp(rec.Op))
+	case "MPI_Exscan":
+		r.Exscan(c, rec.Bytes, mpi.ReduceOp(rec.Op))
+	case "MPI_Reduce_scatter":
+		r.ReduceScatter(c, rec.Bytes, mpi.ReduceOp(rec.Op))
+	case "MPI_Gather":
+		r.Gather(c, rec.Root, rec.Bytes)
+	case "MPI_Gatherv":
+		r.Gatherv(c, rec.Root, rec.Bytes)
+	case "MPI_Scatter":
+		r.Scatter(c, rec.Root, rec.Bytes)
+	case "MPI_Allgather":
+		r.Allgather(c, rec.Bytes)
+	case "MPI_Allgatherv":
+		r.Allgatherv(c, rec.Bytes)
+	case "MPI_Alltoall":
+		r.Alltoall(c, rec.Bytes)
+	case "MPI_Alltoallv":
+		counts := rec.Counts
+		if len(counts) != c.Size() {
+			counts = make([]int, c.Size())
+			copy(counts, rec.Counts)
+		}
+		r.Alltoallv(c, counts)
+	case "MPI_Comm_split":
+		nc := r.CommSplit(c, rec.Color, rec.Key)
+		if rec.NewCommPool >= 0 && nc != nil {
+			rp.comms[rec.NewCommPool] = nc
+		}
+	case "MPI_Comm_dup":
+		nc := r.CommDup(c)
+		if rec.NewCommPool >= 0 {
+			rp.comms[rec.NewCommPool] = nc
+		}
+	case "MPI_Comm_free":
+		r.CommFree(c)
+		delete(rp.comms, rec.CommPool)
+	case "MPI_Ibarrier":
+		rp.reqs[rec.ReqPool] = r.Ibarrier(c)
+	case "MPI_Ibcast":
+		rp.reqs[rec.ReqPool] = r.Ibcast(c, rec.Root, rec.Bytes)
+	case "MPI_Iallreduce":
+		rp.reqs[rec.ReqPool] = r.Iallreduce(c, rec.Bytes, mpi.ReduceOp(rec.Op))
+	case "MPI_Send_init":
+		rp.reqs[rec.ReqPool] = r.SendInit(c, decodeRel(c, me, rec.DestRel), rec.Tag, rec.Bytes)
+	case "MPI_Recv_init":
+		rp.reqs[rec.ReqPool] = r.RecvInit(c, decodeRel(c, me, rec.SrcRel), decodeTag(rec.Tag))
+	case "MPI_Start":
+		r.Start(rp.reqs[rec.ReqPool])
+	case "MPI_Request_free":
+		if req, ok := rp.reqs[rec.ReqPool]; ok {
+			r.RequestFree(req)
+			delete(rp.reqs, rec.ReqPool)
+		}
+	case "MPI_File_open":
+		rp.files[rec.FilePool] = r.FileOpen(c, rec.FileName)
+	case "MPI_File_close":
+		r.FileClose(rp.files[rec.FilePool])
+		delete(rp.files, rec.FilePool)
+	case "MPI_File_write_at":
+		r.FileWriteAt(rp.files[rec.FilePool], rec.OffsetRel+me*rec.Bytes, rec.Bytes)
+	case "MPI_File_read_at":
+		r.FileReadAt(rp.files[rec.FilePool], rec.OffsetRel+me*rec.Bytes, rec.Bytes)
+	case "MPI_File_write_at_all":
+		r.FileWriteAtAll(rp.files[rec.FilePool], rec.OffsetRel+me*rec.Bytes, rec.Bytes)
+	case "MPI_File_read_at_all":
+		r.FileReadAtAll(rp.files[rec.FilePool], rec.OffsetRel+me*rec.Bytes, rec.Bytes)
+	default:
+		panic(fmt.Sprintf("proxy: unsupported function %s", rec.Func))
+	}
+}

@@ -1,0 +1,159 @@
+// Package rankset provides a compact bitset over process ranks, used for the
+// rank-list attributes that the inter-process merge attaches to main-rule
+// symbols (paper §2.6.2) and that code generation turns into branch
+// conditions (§2.7).
+package rankset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Set is a bitset of ranks. The zero value is an empty set.
+type Set struct {
+	words []uint64
+}
+
+// New returns a set containing the given ranks.
+func New(ranks ...int) *Set {
+	s := &Set{}
+	for _, r := range ranks {
+		s.Add(r)
+	}
+	return s
+}
+
+// Single returns {r}.
+func Single(r int) *Set { return New(r) }
+
+// Range returns {lo, …, hi-1}.
+func Range(lo, hi int) *Set {
+	s := &Set{}
+	for r := lo; r < hi; r++ {
+		s.Add(r)
+	}
+	return s
+}
+
+// Add inserts rank r.
+func (s *Set) Add(r int) {
+	if r < 0 {
+		panic(fmt.Sprintf("rankset: negative rank %d", r))
+	}
+	w := r / 64
+	for len(s.words) <= w {
+		s.words = append(s.words, 0)
+	}
+	s.words[w] |= 1 << (r % 64)
+}
+
+// Contains reports whether r is in the set.
+func (s *Set) Contains(r int) bool {
+	if r < 0 {
+		return false
+	}
+	w := r / 64
+	if w >= len(s.words) {
+		return false
+	}
+	return s.words[w]&(1<<(r%64)) != 0
+}
+
+// Union returns s ∪ o as a new set.
+func (s *Set) Union(o *Set) *Set {
+	n := len(s.words)
+	if len(o.words) > n {
+		n = len(o.words)
+	}
+	out := &Set{words: make([]uint64, n)}
+	for i := range out.words {
+		if i < len(s.words) {
+			out.words[i] |= s.words[i]
+		}
+		if i < len(o.words) {
+			out.words[i] |= o.words[i]
+		}
+	}
+	return out
+}
+
+// Equal reports set equality.
+func (s *Set) Equal(o *Set) bool {
+	n := len(s.words)
+	if len(o.words) > n {
+		n = len(o.words)
+	}
+	for i := 0; i < n; i++ {
+		var a, b uint64
+		if i < len(s.words) {
+			a = s.words[i]
+		}
+		if i < len(o.words) {
+			b = o.words[i]
+		}
+		if a != b {
+			return false
+		}
+	}
+	return true
+}
+
+// Len reports the number of ranks in the set.
+func (s *Set) Len() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether the set has no members.
+func (s *Set) Empty() bool { return s.Len() == 0 }
+
+// Ranks lists the members in ascending order.
+func (s *Set) Ranks() []int {
+	var out []int
+	for i, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, i*64+b)
+			w &^= 1 << b
+		}
+	}
+	return out
+}
+
+// Clone deep-copies the set.
+func (s *Set) Clone() *Set {
+	return &Set{words: append([]uint64(nil), s.words...)}
+}
+
+// Intervals returns the set as maximal [lo, hi] inclusive runs — what the
+// code generator compiles into "rank >= lo && rank <= hi" conditions.
+func (s *Set) Intervals() [][2]int {
+	var out [][2]int
+	ranks := s.Ranks()
+	for i := 0; i < len(ranks); {
+		j := i
+		for j+1 < len(ranks) && ranks[j+1] == ranks[j]+1 {
+			j++
+		}
+		out = append(out, [2]int{ranks[i], ranks[j]})
+		i = j + 1
+	}
+	return out
+}
+
+// String renders the set compactly, e.g. "{0-3,7}".
+func (s *Set) String() string {
+	var parts []string
+	for _, iv := range s.Intervals() {
+		if iv[0] == iv[1] {
+			parts = append(parts, fmt.Sprintf("%d", iv[0]))
+		} else {
+			parts = append(parts, fmt.Sprintf("%d-%d", iv[0], iv[1]))
+		}
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}

@@ -1,0 +1,135 @@
+package rankset
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasics(t *testing.T) {
+	s := New(3, 1, 200)
+	if !s.Contains(1) || !s.Contains(3) || !s.Contains(200) || s.Contains(2) || s.Contains(-1) {
+		t.Fatal("membership wrong")
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if got := s.Ranks(); !reflect.DeepEqual(got, []int{1, 3, 200}) {
+		t.Fatalf("Ranks = %v", got)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	s := New()
+	if !s.Empty() || s.Len() != 0 || len(s.Ranks()) != 0 {
+		t.Fatal("empty set misbehaves")
+	}
+	var zero Set
+	if !zero.Empty() {
+		t.Fatal("zero value should be empty")
+	}
+}
+
+func TestUnionEqual(t *testing.T) {
+	a, b := New(1, 2), New(2, 65)
+	u := a.Union(b)
+	if !reflect.DeepEqual(u.Ranks(), []int{1, 2, 65}) {
+		t.Fatalf("union = %v", u.Ranks())
+	}
+	if !a.Equal(New(2, 1)) {
+		t.Fatal("Equal ignores order")
+	}
+	if a.Equal(b) {
+		t.Fatal("unequal sets reported equal")
+	}
+	// Different word lengths, same content.
+	c := New(1)
+	d := New(1, 100)
+	d2 := New(100)
+	_ = d2
+	if c.Equal(d) {
+		t.Fatal("length-padding equality bug")
+	}
+}
+
+func TestRange(t *testing.T) {
+	s := Range(4, 8)
+	if !reflect.DeepEqual(s.Ranks(), []int{4, 5, 6, 7}) {
+		t.Fatalf("Range = %v", s.Ranks())
+	}
+}
+
+func TestIntervals(t *testing.T) {
+	s := New(0, 1, 2, 5, 7, 8)
+	want := [][2]int{{0, 2}, {5, 5}, {7, 8}}
+	if got := s.Intervals(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Intervals = %v", got)
+	}
+	if s.String() != "{0-2,5,7-8}" {
+		t.Fatalf("String = %s", s.String())
+	}
+}
+
+func TestClone(t *testing.T) {
+	a := New(1)
+	b := a.Clone()
+	b.Add(2)
+	if a.Contains(2) {
+		t.Fatal("Clone aliases storage")
+	}
+}
+
+func TestNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative rank should panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestUnionCommutativeProperty(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a, b := New(), New()
+		for _, x := range xs {
+			a.Add(int(x))
+		}
+		for _, y := range ys {
+			b.Add(int(y))
+		}
+		return a.Union(b).Equal(b.Union(a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntervalsCoverExactlyProperty(t *testing.T) {
+	f := func(xs []uint8) bool {
+		s := New()
+		for _, x := range xs {
+			s.Add(int(x))
+		}
+		covered := map[int]bool{}
+		for _, iv := range s.Intervals() {
+			if iv[0] > iv[1] {
+				return false
+			}
+			for r := iv[0]; r <= iv[1]; r++ {
+				if covered[r] {
+					return false // overlap
+				}
+				covered[r] = true
+			}
+		}
+		for r := 0; r < 256; r++ {
+			if covered[r] != s.Contains(r) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,237 @@
+package sequitur
+
+import "fmt"
+
+// Sym is one symbol of an exported grammar: either a terminal value or a
+// rule reference, repeated Count times.
+type Sym struct {
+	Ref    int // terminal value, or rule index when IsRule
+	IsRule bool
+	Count  int
+}
+
+// Grammar is the exported, immutable form of an inferred grammar. Rules[0]
+// is the main rule; references index into Rules.
+type Grammar struct {
+	Rules [][]Sym
+}
+
+// Grammar exports the builder's current grammar. Rules are numbered in
+// depth-first first-reference order from the main rule, which makes the
+// numbering deterministic for identical inputs.
+func (b *Builder) Grammar() *Grammar {
+	order := map[*rule]int{b.main: 0}
+	list := []*rule{b.main}
+	var walk func(r *rule)
+	walk = func(r *rule) {
+		for s := r.first(); !s.guard; s = s.next {
+			if s.rule != nil {
+				if _, seen := order[s.rule]; !seen {
+					order[s.rule] = len(list)
+					list = append(list, s.rule)
+					walk(s.rule)
+				}
+			}
+		}
+	}
+	walk(b.main)
+
+	g := &Grammar{Rules: make([][]Sym, len(list))}
+	for i, r := range list {
+		var body []Sym
+		for s := r.first(); !s.guard; s = s.next {
+			sym := Sym{Count: s.count}
+			if s.rule != nil {
+				sym.IsRule = true
+				sym.Ref = order[s.rule]
+			} else {
+				sym.Ref = s.term
+			}
+			body = append(body, sym)
+		}
+		g.Rules[i] = body
+	}
+	return g
+}
+
+// Expand reconstructs the original terminal sequence.
+func (g *Grammar) Expand() []int {
+	var out []int
+	var expand func(rule int)
+	expand = func(rule int) {
+		for _, s := range g.Rules[rule] {
+			for c := 0; c < s.Count; c++ {
+				if s.IsRule {
+					expand(s.Ref)
+				} else {
+					out = append(out, s.Ref)
+				}
+			}
+		}
+	}
+	expand(0)
+	return out
+}
+
+// ExpandedLen computes the expansion length without materializing it.
+func (g *Grammar) ExpandedLen() int {
+	memo := make([]int, len(g.Rules))
+	for i := range memo {
+		memo[i] = -1
+	}
+	var size func(rule int) int
+	size = func(rule int) int {
+		if memo[rule] >= 0 {
+			return memo[rule]
+		}
+		memo[rule] = 0 // break cycles defensively; valid grammars are acyclic
+		n := 0
+		for _, s := range g.Rules[rule] {
+			if s.IsRule {
+				n += s.Count * size(s.Ref)
+			} else {
+				n += s.Count
+			}
+		}
+		memo[rule] = n
+		return n
+	}
+	return size(0)
+}
+
+// NumSymbols reports the total symbol count across all rules — the grammar's
+// size in the paper's sense.
+func (g *Grammar) NumSymbols() int {
+	n := 0
+	for _, r := range g.Rules {
+		n += len(r)
+	}
+	return n
+}
+
+// Depths computes each rule's depth: terminal-only rules have depth 1, and a
+// rule's depth is 1 + max depth of referenced rules. Depth drives the
+// non-terminal merge order of paper §2.6.2.
+func (g *Grammar) Depths() []int {
+	d := make([]int, len(g.Rules))
+	var depth func(rule int) int
+	depth = func(rule int) int {
+		if d[rule] != 0 {
+			return d[rule]
+		}
+		d[rule] = 1 // provisional, breaks accidental cycles
+		best := 1
+		for _, s := range g.Rules[rule] {
+			if s.IsRule {
+				if v := depth(s.Ref) + 1; v > best {
+					best = v
+				}
+			}
+		}
+		d[rule] = best
+		return best
+	}
+	depth(0)
+	for i := range g.Rules {
+		depth(i)
+	}
+	return d
+}
+
+// String renders the grammar in a readable S → aⁱ B form for debugging and
+// golden tests.
+func (g *Grammar) String() string {
+	out := ""
+	for i, r := range g.Rules {
+		name := "S"
+		if i > 0 {
+			name = fmt.Sprintf("R%d", i)
+		}
+		out += name + " →"
+		for _, s := range r {
+			if s.IsRule {
+				out += fmt.Sprintf(" R%d", s.Ref)
+			} else {
+				out += fmt.Sprintf(" %d", s.Ref)
+			}
+			if s.Count != 1 {
+				out += fmt.Sprintf("^%d", s.Count)
+			}
+		}
+		out += "\n"
+	}
+	return out
+}
+
+// verify checks the builder's internal invariants; tests call it after every
+// kind of mutation. It returns an error describing the first violation.
+func (b *Builder) verify() error {
+	// 1. Link integrity and no adjacent equal values (run-length) per rule.
+	for r := range b.rules {
+		prev := r.guard
+		for s := r.first(); !s.guard; s = s.next {
+			if s.prev != prev {
+				return fmt.Errorf("rule %d: broken back link", r.id)
+			}
+			if s.count < 1 {
+				return fmt.Errorf("rule %d: non-positive count %d", r.id, s.count)
+			}
+			if b.runLength && !prev.guard && sameValue(prev, s) {
+				return fmt.Errorf("rule %d: unmerged run", r.id)
+			}
+			prev = s
+		}
+	}
+	// 2. Digram uniqueness (over live digrams) and index consistency.
+	seen := map[dkey]*symbol{}
+	for r := range b.rules {
+		for s := r.first(); !s.guard; s = s.next {
+			k, ok := b.key(s)
+			if !ok {
+				continue
+			}
+			if other, dup := seen[k]; dup {
+				// Overlap exemption does not apply across entries;
+				// equal-valued neighbours were excluded above.
+				return fmt.Errorf("duplicate digram %v at %p and %p", k, s, other)
+			}
+			seen[k] = s
+			if idx, ok := b.digrams[k]; ok && idx != s {
+				return fmt.Errorf("digram index points at stale symbol for %v", k)
+			}
+		}
+	}
+	// 3. Rule utility and use counts.
+	uses := map[*rule]int{}
+	for r := range b.rules {
+		for s := r.first(); !s.guard; s = s.next {
+			if s.rule != nil {
+				uses[s.rule]++
+				if _, alive := b.rules[s.rule]; !alive {
+					return fmt.Errorf("reference to deleted rule %d", s.rule.id)
+				}
+			}
+		}
+	}
+	for r := range b.rules {
+		if r == b.main {
+			continue
+		}
+		if uses[r] != r.uses {
+			return fmt.Errorf("rule %d: recorded uses %d, actual %d", r.id, r.uses, uses[r])
+		}
+		if uses[r] == 0 {
+			return fmt.Errorf("rule %d: orphaned", r.id)
+		}
+		if uses[r] == 1 {
+			var ref *symbol
+			for s := range r.refs {
+				ref = s
+			}
+			if ref != nil && ref.count == 1 {
+				return fmt.Errorf("rule %d: utility violation (single use, count 1)", r.id)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,371 @@
+// Package sequitur implements the space-optimized Sequitur algorithm of
+// paper §2.5.2: Nevill-Manning & Witten's online grammar inference with the
+// run-length extension of Dorier et al., under which adjacent equal symbols
+// aⁱaʲ collapse into aⁱ⁺ʲ. The algorithm maintains two classic invariants —
+// digram uniqueness and rule utility — plus the run-length constraint, and
+// produces context-free grammars of O(1) size for periodic inputs (versus
+// O(log n) without the extension, and O(n) raw).
+//
+// Terminals are non-negative integers (the trace layer's event ids).
+package sequitur
+
+import "fmt"
+
+// symbol is a node in a rule's circular doubly-linked body list. A symbol is
+// either a terminal (rule == nil) or a reference to a rule, and carries a
+// repetition count (the run-length exponent).
+type symbol struct {
+	prev, next *symbol
+	rule       *rule // non-nil for non-terminals and for guards (owner rule)
+	term       int
+	count      int
+	guard      bool
+}
+
+func (s *symbol) isNonTerminal() bool { return !s.guard && s.rule != nil }
+
+// sameValue reports whether two symbols hold the same terminal or rule
+// (ignoring counts) — the run-length merge criterion.
+func sameValue(a, b *symbol) bool {
+	if a.guard || b.guard {
+		return false
+	}
+	if (a.rule == nil) != (b.rule == nil) {
+		return false
+	}
+	if a.rule != nil {
+		return a.rule == b.rule
+	}
+	return a.term == b.term
+}
+
+// rule is a grammar production. Its body is a circular list rooted at guard.
+type rule struct {
+	id    int
+	guard *symbol
+	uses  int
+	refs  map[*symbol]struct{} // referencing symbols, for utility enforcement
+}
+
+func newRule(id int) *rule {
+	r := &rule{id: id, refs: map[*symbol]struct{}{}}
+	g := &symbol{guard: true, rule: r}
+	g.prev, g.next = g, g
+	r.guard = g
+	return r
+}
+
+func (r *rule) first() *symbol { return r.guard.next }
+func (r *rule) last() *symbol  { return r.guard.prev }
+func (r *rule) empty() bool    { return r.guard.next == r.guard }
+
+// dkey identifies a digram: two adjacent symbols including their exponents.
+type dkey struct {
+	aRule bool
+	aVal  int
+	aCnt  int
+	bRule bool
+	bVal  int
+	bCnt  int
+}
+
+func symVal(s *symbol) (bool, int) {
+	if s.rule != nil && !s.guard {
+		return true, s.rule.id
+	}
+	return false, s.term
+}
+
+// Builder constructs a grammar incrementally, one terminal at a time.
+type Builder struct {
+	main    *rule
+	digrams map[dkey]*symbol
+	rules   map[*rule]struct{}
+	nextID  int
+	size    int // appended terminal instances
+
+	// runLength enables the aⁱaʲ→aⁱ⁺ʲ constraint (constraint 3). It is a
+	// construction-time option so the ablation benchmark can compare.
+	runLength bool
+
+	// pending holds rules whose utility must be re-examined once the
+	// current structural edit completes; enforcing utility mid-edit could
+	// splice away symbols the edit still holds pointers to.
+	pending []*rule
+}
+
+// New returns a Builder with the run-length extension enabled.
+func New() *Builder { return NewWithOptions(true) }
+
+// NewWithOptions returns a Builder with the run-length extension on or off.
+func NewWithOptions(runLength bool) *Builder {
+	b := &Builder{
+		digrams:   map[dkey]*symbol{},
+		rules:     map[*rule]struct{}{},
+		runLength: runLength,
+	}
+	b.main = newRule(0)
+	b.nextID = 1
+	b.rules[b.main] = struct{}{}
+	return b
+}
+
+// InputLen reports how many terminals have been appended.
+func (b *Builder) InputLen() int { return b.size }
+
+func (b *Builder) key(a *symbol) (dkey, bool) {
+	if a == nil || a.guard || a.next == nil || a.next.guard {
+		return dkey{}, false
+	}
+	ar, av := symVal(a)
+	br, bv := symVal(a.next)
+	return dkey{ar, av, a.count, br, bv, a.next.count}, true
+}
+
+// unindex removes the digram starting at a from the index if the index entry
+// is a itself.
+func (b *Builder) unindex(a *symbol) {
+	if k, ok := b.key(a); ok {
+		if b.digrams[k] == a {
+			delete(b.digrams, k)
+		}
+	}
+}
+
+// link splices n after p.
+func link(p, n *symbol) {
+	n.prev = p
+	n.next = p.next
+	p.next.prev = n
+	p.next = n
+}
+
+// unlink removes s from its list (digram entries must be cleared first).
+func unlink(s *symbol) {
+	s.prev.next = s.next
+	s.next.prev = s.prev
+	s.prev, s.next = nil, nil
+}
+
+// addRef registers that symbol s references rule ru.
+func (b *Builder) addRef(ru *rule, s *symbol) {
+	ru.uses++
+	ru.refs[s] = struct{}{}
+}
+
+// dropSymbol unlinks s and, if it is a non-terminal, releases its rule
+// reference. Utility enforcement is deferred to the next flushUtility.
+func (b *Builder) dropSymbol(s *symbol) {
+	if s.isNonTerminal() {
+		ru := s.rule
+		ru.uses--
+		delete(ru.refs, s)
+		b.pending = append(b.pending, ru)
+	}
+	unlink(s)
+}
+
+// flushUtility enforces the rule-utility constraint for every rule queued by
+// recent edits: a rule referenced exactly once with exponent 1 is inlined.
+// (The space-optimized variant keeps rules whose single reference carries a
+// run-length exponent — they still pay for themselves.) Inlining may queue
+// further rules; the loop drains them all.
+func (b *Builder) flushUtility() {
+	for len(b.pending) > 0 {
+		ru := b.pending[len(b.pending)-1]
+		b.pending = b.pending[:len(b.pending)-1]
+		if _, alive := b.rules[ru]; !alive || ru == b.main || ru.uses != 1 {
+			continue
+		}
+		var ref *symbol
+		for s := range ru.refs {
+			ref = s
+		}
+		if ref == nil || ref.count != 1 || ref.next == nil {
+			continue
+		}
+		b.inline(ref, ru)
+	}
+}
+
+// inline splices ru's body in place of its sole reference ref and deletes
+// the rule.
+func (b *Builder) inline(ref *symbol, ru *rule) {
+	prev := ref.prev
+	next := ref.next
+	b.unindex(prev)
+	b.unindex(ref)
+
+	first := ru.first()
+	last := ru.last()
+	// Detach ref without utility recursion (the rule is going away).
+	ru.uses--
+	delete(ru.refs, ref)
+	unlink(ref)
+	delete(b.rules, ru)
+
+	// Splice the body in. Body digram index entries stay valid: they
+	// reference the same symbol objects.
+	prev.next = first
+	first.prev = prev
+	last.next = next
+	next.prev = last
+
+	// Boundary run-length merges, then boundary digram checks. Rule
+	// bodies never contain adjacent equal values, so only the two splice
+	// boundaries can merge.
+	left := b.mergeRun(first)
+	right := next.prev
+	if right != left {
+		right = b.mergeRun(right)
+	}
+	b.check(left.prev)
+	b.check(left)
+	if right != left && right.next != nil {
+		b.check(right)
+	}
+}
+
+// mergeRun applies the run-length constraint around a: while a and a.next
+// hold the same value, they collapse. It returns the surviving symbol
+// (which may be a itself or a predecessor after leftward merging).
+func (b *Builder) mergeRun(a *symbol) *symbol {
+	if a == nil || a.guard {
+		return a
+	}
+	if !b.runLength {
+		return a
+	}
+	// Merge leftward first so a stable survivor accumulates. The dropped
+	// symbol's rule reference (if any) dies with it; the survivor keeps
+	// one reference, so the rule's use count decreases by one.
+	for !a.prev.guard && sameValue(a.prev, a) {
+		p := a.prev
+		b.unindex(p.prev)
+		b.unindex(p)
+		b.unindex(a)
+		p.count += a.count
+		b.dropSymbol(a)
+		a = p
+	}
+	for !a.next.guard && sameValue(a, a.next) {
+		n := a.next
+		b.unindex(a.prev)
+		b.unindex(a)
+		b.unindex(n)
+		a.count += n.count
+		b.dropSymbol(n)
+	}
+	return a
+}
+
+// check enforces digram uniqueness for the digram starting at a. It returns
+// true if a replacement took place.
+func (b *Builder) check(a *symbol) bool {
+	k, ok := b.key(a)
+	if !ok {
+		return false
+	}
+	m, exists := b.digrams[k]
+	if !exists {
+		b.digrams[k] = a
+		return false
+	}
+	if m == a {
+		return false
+	}
+	if m.next == a || a.next == m {
+		return false // overlapping occurrence (only possible without RLE)
+	}
+	b.match(a, m)
+	return true
+}
+
+// match resolves a duplicate digram: reuse an existing whole-body rule or
+// mint a new one, substituting both occurrences.
+func (b *Builder) match(newer, older *symbol) {
+	var ru *rule
+	if older.prev.guard && older.next.next.guard {
+		// The older occurrence is exactly a rule's body: reuse it.
+		ru = older.prev.rule
+		b.substitute(newer, ru)
+	} else {
+		ru = newRule(b.nextID)
+		b.nextID++
+		b.rules[ru] = struct{}{}
+		// Body: copies of the digram's two symbols.
+		c1 := &symbol{rule: nil, term: older.term, count: older.count}
+		if older.isNonTerminal() {
+			c1.rule = older.rule
+		}
+		c2 := &symbol{rule: nil, term: older.next.term, count: older.next.count}
+		if older.next.isNonTerminal() {
+			c2.rule = older.next.rule
+		}
+		link(ru.guard, c1)
+		link(c1, c2)
+		if c1.rule != nil {
+			b.addRef(c1.rule, c1)
+		}
+		if c2.rule != nil {
+			b.addRef(c2.rule, c2)
+		}
+		// The canonical occurrence of this digram is now the rule body.
+		if k, ok := b.key(c1); ok {
+			b.digrams[k] = c1
+		}
+		b.substitute(older, ru)
+		b.substitute(newer, ru)
+	}
+}
+
+// substitute replaces the digram starting at a with a reference to ru,
+// applying run-length merging and boundary digram checks.
+func (b *Builder) substitute(a *symbol, ru *rule) {
+	prev := a.prev
+	second := a.next
+	b.unindex(prev)
+	b.unindex(a)
+	b.unindex(second)
+	b.dropSymbol(second)
+	b.dropSymbol(a)
+
+	n := &symbol{rule: ru, count: 1}
+	link(prev, n)
+	b.addRef(ru, n)
+
+	n = b.mergeRun(n)
+	b.check(n.prev)
+	b.check(n)
+	b.flushUtility()
+}
+
+// Append adds one terminal to the input sequence.
+func (b *Builder) Append(token int) {
+	if token < 0 {
+		panic(fmt.Sprintf("sequitur: negative terminal %d", token))
+	}
+	b.size++
+	last := b.main.last()
+	if b.runLength && !last.guard && last.rule == nil && last.term == token {
+		b.unindex(last.prev)
+		last.count++
+		b.check(last.prev)
+		b.flushUtility()
+		return
+	}
+	n := &symbol{term: token, count: 1}
+	link(last, n)
+	b.check(n.prev)
+	b.flushUtility()
+}
+
+// AppendAll adds every token of the slice in order.
+func (b *Builder) AppendAll(tokens []int) {
+	for _, t := range tokens {
+		b.Append(t)
+	}
+}
+
+// NumRules reports the current number of rules including the main rule.
+func (b *Builder) NumRules() int { return len(b.rules) }

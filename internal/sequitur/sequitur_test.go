@@ -1,0 +1,273 @@
+package sequitur
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// build runs the builder over tokens, verifying invariants as it goes when
+// stepwise is true.
+func build(t *testing.T, tokens []int, stepwise bool) *Builder {
+	t.Helper()
+	b := New()
+	for i, tok := range tokens {
+		b.Append(tok)
+		if stepwise {
+			if err := b.verify(); err != nil {
+				t.Fatalf("invariant broken after %d tokens (%v...): %v", i+1, tokens[:i+1], err)
+			}
+		}
+	}
+	if err := b.verify(); err != nil {
+		t.Fatalf("final invariants broken: %v", err)
+	}
+	return b
+}
+
+func roundTrip(t *testing.T, tokens []int) *Grammar {
+	t.Helper()
+	b := build(t, tokens, true)
+	g := b.Grammar()
+	got := g.Expand()
+	if len(got) == 0 && len(tokens) == 0 {
+		return g
+	}
+	if !reflect.DeepEqual(got, tokens) {
+		t.Fatalf("round trip failed:\n in: %v\nout: %v\ngrammar:\n%s", tokens, got, g)
+	}
+	if g.ExpandedLen() != len(tokens) {
+		t.Fatalf("ExpandedLen = %d, want %d", g.ExpandedLen(), len(tokens))
+	}
+	return g
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	roundTrip(t, nil)
+	roundTrip(t, []int{7})
+}
+
+func TestPureRunIsConstantSize(t *testing.T) {
+	// The paper's marquee property: aⁿ compresses to a single symbol.
+	g := roundTrip(t, repeat([]int{3}, 1000))
+	if len(g.Rules) != 1 || len(g.Rules[0]) != 1 {
+		t.Fatalf("aⁿ should be one symbol, got:\n%s", g)
+	}
+	if g.Rules[0][0].Count != 1000 {
+		t.Fatalf("count = %d, want 1000", g.Rules[0][0].Count)
+	}
+}
+
+func TestPeriodicPatternIsCompact(t *testing.T) {
+	// (abc)ⁿ should become S → Rⁿ, R → abc (or equivalent), O(1) size.
+	g := roundTrip(t, repeat([]int{1, 2, 3}, 500))
+	if g.NumSymbols() > 8 {
+		t.Fatalf("periodic input should give O(1) grammar, got %d symbols:\n%s", g.NumSymbols(), g)
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	// ((ab)³ c)²⁰⁰ — the nested-loop shape of real MPI traces.
+	var inner []int
+	inner = append(inner, repeat([]int{5, 6}, 3)...)
+	inner = append(inner, 9)
+	g := roundTrip(t, repeat(inner, 200))
+	if g.NumSymbols() > 12 {
+		t.Fatalf("nested loops should stay compact, got %d symbols:\n%s", g.NumSymbols(), g)
+	}
+}
+
+func TestPaperExampleShape(t *testing.T) {
+	// The sequence used throughout §2.5.2: with run-length extension,
+	// a¹⁰ is O(1) rather than the logarithmic S→AA, A→BB, B→aa.
+	g := roundTrip(t, repeat([]int{0}, 10))
+	if len(g.Rules) != 1 {
+		t.Fatalf("run-length grammar should have no sub-rules:\n%s", g)
+	}
+}
+
+func TestNoRunLengthStillRoundTrips(t *testing.T) {
+	tokens := repeat([]int{4}, 64)
+	b := NewWithOptions(false)
+	for _, tok := range tokens {
+		b.Append(tok)
+	}
+	if err := b.verify(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	g := b.Grammar()
+	if !reflect.DeepEqual(g.Expand(), tokens) {
+		t.Fatalf("no-RLE round trip failed:\n%s", g)
+	}
+	// Without run-length the grammar of aⁿ is logarithmic, i.e. larger
+	// than the O(1) form but much smaller than n.
+	if g.NumSymbols() <= 1 || g.NumSymbols() >= 64 {
+		t.Fatalf("log-size expected, got %d symbols", g.NumSymbols())
+	}
+	// And the ablation must show run-length winning.
+	gRLE := roundTrip(t, tokens)
+	if gRLE.NumSymbols() >= g.NumSymbols() {
+		t.Fatal("run-length extension should shrink pure runs")
+	}
+}
+
+func TestMixedRunsAndPatterns(t *testing.T) {
+	var tokens []int
+	for i := 0; i < 50; i++ {
+		tokens = append(tokens, repeat([]int{1}, 4)...)
+		tokens = append(tokens, 2, 3)
+		tokens = append(tokens, repeat([]int{1}, 4)...)
+		tokens = append(tokens, 2, 4)
+	}
+	roundTrip(t, tokens)
+}
+
+func TestAlternationCompresses(t *testing.T) {
+	g := roundTrip(t, repeat([]int{1, 2}, 300))
+	if g.NumSymbols() > 6 {
+		t.Fatalf("(ab)ⁿ should be compact, got:\n%s", g)
+	}
+}
+
+func TestNegativeTerminalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative terminals must panic")
+		}
+	}()
+	New().Append(-1)
+}
+
+func TestRandomSequencesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(400)
+		alpha := 1 + rng.Intn(6)
+		tokens := make([]int, n)
+		for i := range tokens {
+			tokens[i] = rng.Intn(alpha)
+		}
+		roundTrip(t, tokens)
+	}
+}
+
+func TestRandomStructuredSequences(t *testing.T) {
+	// Random programs made of nested repeated phrases — closer to real
+	// traces than uniform noise.
+	rng := rand.New(rand.NewSource(99))
+	var gen func(depth int) []int
+	gen = func(depth int) []int {
+		if depth == 0 || rng.Intn(3) == 0 {
+			out := make([]int, 1+rng.Intn(4))
+			for i := range out {
+				out[i] = rng.Intn(8)
+			}
+			return out
+		}
+		inner := gen(depth - 1)
+		return repeat(inner, 1+rng.Intn(6))
+	}
+	for trial := 0; trial < 30; trial++ {
+		tokens := gen(4)
+		if len(tokens) > 5000 {
+			tokens = tokens[:5000]
+		}
+		roundTrip(t, tokens)
+	}
+}
+
+func TestQuickRoundTripProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		tokens := make([]int, len(raw))
+		for i, v := range raw {
+			tokens[i] = int(v % 5)
+		}
+		b := New()
+		for _, tok := range tokens {
+			b.Append(tok)
+		}
+		if err := b.verify(); err != nil {
+			return false
+		}
+		out := b.Grammar().Expand()
+		if len(tokens) == 0 {
+			return len(out) == 0
+		}
+		return reflect.DeepEqual(out, tokens)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressionRatioOnTraceLikeInput(t *testing.T) {
+	// An MPI-like trace: per iteration, a fixed phrase of events.
+	phrase := []int{0, 1, 2, 1, 3, 4, 4, 5}
+	tokens := repeat(phrase, 2000)
+	g := roundTrip(t, tokens)
+	if g.NumSymbols() > len(phrase)*4 {
+		t.Fatalf("16000-event periodic trace should collapse to a handful of symbols, got %d", g.NumSymbols())
+	}
+}
+
+func TestDepths(t *testing.T) {
+	g := roundTrip(t, repeat([]int{1, 2, 3, 1, 2, 4}, 100))
+	d := g.Depths()
+	if d[0] < 2 {
+		t.Fatalf("main rule depth %d should exceed leaf depth", d[0])
+	}
+	for i := 1; i < len(d); i++ {
+		if d[i] < 1 || d[i] >= d[0]+1 {
+			t.Errorf("rule %d depth %d out of range", i, d[i])
+		}
+	}
+}
+
+func TestGrammarString(t *testing.T) {
+	g := roundTrip(t, []int{1, 1, 1, 2})
+	s := g.String()
+	if s == "" {
+		t.Fatal("String should render something")
+	}
+}
+
+func TestAppendAllAndCounters(t *testing.T) {
+	b := New()
+	b.AppendAll([]int{1, 2, 3})
+	if b.InputLen() != 3 {
+		t.Fatalf("InputLen = %d", b.InputLen())
+	}
+	if b.NumRules() < 1 {
+		t.Fatal("NumRules must count the main rule")
+	}
+}
+
+func TestLongRunsWithInterruptions(t *testing.T) {
+	// Runs of varying length separated by the same delimiter: exercises
+	// run merging against digram uniqueness (a^i b vs a^j b).
+	var tokens []int
+	for i := 1; i <= 40; i++ {
+		tokens = append(tokens, repeat([]int{7}, i)...)
+		tokens = append(tokens, 8)
+	}
+	roundTrip(t, tokens)
+}
+
+func TestGrammarSizeSublinear(t *testing.T) {
+	phrase := []int{0, 1, 2, 3}
+	small := roundTrip(t, repeat(phrase, 100))
+	large := roundTrip(t, repeat(phrase, 10000))
+	if large.NumSymbols() > small.NumSymbols()+4 {
+		t.Fatalf("100× longer periodic input should not grow the grammar: %d vs %d",
+			small.NumSymbols(), large.NumSymbols())
+	}
+}
+
+func repeat(phrase []int, n int) []int {
+	out := make([]int, 0, len(phrase)*n)
+	for i := 0; i < n; i++ {
+		out = append(out, phrase...)
+	}
+	return out
+}

@@ -1,0 +1,53 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteText dumps the trace in an OTF-flavoured human-readable event-stream
+// format: a definitions section (event records, computation clusters)
+// followed by one line per event instance with its virtual timestamp. The
+// format exists for interoperability with eyeballs and text tooling (grep,
+// diff); the compact binary codec remains the storage format.
+//
+// Durations are reconstructed from the per-event Durs when present; traces
+// decoded from disk (which carry no timing) emit "-" timestamps.
+func (t *Trace) WriteText(w io.Writer) error {
+	var err error
+	pf := func(format string, args ...interface{}) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+
+	pf("# SIESTA trace (OTF-style text export)\n")
+	pf("# ranks=%d platform=%s impl=%s events=%d\n", t.NumRanks, t.Platform, t.Impl, t.TotalEvents())
+
+	for _, rt := range t.Ranks {
+		pf("\nDEFS RANK %d records=%d clusters=%d\n", rt.Rank, len(rt.Table), len(rt.Clusters))
+		for id, r := range rt.Table {
+			pf("DEF %d %s\n", id, r.KeyString())
+		}
+		for id, cl := range rt.Clusters {
+			target := cl.Target()
+			pf("CLUSTER %d n=%d ins=%.6g cyc=%.6g lst=%.6g dcm=%.6g brcn=%.6g msp=%.6g meansec=%.6g\n",
+				id, cl.N, target[0], target[1], target[2], target[3], target[4], target[5], cl.MeanTime())
+		}
+	}
+
+	for _, rt := range t.Ranks {
+		pf("\nEVENTS RANK %d\n", rt.Rank)
+		ts := 0.0
+		hasDurs := len(rt.Durs) == len(rt.Events)
+		for i, id := range rt.Events {
+			if hasDurs {
+				pf("E %.9f %d %s\n", ts, id, rt.Table[id].Func)
+				ts += rt.Durs[i]
+			} else {
+				pf("E - %d %s\n", id, rt.Table[id].Func)
+			}
+		}
+	}
+	return err
+}

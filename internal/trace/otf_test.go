@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"siesta/internal/mpi"
+	"siesta/internal/perfmodel"
+)
+
+func TestWriteText(t *testing.T) {
+	tr, _ := traceRing(t, 4, 3)
+	var buf bytes.Buffer
+	if err := tr.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# SIESTA trace", "ranks=4",
+		"DEFS RANK 0", "DEF 0 ", "CLUSTER 0",
+		"EVENTS RANK 3", "MPI_Send", "MPI_Compute",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text export lacks %q", want)
+		}
+	}
+	// One E line per event instance.
+	if got := strings.Count(out, "\nE "); got != tr.TotalEvents() {
+		t.Errorf("%d event lines for %d events", got, tr.TotalEvents())
+	}
+	// Timestamps present (not the dash fallback) since Durs exist.
+	if strings.Contains(out, "E - ") {
+		t.Error("timed trace should emit timestamps")
+	}
+}
+
+func TestWriteTextWithoutTiming(t *testing.T) {
+	tr, _ := traceRing(t, 2, 2)
+	decoded, err := Decode(tr.Encode()) // codec drops Durs
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := decoded.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "E - ") {
+		t.Error("untimed trace should emit dash timestamps")
+	}
+}
+
+func TestAbsoluteRanksAblation(t *testing.T) {
+	// §2.2's claim: relative encoding deduplicates SPMD p2p records.
+	// With absolute ranks, a symmetric ring's global terminal table grows
+	// with the rank count; with relative ranks it does not.
+	count := func(absolute bool) int {
+		rec := NewRecorder(8, Config{AbsoluteRanks: absolute})
+		w := mpi.NewWorld(mpi.Config{Size: 8, Interceptor: rec})
+		_, err := w.Run(func(r *mpi.Rank) {
+			c := r.World()
+			next := (r.Rank() + 1) % r.Size()
+			prev := (r.Rank() - 1 + r.Size()) % r.Size()
+			for it := 0; it < 3; it++ {
+				r.Compute(perfmodel.Kernel{IntOps: 1e6, Loads: 4e5, Branches: 2e5})
+				r.Sendrecv(c, next, 0, 2048, prev, 0)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := rec.Trace("A", "openmpi")
+		// Unique record keys across all ranks.
+		keys := map[string]bool{}
+		for _, rt := range tr.Ranks {
+			for _, r := range rt.Table {
+				keys[r.KeyString()] = true
+			}
+		}
+		return len(keys)
+	}
+	rel, abs := count(false), count(true)
+	if rel >= abs {
+		t.Errorf("relative encoding (%d unique records) should beat absolute (%d)", rel, abs)
+	}
+	if abs < 2*rel {
+		t.Errorf("ablation too weak to measure: %d vs %d", rel, abs)
+	}
+}

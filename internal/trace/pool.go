@@ -1,0 +1,73 @@
+package trace
+
+import "container/heap"
+
+// intHeap is a min-heap of ints for the free-number pools.
+type intHeap []int
+
+func (h intHeap) Len() int            { return len(h) }
+func (h intHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h intHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *intHeap) Push(x interface{}) { *h = append(*h, x.(int)) }
+func (h *intHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Pool implements the paper's free-number pool for renaming runtime handles
+// (MPI_Request, MPI_Comm): handles receive the smallest unused number
+// starting from zero, and numbers return to the pool when the handle is
+// released. This removes the high-entropy runtime values that would defeat
+// grammar compression, while any replay that allocates and releases in the
+// same order reproduces the exact same numbering.
+type Pool struct {
+	free intHeap
+	next int
+	live map[int]int // external handle key -> pool number
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool {
+	return &Pool{live: make(map[int]int)}
+}
+
+// Acquire assigns the smallest free number to the handle key and returns it.
+// Acquiring an already-live key returns its existing number.
+func (p *Pool) Acquire(key int) int {
+	if id, ok := p.live[key]; ok {
+		return id
+	}
+	var id int
+	if len(p.free) > 0 {
+		id = heap.Pop(&p.free).(int)
+	} else {
+		id = p.next
+		p.next++
+	}
+	p.live[key] = id
+	return id
+}
+
+// Lookup returns the pool number of a live handle key.
+func (p *Pool) Lookup(key int) (int, bool) {
+	id, ok := p.live[key]
+	return id, ok
+}
+
+// Release returns the handle's number to the pool. Releasing an unknown key
+// is a no-op and returns -1.
+func (p *Pool) Release(key int) int {
+	id, ok := p.live[key]
+	if !ok {
+		return -1
+	}
+	delete(p.live, key)
+	heap.Push(&p.free, id)
+	return id
+}
+
+// Live reports the number of live handles.
+func (p *Pool) Live() int { return len(p.live) }

@@ -1,0 +1,79 @@
+// Package vtime provides the virtual-time primitives used by the simulated
+// MPI runtime. Every rank owns a Clock that advances only through modelled
+// costs (computation, communication, tracing overhead), never through wall
+// time, so whole-"cluster" runs are deterministic and take milliseconds of
+// real time regardless of the virtual duration they represent.
+package vtime
+
+import (
+	"fmt"
+	"math"
+)
+
+// Time is a point on the virtual timeline, in seconds.
+type Time float64
+
+// Duration is a span of virtual time, in seconds.
+type Duration float64
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds reports the duration in seconds.
+func (d Duration) Seconds() float64 { return float64(d) }
+
+// Max returns the later of a and b.
+func Max(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// String formats a duration with an adaptive unit, for reports.
+func (d Duration) String() string {
+	s := float64(d)
+	abs := math.Abs(s)
+	switch {
+	case abs >= 1:
+		return fmt.Sprintf("%.3fs", s)
+	case abs >= 1e-3:
+		return fmt.Sprintf("%.3fms", s*1e3)
+	case abs >= 1e-6:
+		return fmt.Sprintf("%.3fµs", s*1e6)
+	default:
+		return fmt.Sprintf("%.1fns", s*1e9)
+	}
+}
+
+// Clock is a monotonically advancing virtual clock owned by a single rank.
+// It is not safe for concurrent use; each rank goroutine owns its clock
+// exclusively and cross-rank time flows only through message timestamps.
+type Clock struct {
+	now Time
+}
+
+// Now reports the current virtual time.
+func (c *Clock) Now() Time { return c.now }
+
+// Advance moves the clock forward by d. Negative durations are ignored so
+// that cost models returning tiny negative values from floating-point error
+// cannot move time backwards.
+func (c *Clock) Advance(d Duration) {
+	if d > 0 {
+		c.now = c.now.Add(d)
+	}
+}
+
+// AdvanceTo moves the clock to t if t is later than the current time.
+func (c *Clock) AdvanceTo(t Time) {
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// Reset rewinds the clock to zero, for reuse across simulation runs.
+func (c *Clock) Reset() { c.now = 0 }

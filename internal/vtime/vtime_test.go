@@ -1,0 +1,105 @@
+package vtime
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("new clock at %v, want 0", c.Now())
+	}
+	c.Advance(1.5)
+	if got := c.Now(); got != 1.5 {
+		t.Fatalf("after Advance(1.5): %v", got)
+	}
+	c.Advance(-1) // negative durations must be ignored
+	if got := c.Now(); got != 1.5 {
+		t.Fatalf("negative advance moved clock to %v", got)
+	}
+}
+
+func TestClockAdvanceTo(t *testing.T) {
+	var c Clock
+	c.AdvanceTo(2)
+	if c.Now() != 2 {
+		t.Fatalf("AdvanceTo(2): %v", c.Now())
+	}
+	c.AdvanceTo(1) // must not rewind
+	if c.Now() != 2 {
+		t.Fatalf("AdvanceTo(1) rewound clock to %v", c.Now())
+	}
+}
+
+func TestClockReset(t *testing.T) {
+	var c Clock
+	c.Advance(5)
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatalf("after reset: %v", c.Now())
+	}
+}
+
+func TestMax(t *testing.T) {
+	if Max(1, 2) != 2 || Max(2, 1) != 2 || Max(3, 3) != 3 {
+		t.Fatal("Max is wrong")
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	tm := Time(1).Add(Duration(2))
+	if tm != 3 {
+		t.Fatalf("Add: %v", tm)
+	}
+	if d := Time(5).Sub(Time(2)); d != 3 {
+		t.Fatalf("Sub: %v", d)
+	}
+	if Duration(0.25).Seconds() != 0.25 {
+		t.Fatal("Seconds conversion")
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{1.5, "1.500s"},
+		{2.5e-3, "2.500ms"},
+		{3.25e-6, "3.250µs"},
+		{4e-9, "4.0ns"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("Duration(%g).String() = %q, want %q", float64(c.d), got, c.want)
+		}
+	}
+	if !strings.Contains(Duration(-1.5).String(), "-1.500") {
+		t.Errorf("negative duration formatting: %q", Duration(-1.5).String())
+	}
+}
+
+func TestClockMonotoneProperty(t *testing.T) {
+	// Property: any sequence of Advance/AdvanceTo never decreases Now.
+	f := func(steps []float64) bool {
+		var c Clock
+		prev := c.Now()
+		for i, s := range steps {
+			if i%2 == 0 {
+				c.Advance(Duration(s))
+			} else {
+				c.AdvanceTo(Time(s))
+			}
+			if c.Now() < prev {
+				return false
+			}
+			prev = c.Now()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
