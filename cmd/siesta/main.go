@@ -7,6 +7,7 @@
 //
 //	siesta -app CG -ranks 8 [-iters N] [-scale 10] [-platform A] [-impl openmpi]
 //	       [-o proxy.c] [-trace trace.bin] [-report]
+//	       [--faults "crash:rank=3@call=100"] [--deadline 30s]
 //
 // The list of applications comes from the paper's Table 3; run with
 // -list to enumerate them.
@@ -21,11 +22,13 @@ import (
 	"siesta/internal/codegen"
 	"siesta/internal/core"
 	"siesta/internal/extrapolate"
+	"siesta/internal/fault"
 	"siesta/internal/mpi"
 	"siesta/internal/netmodel"
 	"siesta/internal/perfmodel"
 	"siesta/internal/platform"
 	"siesta/internal/proxy"
+	"siesta/internal/vtime"
 )
 
 func main() {
@@ -41,6 +44,8 @@ func main() {
 	list := flag.Bool("list", false, "list available applications and exit")
 	extrap := flag.Int("extrapolate", 0, "re-target the proxy to this rank count (fully SPMD programs only)")
 	seed := flag.Uint64("seed", 1, "random seed")
+	faultSpec := flag.String("faults", "", `fault-injection plan applied to every run, e.g. "crash:rank=3@call=100;straggler:rank=1,factor=4"`)
+	deadlineSpec := flag.String("deadline", "", "virtual-time budget per run (e.g. 30s); exceeding it aborts with a deadlock report")
 	flag.Parse()
 
 	if *list {
@@ -71,9 +76,25 @@ func main() {
 	if err != nil {
 		die(err)
 	}
+	var plan *fault.Plan
+	if *faultSpec != "" {
+		if plan, err = fault.Parse(*faultSpec); err != nil {
+			die(err)
+		}
+		if plan.Seed == 0 {
+			plan.Seed = *seed
+		}
+	}
+	var deadline vtime.Duration
+	if *deadlineSpec != "" {
+		if deadline, err = fault.ParseDeadline(*deadlineSpec); err != nil {
+			die(err)
+		}
+	}
 
 	res, err := core.Synthesize(fn, core.Options{
 		Platform: plat, Impl: impl, Ranks: *ranks, Scale: *scale, Seed: *seed,
+		Faults: plan, Deadline: deadline,
 	})
 	if err != nil {
 		die(err)

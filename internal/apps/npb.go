@@ -327,7 +327,9 @@ func buildIS(p Params) (func(*mpi.Rank), error) {
 		for it := 0; it < iters; it++ {
 			r.Compute(histogram)
 			r.Allreduce(c, 1024, mpi.OpSum) // bucket size exchange
-			r.Alltoallv(c, counts)          // key redistribution
+			if err := r.Alltoallv(c, counts); err != nil { // key redistribution
+				panic(err)
+			}
 			r.Compute(rankKernel)
 		}
 		r.Allreduce(c, 8, mpi.OpMax) // verification

@@ -262,8 +262,8 @@ func (p *Proxy) Run(cfg mpi.Config) (*mpi.RunResult, error) {
 				for _, s := range sec.body {
 					if s.rec == nil {
 						r.Elapse(vtime.Duration(s.sleep))
-					} else {
-						rp.ExecComm(r, s.rec)
+					} else if err := rp.ExecComm(r, s.rec); err != nil {
+						panic(err)
 					}
 				}
 			}

@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"siesta/internal/codegen"
+	"siesta/internal/fault"
 	"siesta/internal/merge"
 	"siesta/internal/mpi"
 	"siesta/internal/netmodel"
@@ -33,6 +34,15 @@ type Options struct {
 	// disables it.
 	RunVariation float64
 	Seed         uint64
+
+	// Faults optionally injects failures (crashes, message drops/delays,
+	// stragglers, seeded chaos) into every run the pipeline performs —
+	// baseline, traced, and proxy replay — so a proxy's degradation under
+	// faults can be compared against the original's. Deadline bounds each
+	// run's virtual time; past it the runtime aborts with a DeadlockError
+	// naming every blocked rank. Zero values disable both.
+	Faults   *fault.Plan
+	Deadline vtime.Duration
 
 	// Pipeline knobs.
 	Trace trace.Config
@@ -96,6 +106,7 @@ func Synthesize(app func(*mpi.Rank), opts Options) (*Result, error) {
 	base := mpi.NewWorld(mpi.Config{
 		Platform: opts.Platform, Impl: opts.Impl, Size: opts.Ranks,
 		NoiseSigma: opts.NoiseSigma, RunVariation: opts.RunVariation, Seed: opts.Seed,
+		Faults: opts.Faults, Deadline: opts.Deadline,
 	})
 	var err error
 	if res.BaselineRun, err = base.Run(app); err != nil {
@@ -108,6 +119,7 @@ func Synthesize(app func(*mpi.Rank), opts Options) (*Result, error) {
 		Platform: opts.Platform, Impl: opts.Impl, Size: opts.Ranks,
 		NoiseSigma: opts.NoiseSigma, RunVariation: opts.RunVariation,
 		Seed: opts.Seed, Interceptor: rec,
+		Faults: opts.Faults, Deadline: opts.Deadline,
 	})
 	if res.TracedRun, err = traced.Run(app); err != nil {
 		return nil, fmt.Errorf("core: traced run: %w", err)
@@ -149,6 +161,7 @@ func (r *Result) RunProxy(p *platform.Platform, im *netmodel.Impl) (*mpi.RunResu
 		Platform: p, Impl: im,
 		NoiseSigma: r.Opts.NoiseSigma, RunVariation: r.Opts.RunVariation,
 		Seed: r.Opts.Seed + 1,
+		Faults: r.Opts.Faults, Deadline: r.Opts.Deadline,
 	})
 }
 

@@ -1,0 +1,428 @@
+// Package fault describes fault-injection plans for the simulated MPI
+// runtime: rank crashes (fail-stop, loud or silent), message drops and
+// delays selected by (source, destination, tag) matchers, per-rank
+// computation stragglers, and a seeded random chaos mode. A Plan is pure
+// configuration — the mpi package consults it at well-defined points
+// (call entry, message routing, computation regions) — and every decision
+// is a deterministic function of the plan, its seed, and the message or
+// call coordinates, never of goroutine scheduling. Two runs with the same
+// plan and seed therefore inject exactly the same faults and produce
+// bit-identical traces.
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"siesta/internal/vtime"
+)
+
+// Any matches every rank or tag in a matcher field.
+const Any = -1
+
+// Crash kills one rank fail-stop. The rank stops executing at the trigger
+// point; with Silent false the whole job aborts with an MPI-style
+// process-failure error (MPI_ERRORS_ARE_FATAL), with Silent true the rank
+// just disappears and the survivors run on — typically into the deadlock
+// detector, which then names the dead rank's peers.
+type Crash struct {
+	Rank   int
+	AtCall int        // trigger when the rank begins its Nth MPI call (1-based); 0 disables
+	AtTime vtime.Time // trigger at the first call at-or-after this virtual time; 0 disables
+	Silent bool
+}
+
+// Match selects point-to-point messages by source world rank, destination
+// world rank and tag; Any wildcards a field.
+type Match struct {
+	Src, Dst, Tag int
+}
+
+// Matches reports whether the matcher selects a (src, dst, tag) message.
+func (m Match) Matches(src, dst, tag int) bool {
+	return (m.Src == Any || m.Src == src) &&
+		(m.Dst == Any || m.Dst == dst) &&
+		(m.Tag == Any || m.Tag == tag)
+}
+
+// Drop discards matched messages. Prob is the per-message drop
+// probability; 0 or less means drop every match.
+type Drop struct {
+	Match Match
+	Prob  float64
+}
+
+// Delay stretches matched messages: wire time is multiplied by Factor
+// (values <= 0 mean 1) and then extended by Add.
+type Delay struct {
+	Match  Match
+	Factor float64
+	Add    vtime.Duration
+}
+
+// Straggler slows one rank's computation regions by Factor (> 1 is
+// slower), modelling a thermally-throttled or contended node.
+type Straggler struct {
+	Rank   int
+	Factor float64
+}
+
+// Chaos injects random faults everywhere: each message is dropped with
+// probability DropProb or delayed by DelayFactor with probability
+// DelayProb, and each MPI call kills its rank with probability CrashProb.
+// All draws are deterministic in the plan seed.
+type Chaos struct {
+	DropProb    float64
+	DelayProb   float64
+	DelayFactor float64 // wire-time multiplier for chaos delays; <= 0 means 3
+	CrashProb   float64
+}
+
+// Plan is one fault-injection configuration. The zero value injects
+// nothing. Plans are immutable once handed to a world and may be shared
+// across runs and ranks.
+type Plan struct {
+	Seed       uint64
+	Crashes    []Crash
+	Drops      []Drop
+	Delays     []Delay
+	Stragglers []Straggler
+	Chaos      *Chaos
+}
+
+// Empty reports whether the plan injects nothing, so the runtime can skip
+// all fault bookkeeping.
+func (p *Plan) Empty() bool {
+	return p == nil || (len(p.Crashes) == 0 && len(p.Drops) == 0 &&
+		len(p.Delays) == 0 && len(p.Stragglers) == 0 && p.Chaos == nil)
+}
+
+// CrashAt reports whether the plan kills rank at its call-th MPI call
+// (1-based) issued at virtual time now.
+func (p *Plan) CrashAt(rank, call int, now vtime.Time) (Crash, bool) {
+	if p == nil {
+		return Crash{}, false
+	}
+	for _, c := range p.Crashes {
+		if c.Rank != rank {
+			continue
+		}
+		if c.AtCall > 0 && call == c.AtCall {
+			return c, true
+		}
+		if c.AtCall == 0 && c.AtTime > 0 && now >= c.AtTime {
+			return c, true
+		}
+	}
+	if ch := p.Chaos; ch != nil && ch.CrashProb > 0 {
+		if p.roll(0xc4a5, uint64(rank), uint64(call)) < ch.CrashProb {
+			return Crash{Rank: rank, AtCall: call}, true
+		}
+	}
+	return Crash{}, false
+}
+
+// DropMessage reports whether the n-th message (per source-destination
+// channel, in send order) on (src, dst, tag) is dropped.
+func (p *Plan) DropMessage(src, dst, tag, n int) bool {
+	if p == nil {
+		return false
+	}
+	for i, d := range p.Drops {
+		if !d.Match.Matches(src, dst, tag) {
+			continue
+		}
+		if d.Prob <= 0 || p.roll(0xd209^uint64(i), key(src, dst, tag), uint64(n)) < d.Prob {
+			return true
+		}
+	}
+	if ch := p.Chaos; ch != nil && ch.DropProb > 0 {
+		if p.roll(0xcd09, key(src, dst, tag), uint64(n)) < ch.DropProb {
+			return true
+		}
+	}
+	return false
+}
+
+// DelayFor returns the adjusted wire time for the n-th message on
+// (src, dst, tag); with no matching delay rule it returns wire unchanged.
+func (p *Plan) DelayFor(src, dst, tag, n int, wire vtime.Duration) vtime.Duration {
+	if p == nil {
+		return wire
+	}
+	for _, d := range p.Delays {
+		if !d.Match.Matches(src, dst, tag) {
+			continue
+		}
+		if d.Factor > 0 {
+			wire = vtime.Duration(float64(wire) * d.Factor)
+		}
+		wire += d.Add
+	}
+	if ch := p.Chaos; ch != nil && ch.DelayProb > 0 {
+		if p.roll(0xce1a, key(src, dst, tag), uint64(n)) < ch.DelayProb {
+			f := ch.DelayFactor
+			if f <= 0 {
+				f = 3
+			}
+			wire = vtime.Duration(float64(wire) * f)
+		}
+	}
+	return wire
+}
+
+// SlowdownFor returns the computation slowdown factor for a rank (1 when
+// the rank is not a straggler). Multiple matching entries compound.
+func (p *Plan) SlowdownFor(rank int) float64 {
+	f := 1.0
+	if p == nil {
+		return f
+	}
+	for _, s := range p.Stragglers {
+		if s.Rank == rank && s.Factor > 0 {
+			f *= s.Factor
+		}
+	}
+	return f
+}
+
+// key folds a message coordinate into one hash word. Tags may be negative
+// (wildcards never reach here, but user tags are arbitrary ints), so the
+// fold uses two's-complement bit patterns directly.
+func key(src, dst, tag int) uint64 {
+	return uint64(uint32(src))<<40 ^ uint64(uint32(dst))<<20 ^ uint64(uint32(tag))
+}
+
+// roll draws a deterministic uniform in [0, 1) from the plan seed and the
+// given coordinates, via splitmix64 finalization.
+func (p *Plan) roll(stream uint64, coords ...uint64) float64 {
+	x := p.Seed ^ stream*0x9e3779b97f4a7c15
+	for _, c := range coords {
+		x ^= c + 0x9e3779b97f4a7c15 + (x << 6) + (x >> 2)
+		x = mix64(x)
+	}
+	return float64(x>>11) / float64(1<<53)
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Parse builds a plan from a CLI spec: one or more faults separated by
+// ';', each of the form kind:key=value[,key=value...] (an '@' also
+// separates keys, so crash:rank=3@call=100 reads naturally). Kinds:
+//
+//	crash:rank=R[,call=N][,time=D][,silent]
+//	drop:[src=R][,dst=R][,tag=T][,prob=P]
+//	delay:[src=R][,dst=R][,tag=T][,factor=F][,add=D]
+//	straggler:rank=R,factor=F
+//	chaos:[drop=P][,delay=P][,crash=P][,factor=F]
+//
+// R and T accept '*' for any; durations D use Go syntax ("30s", "2ms").
+func Parse(spec string) (*Plan, error) {
+	p := &Plan{}
+	for _, item := range strings.Split(spec, ";") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		kind, rest, _ := strings.Cut(item, ":")
+		kv, err := parseArgs(strings.ReplaceAll(rest, "@", ","))
+		if err != nil {
+			return nil, fmt.Errorf("fault: %q: %w", item, err)
+		}
+		switch kind {
+		case "crash":
+			c := Crash{Rank: -1}
+			if err := kv.apply(map[string]func(string) error{
+				"rank":   func(v string) error { return parseInt(v, &c.Rank) },
+				"call":   func(v string) error { return parseInt(v, &c.AtCall) },
+				"time":   func(v string) error { return parseTime(v, &c.AtTime) },
+				"silent": func(v string) error { return parseBool(v, &c.Silent) },
+			}); err != nil {
+				return nil, fmt.Errorf("fault: %q: %w", item, err)
+			}
+			if c.Rank < 0 {
+				return nil, fmt.Errorf("fault: %q: crash needs rank=R", item)
+			}
+			if c.AtCall <= 0 && c.AtTime <= 0 {
+				return nil, fmt.Errorf("fault: %q: crash needs call=N or time=D", item)
+			}
+			p.Crashes = append(p.Crashes, c)
+		case "drop":
+			d := Drop{Match: Match{Src: Any, Dst: Any, Tag: Any}}
+			if err := kv.apply(map[string]func(string) error{
+				"src":  func(v string) error { return parseRank(v, &d.Match.Src) },
+				"dst":  func(v string) error { return parseRank(v, &d.Match.Dst) },
+				"tag":  func(v string) error { return parseRank(v, &d.Match.Tag) },
+				"prob": func(v string) error { return parseProb(v, &d.Prob) },
+			}); err != nil {
+				return nil, fmt.Errorf("fault: %q: %w", item, err)
+			}
+			p.Drops = append(p.Drops, d)
+		case "delay":
+			d := Delay{Match: Match{Src: Any, Dst: Any, Tag: Any}}
+			var add vtime.Time
+			if err := kv.apply(map[string]func(string) error{
+				"src":    func(v string) error { return parseRank(v, &d.Match.Src) },
+				"dst":    func(v string) error { return parseRank(v, &d.Match.Dst) },
+				"tag":    func(v string) error { return parseRank(v, &d.Match.Tag) },
+				"factor": func(v string) error { return parseFloat(v, &d.Factor) },
+				"add":    func(v string) error { return parseTime(v, &add) },
+			}); err != nil {
+				return nil, fmt.Errorf("fault: %q: %w", item, err)
+			}
+			d.Add = vtime.Duration(add)
+			if d.Factor <= 0 && d.Add <= 0 {
+				return nil, fmt.Errorf("fault: %q: delay needs factor=F or add=D", item)
+			}
+			p.Delays = append(p.Delays, d)
+		case "straggler":
+			s := Straggler{Rank: -1}
+			if err := kv.apply(map[string]func(string) error{
+				"rank":   func(v string) error { return parseInt(v, &s.Rank) },
+				"factor": func(v string) error { return parseFloat(v, &s.Factor) },
+			}); err != nil {
+				return nil, fmt.Errorf("fault: %q: %w", item, err)
+			}
+			if s.Rank < 0 || s.Factor <= 0 {
+				return nil, fmt.Errorf("fault: %q: straggler needs rank=R and factor=F", item)
+			}
+			p.Stragglers = append(p.Stragglers, s)
+		case "chaos":
+			ch := &Chaos{}
+			if err := kv.apply(map[string]func(string) error{
+				"drop":   func(v string) error { return parseProb(v, &ch.DropProb) },
+				"delay":  func(v string) error { return parseProb(v, &ch.DelayProb) },
+				"crash":  func(v string) error { return parseProb(v, &ch.CrashProb) },
+				"factor": func(v string) error { return parseFloat(v, &ch.DelayFactor) },
+			}); err != nil {
+				return nil, fmt.Errorf("fault: %q: %w", item, err)
+			}
+			p.Chaos = ch
+		default:
+			return nil, fmt.Errorf("fault: unknown kind %q (want crash, drop, delay, straggler or chaos)", kind)
+		}
+	}
+	if p.Empty() {
+		return nil, fmt.Errorf("fault: spec %q defines no faults", spec)
+	}
+	return p, nil
+}
+
+// args is a parsed key=value list preserving flag-style bare keys.
+type args map[string]string
+
+func parseArgs(s string) (args, error) {
+	kv := args{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, found := strings.Cut(part, "=")
+		if !found {
+			v = "true" // bare flag, e.g. "silent"
+		}
+		if _, dup := kv[k]; dup {
+			return nil, fmt.Errorf("duplicate key %q", k)
+		}
+		kv[k] = v
+	}
+	return kv, nil
+}
+
+func (kv args) apply(fields map[string]func(string) error) error {
+	for k, v := range kv {
+		set, ok := fields[k]
+		if !ok {
+			return fmt.Errorf("unknown key %q", k)
+		}
+		if err := set(v); err != nil {
+			return fmt.Errorf("key %q: %w", k, err)
+		}
+	}
+	return nil
+}
+
+func parseInt(v string, out *int) error {
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return err
+	}
+	*out = n
+	return nil
+}
+
+func parseRank(v string, out *int) error {
+	if v == "*" || v == "any" {
+		*out = Any
+		return nil
+	}
+	return parseInt(v, out)
+}
+
+func parseFloat(v string, out *float64) error {
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return err
+	}
+	*out = f
+	return nil
+}
+
+// parseProb parses a probability and rejects values outside [0, 1].
+func parseProb(v string, out *float64) error {
+	if err := parseFloat(v, out); err != nil {
+		return err
+	}
+	if *out < 0 || *out > 1 {
+		return fmt.Errorf("probability %v outside [0, 1]", *out)
+	}
+	return nil
+}
+
+func parseBool(v string, out *bool) error {
+	b, err := strconv.ParseBool(v)
+	if err != nil {
+		return err
+	}
+	*out = b
+	return nil
+}
+
+func parseTime(v string, out *vtime.Time) error {
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		// Bare numbers are virtual seconds.
+		f, ferr := strconv.ParseFloat(v, 64)
+		if ferr != nil {
+			return err
+		}
+		*out = vtime.Time(f)
+		return nil
+	}
+	*out = vtime.Time(d.Seconds())
+	return nil
+}
+
+// ParseDeadline reads a --deadline value: Go duration syntax or bare
+// virtual seconds.
+func ParseDeadline(v string) (vtime.Duration, error) {
+	var t vtime.Time
+	if err := parseTime(v, &t); err != nil {
+		return 0, fmt.Errorf("fault: bad deadline %q: %w", v, err)
+	}
+	if t <= 0 {
+		return 0, fmt.Errorf("fault: deadline %q must be positive", v)
+	}
+	return vtime.Duration(t), nil
+}

@@ -1,0 +1,166 @@
+package fault
+
+import (
+	"testing"
+
+	"siesta/internal/vtime"
+)
+
+func TestParseCrash(t *testing.T) {
+	p, err := Parse("crash:rank=3@call=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Crashes) != 1 {
+		t.Fatalf("got %d crashes", len(p.Crashes))
+	}
+	c := p.Crashes[0]
+	if c.Rank != 3 || c.AtCall != 100 || c.Silent {
+		t.Errorf("crash = %+v", c)
+	}
+	if _, ok := p.CrashAt(3, 100, 0); !ok {
+		t.Error("CrashAt(3, 100) should fire")
+	}
+	if _, ok := p.CrashAt(3, 99, 0); ok {
+		t.Error("CrashAt(3, 99) should not fire")
+	}
+	if _, ok := p.CrashAt(2, 100, 0); ok {
+		t.Error("CrashAt(2, 100) should not fire")
+	}
+}
+
+func TestParseAllKinds(t *testing.T) {
+	spec := "crash:rank=1,time=2s,silent; drop:src=0,dst=1,tag=7,prob=0.5; " +
+		"delay:src=*,dst=2,factor=3,add=1ms; straggler:rank=2,factor=4; chaos:drop=0.01,delay=0.02,crash=0.001"
+	p, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Crashes) != 1 || !p.Crashes[0].Silent || p.Crashes[0].AtTime != 2 {
+		t.Errorf("crashes = %+v", p.Crashes)
+	}
+	if len(p.Drops) != 1 || p.Drops[0].Prob != 0.5 || p.Drops[0].Match.Tag != 7 {
+		t.Errorf("drops = %+v", p.Drops)
+	}
+	if len(p.Delays) != 1 || p.Delays[0].Match.Src != Any || p.Delays[0].Add != vtime.Duration(1e-3) {
+		t.Errorf("delays = %+v", p.Delays)
+	}
+	if got := p.SlowdownFor(2); got != 4 {
+		t.Errorf("SlowdownFor(2) = %v", got)
+	}
+	if got := p.SlowdownFor(0); got != 1 {
+		t.Errorf("SlowdownFor(0) = %v", got)
+	}
+	if p.Chaos == nil || p.Chaos.CrashProb != 0.001 {
+		t.Errorf("chaos = %+v", p.Chaos)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",                        // no faults
+		"crash:call=5",            // missing rank
+		"crash:rank=1",            // missing trigger
+		"straggler:rank=1",        // missing factor
+		"delay:src=0",             // no factor or add
+		"warp:rank=1",             // unknown kind
+		"drop:src=0,src=1",        // duplicate key
+		"drop:badness=1",          // unknown key
+		"crash:rank=x,call=1",     // bad int
+		"straggler:rank=1,factor", // bare non-bool
+		"drop:prob=1.5",           // probability above 1
+		"chaos:crash=-0.1",        // probability below 0
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) should fail", spec)
+		}
+	}
+}
+
+func TestMatchWildcards(t *testing.T) {
+	m := Match{Src: Any, Dst: 3, Tag: Any}
+	if !m.Matches(9, 3, 42) {
+		t.Error("wildcard src/tag should match")
+	}
+	if m.Matches(9, 4, 42) {
+		t.Error("dst mismatch should not match")
+	}
+}
+
+func TestDropDeterminism(t *testing.T) {
+	p := &Plan{Seed: 7, Drops: []Drop{{Match: Match{Src: Any, Dst: Any, Tag: Any}, Prob: 0.3}}}
+	for n := 0; n < 1000; n++ {
+		a := p.DropMessage(0, 1, 5, n)
+		b := p.DropMessage(0, 1, 5, n)
+		if a != b {
+			t.Fatalf("non-deterministic drop decision at n=%d", n)
+		}
+	}
+	// A different seed must give a different decision sequence.
+	q := &Plan{Seed: 8, Drops: p.Drops}
+	same := 0
+	for n := 0; n < 1000; n++ {
+		if p.DropMessage(0, 1, 5, n) == q.DropMessage(0, 1, 5, n) {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Error("seeds 7 and 8 produced identical drop sequences")
+	}
+}
+
+func TestDropProbability(t *testing.T) {
+	p := &Plan{Seed: 11, Chaos: &Chaos{DropProb: 0.25}}
+	hits := 0
+	const trials = 10000
+	for n := 0; n < trials; n++ {
+		if p.DropMessage(2, 3, 0, n) {
+			hits++
+		}
+	}
+	got := float64(hits) / trials
+	if got < 0.2 || got > 0.3 {
+		t.Errorf("chaos drop rate %v, want ~0.25", got)
+	}
+}
+
+func TestDelayFor(t *testing.T) {
+	p := &Plan{Delays: []Delay{{Match: Match{Src: 0, Dst: 1, Tag: Any}, Factor: 2, Add: 0.5}}}
+	if got := p.DelayFor(0, 1, 9, 0, 1); got != 2.5 {
+		t.Errorf("DelayFor = %v, want 2.5", got)
+	}
+	if got := p.DelayFor(1, 0, 9, 0, 1); got != 1 {
+		t.Errorf("unmatched DelayFor = %v, want 1", got)
+	}
+}
+
+func TestEmptyPlan(t *testing.T) {
+	var p *Plan
+	if !p.Empty() {
+		t.Error("nil plan should be empty")
+	}
+	if p.DropMessage(0, 1, 0, 0) || p.DelayFor(0, 1, 0, 0, 1) != 1 || p.SlowdownFor(0) != 1 {
+		t.Error("nil plan should inject nothing")
+	}
+	if _, ok := p.CrashAt(0, 1, 0); ok {
+		t.Error("nil plan should not crash")
+	}
+	if !(&Plan{Seed: 3}).Empty() {
+		t.Error("seed-only plan should be empty")
+	}
+}
+
+func TestParseDeadline(t *testing.T) {
+	if d, err := ParseDeadline("30s"); err != nil || d != 30 {
+		t.Errorf("ParseDeadline(30s) = %v, %v", d, err)
+	}
+	if d, err := ParseDeadline("2.5"); err != nil || d != 2.5 {
+		t.Errorf("ParseDeadline(2.5) = %v, %v", d, err)
+	}
+	if _, err := ParseDeadline("-1s"); err == nil {
+		t.Error("negative deadline should fail")
+	}
+	if _, err := ParseDeadline("bogus"); err == nil {
+		t.Error("bad deadline should fail")
+	}
+}

@@ -10,7 +10,9 @@ import (
 // collective runs the shared synchronization for one collective instance:
 // all ranks of c must call it with the same sequence number; the slot
 // completes when the last rank arrives, and every rank leaves at
-// max(arrival times) + modelled cost.
+// max(arrival times) + modelled cost. A rank arriving with a different
+// operation than the slot's (two ranks disagreeing on the collective call
+// sequence) raises an MPIError instead of silently merging the calls.
 func (r *Rank) collective(c *Comm, op netmodel.CollOp, bytes int, split [2]int, isSplit bool) *collSlot {
 	w := r.world
 	seq := r.seqs[c.id]
@@ -19,6 +21,12 @@ func (r *Rank) collective(c *Comm, op netmodel.CollOp, bytes int, split [2]int, 
 	w.mu.Lock()
 	key := collKey{commID: c.id, seq: seq}
 	slot := w.collectiveSlot(c, seq, op)
+	if slot.op != op {
+		w.mu.Unlock()
+		panic(mpiErrorf(ErrComm, r.rank, callName(r.curCall),
+			"collective mismatch on comm %d seq %d: %v arrives while %v is in progress",
+			c.id, seq, op, slot.op))
+	}
 	slot.arrived++
 	if t := r.clock.Now(); t > slot.maxIn {
 		slot.maxIn = t
@@ -34,12 +42,30 @@ func (r *Rank) collective(c *Comm, op netmodel.CollOp, bytes int, split [2]int, 
 	}
 	if slot.arrived == slot.expected {
 		w.finishCollective(c, key, slot)
+	} else {
+		w.blockLocked(r, collPendingOp(r, c, seq, slot),
+			func() bool { return slot.completed })
+		w.checkDeadlockLocked()
 	}
 	w.mu.Unlock()
 	<-slot.done
+	w.mu.Lock()
+	w.resumeLocked(r)
+	w.mu.Unlock()
 	r.abortIfFailed()
 	r.clock.AdvanceTo(slot.outTime)
 	return slot
+}
+
+// collPendingOp describes a rank blocked in a collective for the deadlock
+// detector. The closure reads the slot's arrival count when the report is
+// produced (under w.mu), so late arrivers are reflected.
+func collPendingOp(r *Rank, c *Comm, seq int, slot *collSlot) func() PendingOp {
+	return func() PendingOp {
+		op := r.pendingOp(fmt.Sprintf("seq %d, %d/%d arrived", seq, slot.arrived, slot.expected))
+		op.Comm = c.id
+		return op
+	}
 }
 
 // Barrier blocks until all ranks of c have entered it.
@@ -108,10 +134,14 @@ func (r *Rank) Alltoall(c *Comm, bytes int) {
 }
 
 // Alltoallv exchanges per-destination byte counts with every rank of c;
-// counts[i] is the byte count this rank sends to comm rank i.
-func (r *Rank) Alltoallv(c *Comm, counts []int) {
+// counts[i] is the byte count this rank sends to comm rank i. A counts
+// vector that does not cover the communicator is an MPI_ERR_COUNT error,
+// returned without entering the collective (so the other ranks deadlock
+// on the missing participant rather than the process dying).
+func (r *Rank) Alltoallv(c *Comm, counts []int) error {
 	if len(counts) != c.Size() {
-		panic(fmt.Sprintf("mpi: Alltoallv counts length %d != comm size %d", len(counts), c.Size()))
+		return mpiErrorf(ErrCount, r.rank, "MPI_Alltoallv",
+			"counts length %d != comm size %d", len(counts), c.Size())
 	}
 	total := 0
 	for _, n := range counts {
@@ -121,6 +151,7 @@ func (r *Rank) Alltoallv(c *Comm, counts []int) {
 	r.beginCall(call)
 	r.collective(c, netmodel.Alltoall, total, [2]int{}, false)
 	r.endCall(call)
+	return nil
 }
 
 // Allgatherv gathers per-rank byte counts to all ranks; bytes is this rank's

@@ -25,13 +25,16 @@ func (r *Rank) Ssend(c *Comm, dst, tag, bytes int) {
 		m := r.buildMessage(c, dst, tag, bytes, nil, nil)
 		m.eager = false // synchronous mode: always handshake
 		req := r.newRequest(reqSend)
+		req.describe(dst, tag)
 		m.sendReq = req
 		m.sender = r
 		w.mu.Lock()
 		w.postMessage(m)
-		for !req.done && !w.aborted() {
-			r.cond.Wait()
-		}
+		w.waitCond(r, func() PendingOp {
+			op := r.pendingOp("synchronous handshake")
+			op.Peer, op.Tag = dst, tag
+			return op
+		}, func() bool { return req.done })
 		w.mu.Unlock()
 		r.abortIfFailed()
 		r.clock.AdvanceTo(vtime.Time(req.time))
@@ -51,14 +54,15 @@ func (r *Rank) Probe(c *Comm, src, tag int) Status {
 	}
 	var st Status
 	w.mu.Lock()
-	for !w.aborted() {
-		if m := w.findUnexpected(probe); m != nil {
-			st = Status{Source: m.srcComm, Tag: m.tag, Bytes: m.bytes}
-			// The probe observes the message once it could have arrived.
-			r.clock.AdvanceTo(resolveRecv(m, probe.postTime))
-			break
-		}
-		r.cond.Wait()
+	w.waitCond(r, func() PendingOp {
+		op := r.pendingOp("probing")
+		op.Peer, op.Tag = src, tag
+		return op
+	}, func() bool { return w.findUnexpected(probe) != nil })
+	if m := w.findUnexpected(probe); m != nil {
+		st = Status{Source: m.srcComm, Tag: m.tag, Bytes: m.bytes}
+		// The probe observes the message once it could have arrived.
+		r.clock.AdvanceTo(resolveRecv(m, probe.postTime))
 	}
 	w.mu.Unlock()
 	r.abortIfFailed()
@@ -113,19 +117,24 @@ func (r *Rank) Waitany(reqs []*Request) (int, Status) {
 	r.beginCall(call)
 	w := r.world
 	idx := -1
-	w.mu.Lock()
-	for !w.aborted() {
-		best := math.Inf(1)
-		for i, req := range reqs {
-			if req != nil && req.done && req.time < best {
-				best = req.time
-				idx = i
+	anyDone := func() bool {
+		for _, req := range reqs {
+			if req != nil && req.done {
+				return true
 			}
 		}
-		if idx >= 0 {
-			break
+		return false
+	}
+	w.mu.Lock()
+	w.waitCond(r, func() PendingOp {
+		return r.pendingOp(fmt.Sprintf("any of %d requests", len(reqs)))
+	}, anyDone)
+	best := math.Inf(1)
+	for i, req := range reqs {
+		if req != nil && req.done && req.time < best {
+			best = req.time
+			idx = i
 		}
-		r.cond.Wait()
 	}
 	w.mu.Unlock()
 	r.abortIfFailed()
@@ -208,10 +217,12 @@ type Cart struct {
 }
 
 // DimsCreate factors nnodes into ndims balanced dimensions, largest first
-// (the MPI_Dims_create contract).
-func DimsCreate(nnodes, ndims int) []int {
+// (the MPI_Dims_create contract). Non-positive arguments are an
+// MPI_ERR_DIMS error.
+func DimsCreate(nnodes, ndims int) ([]int, error) {
 	if nnodes <= 0 || ndims <= 0 {
-		panic(fmt.Sprintf("mpi: DimsCreate(%d, %d)", nnodes, ndims))
+		return nil, mpiErrorf(ErrDims, -1, "MPI_Dims_create",
+			"nnodes %d and ndims %d must be positive", nnodes, ndims)
 	}
 	dims := make([]int, ndims)
 	for i := range dims {
@@ -246,7 +257,7 @@ func DimsCreate(nnodes, ndims int) []int {
 			}
 		}
 	}
-	return dims
+	return dims, nil
 }
 
 // CartCreate builds a Cartesian view of the communicator. The product of

@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"errors"
 	"reflect"
 	"testing"
 
@@ -186,7 +187,10 @@ func TestDimsCreate(t *testing.T) {
 		{1, 3, []int{1, 1, 1}},
 	}
 	for _, c := range cases {
-		got := DimsCreate(c.n, c.d)
+		got, err := DimsCreate(c.n, c.d)
+		if err != nil {
+			t.Fatalf("DimsCreate(%d,%d): %v", c.n, c.d, err)
+		}
 		if !reflect.DeepEqual(got, c.want) {
 			t.Errorf("DimsCreate(%d,%d) = %v, want %v", c.n, c.d, got, c.want)
 		}
@@ -196,6 +200,12 @@ func TestDimsCreate(t *testing.T) {
 		}
 		if prod != c.n {
 			t.Errorf("DimsCreate(%d,%d) does not cover: %v", c.n, c.d, got)
+		}
+	}
+	for _, bad := range [][2]int{{0, 2}, {8, 0}, {-1, 3}} {
+		var mpiErr *MPIError
+		if _, err := DimsCreate(bad[0], bad[1]); !errors.As(err, &mpiErr) || mpiErr.Class != ErrDims {
+			t.Errorf("DimsCreate(%d,%d) = %v, want MPI_ERR_DIMS", bad[0], bad[1], err)
 		}
 	}
 }

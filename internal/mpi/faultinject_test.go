@@ -1,0 +1,206 @@
+package mpi
+
+import (
+	"errors"
+	"testing"
+
+	"siesta/internal/fault"
+	"siesta/internal/perfmodel"
+	"siesta/internal/vtime"
+)
+
+// Tests for each fault kind injected through Config.Faults. The chaos-mode
+// and trace-determinism tests live in determinism_test.go (external test
+// package, so they can use the trace recorder).
+
+func faultWorld(size int, p *fault.Plan) *World {
+	return NewWorld(Config{Size: size, Faults: p})
+}
+
+// pingPong is a 2-rank app where rank 0 sends and rank 1 echoes.
+func pingPong(rounds, bytes int) func(*Rank) {
+	return func(r *Rank) {
+		c := r.World()
+		for i := 0; i < rounds; i++ {
+			if r.Rank() == 0 {
+				r.Send(c, 1, i, bytes)
+				r.Recv(c, 1, i)
+			} else {
+				r.Recv(c, 0, i)
+				r.Send(c, 0, i, bytes)
+			}
+		}
+	}
+}
+
+func TestCrashLoud(t *testing.T) {
+	plan := &fault.Plan{Crashes: []fault.Crash{{Rank: 1, AtCall: 3}}}
+	_, err := faultWorld(2, plan).Run(pingPong(10, 64))
+	var mpiErr *MPIError
+	if !errors.As(err, &mpiErr) || mpiErr.Class != ErrProcFailed {
+		t.Fatalf("loud crash returned %v, want MPIX_ERR_PROC_FAILED", err)
+	}
+	if mpiErr.Rank != 1 {
+		t.Errorf("crash attributed to rank %d, want 1", mpiErr.Rank)
+	}
+}
+
+func TestCrashSilent(t *testing.T) {
+	// Rank 1 disappears without notification; rank 0 deadlocks waiting for
+	// the echo, and the report names the crashed rank.
+	plan := &fault.Plan{Crashes: []fault.Crash{{Rank: 1, AtCall: 3, Silent: true}}}
+	_, err := faultWorld(2, plan).Run(pingPong(10, 64))
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("silent crash returned %v, want a DeadlockError", err)
+	}
+	if len(dl.Crashed) != 1 || dl.Crashed[0] != 1 {
+		t.Errorf("crashed ranks %v, want [1]", dl.Crashed)
+	}
+	if len(dl.Blocked) != 1 || dl.Blocked[0].Rank != 0 || dl.Blocked[0].Func != "MPI_Recv" {
+		t.Errorf("blocked ops %v, want rank 0 stuck in MPI_Recv", dl.Blocked)
+	}
+}
+
+func TestCrashSilentSurvivorsFinish(t *testing.T) {
+	// The survivors never needed the crashed rank, so the run completes —
+	// but a silently lost rank is still a failed job, reported post-hoc.
+	plan := &fault.Plan{Crashes: []fault.Crash{{Rank: 1, AtCall: 1, Silent: true}}}
+	_, err := faultWorld(2, plan).Run(func(r *Rank) {
+		if r.Rank() == 1 {
+			r.Barrier(r.World()) // never reached: crash fires on call entry
+		}
+		// Rank 0 does pure computation; it notices nothing.
+		r.Compute(perfmodel.Kernel{IntOps: 1e6})
+	})
+	var mpiErr *MPIError
+	if !errors.As(err, &mpiErr) || mpiErr.Class != ErrProcFailed {
+		t.Fatalf("lost rank returned %v, want MPIX_ERR_PROC_FAILED", err)
+	}
+}
+
+func TestDropDeadlocks(t *testing.T) {
+	// Every message from 0 to 1 vanishes: rank 1 never gets the ping and
+	// rank 0 never gets the echo.
+	plan := &fault.Plan{Drops: []fault.Drop{{Match: fault.Match{Src: 0, Dst: 1, Tag: fault.Any}}}}
+	_, err := faultWorld(2, plan).Run(pingPong(10, 64))
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("dropped messages returned %v, want a DeadlockError", err)
+	}
+	if len(dl.Blocked) != 2 {
+		t.Fatalf("blocked ops %v, want both ranks stuck", dl.Blocked)
+	}
+	if dl.Blocked[1].Func != "MPI_Recv" || dl.Blocked[1].Peer != 0 {
+		t.Errorf("rank 1 pending %v, want MPI_Recv peer=0", dl.Blocked[1])
+	}
+}
+
+func TestDropRendezvousSender(t *testing.T) {
+	// A dropped rendezvous-sized send leaves the *sender* stuck in the
+	// handshake too, and the report says so.
+	plan := &fault.Plan{Drops: []fault.Drop{{Match: fault.Match{Src: 0, Dst: 1, Tag: fault.Any}}}}
+	_, err := faultWorld(2, plan).Run(func(r *Rank) {
+		c := r.World()
+		if r.Rank() == 0 {
+			r.Send(c, 1, 0, 1<<22) // rendezvous-sized
+		} else {
+			r.Recv(c, 0, 0)
+		}
+	})
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("dropped rendezvous returned %v, want a DeadlockError", err)
+	}
+	if len(dl.Blocked) != 2 || dl.Blocked[0].Func != "MPI_Send" {
+		t.Errorf("blocked ops %v, want rank 0 stuck in MPI_Send", dl.Blocked)
+	}
+}
+
+func TestDelaySlowsRun(t *testing.T) {
+	app := pingPong(20, 1<<20)
+	base, err := faultWorld(2, nil).Run(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &fault.Plan{Delays: []fault.Delay{{
+		Match: fault.Match{Src: fault.Any, Dst: fault.Any, Tag: fault.Any}, Factor: 10,
+	}}}
+	slow, err := faultWorld(2, plan).Run(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.ExecTime <= base.ExecTime {
+		t.Errorf("10x wire delay ran in %v, baseline %v: delay had no effect",
+			slow.ExecTime, base.ExecTime)
+	}
+}
+
+func TestDelayAdditive(t *testing.T) {
+	app := pingPong(5, 64)
+	base, err := faultWorld(2, nil).Run(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &fault.Plan{Delays: []fault.Delay{{
+		Match: fault.Match{Src: fault.Any, Dst: fault.Any, Tag: fault.Any},
+		Add:   vtime.Duration(0.01),
+	}}}
+	slow, err := faultWorld(2, plan).Run(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 messages x 10ms of added latency dominates this tiny app.
+	if slow.ExecTime < base.ExecTime+vtime.Duration(0.05) {
+		t.Errorf("additive delay ran in %v, baseline %v", slow.ExecTime, base.ExecTime)
+	}
+}
+
+func TestStragglerSlowsRank(t *testing.T) {
+	app := func(r *Rank) {
+		r.Compute(perfmodel.Kernel{IntOps: 1e9})
+		r.Barrier(r.World())
+	}
+	base, err := faultWorld(4, nil).Run(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &fault.Plan{Stragglers: []fault.Straggler{{Rank: 2, Factor: 4}}}
+	slow, err := faultWorld(4, plan).Run(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The barrier makes everyone wait for the straggler: the whole job
+	// degrades to roughly the straggler's pace.
+	if float64(slow.ExecTime) < 2*float64(base.ExecTime) {
+		t.Errorf("4x straggler ran in %v, baseline %v: too little degradation",
+			slow.ExecTime, base.ExecTime)
+	}
+
+	// Without synchronization only the straggler itself is late.
+	noSync, err := faultWorld(4, plan).Run(func(r *Rank) {
+		r.Compute(perfmodel.Kernel{IntOps: 1e9})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(noSync.Ranks[2].FinishTime) < 2*float64(noSync.Ranks[0].FinishTime) {
+		t.Errorf("straggler finished at %v vs rank 0 at %v, want ~4x",
+			noSync.Ranks[2].FinishTime, noSync.Ranks[0].FinishTime)
+	}
+}
+
+func TestEmptyPlanIsNoFault(t *testing.T) {
+	app := pingPong(10, 256)
+	base, err := faultWorld(2, nil).Run(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	with, err := faultWorld(2, &fault.Plan{}).Run(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.ExecTime != with.ExecTime {
+		t.Errorf("empty plan changed execution: %v vs %v", with.ExecTime, base.ExecTime)
+	}
+}

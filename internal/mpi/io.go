@@ -1,8 +1,6 @@
 package mpi
 
 import (
-	"fmt"
-
 	"siesta/internal/vtime"
 )
 
@@ -60,17 +58,18 @@ func (r *Rank) FileOpen(c *Comm, name string) *File {
 	return f
 }
 
-// checkOpen panics if the file is nil or already closed (reading the shared
-// flag under the world lock).
+// checkOpen raises an MPI_ERR_FILE error (as a typed panic absorbed by
+// World.Run) if the file is nil or already closed, reading the shared flag
+// under the world lock.
 func (r *Rank) checkOpen(fn string, f *File) {
 	if f == nil {
-		panic(fmt.Sprintf("mpi: %s on nil file", fn))
+		panic(mpiErrorf(ErrFile, r.rank, fn, "operation on nil file"))
 	}
 	r.world.mu.Lock()
 	closed := f.closed
 	r.world.mu.Unlock()
 	if closed {
-		panic(fmt.Sprintf("mpi: %s on closed file %q", fn, f.name))
+		panic(mpiErrorf(ErrFile, r.rank, fn, "operation on closed file %q", f.name))
 	}
 }
 
@@ -146,10 +145,18 @@ func (r *Rank) fileCollective(fn string, f *File, offset, bytes int) {
 		cost := fsLatencySec + total/fsAggregateBwBps
 		slot.outTime = slot.maxIn.Add(vtime.Duration(cost * w.commJitter))
 		delete(w.colls, key)
+		slot.completed = true
 		close(slot.done)
+	} else {
+		w.blockLocked(r, collPendingOp(r, c, seq, slot),
+			func() bool { return slot.completed })
+		w.checkDeadlockLocked()
 	}
 	w.mu.Unlock()
 	<-slot.done
+	w.mu.Lock()
+	w.resumeLocked(r)
+	w.mu.Unlock()
 	r.abortIfFailed()
 	r.clock.AdvanceTo(slot.outTime)
 	r.endCall(call)

@@ -74,6 +74,14 @@ type Request struct {
 	st    Status  // resolved status for receives
 	nul   bool    // request on ProcNull, completes immediately
 
+	// Diagnostic coordinates for deadlock reports: the operation that
+	// created the request, its comm-rank partner (NoPeer for
+	// collectives), tag, and communicator id.
+	op     string
+	peer   int
+	tag    int
+	commID int
+
 	// persistent holds the bound parameters of a persistent request
 	// (MPI_Send_init family); nil for ordinary requests.
 	persistent *persistentArgs

@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"errors"
 	"sync"
 	"testing"
 
@@ -289,10 +290,19 @@ func TestCollectivesSynchronize(t *testing.T) {
 func TestAlltoallvCountsValidation(t *testing.T) {
 	w := newTestWorld(2)
 	_, err := w.Run(func(r *Rank) {
-		r.Alltoallv(r.World(), []int{1}) // wrong length: panics
+		if err := r.Alltoallv(r.World(), []int{1}); err != nil { // wrong length
+			panic(err) // propagate: the run must fail with the MPIError
+		}
 	})
 	if err == nil {
 		t.Fatal("bad counts should abort the run")
+	}
+	var mpiErr *MPIError
+	if !errors.As(err, &mpiErr) || mpiErr.Class != ErrCount {
+		t.Fatalf("err = %v, want wrapped MPI_ERR_COUNT", err)
+	}
+	if mpiErr.Op != "MPI_Alltoallv" {
+		t.Errorf("Op = %q", mpiErr.Op)
 	}
 }
 

@@ -55,8 +55,13 @@ func (pr *postedRecv) matches(m *message) bool {
 // postMessage routes a newly sent message: match against posted receives in
 // post order, or enqueue as unexpected. Caller holds w.mu. The destination
 // rank is woken either way — an unmatched arrival may still be what a
-// blocked Probe is waiting for.
+// blocked Probe is waiting for. A message the fault plan drops vanishes
+// here: the receiver keeps waiting (and a rendezvous sender keeps waiting
+// for the handshake), which the deadlock detector then reports.
 func (w *World) postMessage(m *message) {
+	if !w.routeFaults(m) {
+		return
+	}
 	queue := w.posted[m.dstWorld]
 	for i, pr := range queue {
 		if pr.matches(m) {
@@ -132,13 +137,16 @@ func (r *Rank) sendPayload(c *Comm, dst, tag, bytes int, payload []byte) {
 			w.mu.Unlock()
 		} else {
 			req := r.newRequest(reqSend)
+			req.describe(dst, tag)
 			m.sendReq = req
 			m.sender = r
 			w.mu.Lock()
 			w.postMessage(m)
-			for !req.done && !w.aborted() {
-				r.cond.Wait()
-			}
+			w.waitCond(r, func() PendingOp {
+				op := r.pendingOp("rendezvous handshake")
+				op.Peer, op.Tag = dst, tag
+				return op
+			}, func() bool { return req.done })
 			w.mu.Unlock()
 			r.abortIfFailed()
 			r.clock.AdvanceTo(vtime.Time(req.time))
@@ -165,15 +173,18 @@ func (r *Rank) recvInto(c *Comm, src, tag int, buf []byte) Status {
 	if src != ProcNull {
 		w := r.world
 		req := r.newRequest(reqRecv)
+		req.describe(src, tag)
 		pr := &postedRecv{
 			commID: c.id, src: src, tag: tag,
 			postTime: r.clock.Now(), req: req, owner: r, buf: buf,
 		}
 		w.mu.Lock()
 		w.postRecv(pr)
-		for !req.done && !w.aborted() {
-			r.cond.Wait()
-		}
+		w.waitCond(r, func() PendingOp {
+			op := r.pendingOp("")
+			op.Peer, op.Tag = src, tag
+			return op
+		}, func() bool { return req.done })
 		w.mu.Unlock()
 		r.abortIfFailed()
 		r.clock.AdvanceTo(vtime.Time(req.time))
@@ -196,6 +207,7 @@ func (r *Rank) Isend(c *Comm, dst, tag, bytes int) *Request {
 		req.done, req.nul = true, true
 		req.time = float64(r.clock.Now())
 	} else {
+		req.describe(dst, tag)
 		r.clock.Advance(w.cfg.Impl.CallOverhead())
 		m := r.buildMessage(c, dst, tag, bytes, nil, req)
 		m.sender = r
@@ -224,6 +236,7 @@ func (r *Rank) Irecv(c *Comm, src, tag int) *Request {
 		req.done, req.nul = true, true
 		req.time = float64(r.clock.Now())
 	} else {
+		req.describe(src, tag)
 		r.clock.Advance(w.cfg.Impl.CallOverhead())
 		pr := &postedRecv{
 			commID: c.id, src: src, tag: tag,
@@ -264,13 +277,19 @@ func (r *Rank) waitOne(req *Request) Status {
 		return Status{}
 	}
 	if req.owner != r.rank {
-		panic(fmt.Sprintf("mpi: rank %d waiting on request owned by rank %d", r.rank, req.owner))
+		panic(mpiErrorf(ErrRequest, r.rank, callName(r.curCall),
+			"waiting on a request owned by rank %d", req.owner))
 	}
 	w := r.world
 	w.mu.Lock()
-	for !req.done && !w.aborted() {
-		r.cond.Wait()
-	}
+	w.waitCond(r, func() PendingOp {
+		op := r.pendingOp(fmt.Sprintf("request #%d from %s", req.id, req.op))
+		op.Peer, op.Tag = req.peer, req.tag
+		if req.commID >= 0 {
+			op.Comm = req.commID
+		}
+		return op
+	}, func() bool { return req.done })
 	w.mu.Unlock()
 	r.abortIfFailed()
 	r.clock.AdvanceTo(vtime.Time(req.time))
@@ -315,6 +334,7 @@ func (r *Rank) Sendrecv(c *Comm, dst, sendTag, sendBytes, src, recvTag int) Stat
 	var sreq, rreq *Request
 	if dst != ProcNull {
 		sreq = r.newRequest(reqSend)
+		sreq.describe(dst, sendTag)
 		m := r.buildMessage(c, dst, sendTag, sendBytes, nil, sreq)
 		m.sender = r
 		if m.eager {
@@ -328,6 +348,7 @@ func (r *Rank) Sendrecv(c *Comm, dst, sendTag, sendBytes, src, recvTag int) Stat
 	}
 	if src != ProcNull {
 		rreq = r.newRequest(reqRecv)
+		rreq.describe(src, recvTag)
 		pr := &postedRecv{
 			commID: c.id, src: src, tag: recvTag,
 			postTime: r.clock.Now(), req: rreq, owner: r,

@@ -1,8 +1,6 @@
 package mpi
 
 import (
-	"fmt"
-
 	"siesta/internal/vtime"
 )
 
@@ -26,6 +24,7 @@ func (r *Rank) SendInit(c *Comm, dst, tag, bytes int) *Request {
 	call := &Call{Func: "MPI_Send_init", Comm: c, Dest: dst, Tag: tag, Bytes: bytes}
 	r.beginCall(call)
 	req := r.newRequest(reqSend)
+	req.describe(dst, tag)
 	req.persistent = &persistentArgs{comm: c, peer: dst, tag: tag, bytes: bytes}
 	req.done = true // inactive persistent requests are "complete"
 	req.time = float64(r.clock.Now())
@@ -40,6 +39,7 @@ func (r *Rank) RecvInit(c *Comm, src, tag int) *Request {
 	call := &Call{Func: "MPI_Recv_init", Comm: c, Source: src, Tag: tag}
 	r.beginCall(call)
 	req := r.newRequest(reqRecv)
+	req.describe(src, tag)
 	req.persistent = &persistentArgs{comm: c, peer: src, tag: tag}
 	req.done = true
 	req.time = float64(r.clock.Now())
@@ -53,10 +53,11 @@ func (r *Rank) RecvInit(c *Comm, src, tag int) *Request {
 // parameters.
 func (r *Rank) Start(req *Request) {
 	if req == nil || req.persistent == nil {
-		panic("mpi: Start on a non-persistent request")
+		panic(mpiErrorf(ErrRequest, r.rank, "MPI_Start", "request is not persistent"))
 	}
 	if req.owner != r.rank {
-		panic(fmt.Sprintf("mpi: rank %d starting request owned by rank %d", r.rank, req.owner))
+		panic(mpiErrorf(ErrRequest, r.rank, "MPI_Start",
+			"starting a request owned by rank %d", req.owner))
 	}
 	call := &Call{Func: "MPI_Start", Request: req}
 	r.beginCall(call)

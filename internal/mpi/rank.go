@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"fmt"
 	"sync"
 
 	"siesta/internal/perfmodel"
@@ -18,10 +19,21 @@ type Rank struct {
 	cond  *sync.Cond // signaled when something this rank may wait on changes
 	noise *perfmodel.Noise
 
-	jitter float64 // run-to-run computation speed factor (1 = nominal)
+	jitter   float64 // run-to-run computation speed factor (1 = nominal)
+	straggle float64 // fault-injected computation slowdown (1 = nominal)
 
 	nextReqID int
 	seqs      map[int]int // per-communicator collective sequence numbers
+
+	// curCall is the MPI call the rank is currently inside (set by
+	// beginCall, read only from the rank's own goroutine); the deadlock
+	// detector's pending-operation records are built from it.
+	curCall *Call
+
+	// Deadlock-detector state, guarded by world.mu.
+	state   rankState
+	pending func() PendingOp
+	ready   func() bool
 
 	// accumulated results
 	commTime     vtime.Duration
@@ -60,9 +72,11 @@ func (r *Rank) Compute(k perfmodel.Kernel) perfmodel.Counters {
 	start := r.clock.Now()
 	c := perfmodel.MeasureNoisy(r.world.cfg.Platform, k, r.noise)
 	// Counters are counts and stay exact; the jitter models frequency
-	// wobble, which moves wall time but not retired-event counts.
-	dt := vtime.Duration(r.world.cfg.Platform.CyclesToSeconds(c[perfmodel.CYC]) * r.jitter)
+	// wobble, which moves wall time but not retired-event counts. A
+	// fault-injected straggler factor slows wall time the same way.
+	dt := vtime.Duration(r.world.cfg.Platform.CyclesToSeconds(c[perfmodel.CYC]) * r.jitter * r.straggle)
 	r.clock.Advance(dt)
+	r.checkDeadline()
 	r.computeTime += dt
 	r.computeTotal.Add(c)
 	if ic := r.world.cfg.Interceptor; ic != nil {
@@ -77,23 +91,46 @@ func (r *Rank) Compute(k perfmodel.Kernel) perfmodel.Counters {
 func (r *Rank) Elapse(d vtime.Duration) {
 	start := r.clock.Now()
 	r.clock.Advance(d)
+	r.checkDeadline()
 	r.computeTime += d
 	if ic := r.world.cfg.Interceptor; ic != nil {
 		ic.OnCompute(r, perfmodel.Kernel{}, perfmodel.Counters{}, start, r.clock.Now())
 	}
 }
 
-// newRequest allocates a deterministic per-rank request.
+// newRequest allocates a deterministic per-rank request, stamped with the
+// creating call's name and communicator for deadlock diagnostics.
 func (r *Rank) newRequest(kind int) *Request {
-	req := &Request{id: r.nextReqID, kind: kind, owner: r.rank}
+	req := &Request{id: r.nextReqID, kind: kind, owner: r.rank, peer: NoPeer, tag: AnyTag, commID: -1}
 	r.nextReqID++
+	if c := r.curCall; c != nil {
+		req.op = c.Func
+		if c.Comm != nil {
+			req.commID = c.Comm.id
+		}
+	}
 	return req
 }
 
-// beginCall notes a call start for the interceptor and accounting.
+// describe records a request's point-to-point partner for deadlock
+// diagnostics; peer is a comm rank, AnySource, or ProcNull.
+func (req *Request) describe(peer, tag int) {
+	req.peer, req.tag = peer, tag
+}
+
+// beginCall notes a call start for the interceptor and accounting. It is
+// also the fault plan's call-granularity trigger point: a scheduled rank
+// crash fires here, before the call does anything.
 func (r *Rank) beginCall(call *Call) {
 	call.Start = r.clock.Now()
 	r.calls++
+	r.curCall = call
+	if plan := r.world.cfg.Faults; plan != nil {
+		if cr, ok := plan.CrashAt(r.rank, r.calls, r.clock.Now()); ok {
+			panic(&crashPanic{op: call.Func, call: r.calls, silent: cr.Silent})
+		}
+	}
+	r.checkDeadline()
 	if ic := r.world.cfg.Interceptor; ic != nil {
 		ic.BeforeCall(r, call)
 	}
@@ -102,16 +139,55 @@ func (r *Rank) beginCall(call *Call) {
 // endCall notes a call end.
 func (r *Rank) endCall(call *Call) {
 	call.End = r.clock.Now()
+	r.curCall = nil
 	r.commTime += call.End.Sub(call.Start)
 	if ic := r.world.cfg.Interceptor; ic != nil {
 		ic.AfterCall(r, call)
 	}
 }
 
+// checkDeadline aborts the run once the rank's virtual clock passes the
+// configured budget, reporting whatever the other ranks were blocked on.
+func (r *Rank) checkDeadline() {
+	d := r.world.cfg.Deadline
+	if d <= 0 || vtime.Duration(r.clock.Now()) <= d {
+		return
+	}
+	w := r.world
+	w.mu.Lock()
+	w.failLocked(&DeadlockError{
+		Reason: fmt.Sprintf("virtual-time deadline %v exceeded on rank %d in %s",
+			d, r.rank, callName(r.curCall)),
+		Blocked: w.blockedOpsLocked(),
+	})
+	w.mu.Unlock()
+	panic(errAborted)
+}
+
+// callName names a possibly-nil call, for deadline reports raised from
+// computation regions.
+func callName(c *Call) string {
+	if c == nil {
+		return "a computation region"
+	}
+	return c.Func
+}
+
+// pendingOp builds the deadlock-detector record for the rank's current
+// blocking call. Peer and Tag default to "none"; blocking sites override
+// them for point-to-point operations.
+func (r *Rank) pendingOp(detail string) PendingOp {
+	op := PendingOp{Rank: r.rank, Func: callName(r.curCall), Comm: -1, Peer: NoPeer, Detail: detail}
+	if c := r.curCall; c != nil && c.Comm != nil {
+		op.Comm = c.Comm.id
+	}
+	return op
+}
+
 // abortIfFailed panics if another rank already tore the world down, so that
 // blocked ranks unwind promptly. The panic is absorbed by World.Run.
 func (r *Rank) abortIfFailed() {
 	if r.world.aborted() {
-		panic("run aborted by failure on another rank")
+		panic(errAborted)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"siesta/internal/fault"
 	"siesta/internal/netmodel"
 	"siesta/internal/perfmodel"
 	"siesta/internal/platform"
@@ -30,6 +31,17 @@ type Config struct {
 	// Interceptor, when set, observes every MPI call and computation
 	// region (the PMPI hook).
 	Interceptor Interceptor
+	// Faults, when non-nil and non-empty, injects the plan's failures
+	// (rank crashes, message drops and delays, stragglers, chaos) into
+	// the run. All injection is deterministic in the plan and its seed;
+	// a nil or empty plan leaves the run bit-identical to an unfaulted
+	// one.
+	Faults *fault.Plan
+	// Deadline, when positive, bounds each rank's virtual time: the run
+	// aborts with a DeadlockError once any rank's clock passes it. It
+	// backstops livelocks (e.g. MPI_Test polling loops) that the
+	// structural deadlock detector cannot see.
+	Deadline vtime.Duration
 }
 
 // World is one simulated MPI job: a set of ranks, their message router and
@@ -49,8 +61,23 @@ type World struct {
 	nextCommID int
 	nextFileID int
 
+	// msgSeq counts point-to-point messages per (src, dst) channel so
+	// fault decisions are deterministic in send order; nil when no fault
+	// plan is active.
+	msgSeq map[[2]int]int
+
 	failed error
 }
+
+// rankState tracks where a rank is for the deadlock detector.
+type rankState int
+
+const (
+	rsRunning  rankState = iota
+	rsBlocked            // inside a blocking MPI call, wait condition unmet
+	rsFinished           // returned from the app function
+	rsCrashed            // removed by a silent fault-injected crash
+)
 
 // message is one in-flight point-to-point message.
 type message struct {
@@ -90,9 +117,10 @@ type collSlot struct {
 	arrived  int
 	maxIn    vtime.Time
 	maxBytes int
-	op       netmodel.CollOp
-	done     chan struct{}
-	outTime  vtime.Time
+	op        netmodel.CollOp
+	done      chan struct{}
+	outTime   vtime.Time
+	completed bool // set (under w.mu) when done is closed by completion
 	// split bookkeeping
 	splitArgs map[int][2]int // world rank -> (color, key)
 	newComms  map[int]*Comm  // world rank -> resulting comm
@@ -119,6 +147,9 @@ func NewWorld(cfg Config) *World {
 		panic(fmt.Sprintf("mpi: platform %s hosts at most %d ranks, requested %d",
 			cfg.Platform.Name, max, cfg.Size))
 	}
+	if cfg.Faults.Empty() {
+		cfg.Faults = nil // empty plans skip all fault bookkeeping
+	}
 	w := &World{
 		cfg:        cfg,
 		commJitter: perfmodel.JitterFactor(cfg.RunVariation, cfg.Seed^0xc0111d),
@@ -126,6 +157,9 @@ func NewWorld(cfg Config) *World {
 		posted:     make([][]*postedRecv, cfg.Size),
 		colls:      make(map[collKey]*collSlot),
 		nextCommID: 1,
+	}
+	if cfg.Faults != nil {
+		w.msgSeq = make(map[[2]int]int)
 	}
 	ranks := make([]int, cfg.Size)
 	for i := range ranks {
@@ -135,11 +169,12 @@ func NewWorld(cfg Config) *World {
 	w.ranks = make([]*Rank, cfg.Size)
 	for i := 0; i < cfg.Size; i++ {
 		w.ranks[i] = &Rank{
-			world:  w,
-			rank:   i,
-			noise:  perfmodel.NewNoise(cfg.NoiseSigma, cfg.Seed^uint64(i)*0x9e3779b97f4a7c15+uint64(i)),
-			jitter: perfmodel.JitterFactor(cfg.RunVariation, cfg.Seed+0x7e57*uint64(i+1)),
-			seqs:   map[int]int{},
+			world:    w,
+			rank:     i,
+			noise:    perfmodel.NewNoise(cfg.NoiseSigma, cfg.Seed^uint64(i)*0x9e3779b97f4a7c15+uint64(i)),
+			jitter:   perfmodel.JitterFactor(cfg.RunVariation, cfg.Seed+0x7e57*uint64(i+1)),
+			straggle: cfg.Faults.SlowdownFor(i),
+			seqs:     map[int]int{},
 		}
 		w.ranks[i].cond = sync.NewCond(&w.mu)
 	}
@@ -195,7 +230,11 @@ func (r *RunResult) TotalCompute() perfmodel.Counters {
 }
 
 // Run executes the SPMD function on every rank and returns the per-rank
-// results. A panic on any rank aborts the run and is reported as an error.
+// results. A rank failure — a panic, an MPIError raised by the runtime, a
+// fault-injected crash, or a detected deadlock — aborts the run and is
+// reported as a structured error: panics carrying an error value (the
+// idiom for propagating typed errors out of the SPMD function) are wrapped
+// with %w so errors.As sees through them.
 func (w *World) Run(app func(r *Rank)) (*RunResult, error) {
 	var wg sync.WaitGroup
 	wg.Add(w.cfg.Size)
@@ -203,29 +242,46 @@ func (w *World) Run(app func(r *Rank)) (*RunResult, error) {
 		go func(r *Rank) {
 			defer wg.Done()
 			defer func() {
-				if p := recover(); p != nil {
-					w.mu.Lock()
-					if w.failed == nil {
-						w.failed = fmt.Errorf("mpi: rank %d panicked: %v", r.rank, p)
+				p := recover()
+				w.mu.Lock()
+				defer w.mu.Unlock()
+				switch pv := p.(type) {
+				case nil:
+					r.state = rsFinished
+				case *crashPanic:
+					if pv.silent {
+						r.state = rsCrashed
+					} else {
+						r.state = rsCrashed
+						w.failLocked(mpiErrorf(ErrProcFailed, r.rank, pv.op,
+							"rank killed by fault plan at call %d", pv.call))
 					}
-					// Wake everyone so blocked ranks can bail out.
-					for _, rr := range w.ranks {
-						rr.cond.Broadcast()
+				case error:
+					r.state = rsFinished
+					if pv != errAborted {
+						w.failLocked(fmt.Errorf("mpi: rank %d failed: %w", r.rank, pv))
 					}
-					for _, slot := range w.colls {
-						select {
-						case <-slot.done:
-						default:
-							close(slot.done)
-						}
-					}
-					w.mu.Unlock()
+				default:
+					r.state = rsFinished
+					w.failLocked(fmt.Errorf("mpi: rank %d panicked: %v", r.rank, p))
 				}
+				w.checkDeadlockLocked()
 			}()
 			app(r)
 		}(w.ranks[i])
 	}
 	wg.Wait()
+	if w.failed == nil {
+		// A silent crash whose survivors all finished still failed the
+		// job; real MPI would have hung in MPI_Finalize.
+		for _, r := range w.ranks {
+			if r.state == rsCrashed {
+				w.failed = mpiErrorf(ErrProcFailed, r.rank, "",
+					"rank silently crashed by fault plan")
+				break
+			}
+		}
+	}
 	if w.failed != nil {
 		return nil, w.failed
 	}
@@ -249,6 +305,131 @@ func (w *World) Run(app func(r *Rank)) (*RunResult, error) {
 // aborted reports whether the run has failed; blocked ranks poll this after
 // wakeups so a panic on one rank unblocks the others.
 func (w *World) aborted() bool { return w.failed != nil }
+
+// failLocked records the run's first failure and wakes every blocked rank
+// so the job tears down promptly. Later failures are ignored (first error
+// wins, as with MPI_Abort racing). Caller holds w.mu.
+func (w *World) failLocked(err error) {
+	if w.failed != nil {
+		return
+	}
+	w.failed = err
+	for _, r := range w.ranks {
+		r.cond.Broadcast()
+	}
+	for _, slot := range w.colls {
+		select {
+		case <-slot.done:
+		default:
+			close(slot.done)
+		}
+	}
+}
+
+// blockLocked marks the rank blocked on op. ready is the operation's
+// enabling predicate, evaluated under w.mu by the deadlock detector: a
+// blocked rank whose predicate already holds is merely not yet scheduled,
+// not stuck. op is also evaluated under w.mu, and only when a report is
+// actually produced, so its description (e.g. collective arrival counts)
+// reflects the state at report time, not at block time. Caller holds w.mu.
+func (w *World) blockLocked(r *Rank, op func() PendingOp, ready func() bool) {
+	r.state = rsBlocked
+	r.pending = op
+	r.ready = ready
+}
+
+// resumeLocked clears the rank's blocked record. Caller holds w.mu.
+func (w *World) resumeLocked(r *Rank) {
+	r.state = rsRunning
+	r.pending = nil
+	r.ready = nil
+}
+
+// waitCond blocks the rank until ready() holds or the run aborts,
+// maintaining the wait-for bookkeeping the deadlock detector reads. makeOp
+// is only invoked if the rank actually blocks, keeping the fast path free
+// of diagnostic formatting. Caller holds w.mu.
+func (w *World) waitCond(r *Rank, makeOp func() PendingOp, ready func() bool) {
+	if ready() || w.aborted() {
+		return
+	}
+	w.blockLocked(r, makeOp, ready)
+	w.checkDeadlockLocked()
+	for !ready() && !w.aborted() {
+		r.cond.Wait()
+	}
+	w.resumeLocked(r)
+}
+
+// checkDeadlockLocked declares a deadlock when no rank can make progress:
+// every rank is blocked (with its enabling predicate false), finished, or
+// crashed, and at least one is blocked. The runtime has no external event
+// sources — message delivery and collective completion happen
+// synchronously under w.mu on some rank's call path — so this condition
+// is stable: nothing will ever wake a blocked rank again. It runs on
+// every rank state transition, making detection immediate rather than
+// timeout-based. Caller holds w.mu.
+func (w *World) checkDeadlockLocked() {
+	if w.failed != nil {
+		return
+	}
+	var blocked []PendingOp
+	var crashed []int
+	for _, r := range w.ranks {
+		switch r.state {
+		case rsRunning:
+			return
+		case rsBlocked:
+			if r.ready != nil && r.ready() {
+				return // enabled transition: the rank just hasn't woken yet
+			}
+			blocked = append(blocked, r.pending())
+		case rsCrashed:
+			crashed = append(crashed, r.rank)
+		}
+	}
+	if len(blocked) == 0 {
+		return
+	}
+	reason := "no rank can make progress"
+	if len(crashed) > 0 {
+		reason = "no surviving rank can make progress"
+	}
+	w.failLocked(&DeadlockError{Reason: reason, Blocked: blocked, Crashed: crashed})
+}
+
+// blockedOpsLocked snapshots the pending operations of currently blocked
+// ranks, for deadline reports. Ranks whose enabling predicate already
+// holds are merely unscheduled, not stuck, and are omitted. Caller holds
+// w.mu.
+func (w *World) blockedOpsLocked() []PendingOp {
+	var ops []PendingOp
+	for _, r := range w.ranks {
+		if r.state == rsBlocked && r.pending != nil && (r.ready == nil || !r.ready()) {
+			ops = append(ops, r.pending())
+		}
+	}
+	return ops
+}
+
+// routeFaults applies the fault plan to an outgoing message: it may be
+// dropped (never delivered) or have its wire time stretched. Returns
+// false when the message is dropped. Caller holds w.mu; the per-channel
+// sequence number makes decisions deterministic in send order.
+func (w *World) routeFaults(m *message) bool {
+	plan := w.cfg.Faults
+	if plan == nil {
+		return true
+	}
+	ch := [2]int{m.srcWorld, m.dstWorld}
+	n := w.msgSeq[ch]
+	w.msgSeq[ch] = n + 1
+	if plan.DropMessage(m.srcWorld, m.dstWorld, m.tag, n) {
+		return false
+	}
+	m.wire = plan.DelayFor(m.srcWorld, m.dstWorld, m.tag, n, m.wire)
+	return true
+}
 
 // collectiveSlot returns (creating if needed) the slot for a collective
 // instance. Caller holds w.mu.
@@ -281,6 +462,7 @@ func (w *World) finishCollective(c *Comm, key collKey, slot *collSlot) {
 		sw.rank.cond.Broadcast()
 	}
 	delete(w.colls, key)
+	slot.completed = true
 	close(slot.done)
 }
 

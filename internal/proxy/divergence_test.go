@@ -1,0 +1,118 @@
+package proxy
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"siesta/internal/mpi"
+	"siesta/internal/trace"
+)
+
+// execOne runs a single-rank world and hands the rank to fn, returning
+// whatever error fn produced from the replayer.
+func execOne(t *testing.T, fn func(r *mpi.Rank, rp *Replayer) error) error {
+	t.Helper()
+	var got error
+	w := mpi.NewWorld(mpi.Config{Size: 1})
+	if _, err := w.Run(func(r *mpi.Rank) {
+		got = fn(r, NewReplayer(r.World()))
+	}); err != nil {
+		t.Fatalf("world run itself failed: %v", err)
+	}
+	return got
+}
+
+func TestExecCommDivergence(t *testing.T) {
+	cases := []struct {
+		name   string
+		rec    trace.Record
+		reason string
+	}{
+		{
+			name:   "computation record",
+			rec:    trace.Record{Func: "MPI_Compute"},
+			reason: "computation record",
+		},
+		{
+			name:   "dangling communicator",
+			rec:    trace.Record{Func: "MPI_Barrier", CommPool: 9},
+			reason: "dangling communicator pool id 9",
+		},
+		{
+			name:   "unsupported function",
+			rec:    trace.Record{Func: "MPI_Win_lock"},
+			reason: "unsupported function",
+		},
+		{
+			name:   "wait on dangling request",
+			rec:    trace.Record{Func: "MPI_Wait", ReqPool: 3},
+			reason: "dangling request pool id 3",
+		},
+		{
+			name:   "start on dangling request",
+			rec:    trace.Record{Func: "MPI_Start", ReqPool: 5},
+			reason: "dangling request pool id 5",
+		},
+		{
+			name:   "write to dangling file",
+			rec:    trace.Record{Func: "MPI_File_write_at", FilePool: 2, Bytes: 64},
+			reason: "dangling file pool id 2",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := execOne(t, func(r *mpi.Rank, rp *Replayer) error {
+				return rp.ExecComm(r, &tc.rec)
+			})
+			var div *DivergenceError
+			if !errors.As(err, &div) {
+				t.Fatalf("ExecComm returned %v, want a DivergenceError", err)
+			}
+			if !strings.Contains(div.Reason, tc.reason) {
+				t.Errorf("reason %q, want it to mention %q", div.Reason, tc.reason)
+			}
+		})
+	}
+}
+
+func TestExecCommLenientOnMissingRequests(t *testing.T) {
+	// Waitall, Testall, Test and Request_free tolerate missing pool ids:
+	// trace compression may have dropped completed-request bookkeeping.
+	err := execOne(t, func(r *mpi.Rank, rp *Replayer) error {
+		for _, rec := range []trace.Record{
+			{Func: "MPI_Waitall", ReqPools: []int{1, 2}},
+			{Func: "MPI_Testall", ReqPools: []int{3}},
+			{Func: "MPI_Test", ReqPool: 4},
+			{Func: "MPI_Request_free", ReqPool: 5},
+		} {
+			if err := rp.ExecComm(r, &rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("lenient operations diverged: %v", err)
+	}
+}
+
+func TestDivergencePropagatesThroughRun(t *testing.T) {
+	// A divergence raised mid-replay must come back out of World.Run as a
+	// wrapped error, not a process panic.
+	w := mpi.NewWorld(mpi.Config{Size: 1})
+	_, err := w.Run(func(r *mpi.Rank) {
+		rp := NewReplayer(r.World())
+		rec := trace.Record{Func: "MPI_Barrier", CommPool: 4}
+		if err := rp.ExecComm(r, &rec); err != nil {
+			panic(err)
+		}
+	})
+	var div *DivergenceError
+	if !errors.As(err, &div) {
+		t.Fatalf("run returned %v, want a wrapped DivergenceError", err)
+	}
+	if div.Rank != 0 || div.Func != "MPI_Barrier" {
+		t.Errorf("divergence %+v, want rank 0 / MPI_Barrier", div)
+	}
+}

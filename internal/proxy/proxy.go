@@ -40,6 +40,9 @@ type App struct {
 func New(gen *codegen.Generated) *App { return &App{Gen: gen} }
 
 // RankFunc returns the SPMD function that replays the proxy on each rank.
+// Divergence between the generated program and what the runtime can replay
+// surfaces as a *DivergenceError panic, which mpi.World.Run absorbs into a
+// wrapped error return (so errors.As still finds it).
 func (a *App) RankFunc() func(*mpi.Rank) {
 	prog := a.Gen.Prog
 	return func(r *mpi.Rank) {
@@ -52,11 +55,13 @@ func (a *App) RankFunc() func(*mpi.Rank) {
 			}
 		}
 		if main == nil {
-			panic(fmt.Sprintf("proxy: rank %d has no main rule", r.Rank()))
+			panic(&DivergenceError{Rank: r.Rank(), Reason: "no main rule covers this rank"})
 		}
 		for _, ms := range main.Body {
 			if ms.Ranks.Contains(r.Rank()) {
-				a.execSym(r, rp, ms.Sym)
+				if err := a.execSym(r, rp, ms.Sym); err != nil {
+					panic(err)
+				}
 			}
 		}
 	}
@@ -80,11 +85,13 @@ func (a *App) ReportedTime(res *mpi.RunResult) vtime.Duration {
 	return vtime.Duration(float64(res.ExecTime) * a.Gen.Scale)
 }
 
-func (a *App) execSym(r *mpi.Rank, rp *Replayer, s merge.Sym) {
+func (a *App) execSym(r *mpi.Rank, rp *Replayer, s merge.Sym) error {
 	for c := 0; c < s.Count; c++ {
 		if s.IsRule {
 			for _, inner := range a.Gen.Prog.Rules[s.Ref] {
-				a.execSym(r, rp, inner)
+				if err := a.execSym(r, rp, inner); err != nil {
+					return err
+				}
 			}
 			continue
 		}
@@ -99,6 +106,9 @@ func (a *App) execSym(r *mpi.Rank, rp *Replayer, s merge.Sym) {
 			}
 			continue
 		}
-		rp.ExecComm(r, rec)
+		if err := rp.ExecComm(r, rec); err != nil {
+			return err
+		}
 	}
+	return nil
 }

@@ -1,8 +1,6 @@
 package proxy
 
 import (
-	"fmt"
-
 	"siesta/internal/mpi"
 	"siesta/internal/trace"
 )
@@ -27,14 +25,6 @@ func NewReplayer(world *mpi.Comm) *Replayer {
 	}
 }
 
-func (rp *Replayer) comm(pool int) *mpi.Comm {
-	c, ok := rp.comms[pool]
-	if !ok {
-		panic(fmt.Sprintf("proxy: dangling communicator pool id %d", pool))
-	}
-	return c
-}
-
 // decodeRel turns a relative-rank encoding back into a comm rank for this
 // process.
 func decodeRel(c *mpi.Comm, me, rel int) int {
@@ -57,14 +47,22 @@ func decodeTag(tag int) int {
 	return tag
 }
 
-// ExecComm replays one communication record. Computation records
-// (MPI_Compute) are the caller's business — different replayers handle them
-// differently — and panic here.
-func (rp *Replayer) ExecComm(r *mpi.Rank, rec *trace.Record) {
+// ExecComm replays one communication record. It returns a *DivergenceError
+// when the record cannot be executed faithfully — it references a handle
+// pool id the replay never created, is a computation record (those are the
+// caller's business; different replayers price them differently), or names
+// an unsupported function. Handle-lenient operations (Waitall, Testall,
+// Test, Request_free) skip missing requests silently, matching the trace
+// layer's compression, which may drop completed-request bookkeeping;
+// handle-strict ones (Wait, Waitany, Start, File ops) diverge.
+func (rp *Replayer) ExecComm(r *mpi.Rank, rec *trace.Record) error {
 	if rec.IsCompute() {
-		panic("proxy: ExecComm called with a computation record")
+		return divergef(r.Rank(), rec.Func, "ExecComm called with a computation record")
 	}
-	c := rp.comm(rec.CommPool)
+	c, ok := rp.comms[rec.CommPool]
+	if !ok {
+		return divergef(r.Rank(), rec.Func, "dangling communicator pool id %d", rec.CommPool)
+	}
 	me := c.RankOf(r.Rank())
 	switch rec.Func {
 	case "MPI_Send":
@@ -82,9 +80,12 @@ func (rp *Replayer) ExecComm(r *mpi.Rank, rec *trace.Record) {
 	case "MPI_Irecv":
 		rp.reqs[rec.ReqPool] = r.Irecv(c, decodeRel(c, me, rec.SrcRel), decodeTag(rec.Tag))
 	case "MPI_Wait":
-		req := rp.reqs[rec.ReqPool]
+		req, ok := rp.reqs[rec.ReqPool]
+		if !ok {
+			return divergef(r.Rank(), rec.Func, "dangling request pool id %d", rec.ReqPool)
+		}
 		r.Wait(req)
-		if req == nil || !req.Persistent() {
+		if !req.Persistent() {
 			delete(rp.reqs, rec.ReqPool)
 		}
 	case "MPI_Waitall":
@@ -107,10 +108,12 @@ func (rp *Replayer) ExecComm(r *mpi.Rank, rec *trace.Record) {
 	case "MPI_Waitany":
 		// Replay deterministically waits on the request the trace saw
 		// complete; the others stay pending.
-		if req, ok := rp.reqs[rec.ReqPool]; ok {
-			r.Wait(req)
-			delete(rp.reqs, rec.ReqPool)
+		req, ok := rp.reqs[rec.ReqPool]
+		if !ok {
+			return divergef(r.Rank(), rec.Func, "dangling request pool id %d", rec.ReqPool)
 		}
+		r.Wait(req)
+		delete(rp.reqs, rec.ReqPool)
 	case "MPI_Testall":
 		reqs := make([]*mpi.Request, 0, len(rec.ReqPools))
 		for _, q := range rec.ReqPools {
@@ -158,7 +161,9 @@ func (rp *Replayer) ExecComm(r *mpi.Rank, rec *trace.Record) {
 			counts = make([]int, c.Size())
 			copy(counts, rec.Counts)
 		}
-		r.Alltoallv(c, counts)
+		if err := r.Alltoallv(c, counts); err != nil {
+			return divergef(r.Rank(), rec.Func, "%v", err)
+		}
 	case "MPI_Comm_split":
 		nc := r.CommSplit(c, rec.Color, rec.Key)
 		if rec.NewCommPool >= 0 && nc != nil {
@@ -183,7 +188,11 @@ func (rp *Replayer) ExecComm(r *mpi.Rank, rec *trace.Record) {
 	case "MPI_Recv_init":
 		rp.reqs[rec.ReqPool] = r.RecvInit(c, decodeRel(c, me, rec.SrcRel), decodeTag(rec.Tag))
 	case "MPI_Start":
-		r.Start(rp.reqs[rec.ReqPool])
+		req, ok := rp.reqs[rec.ReqPool]
+		if !ok {
+			return divergef(r.Rank(), rec.Func, "dangling request pool id %d", rec.ReqPool)
+		}
+		r.Start(req)
 	case "MPI_Request_free":
 		if req, ok := rp.reqs[rec.ReqPool]; ok {
 			r.RequestFree(req)
@@ -192,17 +201,38 @@ func (rp *Replayer) ExecComm(r *mpi.Rank, rec *trace.Record) {
 	case "MPI_File_open":
 		rp.files[rec.FilePool] = r.FileOpen(c, rec.FileName)
 	case "MPI_File_close":
-		r.FileClose(rp.files[rec.FilePool])
+		f, ok := rp.files[rec.FilePool]
+		if !ok {
+			return divergef(r.Rank(), rec.Func, "dangling file pool id %d", rec.FilePool)
+		}
+		r.FileClose(f)
 		delete(rp.files, rec.FilePool)
 	case "MPI_File_write_at":
-		r.FileWriteAt(rp.files[rec.FilePool], rec.OffsetRel+me*rec.Bytes, rec.Bytes)
+		f, ok := rp.files[rec.FilePool]
+		if !ok {
+			return divergef(r.Rank(), rec.Func, "dangling file pool id %d", rec.FilePool)
+		}
+		r.FileWriteAt(f, rec.OffsetRel+me*rec.Bytes, rec.Bytes)
 	case "MPI_File_read_at":
-		r.FileReadAt(rp.files[rec.FilePool], rec.OffsetRel+me*rec.Bytes, rec.Bytes)
+		f, ok := rp.files[rec.FilePool]
+		if !ok {
+			return divergef(r.Rank(), rec.Func, "dangling file pool id %d", rec.FilePool)
+		}
+		r.FileReadAt(f, rec.OffsetRel+me*rec.Bytes, rec.Bytes)
 	case "MPI_File_write_at_all":
-		r.FileWriteAtAll(rp.files[rec.FilePool], rec.OffsetRel+me*rec.Bytes, rec.Bytes)
+		f, ok := rp.files[rec.FilePool]
+		if !ok {
+			return divergef(r.Rank(), rec.Func, "dangling file pool id %d", rec.FilePool)
+		}
+		r.FileWriteAtAll(f, rec.OffsetRel+me*rec.Bytes, rec.Bytes)
 	case "MPI_File_read_at_all":
-		r.FileReadAtAll(rp.files[rec.FilePool], rec.OffsetRel+me*rec.Bytes, rec.Bytes)
+		f, ok := rp.files[rec.FilePool]
+		if !ok {
+			return divergef(r.Rank(), rec.Func, "dangling file pool id %d", rec.FilePool)
+		}
+		r.FileReadAtAll(f, rec.OffsetRel+me*rec.Bytes, rec.Bytes)
 	default:
-		panic(fmt.Sprintf("proxy: unsupported function %s", rec.Func))
+		return divergef(r.Rank(), rec.Func, "unsupported function")
 	}
+	return nil
 }
