@@ -1,0 +1,78 @@
+// Command ranklock runs the ranklock static analyzer (world-lock discipline
+// and typed-panic checking) over Go package directories. It is the hermetic
+// stand-in for `go vet -vettool`: the analyzer depends only on the standard
+// library, so CI can run it without fetching golang.org/x/tools.
+//
+// Usage:
+//
+//	ranklock [dir ...]   (default: internal/mpi internal/proxy)
+//
+// Non-test .go files of each directory are parsed as one package. Exits
+// non-zero if any finding is reported.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+
+	"siesta/internal/analysis/ranklock"
+)
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = []string{"internal/mpi", "internal/proxy"}
+	}
+	failed := false
+	for _, dir := range dirs {
+		findings, err := runDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ranklock: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		for _, f := range findings {
+			fmt.Println(f)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func runDir(dir string) ([]ranklock.Finding, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var out []ranklock.Finding
+	names := make([]string, 0, len(pkgs))
+	for name := range pkgs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pkg := pkgs[name]
+		files := make([]*ast.File, 0, len(pkg.Files))
+		paths := make([]string, 0, len(pkg.Files))
+		for path := range pkg.Files {
+			paths = append(paths, path)
+		}
+		sort.Strings(paths)
+		for _, path := range paths {
+			files = append(files, pkg.Files[path])
+		}
+		out = append(out, ranklock.RankLock.Run(&ranklock.Pass{
+			Fset: fset, Files: files, PkgName: name,
+		})...)
+	}
+	return out, nil
+}

@@ -6,8 +6,15 @@
 // Usage:
 //
 //	siesta -app CG -ranks 8 [-iters N] [-scale 10] [-platform A] [-impl openmpi]
-//	       [-o proxy.c] [-trace trace.bin] [-report]
+//	       [-o proxy.c] [-trace trace.bin] [-prog prog.bin] [-report]
 //	       [--faults "crash:rank=3@call=100"] [--deadline 30s]
+//
+//	siesta check [-prog prog.bin] [-trace trace.bin] [-exact-bytes]
+//	       [-absolute-ranks] [-max-diags N]
+//
+// The check verb runs the static communication verifier over an encoded
+// program (written by -prog) or a raw trace (written by -trace; it is merged
+// first) and exits non-zero if any error-severity diagnostic is found.
 //
 // The list of applications comes from the paper's Table 3; run with
 // -list to enumerate them.
@@ -19,19 +26,26 @@ import (
 	"os"
 
 	"siesta/internal/apps"
+	"siesta/internal/check"
 	"siesta/internal/codegen"
 	"siesta/internal/core"
 	"siesta/internal/extrapolate"
 	"siesta/internal/fault"
+	"siesta/internal/merge"
 	"siesta/internal/mpi"
 	"siesta/internal/netmodel"
 	"siesta/internal/perfmodel"
 	"siesta/internal/platform"
 	"siesta/internal/proxy"
+	"siesta/internal/trace"
 	"siesta/internal/vtime"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "check" {
+		runCheck(os.Args[2:])
+		return
+	}
 	appName := flag.String("app", "CG", "application to synthesize a proxy for")
 	ranks := flag.Int("ranks", 8, "number of MPI ranks")
 	iters := flag.Int("iters", 0, "iteration override (0 = application default)")
@@ -40,6 +54,7 @@ func main() {
 	implName := flag.String("impl", "openmpi", "MPI implementation: openmpi, mpich, mvapich")
 	outC := flag.String("o", "", "write the generated C proxy-app to this file")
 	outTrace := flag.String("trace", "", "write the encoded trace to this file")
+	outProg := flag.String("prog", "", "write the encoded merged program to this file (input for `siesta check`)")
 	report := flag.Bool("report", true, "print the fidelity report")
 	list := flag.Bool("list", false, "list available applications and exit")
 	extrap := flag.Int("extrapolate", 0, "re-target the proxy to this rank count (fully SPMD programs only)")
@@ -107,6 +122,12 @@ func main() {
 		fmt.Printf("trace written to %s (%d bytes encoded, %d bytes raw equivalent)\n",
 			*outTrace, len(res.Trace.Encode()), res.Trace.RawSize())
 	}
+	if *outProg != "" {
+		if err := os.WriteFile(*outProg, res.Program.Encode(), 0o644); err != nil {
+			die(err)
+		}
+		fmt.Printf("encoded program written to %s (%d bytes)\n", *outProg, len(res.Program.Encode()))
+	}
 	if *outC != "" {
 		if err := os.WriteFile(*outC, []byte(res.Generated.CSource()), 0o644); err != nil {
 			die(err)
@@ -150,6 +171,71 @@ func main() {
 		fmt.Printf("  proxy %.6gs vs original-at-%d-ranks %.6gs (error %.2f%%)\n",
 			float64(prox.ExecTime), *extrap, float64(orig.ExecTime),
 			core.TimeError(float64(prox.ExecTime), float64(orig.ExecTime))*100)
+	}
+}
+
+// runCheck implements the `siesta check` verb: it lints an encoded program
+// and/or a raw trace from disk with the static verifier and exits non-zero
+// when any error-severity diagnostic is found.
+func runCheck(args []string) {
+	fs := flag.NewFlagSet("siesta check", flag.ExitOnError)
+	progFile := fs.String("prog", "", "encoded merged program (SIESTA-PROG1) to verify")
+	traceFile := fs.String("trace", "", "encoded trace to merge and verify")
+	exact := fs.Bool("exact-bytes", false, "require matched send/recv pairs to carry identical byte counts")
+	absolute := fs.Bool("absolute-ranks", false, "partner fields carry comm-local absolute ranks (trace recorded with AbsoluteRanks)")
+	maxDiags := fs.Int("max-diags", 0, "diagnostic cap (0 = default 100)")
+	fs.Parse(args)
+
+	die := func(err error) {
+		fmt.Fprintf(os.Stderr, "siesta check: %v\n", err)
+		os.Exit(1)
+	}
+	if *progFile == "" && *traceFile == "" {
+		die(fmt.Errorf("need -prog and/or -trace"))
+	}
+	opts := check.Options{ExactBytes: *exact, AbsoluteRanks: *absolute, MaxDiagnostics: *maxDiags}
+
+	failed := false
+	verify := func(label string, p *merge.Program) {
+		rep, err := check.Verify(p, opts)
+		if err != nil {
+			die(fmt.Errorf("%s: %w", label, err))
+		}
+		fmt.Printf("%s: %s\n", label, rep.Summary())
+		for _, d := range rep.Diags {
+			fmt.Println("  " + d.String())
+		}
+		failed = failed || rep.HasErrors()
+	}
+
+	if *progFile != "" {
+		data, err := os.ReadFile(*progFile)
+		if err != nil {
+			die(err)
+		}
+		p, err := merge.Decode(data)
+		if err != nil {
+			die(err)
+		}
+		verify(*progFile, p)
+	}
+	if *traceFile != "" {
+		data, err := os.ReadFile(*traceFile)
+		if err != nil {
+			die(err)
+		}
+		tr, err := trace.Decode(data)
+		if err != nil {
+			die(err)
+		}
+		p, err := merge.Build(tr, merge.Options{})
+		if err != nil {
+			die(err)
+		}
+		verify(*traceFile, p)
+	}
+	if failed {
+		os.Exit(1)
 	}
 }
 

@@ -326,7 +326,7 @@ func buildIS(p Params) (func(*mpi.Rank), error) {
 
 		for it := 0; it < iters; it++ {
 			r.Compute(histogram)
-			r.Allreduce(c, 1024, mpi.OpSum) // bucket size exchange
+			r.Allreduce(c, 1024, mpi.OpSum)                // bucket size exchange
 			if err := r.Alltoallv(c, counts); err != nil { // key redistribution
 				panic(err)
 			}

@@ -1,0 +1,83 @@
+// Corpus tests: every program the repo considers correct must verify with
+// zero diagnostics — not merely zero errors — so the static checker can gate
+// the pipeline without crying wolf. The corpus is (a) every built-in paper
+// application (internal/apps, which the examples/ programs drive), and
+// (b) the property-based random program generator. The complementary
+// negative corpus — programs that must be flagged — lives in check_test.go,
+// mirroring the runtime deadlock table of internal/mpi/deadlock_test.go.
+//
+// This is an external test package: proxy (for RandomProgram) depends on
+// codegen, which depends on check for the verification stamp.
+package check_test
+
+import (
+	"testing"
+
+	"siesta/internal/apps"
+	"siesta/internal/check"
+	"siesta/internal/merge"
+	"siesta/internal/mpi"
+	"siesta/internal/proxy"
+	"siesta/internal/trace"
+)
+
+// traceAndMerge runs fn on a traced world and merges the trace.
+func traceAndMerge(t *testing.T, fn func(*mpi.Rank), ranks int) *merge.Program {
+	t.Helper()
+	rec := trace.NewRecorder(ranks, trace.Config{})
+	w := mpi.NewWorld(mpi.Config{Size: ranks, Interceptor: rec, NoiseSigma: 0.004, Seed: 7})
+	if _, err := w.Run(fn); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	p, err := merge.Build(rec.Trace("A", "openmpi"), merge.Options{})
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	return p
+}
+
+func mustVerifyClean(t *testing.T, p *merge.Program) {
+	t.Helper()
+	rep, err := check.Verify(p, check.Options{ExactBytes: true})
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if len(rep.Diags) != 0 || rep.Truncated != 0 {
+		t.Errorf("expected zero diagnostics, got:\n%s", rep)
+	}
+}
+
+func TestBuiltinAppsVerifyClean(t *testing.T) {
+	for _, spec := range apps.All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			ranks := 0
+			for r := 4; r <= 16; r++ {
+				if spec.ValidRanks(r) {
+					ranks = r
+					break
+				}
+			}
+			if ranks == 0 {
+				t.Fatalf("%s supports no rank count in [4,16]", spec.Name)
+			}
+			fn, err := spec.Build(apps.Params{Ranks: ranks, Iters: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustVerifyClean(t, traceAndMerge(t, fn, ranks))
+		})
+	}
+}
+
+func TestRandomProgramsVerifyClean(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		seed := seed
+		t.Run(string(rune('A'+seed-1)), func(t *testing.T) {
+			t.Parallel()
+			ranks := 4 + int(seed%3)*2
+			mustVerifyClean(t, traceAndMerge(t, proxy.RandomProgram(seed, 12), ranks))
+		})
+	}
+}

@@ -1,0 +1,962 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"siesta/internal/merge"
+	"siesta/internal/trace"
+)
+
+// The abstract machine mirrors the simulated runtime's matching rules
+// (p2p.go, coll.go, io.go) over expanded per-rank event sequences, with one
+// deliberate abstraction: sends are buffered and never block (except
+// MPI_Ssend, which is synchronous by definition). Under that abstraction a
+// reported deadlock is a definite deadlock of the eager-protocol run, and a
+// clean verdict means every blocking operation can be discharged in some
+// schedule — the greedy fixpoint below finds one if it exists, because every
+// abstract transition is monotone (executing one rank never disables
+// another's enabled transition).
+
+const (
+	anyPeer  = trace.Wildcard // wildcard source / tag sentinel, as traced
+	procNull = -2             // resolved MPI_PROC_NULL partner
+)
+
+type evRef struct{ rank, idx int }
+
+// vcomm is one communicator instance. Pool numbers are per-rank names;
+// instances are the shared identity, so pool reuse after MPI_Comm_free
+// cannot confuse two generations of communicators.
+type vcomm struct {
+	id      int
+	members []int       // comm rank -> world rank
+	index   map[int]int // world rank -> comm rank
+}
+
+type vfile struct {
+	comm *vcomm
+	name string
+}
+
+// vmsg is one in-flight message.
+type vmsg struct {
+	src, dst    int // world ranks
+	comm        *vcomm
+	tag, bytes  int
+	ev          evRef
+	term        int // sending terminal id
+	matched     bool
+	synchronous bool // MPI_Ssend: sender blocks until matched
+}
+
+// vrecv is one posted receive.
+type vrecv struct {
+	owner   int // world rank
+	comm    *vcomm
+	src     int // world rank, anyPeer, or procNull
+	tag     int // tag or anyPeer
+	bytes   int // expected bytes, -1 unknown (Sendrecv's receive half)
+	ev      evRef
+	term    int
+	matched *vmsg
+}
+
+const (
+	rkSend = iota
+	rkRecv
+	rkColl
+)
+
+// vreq is one live request-pool entry.
+type vreq struct {
+	kind       int
+	persistent bool
+	active     bool          // persistent: between MPI_Start and its wait
+	polled     bool          // touched by MPI_Test/MPI_Testall (see note below)
+	rec        *trace.Record // creating record, for MPI_Start and leak reports
+	recv       *vrecv
+	slot       *vslot
+	ev         evRef
+}
+
+// A note on polled: MPI_Test with flag=false (pool kept) and flag=true
+// (pool released) produce the *same* terminal, so the trace cannot tell the
+// checker which happened. A polled request therefore stays mapped but is
+// exempt from leak reporting, and re-acquiring its pool number is treated
+// as the implicit release the runtime already performed.
+
+type slotKey struct{ comm, seq int }
+
+// vslot is one collective instance: the (communicator instance, per-rank
+// sequence number) rendezvous the runtime keys its slots by.
+type vslot struct {
+	comm    *vcomm
+	seq     int
+	fn      string
+	root    int
+	op      string
+	firstEv evRef
+	arrived map[int]*trace.Record // world rank -> its record
+	full    bool
+	flagged bool // mismatch already reported
+
+	splitArgs map[int][2]int // world rank -> (color, key)
+	groups    map[int]*vcomm // world rank -> split/dup result (nil = MPI_UNDEFINED)
+	file      *vfile         // MPI_File_open: the shared handle identity
+}
+
+// lrank is one rank's abstract state.
+type lrank struct {
+	rank    int
+	seq     []int // expanded global terminal ids
+	pc      int
+	done    bool
+	comms   map[int]*vcomm
+	files   map[int]*vfile
+	reqs    map[int]*vreq
+	collSeq map[int]int // comm instance id -> next collective sequence number
+
+	// Current blocking operation, once initiated (receive posted, message
+	// posted, collective arrival registered). Cleared on advance.
+	inited  bool
+	curRecv *vrecv
+	curMsg  *vmsg
+	curSlot *vslot
+}
+
+type machine struct {
+	p    *merge.Program
+	opts Options
+	rep  *Report
+	pf   *pathFinder
+
+	ranks    []*lrank
+	mailbox  map[int][]*vmsg  // destination world rank -> unmatched messages
+	posted   map[int][]*vrecv // destination world rank -> unmatched receives
+	slots    map[slotKey]*vslot
+	nextInst int
+
+	byteSeen map[[2]int]bool // (send terminal, recv terminal) pairs reported
+	zeroSeen map[int]bool    // zero-byte send terminals reported
+	cntSeen  map[int]bool    // v-collective count-length terminals reported
+}
+
+func newMachine(p *merge.Program, opts Options) (*machine, error) {
+	m := &machine{
+		p:        p,
+		opts:     opts,
+		rep:      &Report{NumRanks: p.NumRanks},
+		pf:       newPathFinder(p),
+		mailbox:  map[int][]*vmsg{},
+		posted:   map[int][]*vrecv{},
+		slots:    map[slotKey]*vslot{},
+		byteSeen: map[[2]int]bool{},
+		zeroSeen: map[int]bool{},
+		cntSeen:  map[int]bool{},
+	}
+	world := m.newComm(allRanks(p.NumRanks))
+	for r := 0; r < p.NumRanks; r++ {
+		seq, err := p.ExpandRank(r)
+		if err != nil {
+			return nil, err
+		}
+		for _, id := range seq {
+			if id < 0 || id >= len(p.Terminals) {
+				return nil, fmt.Errorf("check: rank %d references terminal %d outside table of %d", r, id, len(p.Terminals))
+			}
+		}
+		m.rep.Events += len(seq)
+		m.ranks = append(m.ranks, &lrank{
+			rank:    r,
+			seq:     seq,
+			comms:   map[int]*vcomm{0: world}, // pool 0 is MPI_COMM_WORLD
+			files:   map[int]*vfile{},
+			reqs:    map[int]*vreq{},
+			collSeq: map[int]int{},
+		})
+	}
+	return m, nil
+}
+
+func allRanks(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func (m *machine) newComm(members []int) *vcomm {
+	c := &vcomm{id: m.nextInst, members: members, index: make(map[int]int, len(members))}
+	m.nextInst++
+	for i, wr := range members {
+		c.index[wr] = i
+	}
+	return c
+}
+
+// diag records a finding, anchored at ev (terminal id and grammar path are
+// derived from it; pass a negative rank for findings with no anchor).
+func (m *machine) diag(sev Severity, rule string, ranks []int, ev evRef, format string, args ...any) {
+	if len(m.rep.Diags) >= m.opts.MaxDiagnostics {
+		m.rep.Truncated++
+		return
+	}
+	d := Diagnostic{
+		Rule:     rule,
+		Severity: sev,
+		Ranks:    append([]int(nil), ranks...),
+		Record:   -1,
+		Event:    -1,
+		Message:  fmt.Sprintf(format, args...),
+	}
+	sort.Ints(d.Ranks)
+	if ev.rank >= 0 && ev.rank < len(m.ranks) && ev.idx >= 0 && ev.idx < len(m.ranks[ev.rank].seq) {
+		d.Record = m.ranks[ev.rank].seq[ev.idx]
+		d.Event = ev.idx
+		d.Path = m.pf.find(ev.rank, ev.idx)
+	}
+	m.rep.Diags = append(m.rep.Diags, d)
+}
+
+var noEv = evRef{rank: -1, idx: -1}
+
+// run drives the greedy fixpoint: every rank executes until it blocks; the
+// pass repeats until no rank can move, then end-state rules fire.
+func (m *machine) run() {
+	for {
+		progress := false
+		for _, r := range m.ranks {
+			for m.step(r) {
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	m.reportDeadlock()
+	m.reportChannels()
+	m.reportCollLengths()
+}
+
+// advance completes the current event and clears blocking state.
+func (m *machine) advance(r *lrank) bool {
+	r.pc++
+	r.inited = false
+	r.curRecv, r.curMsg, r.curSlot = nil, nil, nil
+	return true
+}
+
+// step executes at most one event on r; false means r is blocked or done.
+func (m *machine) step(r *lrank) bool {
+	if r.done {
+		return false
+	}
+	if r.pc >= len(r.seq) {
+		r.done = true
+		m.finishRank(r)
+		return true
+	}
+	rec := m.p.Terminals[r.seq[r.pc]]
+	ev := evRef{r.rank, r.pc}
+
+	switch rec.Func {
+	case "MPI_Compute", "MPI_Iprobe":
+		return m.advance(r)
+
+	case "MPI_Send", "MPI_Isend":
+		c := m.commOf(r, rec, ev)
+		if c != nil {
+			m.emitSend(r, c, rec, ev, false)
+		}
+		if rec.Func == "MPI_Isend" {
+			m.acquireReq(r, rec.ReqPool, &vreq{kind: rkSend, rec: rec, ev: ev}, ev)
+		}
+		return m.advance(r)
+
+	case "MPI_Ssend":
+		if !r.inited {
+			c := m.commOf(r, rec, ev)
+			if c == nil {
+				return m.advance(r)
+			}
+			msg := m.emitSend(r, c, rec, ev, true)
+			if msg == nil || msg.matched {
+				return m.advance(r)
+			}
+			r.curMsg, r.inited = msg, true
+		}
+		if r.curMsg.matched {
+			return m.advance(r)
+		}
+		return false
+
+	case "MPI_Recv":
+		if !r.inited {
+			c := m.commOf(r, rec, ev)
+			if c == nil {
+				return m.advance(r)
+			}
+			pr := m.makeRecv(r, c, rec.SrcRel, rec.Tag, rec.Bytes, ev)
+			if pr == nil { // MPI_PROC_NULL source
+				return m.advance(r)
+			}
+			m.postRecv(pr)
+			r.curRecv, r.inited = pr, true
+		}
+		if r.curRecv.matched != nil {
+			return m.advance(r)
+		}
+		return false
+
+	case "MPI_Irecv":
+		// Irecv traces record Bytes=0 (the size is only known at match
+		// time), so the receive side's expected size is unknown here.
+		c := m.commOf(r, rec, ev)
+		req := &vreq{kind: rkRecv, rec: rec, ev: ev}
+		if c != nil {
+			if pr := m.makeRecv(r, c, rec.SrcRel, rec.Tag, -1, ev); pr != nil {
+				m.postRecv(pr)
+				req.recv = pr
+			}
+		}
+		m.acquireReq(r, rec.ReqPool, req, ev)
+		return m.advance(r)
+
+	case "MPI_Probe":
+		c := m.commOf(r, rec, ev)
+		if c == nil {
+			return m.advance(r)
+		}
+		pr := m.makeRecv(r, c, rec.SrcRel, rec.Tag, -1, ev)
+		if pr == nil {
+			return m.advance(r)
+		}
+		for _, msg := range m.mailbox[r.rank] { // non-consuming
+			if matches(pr, msg) {
+				return m.advance(r)
+			}
+		}
+		return false
+
+	case "MPI_Sendrecv":
+		if !r.inited {
+			c := m.commOf(r, rec, ev)
+			if c == nil {
+				return m.advance(r)
+			}
+			m.emitSend(r, c, rec, ev, false)
+			pr := m.makeRecv(r, c, rec.SrcRel, rec.RecvTag, -1, ev)
+			if pr == nil {
+				return m.advance(r)
+			}
+			m.postRecv(pr)
+			r.curRecv, r.inited = pr, true
+		}
+		if r.curRecv.matched != nil {
+			return m.advance(r)
+		}
+		return false
+
+	case "MPI_Wait", "MPI_Waitany":
+		q := rec.ReqPool
+		if q < 0 {
+			return m.advance(r)
+		}
+		req, ok := r.reqs[q]
+		if !ok {
+			m.diag(Error, RuleHandleRequest, []int{r.rank}, ev,
+				"%s on request pool %d with no live request", rec.Func, q)
+			return m.advance(r)
+		}
+		if !reqDone(req) {
+			return false
+		}
+		m.releaseReq(r, q, req)
+		return m.advance(r)
+
+	case "MPI_Waitall":
+		for _, q := range rec.ReqPools {
+			if q < 0 {
+				continue
+			}
+			if req, ok := r.reqs[q]; ok && !reqDone(req) {
+				return false
+			}
+		}
+		for _, q := range rec.ReqPools {
+			if q < 0 {
+				continue
+			}
+			if req, ok := r.reqs[q]; ok {
+				m.releaseReq(r, q, req)
+			}
+		}
+		return m.advance(r)
+
+	case "MPI_Test":
+		if req, ok := r.reqs[rec.ReqPool]; ok {
+			req.polled = true
+		}
+		return m.advance(r)
+
+	case "MPI_Testall":
+		for _, q := range rec.ReqPools {
+			if req, ok := r.reqs[q]; ok {
+				req.polled = true
+			}
+		}
+		return m.advance(r)
+
+	case "MPI_Request_free":
+		if _, ok := r.reqs[rec.ReqPool]; ok {
+			delete(r.reqs, rec.ReqPool)
+		}
+		return m.advance(r)
+
+	case "MPI_Send_init", "MPI_Recv_init":
+		kind := rkSend
+		if rec.Func == "MPI_Recv_init" {
+			kind = rkRecv
+		}
+		m.acquireReq(r, rec.ReqPool, &vreq{kind: kind, persistent: true, rec: rec, ev: ev}, ev)
+		return m.advance(r)
+
+	case "MPI_Start":
+		q := rec.ReqPool
+		if q < 0 {
+			return m.advance(r)
+		}
+		req, ok := r.reqs[q]
+		if !ok {
+			m.diag(Error, RuleHandleRequest, []int{r.rank}, ev,
+				"MPI_Start on request pool %d with no live request", q)
+			return m.advance(r)
+		}
+		switch {
+		case !req.persistent:
+			m.diag(Error, RuleHandleRequest, []int{r.rank}, ev,
+				"MPI_Start on a non-persistent request (pool %d)", q)
+		case req.active:
+			m.diag(Error, RuleHandleRequest, []int{r.rank}, ev,
+				"MPI_Start on an already-active persistent request (pool %d)", q)
+		default:
+			req.active = true
+			crec := req.rec
+			if c := m.commOf(r, crec, ev); c != nil {
+				if req.kind == rkSend {
+					m.emitSend(r, c, crec, ev, false)
+				} else if pr := m.makeRecv(r, c, crec.SrcRel, crec.Tag, -1, ev); pr != nil {
+					m.postRecv(pr)
+					req.recv = pr
+				}
+			}
+		}
+		return m.advance(r)
+
+	case "MPI_Comm_free":
+		pool := rec.CommPool
+		switch {
+		case pool == 0:
+			m.diag(Error, RuleHandleComm, []int{r.rank}, ev,
+				"MPI_Comm_free on communicator pool 0 (MPI_COMM_WORLD)")
+		case r.comms[pool] == nil:
+			m.diag(Error, RuleHandleComm, []int{r.rank}, ev,
+				"MPI_Comm_free on communicator pool %d with no live communicator", pool)
+		default:
+			delete(r.comms, pool)
+		}
+		return m.advance(r)
+
+	case "MPI_File_write_at", "MPI_File_read_at":
+		if r.files[rec.FilePool] == nil {
+			m.diag(Error, RuleHandleFile, []int{r.rank}, ev,
+				"%s on file pool %d with no open file", rec.Func, rec.FilePool)
+		}
+		return m.advance(r)
+
+	case "MPI_Ibarrier", "MPI_Ibcast", "MPI_Iallreduce":
+		c := m.commOf(r, rec, ev)
+		req := &vreq{kind: rkColl, rec: rec, ev: ev}
+		if c != nil {
+			req.slot = m.arrive(r, c, rec, ev)
+		}
+		m.acquireReq(r, rec.ReqPool, req, ev)
+		return m.advance(r)
+	}
+
+	if isBlockingCollective(rec.Func) {
+		if !r.inited {
+			c := m.commOf(r, rec, ev)
+			if c == nil {
+				return m.advance(r)
+			}
+			if isFileFunc(rec.Func) && rec.Func != "MPI_File_open" && r.files[rec.FilePool] == nil {
+				m.diag(Error, RuleHandleFile, []int{r.rank}, ev,
+					"%s on file pool %d with no open file", rec.Func, rec.FilePool)
+				return m.advance(r)
+			}
+			r.curSlot, r.inited = m.arrive(r, c, rec, ev), true
+		}
+		if !r.curSlot.full {
+			return false
+		}
+		m.completeColl(r, rec, r.curSlot, ev)
+		return m.advance(r)
+	}
+
+	// Unknown functions are skipped: the checker must stay permissive as the
+	// runtime's call surface grows.
+	return m.advance(r)
+}
+
+var blockingCollectives = map[string]bool{
+	"MPI_Barrier": true, "MPI_Bcast": true, "MPI_Reduce": true,
+	"MPI_Allreduce": true, "MPI_Gather": true, "MPI_Gatherv": true,
+	"MPI_Scatter": true, "MPI_Allgather": true, "MPI_Allgatherv": true,
+	"MPI_Alltoall": true, "MPI_Alltoallv": true, "MPI_Scan": true,
+	"MPI_Exscan": true, "MPI_Reduce_scatter": true,
+	"MPI_Comm_split": true, "MPI_Comm_dup": true,
+	"MPI_File_open": true, "MPI_File_close": true,
+	"MPI_File_write_at_all": true, "MPI_File_read_at_all": true,
+}
+
+func isBlockingCollective(fn string) bool { return blockingCollectives[fn] }
+
+func isFileFunc(fn string) bool {
+	switch fn {
+	case "MPI_File_open", "MPI_File_close", "MPI_File_write_at_all", "MPI_File_read_at_all":
+		return true
+	}
+	return false
+}
+
+// commOf resolves the record's communicator pool for rank r.
+func (m *machine) commOf(r *lrank, rec *trace.Record, ev evRef) *vcomm {
+	c, ok := r.comms[rec.CommPool]
+	if !ok {
+		m.diag(Error, RuleHandleComm, []int{r.rank}, ev,
+			"%s uses communicator pool %d before any communicator was created there", rec.Func, rec.CommPool)
+		return nil
+	}
+	return c
+}
+
+// peerOf decodes a partner encoding to a world rank. The default scheme is
+// the §2.2 relative offset within the communicator; with Options.AbsoluteRanks
+// the field carries the partner's comm-local rank directly.
+func (m *machine) peerOf(c *vcomm, me, rel int) (int, bool) {
+	switch rel {
+	case trace.NoRank:
+		return procNull, true
+	case trace.Wildcard:
+		return anyPeer, true
+	}
+	sz := len(c.members)
+	if m.opts.AbsoluteRanks {
+		if rel < 0 || rel >= sz {
+			return 0, false
+		}
+		return c.members[rel], true
+	}
+	idx, ok := c.index[me]
+	if !ok {
+		return 0, false
+	}
+	return c.members[((idx+rel)%sz+sz)%sz], true
+}
+
+// emitSend posts the send half of rec; synchronous marks MPI_Ssend.
+func (m *machine) emitSend(r *lrank, c *vcomm, rec *trace.Record, ev evRef, synchronous bool) *vmsg {
+	dst, ok := m.peerOf(c, r.rank, rec.DestRel)
+	if !ok {
+		m.diag(Error, RuleHandleComm, []int{r.rank}, ev,
+			"%s on a communicator rank %d is not a member of", rec.Func, r.rank)
+		return nil
+	}
+	if dst == procNull {
+		return nil
+	}
+	term := r.seq[ev.idx]
+	if rec.Bytes == 0 && !m.zeroSeen[term] {
+		m.zeroSeen[term] = true
+		m.diag(Warning, RuleP2PBytes, []int{r.rank}, ev,
+			"%s sends a zero-byte message to rank %d tag %d", rec.Func, dst, rec.Tag)
+	}
+	msg := &vmsg{src: r.rank, dst: dst, comm: c, tag: rec.Tag, bytes: rec.Bytes,
+		ev: ev, term: term, synchronous: synchronous}
+	m.postMsg(msg)
+	return msg
+}
+
+// makeRecv builds the receive described by (srcRel, tag); nil means the
+// source resolves to MPI_PROC_NULL (or the rank left the communicator).
+func (m *machine) makeRecv(r *lrank, c *vcomm, srcRel, tag, bytes int, ev evRef) *vrecv {
+	src, ok := m.peerOf(c, r.rank, srcRel)
+	if !ok {
+		m.diag(Error, RuleHandleComm, []int{r.rank}, ev,
+			"receive on a communicator rank %d is not a member of", r.rank)
+		return nil
+	}
+	if src == procNull {
+		return nil
+	}
+	return &vrecv{owner: r.rank, comm: c, src: src, tag: tag, bytes: bytes,
+		ev: ev, term: r.seq[ev.idx]}
+}
+
+// matches applies the runtime's matching rule: same communicator instance,
+// source and tag each equal or wildcard.
+func matches(pr *vrecv, msg *vmsg) bool {
+	return pr.comm == msg.comm &&
+		(pr.src == anyPeer || pr.src == msg.src) &&
+		(pr.tag == anyPeer || pr.tag == msg.tag)
+}
+
+// postMsg delivers a message: first posted matching receive wins (FIFO, as
+// in the runtime); otherwise it queues in the destination's mailbox.
+func (m *machine) postMsg(msg *vmsg) {
+	q := m.posted[msg.dst]
+	for i, pr := range q {
+		if matches(pr, msg) {
+			m.posted[msg.dst] = append(q[:i:i], q[i+1:]...)
+			m.complete(pr, msg)
+			return
+		}
+	}
+	m.mailbox[msg.dst] = append(m.mailbox[msg.dst], msg)
+}
+
+// postRecv posts a receive: earliest queued matching message wins;
+// otherwise it joins the destination's posted list.
+func (m *machine) postRecv(pr *vrecv) {
+	q := m.mailbox[pr.owner]
+	for i, msg := range q {
+		if matches(pr, msg) {
+			m.mailbox[pr.owner] = append(q[:i:i], q[i+1:]...)
+			m.complete(pr, msg)
+			return
+		}
+	}
+	m.posted[pr.owner] = append(m.posted[pr.owner], pr)
+}
+
+// complete pairs a send with a receive and checks byte compatibility.
+func (m *machine) complete(pr *vrecv, msg *vmsg) {
+	pr.matched = msg
+	msg.matched = true
+	if pr.bytes < 0 {
+		return
+	}
+	key := [2]int{msg.term, pr.term}
+	if m.byteSeen[key] {
+		return
+	}
+	sb, rb := msg.bytes, pr.bytes
+	switch {
+	case m.opts.ExactBytes && sb != rb:
+		m.byteSeen[key] = true
+		m.diag(Error, RuleP2PBytes, []int{msg.src, pr.owner}, msg.ev,
+			"matched pair on channel %d->%d tag %d transfers %d bytes but the receive expects %d",
+			msg.src, pr.owner, msg.tag, sb, rb)
+	case (sb == 0) != (rb == 0):
+		m.byteSeen[key] = true
+		m.diag(Error, RuleP2PBytes, []int{msg.src, pr.owner}, msg.ev,
+			"matched pair on channel %d->%d tag %d mixes zero and nonzero sizes (%d vs %d bytes)",
+			msg.src, pr.owner, msg.tag, sb, rb)
+	}
+}
+
+func reqDone(req *vreq) bool {
+	if req.persistent && !req.active {
+		return true
+	}
+	switch req.kind {
+	case rkSend:
+		return true // buffered-send abstraction
+	case rkRecv:
+		return req.recv == nil || req.recv.matched != nil
+	case rkColl:
+		return req.slot == nil || req.slot.full
+	}
+	return true
+}
+
+// acquireReq binds a request to its pool number. Overwriting a polled entry
+// is the Test-ambiguity implicit release; overwriting anything else live is
+// a lifecycle violation.
+func (m *machine) acquireReq(r *lrank, pool int, req *vreq, ev evRef) {
+	if pool < 0 {
+		return
+	}
+	if old, ok := r.reqs[pool]; ok && !old.polled {
+		m.diag(Error, RuleHandleRequest, []int{r.rank}, ev,
+			"request pool %d overwritten while its previous request is still live", pool)
+	}
+	r.reqs[pool] = req
+}
+
+// releaseReq discharges a completed request: persistent requests return to
+// the inactive state (MPI keeps them pooled), others leave the pool.
+func (m *machine) releaseReq(r *lrank, pool int, req *vreq) {
+	if req.persistent {
+		req.active = false
+		return
+	}
+	delete(r.reqs, pool)
+}
+
+// arrive registers rank r at the collective slot its record names,
+// checking that the call agrees with the slot's first arrival.
+func (m *machine) arrive(r *lrank, c *vcomm, rec *trace.Record, ev evRef) *vslot {
+	seq := r.collSeq[c.id]
+	r.collSeq[c.id] = seq + 1
+	key := slotKey{comm: c.id, seq: seq}
+	slot, ok := m.slots[key]
+	if !ok {
+		slot = &vslot{comm: c, seq: seq, fn: rec.Func, root: rec.Root, op: rec.Op,
+			firstEv: ev, arrived: map[int]*trace.Record{}}
+		m.slots[key] = slot
+	}
+	if !slot.flagged {
+		switch {
+		case rec.Func != slot.fn:
+			slot.flagged = true
+			m.diag(Error, RuleCollMismatch, []int{slot.firstEv.rank, r.rank}, ev,
+				"collective step %d of a %d-rank communicator: rank %d issues %s while rank %d issues %s",
+				seq, len(c.members), r.rank, rec.Func, slot.firstEv.rank, slot.fn)
+		case rec.Root != slot.root:
+			slot.flagged = true
+			m.diag(Error, RuleCollMismatch, []int{slot.firstEv.rank, r.rank}, ev,
+				"%s at collective step %d: rank %d uses root %d while rank %d uses root %d",
+				rec.Func, seq, r.rank, rec.Root, slot.firstEv.rank, slot.root)
+		case rec.Op != slot.op:
+			slot.flagged = true
+			m.diag(Error, RuleCollMismatch, []int{slot.firstEv.rank, r.rank}, ev,
+				"%s at collective step %d: rank %d uses op %q while rank %d uses op %q",
+				rec.Func, seq, r.rank, rec.Op, slot.firstEv.rank, slot.op)
+		}
+	}
+	if rec.Func == "MPI_Alltoallv" && len(rec.Counts) != len(c.members) {
+		term := r.seq[ev.idx]
+		if !m.cntSeen[term] {
+			m.cntSeen[term] = true
+			m.diag(Warning, RuleCollLength, []int{r.rank}, ev,
+				"MPI_Alltoallv counts vector has %d entries for a %d-rank communicator",
+				len(rec.Counts), len(c.members))
+		}
+	}
+	switch rec.Func {
+	case "MPI_Comm_split":
+		if slot.splitArgs == nil {
+			slot.splitArgs = map[int][2]int{}
+		}
+		slot.splitArgs[r.rank] = [2]int{rec.Color, rec.Key}
+	case "MPI_Comm_dup":
+		if slot.splitArgs == nil {
+			slot.splitArgs = map[int][2]int{}
+		}
+		slot.splitArgs[r.rank] = [2]int{0, c.index[r.rank]}
+	}
+	if _, dup := slot.arrived[r.rank]; !dup {
+		slot.arrived[r.rank] = rec
+		if len(slot.arrived) == len(c.members) {
+			slot.full = true
+			m.resolveSlot(slot)
+		}
+	}
+	return slot
+}
+
+// resolveSlot computes a full slot's shared results: split/dup groups
+// (ordered by key then world rank, mirroring World.resolveSplit) and the
+// shared file identity for MPI_File_open.
+func (m *machine) resolveSlot(slot *vslot) {
+	if slot.splitArgs != nil {
+		byColor := map[int][]int{}
+		var colors []int
+		for wr, ck := range slot.splitArgs {
+			if ck[0] < 0 {
+				continue
+			}
+			if _, ok := byColor[ck[0]]; !ok {
+				colors = append(colors, ck[0])
+			}
+			byColor[ck[0]] = append(byColor[ck[0]], wr)
+		}
+		sort.Ints(colors)
+		slot.groups = map[int]*vcomm{}
+		for _, color := range colors {
+			members := byColor[color]
+			sort.Slice(members, func(i, j int) bool {
+				ki, kj := slot.splitArgs[members[i]][1], slot.splitArgs[members[j]][1]
+				if ki != kj {
+					return ki < kj
+				}
+				return members[i] < members[j]
+			})
+			nc := m.newComm(members)
+			for _, wr := range members {
+				slot.groups[wr] = nc
+			}
+		}
+	}
+	if slot.fn == "MPI_File_open" {
+		if rec := slot.arrived[slot.firstEv.rank]; rec != nil {
+			slot.file = &vfile{comm: slot.comm, name: rec.FileName}
+		}
+	}
+}
+
+// completeColl applies rank-local effects of a completed collective.
+func (m *machine) completeColl(r *lrank, rec *trace.Record, slot *vslot, ev evRef) {
+	switch rec.Func {
+	case "MPI_Comm_split", "MPI_Comm_dup":
+		if rec.NewCommPool < 0 {
+			return
+		}
+		nc := slot.groups[r.rank] // nil for MPI_UNDEFINED colors
+		if nc == nil {
+			return
+		}
+		if old, ok := r.comms[rec.NewCommPool]; ok && old != nil && rec.NewCommPool != 0 {
+			m.diag(Error, RuleHandleComm, []int{r.rank}, ev,
+				"communicator pool %d overwritten while its previous communicator is still live", rec.NewCommPool)
+		}
+		r.comms[rec.NewCommPool] = nc
+	case "MPI_File_open":
+		if old, ok := r.files[rec.FilePool]; ok && old != nil {
+			m.diag(Error, RuleHandleFile, []int{r.rank}, ev,
+				"file pool %d overwritten while its previous file is still open", rec.FilePool)
+		}
+		r.files[rec.FilePool] = slot.file
+	case "MPI_File_close":
+		delete(r.files, rec.FilePool)
+	}
+}
+
+// finishRank fires end-of-sequence rules for a rank that ran to completion:
+// any live, never-polled, non-persistent request is a leaked nonblocking
+// operation.
+func (m *machine) finishRank(r *lrank) {
+	pools := make([]int, 0, len(r.reqs))
+	for q := range r.reqs {
+		pools = append(pools, q)
+	}
+	sort.Ints(pools)
+	for _, q := range pools {
+		req := r.reqs[q]
+		if req.persistent || req.polled {
+			continue
+		}
+		fn := "nonblocking operation"
+		if req.rec != nil {
+			fn = req.rec.Func
+		}
+		m.diag(Error, RuleRequestLeak, []int{r.rank}, req.ev,
+			"%s request (pool %d) escapes rank %d without a matching wait", fn, q, r.rank)
+	}
+}
+
+type chanKey struct{ src, dst, tag int }
+
+// reportChannels summarizes unmatched traffic per (src, dst, tag) channel.
+func (m *machine) reportChannels() {
+	sends := map[chanKey][]*vmsg{}
+	for _, q := range m.mailbox {
+		for _, msg := range q {
+			k := chanKey{msg.src, msg.dst, msg.tag}
+			sends[k] = append(sends[k], msg)
+		}
+	}
+	for _, k := range sortedChanKeys(sends) {
+		msgs := sends[k]
+		m.diag(Warning, RuleP2PUnmatchedSend, []int{k.src, k.dst}, msgs[0].ev,
+			"%d message(s) on channel %d->%d tag %d sent but never received", len(msgs), k.src, k.dst, k.tag)
+	}
+	recvs := map[chanKey][]*vrecv{}
+	for _, q := range m.posted {
+		for _, pr := range q {
+			k := chanKey{pr.src, pr.owner, pr.tag}
+			recvs[k] = append(recvs[k], pr)
+		}
+	}
+	for _, k := range sortedChanKeys(recvs) {
+		prs := recvs[k]
+		src := fmt.Sprintf("rank %d", k.src)
+		if k.src == anyPeer {
+			src = "MPI_ANY_SOURCE"
+		}
+		tag := fmt.Sprintf("%d", k.tag)
+		if k.tag == anyPeer {
+			tag = "MPI_ANY_TAG"
+		}
+		m.diag(Error, RuleP2PUnmatchedRecv, []int{k.dst}, prs[0].ev,
+			"%d receive(s) posted on rank %d from %s tag %s never matched by any send", len(prs), k.dst, src, tag)
+	}
+}
+
+func sortedChanKeys[V any](mm map[chanKey]V) []chanKey {
+	keys := make([]chanKey, 0, len(mm))
+	for k := range mm {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].src != keys[j].src {
+			return keys[i].src < keys[j].src
+		}
+		if keys[i].dst != keys[j].dst {
+			return keys[i].dst < keys[j].dst
+		}
+		return keys[i].tag < keys[j].tag
+	})
+	return keys
+}
+
+// reportCollLengths flags communicators whose members issued different
+// numbers of collective steps. Only instances where every member finished
+// cleanly could still hide a mismatch the slot machinery didn't surface, but
+// the rule is cheap, so it runs over everything and dedupes per instance.
+func (m *machine) reportCollLengths() {
+	counts := map[int]map[int]int{} // instance id -> world rank -> steps
+	insts := map[int]*vcomm{}
+	for _, r := range m.ranks {
+		for _, c := range r.comms {
+			insts[c.id] = c
+		}
+		for id, n := range r.collSeq {
+			if counts[id] == nil {
+				counts[id] = map[int]int{}
+			}
+			counts[id][r.rank] = n
+		}
+	}
+	ids := make([]int, 0, len(counts))
+	for id := range counts {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		c := insts[id]
+		if c == nil {
+			continue // freed everywhere; per-slot checks already covered it
+		}
+		var lo, hi, loRank, hiRank = -1, -1, -1, -1
+		for _, wr := range c.members {
+			n := counts[id][wr]
+			if lo < 0 || n < lo {
+				lo, loRank = n, wr
+			}
+			if hi < 0 || n > hi {
+				hi, hiRank = n, wr
+			}
+		}
+		if lo != hi {
+			m.diag(Error, RuleCollLength, c.members, noEv,
+				"members of a %d-rank communicator issue different collective counts: rank %d issues %d, rank %d issues %d",
+				len(c.members), loRank, lo, hiRank, hi)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"siesta/internal/merge"
+)
+
+// pathFinder maps (rank, expanded event index) back to a grammar-symbol
+// path through the merged program — "main[2]/R4[1]/T7" reads "the 3rd main
+// symbol, 2nd symbol of rule 4, terminal 7" — so a diagnostic points at the
+// compressed representation a human actually inspects, not a position in a
+// million-event expansion.
+type pathFinder struct {
+	p       *merge.Program
+	ruleLen []int // expanded length of one iteration of each rule
+}
+
+func newPathFinder(p *merge.Program) *pathFinder {
+	pf := &pathFinder{p: p, ruleLen: make([]int, len(p.Rules))}
+	state := make([]int, len(p.Rules)) // 0 unvisited, 1 in progress, 2 done
+	var lenOf func(ref int) int
+	lenOf = func(ref int) int {
+		if ref < 0 || ref >= len(p.Rules) || state[ref] == 1 {
+			return 0 // dangling or cyclic reference: paths stay best-effort
+		}
+		if state[ref] == 2 {
+			return pf.ruleLen[ref]
+		}
+		state[ref] = 1
+		n := 0
+		for _, s := range p.Rules[ref] {
+			unit := 1
+			if s.IsRule {
+				unit = lenOf(s.Ref)
+			}
+			n += s.Count * unit
+		}
+		state[ref] = 2
+		pf.ruleLen[ref] = n
+		return n
+	}
+	for ref := range p.Rules {
+		lenOf(ref)
+	}
+	return pf
+}
+
+func (pf *pathFinder) symLen(s merge.Sym) int {
+	unit := 1
+	if s.IsRule {
+		if s.Ref < 0 || s.Ref >= len(pf.ruleLen) {
+			return 0
+		}
+		unit = pf.ruleLen[s.Ref]
+	}
+	return s.Count * unit
+}
+
+// find returns the grammar path of the idx-th expanded event of rank, or ""
+// if the position cannot be resolved.
+func (pf *pathFinder) find(rank, idx int) string {
+	var main *merge.Main
+	for i := range pf.p.Mains {
+		if pf.p.Mains[i].Ranks.Contains(rank) {
+			main = &pf.p.Mains[i]
+			break
+		}
+	}
+	if main == nil {
+		return ""
+	}
+	var b strings.Builder
+	off := idx
+	for si, ms := range main.Body {
+		if !ms.Ranks.Contains(rank) {
+			continue
+		}
+		n := pf.symLen(ms.Sym)
+		if off >= n {
+			off -= n
+			continue
+		}
+		fmt.Fprintf(&b, "main[%d]", si)
+		pf.descend(&b, ms.Sym, off)
+		return b.String()
+	}
+	return ""
+}
+
+// descend resolves an offset within count iterations of a symbol.
+func (pf *pathFinder) descend(b *strings.Builder, s merge.Sym, off int) {
+	for depth := 0; depth < 64; depth++ { // malformed-grammar guard
+		if !s.IsRule {
+			fmt.Fprintf(b, "/T%d", s.Ref)
+			return
+		}
+		unit := pf.ruleLen[s.Ref]
+		if unit <= 0 {
+			fmt.Fprintf(b, "/R%d", s.Ref)
+			return
+		}
+		rem := off % unit
+		found := false
+		for ci, child := range pf.p.Rules[s.Ref] {
+			n := pf.symLen(child)
+			if rem >= n {
+				rem -= n
+				continue
+			}
+			fmt.Fprintf(b, "/R%d[%d]", s.Ref, ci)
+			s, off = child, rem
+			found = true
+			break
+		}
+		if !found {
+			fmt.Fprintf(b, "/R%d", s.Ref)
+			return
+		}
+	}
+}

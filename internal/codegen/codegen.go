@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"siesta/internal/blocks"
+	"siesta/internal/check"
 	"siesta/internal/merge"
 	"siesta/internal/perfmodel"
 	"siesta/internal/platform"
@@ -32,6 +33,13 @@ type Options struct {
 	// trace, used to fit the blocking-communication regression that
 	// drives communication shrinking. Required when Scale > 1.
 	CommSamples []CommSample
+	// Check is the static verification report for the input program when
+	// the caller already ran one (core.Synthesize passes its gate report
+	// through). When nil — or when shrinking rewrote the program — Generate
+	// re-verifies the program it actually emits. Verification findings
+	// never fail generation; the summary is stamped into the C source
+	// header instead.
+	Check *check.Report
 }
 
 // CommSample is one blocking-communication timing observation.
@@ -54,20 +62,23 @@ func (rg Regression) Predict(bytes int) float64 {
 }
 
 // ShrinkBytes inverts the fit: the volume whose predicted time is the
-// original's divided by scale, clamped to [0, bytes].
+// original's divided by scale, clamped to [1, bytes]. The lower clamp
+// matters: a zero-byte message is a different message class — matching,
+// eager-protocol, and verification semantics all distinguish empty from
+// non-empty transfers — so shrinking must never erase a real payload.
 func (rg Regression) ShrinkBytes(bytes int, scale float64) int {
-	if rg.Beta <= 0 || rg.N < 2 {
+	if rg.Beta <= 0 || rg.N < 2 || bytes <= 0 {
 		return bytes
 	}
 	target := rg.Predict(bytes) / scale
 	nb := (target - rg.Alpha) / rg.Beta
-	if nb < 0 {
-		nb = 0
-	}
 	if nb > float64(bytes) {
 		nb = float64(bytes)
 	}
-	return int(math.Round(nb))
+	if out := int(math.Round(nb)); out >= 1 {
+		return out
+	}
+	return 1
 }
 
 // Generated is the output of code generation: everything needed to run or
@@ -83,6 +94,9 @@ type Generated struct {
 	// SizeC is the exported representation size: encoded program plus the
 	// computation code-block table (paper Table 3's size_C).
 	SizeC int
+	// Check is the static verification report stamped into the C source
+	// header; nil only if verification itself failed structurally.
+	Check *check.Report
 	// GeneratedOn names the platform whose B matrix the search used.
 	GeneratedOn string
 }
@@ -266,6 +280,18 @@ func Generate(prog *merge.Program, opts Options) (*Generated, error) {
 		g.Prog = shrinkProgram(prog, g.Regressions, opts.Scale)
 	}
 
+	// Verification stamp: reuse the caller's report when it still describes
+	// the program being emitted; after shrinking, re-verify the rewritten
+	// program (lenient byte checking — shrinking changes volumes by design,
+	// but must preserve matching structure). Failures here do not abort
+	// generation: the report is advisory at this stage and the summary goes
+	// into the C source header.
+	if opts.Check != nil && g.Prog == prog {
+		g.Check = opts.Check
+	} else if rep, err := check.Verify(g.Prog, check.Options{}); err == nil {
+		g.Check = rep
+	}
+
 	g.SizeC = len(g.Prog.Encode()) + len(encodeCombos(g.Combos))
 	return g, nil
 }
@@ -296,6 +322,9 @@ func shrinkProgram(p *merge.Program, regs map[string]Regression, scale float64) 
 			}
 			for j := range c.Counts {
 				c.Counts[j] = int(math.Round(float64(c.Counts[j]) * ratio))
+				if c.Counts[j] < 1 && r.Counts[j] > 0 {
+					c.Counts[j] = 1 // like ShrinkBytes: keep nonzero lanes nonzero
+				}
 			}
 		}
 		out.Terminals[i] = c

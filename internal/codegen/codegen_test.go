@@ -141,6 +141,58 @@ func TestRegression(t *testing.T) {
 	}
 }
 
+// Shrinking must never turn a real message into an empty one: zero-byte
+// transfers are a different message class (eager matching, verification
+// semantics), so the clamp floor is 1 byte for any nonzero original.
+func TestShrinkBytesNeverReachesZero(t *testing.T) {
+	// Steep fit with zero intercept: target volume for large scales
+	// rounds to 0 without the clamp.
+	rg := Regression{Alpha: 0, Beta: 1e-9, N: 3}
+	for _, tc := range []struct {
+		bytes int
+		scale float64
+	}{
+		{1, 10}, {4, 1000}, {100, 1e6}, {1 << 20, 1e12},
+	} {
+		if got := rg.ShrinkBytes(tc.bytes, tc.scale); got < 1 {
+			t.Errorf("ShrinkBytes(%d, %g) = %d, want >= 1", tc.bytes, tc.scale, got)
+		}
+	}
+	if got := rg.ShrinkBytes(0, 10); got != 0 {
+		t.Errorf("ShrinkBytes(0, 10) = %d, want 0 (empty messages stay empty)", got)
+	}
+	// Nonzero intercept makes the inverted target negative: still 1.
+	rg = Regression{Alpha: 5e-6, Beta: 1e-9, N: 3}
+	if got := rg.ShrinkBytes(1000, 100); got < 1 {
+		t.Errorf("negative inverted volume: got %d, want >= 1", got)
+	}
+}
+
+func TestShrinkProgramKeepsNonzeroCounts(t *testing.T) {
+	prog, tr := buildProgram(t)
+	// Plant a v-collective with small nonzero per-destination counts so an
+	// aggressive shrink would round them to zero.
+	prog.Terminals = append(prog.Terminals, &trace.Record{
+		Func: "MPI_Alltoallv", Bytes: 4096, Counts: []int{1, 1, 4094},
+	})
+	gen, err := Generate(prog, Options{Scale: 1e6, CommSamples: CollectCommSamples(tr)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range gen.Prog.Terminals {
+		orig := prog.Terminals[i]
+		if orig.Bytes > 0 && r.Bytes < 1 {
+			t.Errorf("terminal %d (%s): %d bytes shrunk to %d", i, r.Func, orig.Bytes, r.Bytes)
+		}
+		for j := range r.Counts {
+			if orig.Counts[j] > 0 && r.Counts[j] < 1 {
+				t.Errorf("terminal %d (%s): count[%d] %d shrunk to %d",
+					i, r.Func, j, orig.Counts[j], r.Counts[j])
+			}
+		}
+	}
+}
+
 func TestCSourceStructure(t *testing.T) {
 	prog, _ := buildProgram(t)
 	gen, err := Generate(prog, Options{})

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 
+	"siesta/internal/check"
 	"siesta/internal/codegen"
 	"siesta/internal/fault"
 	"siesta/internal/merge"
@@ -47,7 +48,14 @@ type Options struct {
 	// Pipeline knobs.
 	Trace trace.Config
 	Merge merge.Options
-	Scale float64 // proxy shrink factor; 0/1 = unscaled
+	// DisableCheck skips the post-merge static verification gate. By
+	// default every merged program is verified (point-to-point matching,
+	// collective consistency, handle lifecycles, static deadlock search)
+	// before code generation, and error-severity findings abort the
+	// pipeline: a program that fails the gate would synthesize a proxy
+	// that hangs or diverges on replay.
+	DisableCheck bool
+	Scale        float64 // proxy shrink factor; 0/1 = unscaled
 	// BenchNoise controls micro-benchmark noise for the B matrix; when
 	// nil a small default noise tied to Seed is used.
 	BenchNoise *perfmodel.Noise
@@ -90,6 +98,7 @@ type Result struct {
 
 	Trace     *trace.Trace
 	Program   *merge.Program
+	Check     *check.Report // nil when Options.DisableCheck
 	Generated *codegen.Generated
 	Proxy     *proxy.App
 }
@@ -132,11 +141,38 @@ func Synthesize(app func(*mpi.Rank), opts Options) (*Result, error) {
 		return nil, fmt.Errorf("core: merge: %w", err)
 	}
 
+	// Static verification gate: the traced run completed, so the merged
+	// program must verify cleanly — an error here means grammar extraction
+	// or merging corrupted the communication structure, and the proxy
+	// would hang or diverge on replay.
+	if !opts.DisableCheck {
+		rep, err := check.Verify(res.Program, check.Options{
+			ExactBytes:    true,
+			AbsoluteRanks: opts.Trace.AbsoluteRanks,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: check: %w", err)
+		}
+		res.Check = rep
+		if rep.HasErrors() {
+			first := ""
+			for _, d := range rep.Diags {
+				if d.Severity >= check.Error {
+					first = d.String()
+					break
+				}
+			}
+			return nil, fmt.Errorf("core: merged program failed static verification (%s); first: %s",
+				rep.Summary(), first)
+		}
+	}
+
 	// Code generation.
 	genOpts := codegen.Options{
 		Platform:   opts.Platform,
 		Scale:      opts.Scale,
 		BenchNoise: opts.BenchNoise,
+		Check:      res.Check,
 	}
 	if opts.Scale > 1 {
 		genOpts.CommSamples = codegen.CollectCommSamples(res.Trace)
@@ -160,7 +196,7 @@ func (r *Result) RunProxy(p *platform.Platform, im *netmodel.Impl) (*mpi.RunResu
 	return r.Proxy.Run(mpi.Config{
 		Platform: p, Impl: im,
 		NoiseSigma: r.Opts.NoiseSigma, RunVariation: r.Opts.RunVariation,
-		Seed: r.Opts.Seed + 1,
+		Seed:   r.Opts.Seed + 1,
 		Faults: r.Opts.Faults, Deadline: r.Opts.Deadline,
 	})
 }

@@ -45,6 +45,31 @@ func TestSynthesizeEndToEnd(t *testing.T) {
 	}
 }
 
+func TestSynthesizeRunsCheckGate(t *testing.T) {
+	res := synthesizeApp(t, "CG", 8, Options{Seed: 77})
+	if res.Check == nil {
+		t.Fatal("gate should attach a verification report by default")
+	}
+	if len(res.Check.Diags) != 0 {
+		t.Errorf("merged CG program should verify clean:\n%s", res.Check)
+	}
+	if res.Generated.Check == nil {
+		t.Error("generated artifact should carry the verification report")
+	}
+	if !strings.Contains(res.Generated.CSource(), "static check: clean") {
+		t.Error("C source header should be stamped with the verification summary")
+	}
+
+	off := synthesizeApp(t, "CG", 8, Options{Seed: 77, DisableCheck: true})
+	if off.Check != nil {
+		t.Error("DisableCheck should skip the gate")
+	}
+	// codegen still self-verifies for the stamp even when the gate is off.
+	if off.Generated.Check == nil {
+		t.Error("codegen should self-verify when no gate report is passed")
+	}
+}
+
 func TestSynthesizeValidatesRanks(t *testing.T) {
 	if _, err := Synthesize(func(*mpi.Rank) {}, Options{}); err == nil {
 		t.Fatal("missing rank count should error")

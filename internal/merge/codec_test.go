@@ -1,0 +1,83 @@
+package merge
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Round-tripping through Decode must reproduce the exact encoded bytes:
+// byte equality pins every field of the serialization contract at once.
+func TestProgramCodecRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		build func(t *testing.T) *Program
+	}{
+		{"spmd-ring", func(t *testing.T) *Program {
+			p, err := Build(ringTrace(t, 8, 4), Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		}},
+		{"master-worker", func(t *testing.T) *Program {
+			p, err := Build(masterWorkerTrace(t, 6, 3), Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p := tc.build(t)
+			enc := p.Encode()
+			q, err := Decode(enc)
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			if !bytes.Equal(q.Encode(), enc) {
+				t.Fatalf("re-encoded program differs from original (%d vs %d bytes)",
+					len(q.Encode()), len(enc))
+			}
+			// The decoded program must expand identically.
+			for r := 0; r < p.NumRanks; r++ {
+				a, err := p.ExpandRank(r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := q.ExpandRank(r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(a) != len(b) {
+					t.Fatalf("rank %d expansion lengths differ: %d vs %d", r, len(a), len(b))
+				}
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("rank %d expansion differs at %d", r, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestDecodeRejectsCorruptInput(t *testing.T) {
+	p, err := Build(ringTrace(t, 4, 2), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := p.Encode()
+	if _, err := Decode(enc[:len(enc)/2]); err == nil {
+		t.Error("truncated input should fail to decode")
+	}
+	if _, err := Decode([]byte("SIESTA-TRACE1")); err == nil {
+		t.Error("wrong magic should fail to decode")
+	}
+	bad := append([]byte(nil), enc...)
+	bad[len(bad)-1] ^= 0x7f
+	if _, err := Decode(bad); err != nil {
+		// Flipping the last byte may or may not break parsing; both are
+		// fine, but it must never panic. (The call above is the assertion.)
+		t.Logf("tail corruption detected: %v", err)
+	}
+}

@@ -19,6 +19,13 @@ func (r *Rank) collective(c *Comm, op netmodel.CollOp, bytes int, split [2]int, 
 	r.seqs[c.id] = seq + 1
 
 	w.mu.Lock()
+	if w.aborted() {
+		// The job already failed. Entering anyway would create a fresh
+		// slot after failLocked closed the existing ones — a slot nothing
+		// will ever complete — so unwind before touching w.colls.
+		w.mu.Unlock()
+		r.abortIfFailed()
+	}
 	key := collKey{commID: c.id, seq: seq}
 	slot := w.collectiveSlot(c, seq, op)
 	if slot.op != op {

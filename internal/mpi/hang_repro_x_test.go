@@ -24,7 +24,7 @@ func TestHangReproCollectiveAfterAbort(t *testing.T) {
 			if r.Rank() == 1 {
 				time.Sleep(200 * time.Millisecond) // let rank 0's crash be recorded first
 			}
-			r.Barrier(w.CommWorld())
+			r.Barrier(r.World())
 		})
 	}()
 	select {

@@ -25,6 +25,12 @@ func (r *Rank) icollective(c *Comm, op netmodel.CollOp, bytes int) *Request {
 	r.clock.Advance(w.cfg.Impl.CallOverhead())
 
 	w.mu.Lock()
+	if w.aborted() {
+		// Same guard as the blocking path: a slot created after
+		// failLocked would never complete.
+		w.mu.Unlock()
+		r.abortIfFailed()
+	}
 	key := collKey{commID: c.id, seq: seq}
 	slot := w.collectiveSlot(c, seq, op)
 	slot.arrived++

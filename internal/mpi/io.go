@@ -133,6 +133,12 @@ func (r *Rank) fileCollective(fn string, f *File, offset, bytes int) {
 	r.seqs[c.id] = seq + 1
 	w := r.world
 	w.mu.Lock()
+	if w.aborted() {
+		// Same guard as the blocking collective path: a slot created
+		// after failLocked would never complete.
+		w.mu.Unlock()
+		r.abortIfFailed()
+	}
 	key := collKey{commID: c.id, seq: seq}
 	slot := w.collectiveSlot(c, seq, 0)
 	slot.arrived++

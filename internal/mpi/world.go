@@ -113,10 +113,10 @@ type collKey struct {
 
 // collSlot synchronizes one collective operation instance.
 type collSlot struct {
-	expected int
-	arrived  int
-	maxIn    vtime.Time
-	maxBytes int
+	expected  int
+	arrived   int
+	maxIn     vtime.Time
+	maxBytes  int
 	op        netmodel.CollOp
 	done      chan struct{}
 	outTime   vtime.Time
@@ -141,10 +141,10 @@ func NewWorld(cfg Config) *World {
 		cfg.Impl = netmodel.OpenMPI
 	}
 	if cfg.Size <= 0 {
-		panic(fmt.Sprintf("mpi: invalid world size %d", cfg.Size))
+		panic(fmt.Sprintf("mpi: invalid world size %d", cfg.Size)) //ranklock:ok — programmer error, precedes any rank goroutine
 	}
 	if max := cfg.Platform.MaxRanks(); max > 0 && cfg.Size > max {
-		panic(fmt.Sprintf("mpi: platform %s hosts at most %d ranks, requested %d",
+		panic(fmt.Sprintf("mpi: platform %s hosts at most %d ranks, requested %d", //ranklock:ok — programmer error, precedes any rank goroutine
 			cfg.Platform.Name, max, cfg.Size))
 	}
 	if cfg.Faults.Empty() {
