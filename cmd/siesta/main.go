@@ -12,15 +12,25 @@
 //	siesta check [-prog prog.bin] [-trace trace.bin] [-exact-bytes]
 //	       [-absolute-ranks] [-max-diags N]
 //
+//	siesta serve [-addr 127.0.0.1:8080] [-workers N] [-queue N]
+//	       [-job-timeout 120s] [-cache-size N]
+//
 // The check verb runs the static communication verifier over an encoded
 // program (written by -prog) or a raw trace (written by -trace; it is merged
 // first) and exits non-zero if any error-severity diagnostic is found.
+//
+// The serve verb exposes the whole pipeline as an HTTP service: POST
+// /v1/synthesize queues jobs onto a bounded worker pool, finished proxies are
+// kept in a content-addressed artifact cache, and GET /metrics reports
+// service counters in Prometheus text format. See DESIGN.md §8.
 //
 // The list of applications comes from the paper's Table 3; run with
 // -list to enumerate them.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -46,6 +56,10 @@ func main() {
 		runCheck(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		runServe(os.Args[2:])
+		return
+	}
 	appName := flag.String("app", "CG", "application to synthesize a proxy for")
 	ranks := flag.Int("ranks", 8, "number of MPI ranks")
 	iters := flag.Int("iters", 0, "iteration override (0 = application default)")
@@ -61,6 +75,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	faultSpec := flag.String("faults", "", `fault-injection plan applied to every run, e.g. "crash:rank=3@call=100;straggler:rank=1,factor=4"`)
 	deadlineSpec := flag.String("deadline", "", "virtual-time budget per run (e.g. 30s); exceeding it aborts with a deadlock report")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole synthesis (0 = unlimited)")
 	flag.Parse()
 
 	if *list {
@@ -107,11 +122,21 @@ func main() {
 		}
 	}
 
-	res, err := core.Synthesize(fn, core.Options{
+	opts := core.Options{
 		Platform: plat, Impl: impl, Ranks: *ranks, Scale: *scale, Seed: *seed,
 		Faults: plan, Deadline: deadline,
-	})
+	}
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		opts.Context = ctx
+	}
+
+	res, err := core.Synthesize(fn, opts)
 	if err != nil {
+		if errors.Is(err, core.ErrCanceled) {
+			die(fmt.Errorf("synthesis exceeded the %v wall-clock budget: %w", *timeout, err))
+		}
 		die(err)
 	}
 

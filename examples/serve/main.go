@@ -1,0 +1,193 @@
+// Serve: drive the siesta synthesis service over HTTP.
+//
+// This example starts the service in-process on a loopback port and then
+// talks to it exactly as a remote client would, demonstrating the three
+// behaviours that distinguish a service from a CLI run:
+//
+//  1. concurrent jobs — several applications synthesized by a small worker
+//     pool, with a second identical request answered from the artifact cache;
+//  2. cancellation — a long job aborted mid-run with DELETE /v1/jobs/{id},
+//     settling as "canceled" without leaking the simulated world;
+//  3. backpressure — a burst beyond the queue depth answered with
+//     429 Too Many Requests and a Retry-After hint.
+//
+// Run it with
+//
+//	go run ./examples/serve
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"siesta/internal/server"
+)
+
+func main() {
+	// The service is an ordinary library object: New starts the worker
+	// pool, Handler is a net/http handler. `siesta serve` wraps exactly
+	// this with flags and signal handling.
+	svc := server.New(server.Config{Workers: 2, QueueDepth: 3, JobTimeout: 2 * time.Minute})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: svc.Handler()}
+	go httpSrv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("service listening on %s\n\n", base)
+
+	// --- 1. Concurrent synthesis + cache -------------------------------
+	fmt.Println("== concurrent jobs ==")
+	var ids []string
+	for _, app := range []string{"CG", "MG", "IS"} {
+		sr := post(base, map[string]any{"app": app, "ranks": 8, "iters": 3, "seed": 7})
+		fmt.Printf("queued %-3s as %s\n", app, sr.Job.ID)
+		ids = append(ids, sr.Job.ID)
+	}
+	for _, id := range ids {
+		v := waitTerminal(base, id)
+		fmt.Printf("%s: %-5s phase-stream done in %dms\n", id, v.Status, v.DurationMS)
+	}
+
+	// The same request again: no queueing, answered from the cache.
+	sr := post(base, map[string]any{"app": "CG", "ranks": 8, "iters": 3, "seed": 7})
+	fmt.Printf("resubmitted CG: cached=%v status=%s\n", sr.Cached, sr.Job.Status)
+	art := getJSON(base+sr.ArtifactURL, nil)
+	fmt.Printf("artifact: %d bytes of C, %s\n\n", len(art["c_source"].(string)), art["check_summary"])
+
+	// --- 2. Cancellation ----------------------------------------------
+	fmt.Println("== cancellation ==")
+	long := post(base, map[string]any{"app": "CG", "ranks": 8, "iters": 50000, "seed": 9})
+	fmt.Printf("queued long job %s, cancelling while it runs\n", long.Job.ID)
+	time.Sleep(150 * time.Millisecond) // let a worker pick it up
+	req, _ := http.NewRequest(http.MethodDelete, base+"/v1/jobs/"+long.Job.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	v := waitTerminal(base, long.Job.ID)
+	fmt.Printf("%s: status=%s error=%q\n\n", long.Job.ID, v.Status, v.Error)
+
+	// --- 3. Backpressure ----------------------------------------------
+	fmt.Println("== backpressure ==")
+	// Flood with distinct long-running requests: 2 run, 3 queue, the rest
+	// must be rejected with 429 + Retry-After.
+	accepted, rejected := 0, 0
+	for i := 0; i < 8; i++ {
+		body, _ := json.Marshal(map[string]any{"app": "CG", "ranks": 8, "iters": 20000, "seed": 100 + i})
+		resp, err := http.Post(base+"/v1/synthesize", "application/json", bytes.NewReader(body))
+		if err != nil {
+			log.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			accepted++
+		case http.StatusTooManyRequests:
+			rejected++
+			if resp.Header.Get("Retry-After") == "" {
+				log.Fatal("429 without Retry-After")
+			}
+		default:
+			log.Fatalf("unexpected status %d", resp.StatusCode)
+		}
+	}
+	fmt.Printf("burst of 8: %d accepted, %d rejected with 429 + Retry-After\n\n", accepted, rejected)
+
+	// Tidy up the burst before draining: list every job and cancel the
+	// ones still queued or running.
+	resp2, err := http.Get(base + "/v1/jobs")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	var views []server.JobView
+	if err := json.Unmarshal(data, &views); err != nil {
+		log.Fatal(err)
+	}
+	canceled := 0
+	for _, jv := range views {
+		if jv.Status != server.StatusQueued && jv.Status != server.StatusRunning {
+			continue
+		}
+		req, _ := http.NewRequest(http.MethodDelete, base+"/v1/jobs/"+jv.ID, nil)
+		if resp, err := http.DefaultClient.Do(req); err == nil {
+			resp.Body.Close()
+			canceled++
+		}
+	}
+	fmt.Printf("canceled %d outstanding burst jobs\n\n", canceled)
+
+	// Graceful drain: stop accepting, let in-flight jobs finish.
+	fmt.Println("== drain ==")
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	httpSrv.Shutdown(ctx)
+	if err := svc.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("all workers drained; every job settled before exit")
+}
+
+func post(base string, req map[string]any) server.SynthesizeResponse {
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(base+"/v1/synthesize", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		log.Fatalf("POST /v1/synthesize: %d: %s", resp.StatusCode, data)
+	}
+	var sr server.SynthesizeResponse
+	if err := json.Unmarshal(data, &sr); err != nil {
+		log.Fatal(err)
+	}
+	return sr
+}
+
+func getJSON(url string, _ any) map[string]any {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		log.Fatalf("decode %s: %v", url, err)
+	}
+	return m
+}
+
+func waitTerminal(base, id string) server.JobView {
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var v server.JobView
+		if err := json.Unmarshal(data, &v); err != nil {
+			log.Fatal(err)
+		}
+		switch v.Status {
+		case server.StatusDone, server.StatusFailed, server.StatusCanceled:
+			return v
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}

@@ -1,0 +1,146 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"siesta/internal/apps"
+	"siesta/internal/core"
+	"siesta/internal/mpi"
+)
+
+// synthesizeApp builds and synthesizes one built-in app with small,
+// fast-running parameters.
+func synthesizeApp(t *testing.T, name string, ranks int, opts core.Options) (*core.Result, error) {
+	t.Helper()
+	spec, err := apps.ByName(name)
+	if err != nil {
+		t.Fatalf("ByName(%s): %v", name, err)
+	}
+	fn, err := spec.Build(apps.Params{Ranks: ranks, Iters: 3})
+	if err != nil {
+		t.Fatalf("Build(%s): %v", name, err)
+	}
+	opts.Ranks = ranks
+	return core.Synthesize(fn, opts)
+}
+
+// TestSynthesizeParallel is the worker-pool safety regression: the server
+// calls core.Synthesize from many goroutines at once, so the whole pipeline
+// — runtime, recorder, sequitur, merge, check, codegen — must be free of
+// shared mutable state. Run under -race (CI does) this fails on any hidden
+// package-level RNG, buffer reuse, or registry mutation; it also asserts
+// that concurrent synthesis is bit-deterministic by comparing against
+// serial reference results.
+func TestSynthesizeParallel(t *testing.T) {
+	type job struct {
+		app   string
+		ranks int
+	}
+	jobs := []job{
+		{"CG", 8}, {"MG", 8}, {"IS", 8}, {"Sweep3d", 8}, {"Sedov", 8},
+		// The same app twice: concurrent identical runs are exactly what
+		// the server's cache-miss stampede produces.
+		{"CG", 8}, {"MG", 8},
+	}
+
+	// Serial reference pass.
+	ref := make(map[job]string)
+	for _, j := range jobs {
+		res, err := synthesizeApp(t, j.app, j.ranks, core.Options{Seed: 11})
+		if err != nil {
+			t.Fatalf("serial %s/%d: %v", j.app, j.ranks, err)
+		}
+		ref[j] = res.Generated.CSource()
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(jobs))
+	srcs := make([]string, len(jobs))
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j job) {
+			defer wg.Done()
+			res, err := synthesizeApp(t, j.app, j.ranks, core.Options{Seed: 11})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			srcs[i] = res.Generated.CSource()
+		}(i, j)
+	}
+	wg.Wait()
+	for i, j := range jobs {
+		if errs[i] != nil {
+			t.Errorf("parallel %s/%d: %v", j.app, j.ranks, errs[i])
+			continue
+		}
+		if srcs[i] != ref[j] {
+			t.Errorf("parallel %s/%d produced different C source than serial run", j.app, j.ranks)
+		}
+	}
+}
+
+// TestSynthesizeCancel covers the context satellite end to end: a canceled
+// context stops the pipeline with a typed error, a deadline does the same,
+// and neither leaks the rank goroutines of the world that was torn down.
+func TestSynthesizeCancel(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	// Pre-canceled context: nothing should run at all.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := synthesizeApp(t, "CG", 8, core.Options{Seed: 1, Context: ctx})
+	if !errors.Is(err, core.ErrCanceled) {
+		t.Fatalf("pre-canceled context: want ErrCanceled, got %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cause should be context.Canceled, got %v", err)
+	}
+
+	// Cancellation mid-run, triggered from the phase hook so it lands
+	// while simulated ranks are alive.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	opts := core.Options{Seed: 1, Context: ctx2}
+	opts.PhaseHook = func(phase string) {
+		if phase == "trace" {
+			cancel2()
+		}
+	}
+	_, err = synthesizeApp(t, "CG", 8, opts)
+	if !errors.Is(err, core.ErrCanceled) {
+		t.Fatalf("mid-run cancel: want ErrCanceled, got %v", err)
+	}
+	var ce *mpi.CancelError
+	if !errors.As(err, &ce) {
+		t.Errorf("mid-run cancel: want *mpi.CancelError in chain, got %v", err)
+	}
+
+	// An expired wall-clock deadline reports its cause.
+	ctx3, cancel3 := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel3()
+	<-ctx3.Done()
+	_, err = synthesizeApp(t, "CG", 8, core.Options{Seed: 1, Context: ctx3})
+	if !errors.Is(err, core.ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline: want ErrCanceled+DeadlineExceeded, got %v", err)
+	}
+
+	// Rank goroutines of torn-down worlds must unwind; give the
+	// scheduler a moment before declaring a leak.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+2 || time.Now().After(deadline) {
+			if n > before+2 {
+				t.Errorf("goroutine leak after cancellation: %d before, %d after", before, n)
+			}
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

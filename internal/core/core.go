@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -22,8 +23,28 @@ import (
 	"siesta/internal/vtime"
 )
 
+// ErrCanceled matches any synthesis error caused by context cancellation
+// or a wall-clock deadline: errors.Is(err, ErrCanceled) holds for the
+// error Synthesize (or Result.RunProxy) returns when Options.Context fires
+// mid-run. It aliases mpi.ErrCanceled so callers at either layer agree.
+var ErrCanceled = mpi.ErrCanceled
+
 // Options configures one synthesis run.
 type Options struct {
+	// Context, when non-nil, bounds the whole pipeline in wall-clock
+	// terms: canceling it (or passing its deadline) stops the simulated
+	// ranks promptly and surfaces a typed error matching ErrCanceled.
+	// It participates in neither JSON encoding nor OptionsFingerprint —
+	// two runs differing only in Context are the same synthesis.
+	Context context.Context
+
+	// PhaseHook, when set, observes pipeline progress: it is called at
+	// the start of each phase (baseline, trace, merge, check, codegen)
+	// from the synthesizing goroutine. The server uses it for per-phase
+	// structured logs and metrics. Like Context, it is excluded from
+	// JSON encoding and the fingerprint.
+	PhaseHook func(phase string)
+
 	// Execution environment for the traced run.
 	Platform   *platform.Platform // default platform.A
 	Impl       *netmodel.Impl     // default OpenMPI
@@ -110,12 +131,26 @@ func Synthesize(app func(*mpi.Rank), opts Options) (*Result, error) {
 		return nil, fmt.Errorf("core: Ranks must be positive")
 	}
 	res := &Result{Opts: opts}
+	phase := func(name string) error {
+		if opts.PhaseHook != nil {
+			opts.PhaseHook(name)
+		}
+		// The simulated runs poll the context themselves; this check
+		// covers the pure phases (merge, check, codegen) between them.
+		if ctx := opts.Context; ctx != nil && ctx.Err() != nil {
+			return &mpi.CancelError{Cause: context.Cause(ctx)}
+		}
+		return nil
+	}
 
 	// Ground-truth run, without instrumentation.
+	if err := phase("baseline"); err != nil {
+		return nil, fmt.Errorf("core: baseline run: %w", err)
+	}
 	base := mpi.NewWorld(mpi.Config{
 		Platform: opts.Platform, Impl: opts.Impl, Size: opts.Ranks,
 		NoiseSigma: opts.NoiseSigma, RunVariation: opts.RunVariation, Seed: opts.Seed,
-		Faults: opts.Faults, Deadline: opts.Deadline,
+		Faults: opts.Faults, Deadline: opts.Deadline, Ctx: opts.Context,
 	})
 	var err error
 	if res.BaselineRun, err = base.Run(app); err != nil {
@@ -123,12 +158,15 @@ func Synthesize(app func(*mpi.Rank), opts Options) (*Result, error) {
 	}
 
 	// Traced run: same seeds, plus the PMPI recorder.
+	if err := phase("trace"); err != nil {
+		return nil, fmt.Errorf("core: traced run: %w", err)
+	}
 	rec := trace.NewRecorder(opts.Ranks, opts.Trace)
 	traced := mpi.NewWorld(mpi.Config{
 		Platform: opts.Platform, Impl: opts.Impl, Size: opts.Ranks,
 		NoiseSigma: opts.NoiseSigma, RunVariation: opts.RunVariation,
 		Seed: opts.Seed, Interceptor: rec,
-		Faults: opts.Faults, Deadline: opts.Deadline,
+		Faults: opts.Faults, Deadline: opts.Deadline, Ctx: opts.Context,
 	})
 	if res.TracedRun, err = traced.Run(app); err != nil {
 		return nil, fmt.Errorf("core: traced run: %w", err)
@@ -137,6 +175,9 @@ func Synthesize(app func(*mpi.Rank), opts Options) (*Result, error) {
 	res.Trace = rec.Trace(opts.Platform.Name, opts.Impl.Name)
 
 	// Grammar extraction and merging.
+	if err := phase("merge"); err != nil {
+		return nil, fmt.Errorf("core: merge: %w", err)
+	}
 	if res.Program, err = merge.Build(res.Trace, opts.Merge); err != nil {
 		return nil, fmt.Errorf("core: merge: %w", err)
 	}
@@ -146,6 +187,9 @@ func Synthesize(app func(*mpi.Rank), opts Options) (*Result, error) {
 	// or merging corrupted the communication structure, and the proxy
 	// would hang or diverge on replay.
 	if !opts.DisableCheck {
+		if err := phase("check"); err != nil {
+			return nil, fmt.Errorf("core: check: %w", err)
+		}
 		rep, err := check.Verify(res.Program, check.Options{
 			ExactBytes:    true,
 			AbsoluteRanks: opts.Trace.AbsoluteRanks,
@@ -168,6 +212,9 @@ func Synthesize(app func(*mpi.Rank), opts Options) (*Result, error) {
 	}
 
 	// Code generation.
+	if err := phase("codegen"); err != nil {
+		return nil, fmt.Errorf("core: generate: %w", err)
+	}
 	genOpts := codegen.Options{
 		Platform:   opts.Platform,
 		Scale:      opts.Scale,
@@ -197,7 +244,7 @@ func (r *Result) RunProxy(p *platform.Platform, im *netmodel.Impl) (*mpi.RunResu
 		Platform: p, Impl: im,
 		NoiseSigma: r.Opts.NoiseSigma, RunVariation: r.Opts.RunVariation,
 		Seed:   r.Opts.Seed + 1,
-		Faults: r.Opts.Faults, Deadline: r.Opts.Deadline,
+		Faults: r.Opts.Faults, Deadline: r.Opts.Deadline, Ctx: r.Opts.Context,
 	})
 }
 

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"siesta/internal/fault"
+	"siesta/internal/netmodel"
+	"siesta/internal/platform"
+)
+
+func TestOptionsJSONRoundTrip(t *testing.T) {
+	orig := Options{
+		Platform:     platform.B,
+		Impl:         netmodel.MPICH,
+		Ranks:        16,
+		NoiseSigma:   0.01,
+		RunVariation: 0.03,
+		Seed:         42,
+		Faults: &fault.Plan{
+			Seed:       7,
+			Stragglers: []fault.Straggler{{Rank: 1, Factor: 4}},
+		},
+		Deadline: 30,
+		Scale:    10,
+	}
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Options
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Platform != platform.B || back.Impl != netmodel.MPICH {
+		t.Errorf("platform/impl did not round-trip: %v %v", back.Platform, back.Impl)
+	}
+	if back.Ranks != orig.Ranks || back.Seed != orig.Seed || back.Scale != orig.Scale {
+		t.Errorf("scalar fields did not round-trip: %+v", back)
+	}
+	if back.Faults == nil || len(back.Faults.Stragglers) != 1 || back.Faults.Stragglers[0].Factor != 4 {
+		t.Errorf("fault plan did not round-trip: %+v", back.Faults)
+	}
+	// Re-encoding must be byte-identical — the determinism the cache key
+	// rests on.
+	data2, err := json.Marshal(back)
+	if err != nil {
+		t.Fatalf("re-marshal: %v", err)
+	}
+	if string(data) != string(data2) {
+		t.Errorf("encoding not deterministic:\n %s\n %s", data, data2)
+	}
+}
+
+func TestOptionsJSONRejectsUnknownNames(t *testing.T) {
+	var o Options
+	if err := json.Unmarshal([]byte(`{"platform":"Z","ranks":4}`), &o); err == nil {
+		t.Error("unknown platform name should fail to decode")
+	}
+	if err := json.Unmarshal([]byte(`{"impl":"nope","ranks":4}`), &o); err == nil {
+		t.Error("unknown impl name should fail to decode")
+	}
+}
+
+func TestOptionsFingerprint(t *testing.T) {
+	base := Options{Ranks: 8, Seed: 1}
+	fp := OptionsFingerprint(base)
+	if len(fp) != 64 {
+		t.Fatalf("fingerprint should be a sha256 hex digest, got %q", fp)
+	}
+	if OptionsFingerprint(base) != fp {
+		t.Error("fingerprint not stable across calls")
+	}
+
+	// Explicitly spelling out the defaults hashes the same as leaving
+	// them zero.
+	explicit := Options{
+		Platform: platform.A, Impl: netmodel.OpenMPI,
+		Ranks: 8, Seed: 1, NoiseSigma: 0.004, RunVariation: 0.02, Scale: 1,
+	}
+	if OptionsFingerprint(explicit) != fp {
+		t.Error("explicit defaults should fingerprint like zero values")
+	}
+
+	// Context and PhaseHook are runtime-only and must not perturb the key.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	withRuntime := base
+	withRuntime.Context = ctx
+	withRuntime.PhaseHook = func(string) {}
+	if OptionsFingerprint(withRuntime) != fp {
+		t.Error("Context/PhaseHook must not change the fingerprint")
+	}
+
+	// Any synthesis-relevant field must perturb it.
+	for name, o := range map[string]Options{
+		"ranks":    {Ranks: 16, Seed: 1},
+		"seed":     {Ranks: 8, Seed: 2},
+		"scale":    {Ranks: 8, Seed: 1, Scale: 10},
+		"platform": {Ranks: 8, Seed: 1, Platform: platform.C},
+		"impl":     {Ranks: 8, Seed: 1, Impl: netmodel.MVAPICH},
+		"faults":   {Ranks: 8, Seed: 1, Faults: &fault.Plan{Stragglers: []fault.Straggler{{Rank: 0, Factor: 2}}}},
+		"deadline": {Ranks: 8, Seed: 1, Deadline: 5},
+	} {
+		if OptionsFingerprint(o) == fp {
+			t.Errorf("changing %s should change the fingerprint", name)
+		}
+	}
+}

@@ -147,6 +147,34 @@ func (e *DeadlockError) Error() string {
 // has already failed; World.Run's recovery absorbs it silently.
 var errAborted = errors.New("mpi: run aborted")
 
+// ErrCanceled is the sentinel every context-cancellation failure matches:
+// errors.Is(err, ErrCanceled) holds for any run torn down because its
+// Config.Ctx was canceled or passed its deadline, however deeply the
+// pipeline wrapped it.
+var ErrCanceled = errors.New("mpi: run canceled")
+
+// CancelError reports that a run was stopped by its configured context
+// rather than by the application: the caller canceled the job or its
+// wall-clock deadline expired. Cause preserves the context's cause
+// (context.Canceled, context.DeadlineExceeded, or a custom cause), so both
+// errors.Is(err, ErrCanceled) and errors.Is(err, context.DeadlineExceeded)
+// see through it.
+type CancelError struct {
+	Cause error
+}
+
+func (e *CancelError) Error() string {
+	if e.Cause != nil {
+		return fmt.Sprintf("mpi: run canceled: %v", e.Cause)
+	}
+	return "mpi: run canceled"
+}
+
+func (e *CancelError) Unwrap() error { return e.Cause }
+
+// Is makes every CancelError match the ErrCanceled sentinel.
+func (e *CancelError) Is(target error) bool { return target == ErrCanceled }
+
 // crashPanic is the panic payload of a fault-injected rank crash.
 type crashPanic struct {
 	op     string // the MPI call the rank died entering

@@ -148,7 +148,14 @@ func (r *Rank) endCall(call *Call) {
 
 // checkDeadline aborts the run once the rank's virtual clock passes the
 // configured budget, reporting whatever the other ranks were blocked on.
+// It doubles as the cancellation poll for running ranks: it is invoked at
+// every MPI call and computation region, so a context cancellation (or any
+// other failure) recorded by failLocked unwinds this rank at its next
+// event instead of letting it run to completion.
 func (r *Rank) checkDeadline() {
+	if r.world.aborted() {
+		panic(errAborted)
+	}
 	d := r.world.cfg.Deadline
 	if d <= 0 || vtime.Duration(r.clock.Now()) <= d {
 		return

@@ -1,9 +1,11 @@
 package mpi
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"siesta/internal/fault"
 	"siesta/internal/netmodel"
@@ -42,6 +44,12 @@ type Config struct {
 	// backstops livelocks (e.g. MPI_Test polling loops) that the
 	// structural deadlock detector cannot see.
 	Deadline vtime.Duration
+	// Ctx, when non-nil, bounds the run in wall-clock terms: canceling it
+	// (or passing its deadline) tears the run down promptly — blocked
+	// ranks are woken and running ranks stop at their next MPI call or
+	// computation region — and Run returns a *CancelError matching
+	// ErrCanceled. A nil Ctx never cancels.
+	Ctx context.Context
 }
 
 // World is one simulated MPI job: a set of ranks, their message router and
@@ -67,6 +75,10 @@ type World struct {
 	msgSeq map[[2]int]int
 
 	failed error
+	// stop mirrors failed != nil as an atomic flag so rank goroutines can
+	// poll for teardown (abortIfFailed, per-call cancellation checks)
+	// without taking w.mu on the hot path.
+	stop atomic.Bool
 }
 
 // rankState tracks where a rank is for the deadlock detector.
@@ -236,6 +248,25 @@ func (r *RunResult) TotalCompute() perfmodel.Counters {
 // idiom for propagating typed errors out of the SPMD function) are wrapped
 // with %w so errors.As sees through them.
 func (w *World) Run(app func(r *Rank)) (*RunResult, error) {
+	if ctx := w.cfg.Ctx; ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, &CancelError{Cause: context.Cause(ctx)}
+		}
+		// The watcher turns a context event into the standard teardown
+		// path: failLocked wakes every blocked rank, and running ranks
+		// notice the stop flag at their next call or computation region.
+		watchDone := make(chan struct{})
+		go func() {
+			select {
+			case <-ctx.Done():
+				w.mu.Lock()
+				w.failLocked(&CancelError{Cause: context.Cause(ctx)})
+				w.mu.Unlock()
+			case <-watchDone:
+			}
+		}()
+		defer close(watchDone)
+	}
 	var wg sync.WaitGroup
 	wg.Add(w.cfg.Size)
 	for i := 0; i < w.cfg.Size; i++ {
@@ -303,8 +334,10 @@ func (w *World) Run(app func(r *Rank)) (*RunResult, error) {
 }
 
 // aborted reports whether the run has failed; blocked ranks poll this after
-// wakeups so a panic on one rank unblocks the others.
-func (w *World) aborted() bool { return w.failed != nil }
+// wakeups so a panic on one rank unblocks the others. It reads the atomic
+// mirror of w.failed so call sites outside w.mu (and the per-call
+// cancellation checks) stay race-free.
+func (w *World) aborted() bool { return w.stop.Load() }
 
 // failLocked records the run's first failure and wakes every blocked rank
 // so the job tears down promptly. Later failures are ignored (first error
@@ -314,6 +347,7 @@ func (w *World) failLocked(err error) {
 		return
 	}
 	w.failed = err
+	w.stop.Store(true)
 	for _, r := range w.ranks {
 		r.cond.Broadcast()
 	}

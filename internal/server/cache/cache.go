@@ -1,0 +1,118 @@
+// Package cache is the synthesis service's content-addressed artifact
+// store. Artifacts are keyed by a digest of everything that determines the
+// synthesis output — the input identity (app name and parameters, or raw
+// trace bytes) plus the canonical options fingerprint — so two requests
+// that would synthesize the same proxy share one cache entry, and any
+// change to input or options misses by construction. Eviction is LRU with
+// a fixed entry budget: artifacts are immutable and cheap to regenerate,
+// so a bounded in-memory store is the right durability class.
+package cache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sync"
+)
+
+// Key addresses one artifact: a hex sha256 digest.
+type Key string
+
+// KeyFrom derives a cache key from an ordered sequence of byte sections.
+// Sections are length-prefixed before hashing so ("ab","c") and ("a","bc")
+// cannot collide.
+func KeyFrom(sections ...[]byte) Key {
+	h := sha256.New()
+	var lenBuf [8]byte
+	for _, s := range sections {
+		binary.BigEndian.PutUint64(lenBuf[:], uint64(len(s)))
+		h.Write(lenBuf[:])
+		h.Write(s)
+	}
+	return Key(hex.EncodeToString(h.Sum(nil)))
+}
+
+// Artifact is one finished synthesis: the generated proxy source plus the
+// summary data the service serves alongside it. Artifacts are immutable
+// once stored; callers must not mutate a returned artifact.
+type Artifact struct {
+	Key Key `json:"key"`
+
+	// App names the built-in application, or "trace" for uploaded traces.
+	App   string `json:"app"`
+	Ranks int    `json:"ranks"`
+
+	// CSource is the generated C proxy-app.
+	CSource string `json:"c_source"`
+	// CheckSummary is the static verifier's one-line verdict.
+	CheckSummary string `json:"check_summary,omitempty"`
+
+	// Program statistics, mirrored from merge.Program.Stats.
+	Terminals int `json:"terminals"`
+	Rules     int `json:"rules"`
+	SizeC     int `json:"size_c"`
+
+	// Overhead is the tracing overhead of the instrumented run; zero for
+	// trace uploads (no baseline to compare against).
+	Overhead float64 `json:"overhead,omitempty"`
+}
+
+// Store is a bounded, concurrency-safe LRU artifact cache.
+type Store struct {
+	mu      sync.Mutex
+	max     int
+	entries map[Key]*list.Element
+	order   *list.List // front = most recently used; values are *Artifact
+}
+
+// New returns a store retaining at most max artifacts; max <= 0 selects a
+// default of 128.
+func New(max int) *Store {
+	if max <= 0 {
+		max = 128
+	}
+	return &Store{
+		max:     max,
+		entries: make(map[Key]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// Get returns the artifact under key and marks it recently used.
+func (s *Store) Get(key Key) (*Artifact, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[key]
+	if !ok {
+		return nil, false
+	}
+	s.order.MoveToFront(el)
+	return el.Value.(*Artifact), true
+}
+
+// Put stores the artifact under its own Key, evicting the least recently
+// used entry when the store is full. Storing an existing key refreshes its
+// recency and replaces the value.
+func (s *Store) Put(a *Artifact) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[a.Key]; ok {
+		el.Value = a
+		s.order.MoveToFront(el)
+		return
+	}
+	s.entries[a.Key] = s.order.PushFront(a)
+	for s.order.Len() > s.max {
+		oldest := s.order.Back()
+		s.order.Remove(oldest)
+		delete(s.entries, oldest.Value.(*Artifact).Key)
+	}
+}
+
+// Len reports the number of cached artifacts.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.order.Len()
+}

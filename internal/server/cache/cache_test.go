@@ -1,0 +1,88 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestKeyFrom(t *testing.T) {
+	k1 := KeyFrom([]byte("ab"), []byte("c"))
+	k2 := KeyFrom([]byte("a"), []byte("bc"))
+	if k1 == k2 {
+		t.Error("length prefixing should prevent section-boundary collisions")
+	}
+	if k1 != KeyFrom([]byte("ab"), []byte("c")) {
+		t.Error("keys must be deterministic")
+	}
+	if len(k1) != 64 {
+		t.Errorf("key should be sha256 hex, got %d chars", len(k1))
+	}
+}
+
+func TestStorePutGet(t *testing.T) {
+	s := New(4)
+	a := &Artifact{Key: KeyFrom([]byte("x")), App: "CG", Ranks: 8, CSource: "int main(){}"}
+	s.Put(a)
+	got, ok := s.Get(a.Key)
+	if !ok || got.CSource != a.CSource {
+		t.Fatalf("Get after Put = %v, %v", got, ok)
+	}
+	if _, ok := s.Get(KeyFrom([]byte("y"))); ok {
+		t.Error("absent key should miss")
+	}
+}
+
+func TestStoreLRUEviction(t *testing.T) {
+	s := New(2)
+	k := func(i int) Key { return KeyFrom([]byte{byte(i)}) }
+	s.Put(&Artifact{Key: k(1)})
+	s.Put(&Artifact{Key: k(2)})
+	s.Get(k(1)) // refresh 1 → 2 is now least recently used
+	s.Put(&Artifact{Key: k(3)})
+	if _, ok := s.Get(k(2)); ok {
+		t.Error("LRU entry should have been evicted")
+	}
+	if _, ok := s.Get(k(1)); !ok {
+		t.Error("recently used entry should survive")
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2", s.Len())
+	}
+}
+
+func TestStoreReplaceRefreshes(t *testing.T) {
+	s := New(2)
+	k := KeyFrom([]byte("k"))
+	s.Put(&Artifact{Key: k, App: "old"})
+	s.Put(&Artifact{Key: KeyFrom([]byte("other"))})
+	s.Put(&Artifact{Key: k, App: "new"}) // replace + refresh
+	s.Put(&Artifact{Key: KeyFrom([]byte("third"))})
+	got, ok := s.Get(k)
+	if !ok || got.App != "new" {
+		t.Errorf("replaced entry should survive with new value, got %v %v", got, ok)
+	}
+}
+
+func TestStoreConcurrent(t *testing.T) {
+	s := New(32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := KeyFrom([]byte(fmt.Sprintf("%d", i%40)))
+				if i%3 == 0 {
+					s.Put(&Artifact{Key: key, Ranks: i})
+				} else {
+					s.Get(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() > 32 {
+		t.Errorf("Len = %d exceeds budget", s.Len())
+	}
+}

@@ -1,0 +1,273 @@
+package server
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"siesta/internal/apps"
+	"siesta/internal/core"
+	"siesta/internal/netmodel"
+	"siesta/internal/platform"
+	"siesta/internal/server/cache"
+	"siesta/internal/trace"
+)
+
+// maxRequestBody bounds POST bodies (uploaded traces dominate): 16 MiB.
+const maxRequestBody = 16 << 20
+
+// SynthesizeRequest is the POST /v1/synthesize body. Exactly one of App or
+// TraceBase64 selects the input; the remaining fields tune the synthesis.
+type SynthesizeRequest struct {
+	// App names a built-in application (see GET /v1/apps).
+	App   string `json:"app,omitempty"`
+	Ranks int    `json:"ranks,omitempty"`
+	Iters int    `json:"iters,omitempty"`
+
+	// TraceBase64 is a standard-base64 encoded Siesta trace (the bytes
+	// `siesta -trace` writes); merge, verification, and code generation
+	// run on it directly, with no simulated execution.
+	TraceBase64 string `json:"trace_base64,omitempty"`
+
+	Platform string  `json:"platform,omitempty"` // generation platform name; default A
+	Impl     string  `json:"impl,omitempty"`     // MPI implementation name; default openmpi
+	Scale    float64 `json:"scale,omitempty"`    // shrink factor; 0/1 = unscaled
+	Seed     uint64  `json:"seed,omitempty"`
+
+	// TimeoutMS overrides the server's per-job wall-clock budget; values
+	// above the server limit are clamped to it.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// SynthesizeResponse answers POST /v1/synthesize.
+type SynthesizeResponse struct {
+	Job    JobView `json:"job"`
+	Cached bool    `json:"cached"`
+	// ArtifactURL is where the generated proxy can be fetched once the
+	// job is done.
+	ArtifactURL string `json:"artifact_url"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// Handler returns the service's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/synthesize", s.handleSynthesize)
+	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/artifact", s.handleGetArtifact)
+	mux.HandleFunc("GET /v1/apps", s.handleListApps)
+	mux.Handle("GET /metrics", s.reg.Handler())
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// prepare validates a request and turns it into a ready-to-queue job with
+// its cache key. The returned status is the HTTP code for a validation
+// failure.
+func (s *Server) prepare(req *SynthesizeRequest) (*job, int, error) {
+	if (req.App == "") == (req.TraceBase64 == "") {
+		return nil, http.StatusBadRequest, errors.New("exactly one of app or trace_base64 is required")
+	}
+	opts := core.Options{Scale: req.Scale, Seed: req.Seed}
+	if req.Platform != "" {
+		p, err := platform.ByName(req.Platform)
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		opts.Platform = p
+	}
+	if req.Impl != "" {
+		im, err := netmodel.ByName(req.Impl)
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		opts.Impl = im
+	}
+	timeout := s.cfg.JobTimeout
+	if req.TimeoutMS > 0 {
+		if t := time.Duration(req.TimeoutMS) * time.Millisecond; t < timeout {
+			timeout = t
+		}
+	}
+
+	jb := &job{timeout: timeout}
+	if req.App != "" {
+		spec, err := apps.ByName(req.App)
+		if err != nil {
+			return nil, http.StatusNotFound, err
+		}
+		if req.Ranks <= 0 {
+			return nil, http.StatusBadRequest, errors.New("ranks must be positive")
+		}
+		opts.Ranks = req.Ranks
+		work, err := appWork(spec, apps.Params{Ranks: req.Ranks, Iters: req.Iters}, opts)
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		jb.app, jb.ranks, jb.work = spec.Name, req.Ranks, work
+		var itersBuf [8]byte
+		binary.BigEndian.PutUint64(itersBuf[:], uint64(req.Iters))
+		jb.key = cache.KeyFrom(
+			[]byte("app:"+spec.Name), itersBuf[:],
+			[]byte(core.OptionsFingerprint(opts)),
+		)
+		return jb, 0, nil
+	}
+
+	raw, err := base64.StdEncoding.DecodeString(req.TraceBase64)
+	if err != nil {
+		return nil, http.StatusBadRequest, fmt.Errorf("trace_base64: %w", err)
+	}
+	tr, err := trace.Decode(raw)
+	if err != nil {
+		return nil, http.StatusBadRequest, fmt.Errorf("trace_base64: %w", err)
+	}
+	opts.Ranks = len(tr.Ranks)
+	jb.app, jb.ranks, jb.work = "trace", len(tr.Ranks), traceWork(tr, opts)
+	jb.key = cache.KeyFrom(
+		[]byte("trace:"), raw,
+		[]byte(core.OptionsFingerprint(opts)),
+	)
+	return jb, 0, nil
+}
+
+func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
+	var req SynthesizeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	jb, status, err := s.prepare(&req)
+	if err != nil {
+		writeError(w, status, "%v", err)
+		return
+	}
+
+	// Identical finished work is answered from the artifact cache without
+	// touching the queue.
+	if _, ok := s.store.Get(jb.key); ok {
+		s.mHits.Inc()
+		s.registerCached(jb)
+		s.logEvent("cache_hit", map[string]any{"job": jb.id, "app": jb.app, "key": string(jb.key)})
+		writeJSON(w, http.StatusOK, SynthesizeResponse{
+			Job: jb.view(), Cached: true,
+			ArtifactURL: "/v1/jobs/" + jb.id + "/artifact",
+		})
+		return
+	}
+	s.mMisses.Inc()
+
+	ok, draining := s.admit(jb)
+	if draining {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	if !ok {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "job queue is full (%d queued)", s.cfg.QueueDepth)
+		return
+	}
+	s.logEvent("job_queued", map[string]any{"job": jb.id, "app": jb.app, "ranks": jb.ranks, "key": string(jb.key)})
+	writeJSON(w, http.StatusAccepted, SynthesizeResponse{
+		Job: jb.view(), Cached: false,
+		ArtifactURL: "/v1/jobs/" + jb.id + "/artifact",
+	})
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	views := make([]JobView, 0, len(s.jobOrder))
+	jobs := make([]*job, 0, len(s.jobOrder))
+	for _, id := range s.jobOrder {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	for _, jb := range jobs {
+		views = append(views, jb.view())
+	}
+	writeJSON(w, http.StatusOK, views)
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	jb, ok := s.lookupJob(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, jb.view())
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	jb, ok := s.lookupJob(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	if !s.requestCancel(jb) {
+		writeError(w, http.StatusConflict, "job %s already %s", jb.id, jb.view().Status)
+		return
+	}
+	s.logEvent("job_cancel", map[string]any{"job": jb.id})
+	writeJSON(w, http.StatusOK, jb.view())
+}
+
+func (s *Server) handleGetArtifact(w http.ResponseWriter, r *http.Request) {
+	jb, ok := s.lookupJob(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	v := jb.view()
+	if v.Status != StatusDone {
+		writeError(w, http.StatusConflict, "job %s is %s, artifact not available", jb.id, v.Status)
+		return
+	}
+	art, ok := s.store.Get(jb.key)
+	if !ok {
+		// Evicted since completion: the job record outlived the artifact.
+		writeError(w, http.StatusGone, "artifact for job %s was evicted; re-submit the request", jb.id)
+		return
+	}
+	writeJSON(w, http.StatusOK, art)
+}
+
+func (s *Server) handleListApps(w http.ResponseWriter, r *http.Request) {
+	type appView struct {
+		Name        string `json:"name"`
+		Description string `json:"description"`
+	}
+	var out []appView
+	for _, spec := range apps.All() {
+		out = append(out, appView{Name: spec.Name, Description: spec.Description})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "draining": draining})
+}

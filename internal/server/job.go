@@ -1,0 +1,102 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"siesta/internal/server/cache"
+)
+
+// Status is a job's lifecycle state.
+type Status string
+
+// Job lifecycle: queued → running → done | failed | canceled. A queued job
+// may jump straight to canceled.
+const (
+	StatusQueued   Status = "queued"
+	StatusRunning  Status = "running"
+	StatusDone     Status = "done"
+	StatusFailed   Status = "failed"
+	StatusCanceled Status = "canceled"
+)
+
+// job is one synthesis request flowing through the queue. The immutable
+// fields are set at admission; everything below mu is the mutable
+// lifecycle record shared between the HTTP handlers and the worker.
+type job struct {
+	id      string
+	app     string // app name, or "trace" for uploads
+	ranks   int
+	key     cache.Key
+	timeout time.Duration
+	work    func(ctx context.Context, hook func(string)) (*cache.Artifact, error)
+
+	mu              sync.Mutex
+	status          Status
+	phase           string
+	errMsg          string
+	cached          bool
+	created         time.Time
+	started         time.Time
+	finished        time.Time
+	cancelRequested bool
+	cancel          context.CancelFunc
+}
+
+// JobView is the JSON shape of a job record.
+type JobView struct {
+	ID          string     `json:"id"`
+	App         string     `json:"app"`
+	Ranks       int        `json:"ranks"`
+	Status      Status     `json:"status"`
+	Phase       string     `json:"phase,omitempty"`
+	Cached      bool       `json:"cached"`
+	Error       string     `json:"error,omitempty"`
+	ArtifactKey string     `json:"artifact_key,omitempty"`
+	Created     time.Time  `json:"created"`
+	Started     *time.Time `json:"started,omitempty"`
+	Finished    *time.Time `json:"finished,omitempty"`
+	DurationMS  int64      `json:"duration_ms,omitempty"`
+}
+
+// view snapshots the job under its lock.
+func (j *job) view() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID: j.id, App: j.app, Ranks: j.ranks, Status: j.status,
+		Phase: j.phase, Cached: j.cached, Error: j.errMsg,
+		Created: j.created,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	if j.status == StatusDone {
+		v.ArtifactKey = string(j.key)
+	}
+	if !j.started.IsZero() && !j.finished.IsZero() {
+		v.DurationMS = j.finished.Sub(j.started).Milliseconds()
+	}
+	return v
+}
+
+// setPhase records the pipeline phase the job is in (called from the
+// worker's phase hook).
+func (j *job) setPhase(p string) {
+	j.mu.Lock()
+	j.phase = p
+	j.mu.Unlock()
+}
+
+// terminal reports whether the job has reached a final state.
+func (j *job) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status == StatusDone || j.status == StatusFailed || j.status == StatusCanceled
+}

@@ -1,0 +1,282 @@
+// Package metrics is a dependency-free metrics kernel for the synthesis
+// service: atomic counters and gauges, fixed-bucket histograms, and a
+// Prometheus-text exposition writer. It implements just the subset of the
+// exposition format the service needs — counters, gauges, histograms,
+// constant labels embedded in the metric name — so `siesta serve` can be
+// scraped by standard tooling without importing a client library.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value reads the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value reads the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into cumulative buckets, Prometheus-style:
+// bucket i counts observations ≤ Buckets[i], with an implicit +Inf bucket.
+type Histogram struct {
+	mu      sync.Mutex
+	bounds  []float64 // ascending upper bounds
+	counts  []uint64  // len(bounds)+1, last is +Inf
+	sum     float64
+	samples uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.samples++
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.samples
+}
+
+// Sum reports the running total of observed values.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// DefBuckets is a general-purpose latency bucket ladder in seconds,
+// spanning sub-millisecond cache hits to multi-minute synthesis jobs.
+var DefBuckets = []float64{.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10, 30, 60, 120}
+
+type kind int
+
+const (
+	kCounter kind = iota
+	kGauge
+	kHistogram
+)
+
+type metric struct {
+	name string // full name, may embed constant labels: foo_total{status="ok"}
+	help string
+	kind kind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// Registry holds named metrics and renders them in exposition order.
+// Registration is idempotent: asking for an existing name returns the
+// already-registered metric, so call sites can register at use.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+// family splits a possibly-labeled metric name into its family name:
+// `jobs_total{status="done"}` → `jobs_total`.
+func family(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+func (r *Registry) lookup(name, help string, k kind) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.kind != k {
+			panic(fmt.Sprintf("metrics: %s re-registered with a different type", name))
+		}
+		return m
+	}
+	m := &metric{name: name, help: help, kind: k}
+	switch k {
+	case kCounter:
+		m.c = &Counter{}
+	case kGauge:
+		m.g = &Gauge{}
+	}
+	r.metrics[name] = m
+	return m
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. Constant labels may be embedded in the name.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.lookup(name, help, kCounter).c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.lookup(name, help, kGauge).g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given ascending bucket upper bounds on first use (nil selects
+// DefBuckets). Later calls ignore the bucket argument.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.kind != kHistogram {
+			panic(fmt.Sprintf("metrics: %s re-registered with a different type", name))
+		}
+		return m.h
+	}
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	bounds := append([]float64(nil), buckets...)
+	if !sort.Float64sAreSorted(bounds) {
+		panic(fmt.Sprintf("metrics: %s: bucket bounds must be ascending", name))
+	}
+	m := &metric{name: name, help: help, kind: kHistogram,
+		h: &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}}
+	r.metrics[name] = m
+	return m.h
+}
+
+// WriteText renders every registered metric in the Prometheus text
+// exposition format, sorted by name so output is deterministic.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	ms := make([]*metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		ms = append(ms, m)
+	}
+	r.mu.Unlock()
+	sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+
+	seenFamily := map[string]bool{}
+	for _, m := range ms {
+		fam := family(m.name)
+		if !seenFamily[fam] {
+			seenFamily[fam] = true
+			typ := map[kind]string{kCounter: "counter", kGauge: "gauge", kHistogram: "histogram"}[m.kind]
+			if m.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam, m.help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, typ); err != nil {
+				return err
+			}
+		}
+		var err error
+		switch m.kind {
+		case kCounter:
+			_, err = fmt.Fprintf(w, "%s %d\n", m.name, m.c.Value())
+		case kGauge:
+			_, err = fmt.Fprintf(w, "%s %d\n", m.name, m.g.Value())
+		case kHistogram:
+			err = writeHistogram(w, m)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, m *metric) error {
+	h := m.h
+	h.mu.Lock()
+	bounds := h.bounds
+	counts := append([]uint64(nil), h.counts...)
+	sum, samples := h.sum, h.samples
+	h.mu.Unlock()
+
+	base, labels := m.name, ""
+	if i := strings.IndexByte(m.name, '{'); i >= 0 {
+		base = m.name[:i]
+		labels = strings.TrimSuffix(m.name[i+1:], "}")
+	}
+	// lbl merges the metric's constant labels with a per-line extra label,
+	// producing "" / {a} / {a,b} as appropriate.
+	lbl := func(extra string) string {
+		switch {
+		case labels == "" && extra == "":
+			return ""
+		case labels == "":
+			return "{" + extra + "}"
+		case extra == "":
+			return "{" + labels + "}"
+		default:
+			return "{" + labels + "," + extra + "}"
+		}
+	}
+	var cum uint64
+	for i, b := range bounds {
+		cum += counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", base, lbl(fmt.Sprintf("le=%q", formatBound(b))), cum); err != nil {
+			return err
+		}
+	}
+	cum += counts[len(bounds)]
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", base, lbl(`le="+Inf"`), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", base, lbl(""), sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", base, lbl(""), samples)
+	return err
+}
+
+// formatBound renders a bucket bound the way Prometheus clients do.
+func formatBound(b float64) string {
+	if math.IsInf(b, 1) {
+		return "+Inf"
+	}
+	return fmt.Sprintf("%g", b)
+}
+
+// Handler serves the registry as a scrape endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}

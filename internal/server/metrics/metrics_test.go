@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "jobs accepted")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("jobs_total", "") != c {
+		t.Error("re-registration should return the same counter")
+	}
+
+	g := r.Gauge("queue_depth", "queued jobs")
+	g.Set(7)
+	g.Add(-3)
+	if g.Value() != 4 {
+		t.Errorf("gauge = %d, want 4", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "job latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 56.05 {
+		t.Errorf("sum = %g, want 56.05", h.Sum())
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`latency_seconds_bucket{le="0.1"} 1`,
+		`latency_seconds_bucket{le="1"} 3`,
+		`latency_seconds_bucket{le="10"} 4`,
+		`latency_seconds_bucket{le="+Inf"} 5`,
+		`latency_seconds_sum 56.05`,
+		`latency_seconds_count 5`,
+		"# TYPE latency_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabeledMetricsShareFamilyHeader(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`jobs_completed_total{status="done"}`, "completed jobs by status").Add(3)
+	r.Counter(`jobs_completed_total{status="failed"}`, "completed jobs by status").Inc()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Count(out, "# TYPE jobs_completed_total counter") != 1 {
+		t.Errorf("family header should appear exactly once:\n%s", out)
+	}
+	if !strings.Contains(out, `jobs_completed_total{status="done"} 3`) ||
+		!strings.Contains(out, `jobs_completed_total{status="failed"} 1`) {
+		t.Errorf("labeled series missing:\n%s", out)
+	}
+	// done sorts before failed → deterministic order.
+	if strings.Index(out, `status="done"`) > strings.Index(out, `status="failed"`) {
+		t.Errorf("output not sorted:\n%s", out)
+	}
+}
+
+func TestLabeledHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(`phase_seconds{phase="merge"}`, "per-phase latency", []float64{1})
+	h.Observe(0.5)
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`phase_seconds_bucket{phase="merge",le="1"} 1`,
+		`phase_seconds_bucket{phase="merge",le="+Inf"} 1`,
+		`phase_seconds_sum{phase="merge"} 0.5`,
+		`phase_seconds_count{phase="merge"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("up", "").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	buf := make([]byte, 1024)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "up 1") {
+		t.Errorf("scrape missing counter: %s", buf[:n])
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c", "").Inc()
+				r.Gauge("g", "").Add(1)
+				r.Histogram("h", "", []float64{1, 2}).Observe(1.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Counter("c", "").Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", r.Counter("c", "").Value())
+	}
+	if r.Histogram("h", "", nil).Count() != 8000 {
+		t.Errorf("histogram count = %d, want 8000", r.Histogram("h", "", nil).Count())
+	}
+}

@@ -1,0 +1,461 @@
+// Package server exposes Siesta's synthesis pipeline as a long-lived
+// concurrent service: `siesta serve`. Requests name a built-in application
+// (or upload a raw trace), are admitted into a bounded job queue, and a
+// worker pool runs core.Synthesize with per-job wall-clock deadlines and
+// context cancellation. Finished proxies land in a content-addressed
+// artifact cache keyed by the input identity plus the canonical options
+// fingerprint, so identical requests are answered without re-synthesis.
+// Backpressure (429 + Retry-After), graceful drain, a Prometheus-text
+// /metrics endpoint, and structured JSON phase logs are part of the
+// subsystem rather than bolted on.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"siesta/internal/apps"
+	"siesta/internal/check"
+	"siesta/internal/codegen"
+	"siesta/internal/core"
+	"siesta/internal/merge"
+	"siesta/internal/mpi"
+	"siesta/internal/server/cache"
+	"siesta/internal/server/metrics"
+	"siesta/internal/trace"
+)
+
+// Config tunes one service instance. The zero value is usable.
+type Config struct {
+	// Workers is the synthesis worker-pool size; default 2.
+	Workers int
+	// QueueDepth bounds the number of admitted-but-not-running jobs;
+	// default 16. A full queue rejects with 429 + Retry-After.
+	QueueDepth int
+	// JobTimeout is the per-job wall-clock budget, and the upper bound on
+	// any per-request timeout_ms override; default 120s.
+	JobTimeout time.Duration
+	// CacheSize is the artifact cache's entry budget; default 128.
+	CacheSize int
+	// MaxJobs bounds retained job records; completed records beyond it
+	// are pruned oldest-first. Default 1024.
+	MaxJobs int
+	// LogWriter receives one JSON object per line per job event
+	// (admission, phase transitions, completion). Nil disables logging.
+	LogWriter io.Writer
+	// Registry receives the service metrics; a private registry is
+	// created when nil.
+	Registry *metrics.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 120 * time.Second
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	return c
+}
+
+// Server is one synthesis service instance. Create with New, serve its
+// Handler, and stop it with Shutdown.
+type Server struct {
+	cfg   Config
+	store *cache.Store
+	reg   *metrics.Registry
+
+	queue chan *job
+	wg    sync.WaitGroup // worker goroutines
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	jobOrder []string // admission order, for listing and pruning
+	nextID   int
+	draining bool
+
+	logMu sync.Mutex
+
+	// metrics handles, registered once at construction
+	mAccepted, mRejected  *metrics.Counter
+	mHits, mMisses        *metrics.Counter
+	mDone, mFail, mCancel *metrics.Counter
+	gQueued, gRunning     *metrics.Gauge
+	hJobDur               *metrics.Histogram
+}
+
+// New builds a service and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	reg := cfg.Registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	s := &Server{
+		cfg:   cfg,
+		store: cache.New(cfg.CacheSize),
+		reg:   reg,
+		queue: make(chan *job, cfg.QueueDepth),
+		jobs:  make(map[string]*job),
+
+		mAccepted: reg.Counter("siesta_jobs_accepted_total", "synthesis jobs admitted to the queue"),
+		mRejected: reg.Counter("siesta_jobs_rejected_total", "synthesis jobs rejected because the queue was full"),
+		mHits:     reg.Counter("siesta_cache_hits_total", "requests answered from the artifact cache"),
+		mMisses:   reg.Counter("siesta_cache_misses_total", "requests that required synthesis"),
+		mDone:     reg.Counter(`siesta_jobs_completed_total{status="done"}`, "jobs by final status"),
+		mFail:     reg.Counter(`siesta_jobs_completed_total{status="failed"}`, "jobs by final status"),
+		mCancel:   reg.Counter(`siesta_jobs_completed_total{status="canceled"}`, "jobs by final status"),
+		gQueued:   reg.Gauge("siesta_queue_depth", "jobs waiting in the queue"),
+		gRunning:  reg.Gauge("siesta_jobs_running", "jobs currently synthesizing"),
+		hJobDur:   reg.Histogram("siesta_job_duration_seconds", "wall-clock synthesis duration", nil),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Metrics returns the registry the server reports into.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// logEvent writes one structured JSON log line; fields must be
+// JSON-encodable. Nil LogWriter disables logging entirely.
+func (s *Server) logEvent(event string, fields map[string]any) {
+	w := s.cfg.LogWriter
+	if w == nil {
+		return
+	}
+	rec := make(map[string]any, len(fields)+2)
+	for k, v := range fields {
+		rec[k] = v
+	}
+	rec["ts"] = time.Now().UTC().Format(time.RFC3339Nano)
+	rec["event"] = event
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	w.Write(append(data, '\n'))
+}
+
+// admit registers a job record and offers it to the queue without
+// blocking. It returns false when the queue is full (backpressure) or the
+// server is draining.
+func (s *Server) admit(jb *job) (ok bool, draining bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false, true
+	}
+	// The job must be fully initialized before it is offered to the
+	// queue: the channel send publishes it to a worker, which reads id
+	// and status immediately.
+	s.nextID++
+	jb.id = fmt.Sprintf("j-%06d", s.nextID)
+	jb.created = time.Now()
+	jb.status = StatusQueued
+	select {
+	case s.queue <- jb:
+	default:
+		s.nextID--
+		s.mRejected.Inc()
+		return false, false
+	}
+	s.jobs[jb.id] = jb
+	s.jobOrder = append(s.jobOrder, jb.id)
+	s.pruneLocked()
+	s.mAccepted.Inc()
+	s.gQueued.Add(1)
+	return true, false
+}
+
+// pruneLocked drops the oldest completed job records beyond the retention
+// budget. Caller holds s.mu.
+func (s *Server) pruneLocked() {
+	excess := len(s.jobs) - s.cfg.MaxJobs
+	if excess <= 0 {
+		return
+	}
+	kept := s.jobOrder[:0]
+	for _, id := range s.jobOrder {
+		if excess > 0 && s.jobs[id].terminal() {
+			delete(s.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.jobOrder = kept
+}
+
+// lookupJob finds a job record by id.
+func (s *Server) lookupJob(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	jb, ok := s.jobs[id]
+	return jb, ok
+}
+
+// registerCached records an already-satisfied request as a completed job so
+// cache hits and misses read uniformly through the jobs API.
+func (s *Server) registerCached(jb *job) {
+	now := time.Now()
+	jb.status = StatusDone
+	jb.cached = true
+	jb.created, jb.started, jb.finished = now, now, now
+	s.mu.Lock()
+	s.nextID++
+	jb.id = fmt.Sprintf("j-%06d", s.nextID)
+	s.jobs[jb.id] = jb
+	s.jobOrder = append(s.jobOrder, jb.id)
+	s.pruneLocked()
+	s.mu.Unlock()
+}
+
+// worker drains the queue until Shutdown closes it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for jb := range s.queue {
+		s.gQueued.Add(-1)
+		s.runJob(jb)
+	}
+}
+
+// runJob executes one queued job end to end: claim, synthesize under a
+// per-job deadline, publish the artifact, settle the record.
+func (s *Server) runJob(jb *job) {
+	jb.mu.Lock()
+	if jb.status != StatusQueued { // canceled while queued
+		jb.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), jb.timeout)
+	defer cancel()
+	jb.status = StatusRunning
+	jb.started = time.Now()
+	jb.cancel = cancel
+	if jb.cancelRequested {
+		cancel()
+	}
+	jb.mu.Unlock()
+
+	s.gRunning.Add(1)
+	defer s.gRunning.Add(-1)
+	s.logEvent("job_start", map[string]any{"job": jb.id, "app": jb.app, "ranks": jb.ranks})
+
+	// The phase hook times each pipeline phase, updates the job record,
+	// and emits one log line per transition. It runs on this goroutine
+	// (core.Synthesize is synchronous), so the timing state needs no lock.
+	var lastPhase string
+	var lastStart time.Time
+	observe := func(now time.Time) {
+		if lastPhase == "" {
+			return
+		}
+		h := s.reg.Histogram(fmt.Sprintf("siesta_phase_seconds{phase=%q}", lastPhase),
+			"wall-clock time per pipeline phase", nil)
+		h.Observe(now.Sub(lastStart).Seconds())
+	}
+	hook := func(phase string) {
+		now := time.Now()
+		observe(now)
+		lastPhase, lastStart = phase, now
+		jb.setPhase(phase)
+		s.logEvent("phase", map[string]any{"job": jb.id, "phase": phase})
+	}
+
+	art, err := jb.work(ctx, hook)
+	finished := time.Now()
+	observe(finished)
+
+	jb.mu.Lock()
+	jb.finished = finished
+	jb.phase = ""
+	switch {
+	case err == nil:
+		art.Key = jb.key
+		s.store.Put(art)
+		jb.status = StatusDone
+		s.mDone.Inc()
+	case errors.Is(err, core.ErrCanceled):
+		jb.status = StatusCanceled
+		jb.errMsg = err.Error()
+		s.mCancel.Inc()
+	default:
+		jb.status = StatusFailed
+		jb.errMsg = err.Error()
+		s.mFail.Inc()
+	}
+	status, errMsg := jb.status, jb.errMsg
+	dur := jb.finished.Sub(jb.started)
+	jb.mu.Unlock()
+
+	s.hJobDur.Observe(dur.Seconds())
+	ev := map[string]any{"job": jb.id, "status": string(status), "duration_ms": dur.Milliseconds()}
+	if errMsg != "" {
+		ev["error"] = errMsg
+	}
+	s.logEvent("job_end", ev)
+}
+
+// requestCancel cancels a job: queued jobs settle immediately, running jobs
+// get their context canceled and settle on the worker's path. It reports
+// whether the cancellation was accepted (false once the job is terminal).
+func (s *Server) requestCancel(jb *job) bool {
+	jb.mu.Lock()
+	defer jb.mu.Unlock()
+	switch jb.status {
+	case StatusQueued:
+		jb.status = StatusCanceled
+		jb.errMsg = "canceled while queued"
+		jb.finished = time.Now()
+		s.mCancel.Inc()
+		// The worker discards it when it reaches the head of the queue;
+		// the queued-depth gauge settles there.
+		return true
+	case StatusRunning:
+		jb.cancelRequested = true
+		if jb.cancel != nil {
+			jb.cancel()
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// Shutdown drains the service: no new jobs are admitted, queued and
+// running jobs finish, then workers exit. If ctx expires first, remaining
+// jobs are canceled and Shutdown returns ctx's error.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	close(s.queue) // safe: admissions hold s.mu and re-check draining
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		// Hard stop: cancel whatever is still running, then wait for the
+		// workers to observe it.
+		s.mu.Lock()
+		for _, jb := range s.jobs {
+			s.requestCancel(jb)
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// --- synthesis work functions ----------------------------------------------
+
+// appWork prepares the work function for a built-in application request.
+func appWork(spec *apps.Spec, params apps.Params, opts core.Options) (func(context.Context, func(string)) (*cache.Artifact, error), error) {
+	fn, err := spec.Build(params)
+	if err != nil {
+		return nil, err
+	}
+	return func(ctx context.Context, hook func(string)) (*cache.Artifact, error) {
+		opts := opts
+		opts.Context = ctx
+		opts.PhaseHook = hook
+		res, err := core.Synthesize(fn, opts)
+		if err != nil {
+			return nil, err
+		}
+		st := res.Program.Stats()
+		art := &cache.Artifact{
+			App: spec.Name, Ranks: opts.Ranks,
+			CSource:   res.Generated.CSource(),
+			Terminals: st.Terminals, Rules: st.Rules, SizeC: res.Generated.SizeC,
+			Overhead: res.Overhead,
+		}
+		if res.Check != nil {
+			art.CheckSummary = res.Check.Summary()
+		}
+		return art, nil
+	}, nil
+}
+
+// traceWork prepares the work function for an uploaded trace: the pipeline
+// minus the two simulated runs — merge, verify, generate.
+func traceWork(tr *trace.Trace, opts core.Options) func(context.Context, func(string)) (*cache.Artifact, error) {
+	return func(ctx context.Context, hook func(string)) (*cache.Artifact, error) {
+		step := func(phase string) error {
+			hook(phase)
+			if ctx != nil && ctx.Err() != nil {
+				return fmt.Errorf("server: %s: %w", phase, &mpi.CancelError{Cause: context.Cause(ctx)})
+			}
+			return nil
+		}
+		if err := step("merge"); err != nil {
+			return nil, err
+		}
+		prog, err := merge.Build(tr, opts.Merge)
+		if err != nil {
+			return nil, fmt.Errorf("server: merge: %w", err)
+		}
+		var rep *check.Report
+		if !opts.DisableCheck {
+			if err := step("check"); err != nil {
+				return nil, err
+			}
+			rep, err = check.Verify(prog, check.Options{
+				ExactBytes:    true,
+				AbsoluteRanks: opts.Trace.AbsoluteRanks,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("server: check: %w", err)
+			}
+			if rep.HasErrors() {
+				return nil, fmt.Errorf("server: uploaded trace failed static verification (%s)", rep.Summary())
+			}
+		}
+		if err := step("codegen"); err != nil {
+			return nil, err
+		}
+		genOpts := codegen.Options{Platform: opts.Platform, Scale: opts.Scale, Check: rep}
+		if opts.Scale > 1 {
+			genOpts.CommSamples = codegen.CollectCommSamples(tr)
+		}
+		gen, err := codegen.Generate(prog, genOpts)
+		if err != nil {
+			return nil, fmt.Errorf("server: generate: %w", err)
+		}
+		st := prog.Stats()
+		art := &cache.Artifact{
+			App: "trace", Ranks: len(tr.Ranks),
+			CSource:   gen.CSource(),
+			Terminals: st.Terminals, Rules: st.Rules, SizeC: gen.SizeC,
+		}
+		if rep != nil {
+			art.CheckSummary = rep.Summary()
+		}
+		return art, nil
+	}
+}
