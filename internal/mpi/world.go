@@ -248,6 +248,7 @@ func (r *RunResult) TotalCompute() perfmodel.Counters {
 // idiom for propagating typed errors out of the SPMD function) are wrapped
 // with %w so errors.As sees through them.
 func (w *World) Run(app func(r *Rank)) (*RunResult, error) {
+	var watchStop, watcherDone chan struct{}
 	if ctx := w.cfg.Ctx; ctx != nil {
 		if err := ctx.Err(); err != nil {
 			return nil, &CancelError{Cause: context.Cause(ctx)}
@@ -255,17 +256,18 @@ func (w *World) Run(app func(r *Rank)) (*RunResult, error) {
 		// The watcher turns a context event into the standard teardown
 		// path: failLocked wakes every blocked rank, and running ranks
 		// notice the stop flag at their next call or computation region.
-		watchDone := make(chan struct{})
+		watchStop = make(chan struct{})
+		watcherDone = make(chan struct{})
 		go func() {
+			defer close(watcherDone)
 			select {
 			case <-ctx.Done():
 				w.mu.Lock()
 				w.failLocked(&CancelError{Cause: context.Cause(ctx)})
 				w.mu.Unlock()
-			case <-watchDone:
+			case <-watchStop:
 			}
 		}()
-		defer close(watchDone)
 	}
 	var wg sync.WaitGroup
 	wg.Add(w.cfg.Size)
@@ -302,6 +304,13 @@ func (w *World) Run(app func(r *Rank)) (*RunResult, error) {
 		}(w.ranks[i])
 	}
 	wg.Wait()
+	// Join the watcher before touching w.failed: it may be mid-failLocked
+	// when the context deadline races the ranks finishing, and the reads
+	// and writes below run without w.mu.
+	if watchStop != nil {
+		close(watchStop)
+		<-watcherDone
+	}
 	if w.failed == nil {
 		// A silent crash whose survivors all finished still failed the
 		// job; real MPI would have hung in MPI_Finalize.

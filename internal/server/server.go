@@ -79,11 +79,12 @@ type Server struct {
 	queue chan *job
 	wg    sync.WaitGroup // worker goroutines
 
-	mu       sync.Mutex
-	jobs     map[string]*job
-	jobOrder []string // admission order, for listing and pruning
-	nextID   int
-	draining bool
+	mu        sync.Mutex
+	jobs      map[string]*job
+	jobOrder  []string // admission order, for listing and pruning
+	nextID    int
+	draining  bool
+	drainDone chan struct{} // closed when all workers have exited
 
 	logMu sync.Mutex
 
@@ -168,9 +169,14 @@ func (s *Server) admit(jb *job) (ok bool, draining bool) {
 	jb.id = fmt.Sprintf("j-%06d", s.nextID)
 	jb.created = time.Now()
 	jb.status = StatusQueued
+	// The gauge goes up before the send: a worker may receive the job and
+	// decrement it immediately, so incrementing after the send could let a
+	// scrape observe a negative depth.
+	s.gQueued.Add(1)
 	select {
 	case s.queue <- jb:
 	default:
+		s.gQueued.Add(-1)
 		s.nextID--
 		s.mRejected.Inc()
 		return false, false
@@ -179,7 +185,6 @@ func (s *Server) admit(jb *job) (ok bool, draining bool) {
 	s.jobOrder = append(s.jobOrder, jb.id)
 	s.pruneLocked()
 	s.mAccepted.Inc()
-	s.gQueued.Add(1)
 	return true, false
 }
 
@@ -343,19 +348,22 @@ func (s *Server) requestCancel(jb *job) bool {
 // jobs are canceled and Shutdown returns ctx's error.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
-	if s.draining {
-		s.mu.Unlock()
-		return nil
+	if !s.draining {
+		s.draining = true
+		s.drainDone = make(chan struct{})
+		close(s.queue) // safe: admissions hold s.mu and re-check draining
+		done := s.drainDone
+		go func() {
+			s.wg.Wait()
+			close(done)
+		}()
 	}
-	s.draining = true
-	close(s.queue) // safe: admissions hold s.mu and re-check draining
+	// Concurrent and repeat calls all wait on the same drain; returning
+	// early just because draining was already set would let a caller
+	// proceed before the workers have actually exited.
+	done := s.drainDone
 	s.mu.Unlock()
 
-	done := make(chan struct{})
-	go func() {
-		s.wg.Wait()
-		close(done)
-	}()
 	select {
 	case <-done:
 		return nil

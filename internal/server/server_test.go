@@ -452,6 +452,46 @@ func TestDrainFinishesQueuedJobs(t *testing.T) {
 	}
 }
 
+// TestConcurrentShutdownWaitsForDrain pins the repeat-caller semantics: a
+// Shutdown call that finds draining already set must still block until the
+// workers have exited, not return early.
+func TestConcurrentShutdownWaitsForDrain(t *testing.T) {
+	s := New(Config{Workers: 1})
+	release := make(chan struct{})
+	jb := blockerJob(release)
+	if ok, _ := s.admit(jb); !ok {
+		t.Fatal("admit")
+	}
+	waitStatus(t, jb, StatusRunning)
+
+	const callers = 3
+	errs := make(chan error, callers)
+	for i := 0; i < callers; i++ {
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			errs <- s.Shutdown(ctx)
+		}()
+	}
+	// With the worker still blocked, no caller may return yet.
+	time.Sleep(50 * time.Millisecond)
+	select {
+	case err := <-errs:
+		t.Fatalf("Shutdown returned before drain (err=%v)", err)
+	default:
+	}
+
+	close(release)
+	for i := 0; i < callers; i++ {
+		if err := <-errs; err != nil {
+			t.Errorf("shutdown caller %d: %v", i, err)
+		}
+	}
+	if v := jb.view(); v.Status != StatusDone {
+		t.Errorf("job after drain: %s", v.Status)
+	}
+}
+
 func TestListJobsAndApps(t *testing.T) {
 	s, ts := newTestServer(t, Config{Workers: 1})
 	release := make(chan struct{})
