@@ -1,6 +1,8 @@
 package siesta
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"siesta/internal/apps"
@@ -348,6 +350,152 @@ func BenchmarkEndToEnd(b *testing.B) {
 		if _, err := core.Synthesize(fn, core.Options{Ranks: 8, Seed: uint64(i)}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- parallel-pipeline benchmarks (DESIGN.md §9) ----------------------------
+
+// pipelineTrace records one CG trace at the given rank count for the
+// parallel-stage benchmarks.
+func pipelineTrace(b *testing.B, ranks int) *trace.Trace {
+	b.Helper()
+	spec, err := apps.ByName("CG")
+	if err != nil {
+		b.Fatal(err)
+	}
+	fn, err := spec.Build(apps.Params{Ranks: ranks, Iters: 2, WorkScale: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := trace.NewRecorder(ranks, trace.Config{})
+	w := mpi.NewWorld(mpi.Config{Size: ranks, Interceptor: rec, NoiseSigma: 0.004, Seed: 1})
+	if _, err := w.Run(fn); err != nil {
+		b.Fatal(err)
+	}
+	return rec.Trace("A", "openmpi")
+}
+
+// BenchmarkGlobalize times the tree-reduction terminal-table merge serial
+// vs parallel across the paper's rank ladder. The two variants produce
+// byte-identical output (see internal/core/determinism_test.go); only the
+// wall time may differ.
+func BenchmarkGlobalize(b *testing.B) {
+	for _, ranks := range []int{8, 32, 64} {
+		tr := pipelineTrace(b, ranks)
+		for _, par := range []int{1, runtime.GOMAXPROCS(0)} {
+			b.Run(fmt.Sprintf("ranks=%d/par=%d", ranks, par), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					merge.GlobalizeParallel(tr, 0.05, par)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkMergeBuild times the full trace merge (globalize + per-rank
+// Sequitur + rule interning + main-rule grouping) serial vs parallel.
+func BenchmarkMergeBuild(b *testing.B) {
+	for _, ranks := range []int{8, 32, 64} {
+		tr := pipelineTrace(b, ranks)
+		for _, par := range []int{1, runtime.GOMAXPROCS(0)} {
+			b.Run(fmt.Sprintf("ranks=%d/par=%d", ranks, par), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := merge.Build(tr, merge.Options{Parallelism: par}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSearchMemoized compares cold QP proxy searches against memoized
+// re-solves over the cluster targets of a merged CG trace.
+func BenchmarkSearchMemoized(b *testing.B) {
+	tr := pipelineTrace(b, 8)
+	prog, err := merge.Build(tr, merge.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bm := blocks.MeasureB(platform.A, nil)
+	targets := make([]perfmodel.Counters, 0, len(prog.Clusters))
+	for _, cl := range prog.Clusters {
+		targets = append(targets, cl.Target())
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, tgt := range targets {
+				if _, err := blocks.Search(bm, tgt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("memoized", func(b *testing.B) {
+		m := blocks.NewMemo(0)
+		for _, tgt := range targets { // prime outside the timed region
+			if _, err := blocks.CachedSearch(m, bm, tgt); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, tgt := range targets {
+				if _, err := blocks.CachedSearch(m, bm, tgt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkSynthesizeParallelism times the whole pipeline at Parallelism 1
+// vs GOMAXPROCS. Fresh memos per run keep the serial leg from pre-warming
+// the cache for the parallel one.
+func BenchmarkSynthesizeParallelism(b *testing.B) {
+	spec, err := apps.ByName("CG")
+	if err != nil {
+		b.Fatal(err)
+	}
+	fn, err := spec.Build(apps.Params{Ranks: 8, Iters: 2, WorkScale: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, par := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("par=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := core.Synthesize(fn, core.Options{
+					Ranks: 8, Seed: 1, Parallelism: par, SearchMemo: blocks.NewMemo(0),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTracingOverhead measures the recorder's relative slowdown after
+// the buffer-reuse work and fails if it leaves the paper's Table 3 range
+// (the same <~8%, tolerance 12%, bound the experiment suite enforces).
+func BenchmarkTracingOverhead(b *testing.B) {
+	spec, err := apps.ByName("CG")
+	if err != nil {
+		b.Fatal(err)
+	}
+	fn, err := spec.Build(apps.Params{Ranks: 8, Iters: 4, WorkScale: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := core.Synthesize(fn, core.Options{Ranks: 8, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Overhead < 0 || res.Overhead > 0.12 {
+			b.Fatalf("tracing overhead %.2f%% out of the paper's range", res.Overhead*100)
+		}
+		b.ReportMetric(res.Overhead*100, "%overhead")
 	}
 }
 

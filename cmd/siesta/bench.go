@@ -1,0 +1,207 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"siesta/internal/apps"
+	"siesta/internal/blocks"
+	"siesta/internal/core"
+	"siesta/internal/merge"
+	"siesta/internal/mpi"
+	"siesta/internal/netmodel"
+	"siesta/internal/perfmodel"
+	"siesta/internal/platform"
+	"siesta/internal/trace"
+)
+
+// benchResult is one serial-vs-parallel timing pair for a pipeline stage at
+// a rank count. Speedup > 1 means the parallel run was faster. For the
+// "search" stage the pair is cold solve vs memoized re-solve instead.
+type benchResult struct {
+	Name       string  `json:"name"`
+	Ranks      int     `json:"ranks"`
+	SerialNS   int64   `json:"serial_ns"`
+	ParallelNS int64   `json:"parallel_ns"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// benchReport is the BENCH_4.json shape: enough context to compare runs
+// across machines plus the stage timings.
+type benchReport struct {
+	App         string        `json:"app"`
+	Iters       int           `json:"iters"`
+	WorkScale   float64       `json:"work_scale"`
+	Parallelism int           `json:"parallelism"`
+	GOMAXPROCS  int           `json:"gomaxprocs"`
+	Reps        int           `json:"reps"`
+	Results     []benchResult `json:"results"`
+}
+
+// runBench implements the `siesta bench` verb: it times the parallelized
+// synthesis stages (globalize, merge build, proxy search, end-to-end
+// synthesize) serial vs parallel across rank counts and writes a JSON
+// report, seeding the repo's perf trajectory (BENCH_4.json).
+func runBench(args []string) {
+	fs := flag.NewFlagSet("siesta bench", flag.ExitOnError)
+	appName := fs.String("app", "CG", "application to benchmark")
+	ranksList := fs.String("ranks", "8,32,64", "comma-separated rank counts")
+	iters := fs.Int("iters", 2, "iteration override (0 = application default)")
+	workScale := fs.Float64("work-scale", 0.05, "per-rank computation volume multiplier")
+	reps := fs.Int("reps", 3, "repetitions per measurement (best-of)")
+	parallel := fs.Int("parallel", 0, "parallel worker count (0 = GOMAXPROCS)")
+	jsonOut := fs.String("json", "", "write the JSON report to this file (default stdout)")
+	fs.Parse(args)
+
+	die := func(err error) {
+		fmt.Fprintf(os.Stderr, "siesta bench: %v\n", err)
+		os.Exit(1)
+	}
+
+	par := *parallel
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	spec, err := apps.ByName(*appName)
+	if err != nil {
+		die(err)
+	}
+	var ranks []int
+	for _, f := range strings.Split(*ranksList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			die(fmt.Errorf("bad -ranks entry %q", f))
+		}
+		ranks = append(ranks, n)
+	}
+
+	rep := benchReport{
+		App: spec.Name, Iters: *iters, WorkScale: *workScale,
+		Parallelism: par, GOMAXPROCS: runtime.GOMAXPROCS(0), Reps: *reps,
+	}
+
+	// bestOf times fn (which must be repeatable) and keeps the fastest run.
+	bestOf := func(fn func()) int64 {
+		best := int64(-1)
+		for i := 0; i < *reps; i++ {
+			start := time.Now()
+			fn()
+			if d := time.Since(start).Nanoseconds(); best < 0 || d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	record := func(name string, nRanks int, serial, parallel int64) {
+		sp := 0.0
+		if parallel > 0 {
+			sp = float64(serial) / float64(parallel)
+		}
+		rep.Results = append(rep.Results, benchResult{
+			Name: name, Ranks: nRanks, SerialNS: serial, ParallelNS: parallel, Speedup: sp,
+		})
+		fmt.Fprintf(os.Stderr, "%-10s ranks=%-3d serial=%-12s parallel=%-12s speedup=%.2fx\n",
+			name, nRanks, time.Duration(serial), time.Duration(parallel), sp)
+	}
+
+	for _, nRanks := range ranks {
+		params := apps.Params{Ranks: nRanks, Iters: *iters, WorkScale: *workScale}
+		fn, err := spec.Build(params)
+		if err != nil {
+			die(fmt.Errorf("%s at %d ranks: %w", spec.Name, nRanks, err))
+		}
+
+		// One traced run feeds the stage benchmarks.
+		rec := trace.NewRecorder(nRanks, trace.Config{})
+		w := mpi.NewWorld(mpi.Config{
+			Platform: platform.A, Impl: netmodel.OpenMPI, Size: nRanks,
+			NoiseSigma: 0.004, RunVariation: 0.02, Seed: 1, Interceptor: rec,
+		})
+		if _, err := w.Run(fn); err != nil {
+			die(fmt.Errorf("traced run at %d ranks: %w", nRanks, err))
+		}
+		tr := rec.Trace(platform.A.Name, netmodel.OpenMPI.Name)
+
+		// Stage 1: terminal-table merge (tree reduction).
+		serial := bestOf(func() { merge.GlobalizeParallel(tr, 0.05, 1) })
+		parallelNS := bestOf(func() { merge.GlobalizeParallel(tr, 0.05, par) })
+		record("globalize", nRanks, serial, parallelNS)
+
+		// Stage 2: full merge build (globalize + grammars + rule merge).
+		serial = bestOf(func() {
+			if _, err := merge.Build(tr, merge.Options{Parallelism: 1}); err != nil {
+				die(err)
+			}
+		})
+		parallelNS = bestOf(func() {
+			if _, err := merge.Build(tr, merge.Options{Parallelism: par}); err != nil {
+				die(err)
+			}
+		})
+		record("build", nRanks, serial, parallelNS)
+
+		// Stage 3: computation-proxy search, cold QP solve vs memoized.
+		prog, err := merge.Build(tr, merge.Options{Parallelism: par})
+		if err != nil {
+			die(err)
+		}
+		bm := blocks.MeasureB(platform.A, nil)
+		targets := make([]perfmodel.Counters, 0, len(prog.Clusters))
+		for _, cl := range prog.Clusters {
+			targets = append(targets, cl.Target())
+		}
+		cold := bestOf(func() {
+			for _, t := range targets {
+				if _, err := blocks.Search(bm, t); err != nil {
+					die(err)
+				}
+			}
+		})
+		warmMemo := blocks.NewMemo(0)
+		solveMemo := func() {
+			for _, t := range targets {
+				if _, err := blocks.CachedSearch(warmMemo, bm, t); err != nil {
+					die(err)
+				}
+			}
+		}
+		solveMemo() // prime
+		warm := bestOf(solveMemo)
+		record("search", nRanks, cold, warm)
+
+		// Stage 4: the whole pipeline. Each run gets a private search memo
+		// so the serial run cannot pre-warm the cache for the parallel one:
+		// the pair isolates what parallelism alone buys.
+		synth := func(p int) {
+			if _, err := core.Synthesize(fn, core.Options{
+				Ranks: nRanks, Seed: 1, Parallelism: p,
+				SearchMemo: blocks.NewMemo(0),
+			}); err != nil {
+				die(err)
+			}
+		}
+		serial = bestOf(func() { synth(1) })
+		parallelNS = bestOf(func() { synth(par) })
+		record("synthesize", nRanks, serial, parallelNS)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		die(err)
+	}
+	data = append(data, '\n')
+	if *jsonOut == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+		die(err)
+	}
+	fmt.Fprintf(os.Stderr, "report written to %s\n", *jsonOut)
+}

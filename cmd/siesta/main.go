@@ -7,13 +7,15 @@
 //
 //	siesta -app CG -ranks 8 [-iters N] [-scale 10] [-platform A] [-impl openmpi]
 //	       [-o proxy.c] [-trace trace.bin] [-prog prog.bin] [-report]
-//	       [--faults "crash:rank=3@call=100"] [--deadline 30s]
+//	       [--faults "crash:rank=3@call=100"] [--deadline 30s] [-parallel N]
 //
 //	siesta check [-prog prog.bin] [-trace trace.bin] [-exact-bytes]
 //	       [-absolute-ranks] [-max-diags N]
 //
 //	siesta serve [-addr 127.0.0.1:8080] [-workers N] [-queue N]
-//	       [-job-timeout 120s] [-cache-size N]
+//	       [-job-timeout 120s] [-cache-size N] [-max-parallel N]
+//
+//	siesta bench [-app CG] [-ranks 8,32,64] [-reps 3] [-json BENCH_4.json]
 //
 // The check verb runs the static communication verifier over an encoded
 // program (written by -prog) or a raw trace (written by -trace; it is merged
@@ -23,6 +25,11 @@
 // /v1/synthesize queues jobs onto a bounded worker pool, finished proxies are
 // kept in a content-addressed artifact cache, and GET /metrics reports
 // service counters in Prometheus text format. See DESIGN.md §8.
+//
+// The bench verb times the parallelized synthesis stages serial vs
+// parallel across rank counts and writes a JSON report; synthesis itself
+// is parallel by default and byte-identical at any -parallel value. See
+// DESIGN.md §9.
 //
 // The list of applications comes from the paper's Table 3; run with
 // -list to enumerate them.
@@ -60,6 +67,10 @@ func main() {
 		runServe(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "bench" {
+		runBench(os.Args[2:])
+		return
+	}
 	appName := flag.String("app", "CG", "application to synthesize a proxy for")
 	ranks := flag.Int("ranks", 8, "number of MPI ranks")
 	iters := flag.Int("iters", 0, "iteration override (0 = application default)")
@@ -76,6 +87,7 @@ func main() {
 	faultSpec := flag.String("faults", "", `fault-injection plan applied to every run, e.g. "crash:rank=3@call=100;straggler:rank=1,factor=4"`)
 	deadlineSpec := flag.String("deadline", "", "virtual-time budget per run (e.g. 30s); exceeding it aborts with a deadlock report")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole synthesis (0 = unlimited)")
+	parallel := flag.Int("parallel", 0, "synthesis parallelism (0 = GOMAXPROCS, 1 = sequential; never changes the output)")
 	flag.Parse()
 
 	if *list {
@@ -124,7 +136,7 @@ func main() {
 
 	opts := core.Options{
 		Platform: plat, Impl: impl, Ranks: *ranks, Scale: *scale, Seed: *seed,
-		Faults: plan, Deadline: deadline,
+		Faults: plan, Deadline: deadline, Parallelism: *parallel,
 	}
 	if *timeout > 0 {
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)

@@ -26,6 +26,7 @@ func runServe(args []string) {
 	queue := fs.Int("queue", 16, "job queue depth (a full queue answers 429)")
 	jobTimeout := fs.Duration("job-timeout", 120*time.Second, "per-job wall-clock budget")
 	cacheSize := fs.Int("cache-size", 128, "artifact cache entry budget")
+	maxParallel := fs.Int("max-parallel", 0, "per-job synthesis parallelism cap (0 = GOMAXPROCS)")
 	drainTimeout := fs.Duration("drain-timeout", 5*time.Minute, "shutdown budget for in-flight jobs before hard cancel")
 	fs.Parse(args)
 
@@ -35,11 +36,12 @@ func runServe(args []string) {
 	}
 
 	svc := server.New(server.Config{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		JobTimeout: *jobTimeout,
-		CacheSize:  *cacheSize,
-		LogWriter:  os.Stderr,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		JobTimeout:     *jobTimeout,
+		CacheSize:      *cacheSize,
+		MaxParallelism: *maxParallel,
+		LogWriter:      os.Stderr,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 

@@ -33,6 +33,12 @@ type Options struct {
 	// trace, used to fit the blocking-communication regression that
 	// drives communication shrinking. Required when Scale > 1.
 	CommSamples []CommSample
+	// SearchMemo caches computation-proxy QP solves across clusters and
+	// (when shared, e.g. the server's jobs) across generations. nil uses
+	// the process-global blocks.DefaultMemo; caching never changes the
+	// result, only skips resolving targets already solved for this B
+	// matrix.
+	SearchMemo *blocks.Memo
 	// Check is the static verification report for the input program when
 	// the caller already ran one (core.Synthesize passes its gate report
 	// through). When nil — or when shrinking rewrote the program — Generate
@@ -264,7 +270,7 @@ func Generate(prog *merge.Program, opts Options) (*Generated, error) {
 		if opts.Scale != 1 {
 			target = target.Scale(1 / opts.Scale)
 		}
-		combo, err := blocks.Search(bm, target)
+		combo, err := blocks.CachedSearch(opts.SearchMemo, bm, target)
 		if err != nil {
 			return nil, fmt.Errorf("codegen: cluster %d: %w", i, err)
 		}

@@ -9,7 +9,9 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
 
+	"siesta/internal/blocks"
 	"siesta/internal/check"
 	"siesta/internal/codegen"
 	"siesta/internal/fault"
@@ -66,6 +68,20 @@ type Options struct {
 	Faults   *fault.Plan
 	Deadline vtime.Duration
 
+	// Parallelism bounds the worker count for the synthesis pipeline's
+	// parallel stages: the tree-reduction terminal merge, per-rank grammar
+	// inference, and the losslessness check. 0 (or negative) selects
+	// GOMAXPROCS; 1 runs fully sequentially. Like Context, it participates
+	// in neither JSON encoding nor OptionsFingerprint: the parallel stages
+	// are deterministic by construction, so two runs differing only in
+	// Parallelism produce byte-identical programs and proxies.
+	Parallelism int
+
+	// SearchMemo caches computation-proxy QP solves (see blocks.Memo).
+	// nil selects the process-global blocks.DefaultMemo. Memoization never
+	// changes results, so this too is excluded from the fingerprint.
+	SearchMemo *blocks.Memo
+
 	// Pipeline knobs.
 	Trace trace.Config
 	Merge merge.Options
@@ -102,6 +118,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.BenchNoise == nil {
 		o.BenchNoise = perfmodel.NewNoise(0.002, o.Seed^0xb10c5)
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if o.Merge.Parallelism == 0 {
+		o.Merge.Parallelism = o.Parallelism
 	}
 	return o
 }
@@ -219,6 +241,7 @@ func Synthesize(app func(*mpi.Rank), opts Options) (*Result, error) {
 		Platform:   opts.Platform,
 		Scale:      opts.Scale,
 		BenchNoise: opts.BenchNoise,
+		SearchMemo: opts.SearchMemo,
 		Check:      res.Check,
 	}
 	if opts.Scale > 1 {

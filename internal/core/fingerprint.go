@@ -22,8 +22,9 @@ const fingerprintVersion = "siesta-options-v1"
 
 // optionsJSON is the canonical wire form of Options: platform and
 // implementation are replaced by their registry names, and the runtime-only
-// fields (Context, PhaseHook) are omitted entirely. Field order is fixed by
-// this declaration, which is what makes the encoding — and therefore
+// fields (Context, PhaseHook, Parallelism, SearchMemo — none of which can
+// change the synthesized output) are omitted entirely. Field order is fixed
+// by this declaration, which is what makes the encoding — and therefore
 // OptionsFingerprint — deterministic.
 type optionsJSON struct {
 	Platform     string          `json:"platform,omitempty"`

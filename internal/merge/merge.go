@@ -26,6 +26,14 @@ type Options struct {
 	MainSimilarity float64
 	// DisableMainMerge keeps every rank's main rule separate (ablation).
 	DisableMainMerge bool
+
+	// Parallelism bounds the worker count for the merge pipeline's
+	// parallel stages: the tree-reduction globalize, per-rank grammar
+	// inference and rule rewriting, and the losslessness check. It never
+	// changes the output — parallel and sequential runs are byte-identical
+	// — so it is excluded from the JSON encoding and therefore from
+	// core.OptionsFingerprint. ≤ 1 runs sequentially.
+	Parallelism int `json:"-"`
 }
 
 func (o Options) withDefaults() Options {
@@ -48,74 +56,36 @@ type Globalized struct {
 
 // Globalize merges the per-rank terminal tables and computation clusters
 // into global tables and rewrites every rank's event sequence onto them.
-// The merge has the tree-reduction structure of §2.6.1 (⌈log₂P⌉ rounds);
-// the sequential fold below produces the identical table because interning
-// is associative.
+// The merge is the pairwise tree reduction of §2.6.1 (⌈log₂P⌉ rounds),
+// executed serially here; GlobalizeParallel runs the identical tree on a
+// worker pool and produces byte-identical output.
 func Globalize(tr *trace.Trace, clusterThreshold float64) *Globalized {
-	g := &Globalized{Seqs: make([][]int, len(tr.Ranks))}
-	index := map[string]int{}
-	for _, rt := range tr.Ranks {
-		// Map this rank's local compute clusters to global clusters.
-		clusterMap := make([]int, len(rt.Clusters))
-		for li, lc := range rt.Clusters {
-			found := -1
-			for gi, gc := range g.Clusters {
-				if clusterDist(lc.Rep, gc.Rep) <= clusterThreshold {
-					found = gi
-					break
-				}
-			}
-			if found < 0 {
-				cp := *lc
-				g.Clusters = append(g.Clusters, &cp)
-				found = len(g.Clusters) - 1
-			} else {
-				gc := g.Clusters[found]
-				gc.Sum.Add(lc.Sum)
-				gc.N += lc.N
-				gc.TimeSum += lc.TimeSum
-			}
-			clusterMap[li] = found
-		}
-		// Intern this rank's records under global cluster ids.
-		recMap := make([]int, len(rt.Table))
-		for li, r := range rt.Table {
-			gr := r
-			if r.IsCompute() {
-				gr = r.Clone()
-				gr.ComputeCluster = clusterMap[r.ComputeCluster]
-			}
-			key := gr.KeyString()
-			gi, ok := index[key]
-			if !ok {
-				gi = len(g.Terminals)
-				g.Terminals = append(g.Terminals, gr.Clone())
-				index[key] = gi
-			}
-			recMap[li] = gi
-		}
-		seq := make([]int, len(rt.Events))
-		for i, id := range rt.Events {
-			seq[i] = recMap[id]
-		}
-		g.Seqs[rt.Rank] = seq
-	}
-	return g
+	return GlobalizeParallel(tr, clusterThreshold, 1)
 }
 
+// clusterDist is the symmetric relative distance between two counter
+// vectors: the worst per-metric difference relative to *either* vector
+// (each denominator floored at 1). Symmetry matters: with the one-sided
+// denominator this distance once used, whether two clusters merged could
+// depend on which rank's representative was interned first, so the global
+// cluster table depended on rank visitation order — exactly what the
+// order-free tree reduction must not do.
 func clusterDist(a, b perfmodel.Counters) float64 {
 	var worst float64
 	for i := range a {
-		den := b[i]
-		if den < 1 {
-			den = 1
-		}
-		d := (a[i] - b[i]) / den
+		d := a[i] - b[i]
 		if d < 0 {
 			d = -d
 		}
-		if d > worst {
-			worst = d
+		den := a[i]
+		if b[i] < den {
+			den = b[i]
+		}
+		if den < 1 {
+			den = 1
+		}
+		if r := d / den; r > worst {
+			worst = r
 		}
 	}
 	return worst
@@ -123,10 +93,12 @@ func clusterDist(a, b perfmodel.Counters) float64 {
 
 // Build runs the whole inter-process extraction: globalize terminals, infer
 // per-rank grammars, merge non-terminals depth-first, cluster and LCS-merge
-// main rules.
+// main rules. All parallel stages assemble their results in rank order, so
+// the output is byte-identical for every Options.Parallelism value.
 func Build(tr *trace.Trace, opts Options) (*Program, error) {
 	opts = opts.withDefaults()
-	glob := Globalize(tr, opts.ClusterThreshold)
+	par := opts.Parallelism
+	glob := GlobalizeParallel(tr, opts.ClusterThreshold, par)
 
 	p := &Program{
 		NumRanks:    tr.NumRanks,
@@ -137,13 +109,17 @@ func Build(tr *trace.Trace, opts Options) (*Program, error) {
 		MergeRounds: log2ceil(tr.NumRanks),
 	}
 
-	// Intra-process grammar inference over global ids (§2.5).
+	// Intra-process grammar inference over global ids (§2.5). Each rank's
+	// grammar is independent of every other rank's, so this is the
+	// embarrassingly parallel stage.
 	grammars := make([]*sequitur.Grammar, len(glob.Seqs))
-	for rank, seq := range glob.Seqs {
+	depths := make([][]int, len(glob.Seqs))
+	parfor(len(glob.Seqs), par, func(rank int) {
 		b := sequitur.NewWithOptions(!opts.DisableRunLength)
-		b.AppendAll(seq)
+		b.AppendAll(glob.Seqs[rank])
 		grammars[rank] = b.Grammar()
-	}
+		depths[rank] = grammars[rank].Depths()
+	})
 
 	// Depth-ordered non-terminal merge (§2.6.2): identical rule bodies
 	// across ranks collapse; shallow rules first so deeper signatures can
@@ -151,9 +127,7 @@ func Build(tr *trace.Trace, opts Options) (*Program, error) {
 	sigIndex := map[string]int{}
 	ruleMap := make([]map[int]int, len(grammars)) // rank -> local rule -> merged id
 	maxDepth := 0
-	depths := make([][]int, len(grammars))
 	for rank, g := range grammars {
-		depths[rank] = g.Depths()
 		for i := 1; i < len(g.Rules); i++ {
 			if depths[rank][i] > maxDepth {
 				maxDepth = depths[rank][i]
@@ -161,30 +135,48 @@ func Build(tr *trace.Trace, opts Options) (*Program, error) {
 		}
 		ruleMap[rank] = map[int]int{}
 	}
+	type levelRule struct {
+		rank, li int
+		body     []Sym
+		sig      string
+	}
+	var todo []levelRule
 	for level := 1; level <= maxDepth; level++ {
+		todo = todo[:0]
 		for rank, g := range grammars {
 			for li := 1; li < len(g.Rules); li++ {
-				if depths[rank][li] != level {
-					continue
+				if depths[rank][li] == level {
+					todo = append(todo, levelRule{rank: rank, li: li})
 				}
-				body := convertBody(g.Rules[li], ruleMap[rank])
-				sig := signature(body)
-				id, ok := sigIndex[sig]
-				if !ok {
-					id = len(p.Rules)
-					p.Rules = append(p.Rules, body)
-					sigIndex[sig] = id
-				}
-				ruleMap[rank][li] = id
 			}
+		}
+		// A rule at this level only references rules of strictly lower
+		// depth, which are already in ruleMap — so body conversion and
+		// signature hashing parallelize freely; interning then stays serial
+		// in (rank, rule) order so merged rule ids come out identical to the
+		// sequential pass.
+		parfor(len(todo), par, func(k int) {
+			t := &todo[k]
+			t.body = convertBody(grammars[t.rank].Rules[t.li], ruleMap[t.rank])
+			t.sig = signature(t.body)
+		})
+		for k := range todo {
+			t := &todo[k]
+			id, ok := sigIndex[t.sig]
+			if !ok {
+				id = len(p.Rules)
+				p.Rules = append(p.Rules, t.body)
+				sigIndex[t.sig] = id
+			}
+			ruleMap[t.rank][t.li] = id
 		}
 	}
 
 	// Main rules: convert, cluster by edit distance, merge by LCS.
 	mains := make([][]Sym, len(grammars))
-	for rank, g := range grammars {
-		mains[rank] = convertBody(g.Rules[0], ruleMap[rank])
-	}
+	parfor(len(grammars), par, func(rank int) {
+		mains[rank] = convertBody(grammars[rank].Rules[0], ruleMap[rank])
+	})
 	if opts.DisableMainMerge {
 		for rank, body := range mains {
 			p.Mains = append(p.Mains, singleRankMain(rank, body))
@@ -198,15 +190,34 @@ func Build(tr *trace.Trace, opts Options) (*Program, error) {
 	}
 	var groups []*group
 	for rank, body := range mains {
-		placed := false
-		for _, gr := range groups {
-			if similar(gr.rep, body, opts.MainSimilarity) {
-				gr.merged = lcsMerge(gr.merged, singleRankMain(rank, body))
-				placed = true
-				break
+		// A rank joins the lowest-indexed similar group (= the sequential
+		// first match). The similarity checks against existing groups are
+		// independent — each reads only the group's fixed representative —
+		// so they parallelize; only the LCS fold into the group is ordered.
+		placed := -1
+		if par <= 1 || len(groups) < 2 {
+			for gi, gr := range groups {
+				if similar(gr.rep, body, opts.MainSimilarity) {
+					placed = gi
+					break
+				}
+			}
+		} else {
+			match := make([]bool, len(groups))
+			parfor(len(groups), par, func(gi int) {
+				match[gi] = similar(groups[gi].rep, body, opts.MainSimilarity)
+			})
+			for gi := range match {
+				if match[gi] {
+					placed = gi
+					break
+				}
 			}
 		}
-		if !placed {
+		if placed >= 0 {
+			gr := groups[placed]
+			gr.merged = lcsMerge(gr.merged, singleRankMain(rank, body))
+		} else {
 			groups = append(groups, &group{rep: body, merged: singleRankMain(rank, body)})
 		}
 	}
@@ -215,15 +226,24 @@ func Build(tr *trace.Trace, opts Options) (*Program, error) {
 	}
 
 	// Losslessness self-check: every rank's expansion must reproduce its
-	// globalized sequence exactly.
-	for rank, want := range glob.Seqs {
+	// globalized sequence exactly. Expansion only reads the finished
+	// program, so ranks check concurrently; the lowest failing rank is
+	// reported, as in the sequential pass.
+	expandErrs := make([]error, len(glob.Seqs))
+	parfor(len(glob.Seqs), par, func(rank int) {
 		got, err := p.ExpandRank(rank)
 		if err != nil {
-			return nil, err
+			expandErrs[rank] = err
+			return
 		}
-		if !intsEqual(got, want) {
-			return nil, fmt.Errorf("merge: rank %d expansion diverges from trace (%d vs %d events)",
-				rank, len(got), len(want))
+		if !intsEqual(got, glob.Seqs[rank]) {
+			expandErrs[rank] = fmt.Errorf("merge: rank %d expansion diverges from trace (%d vs %d events)",
+				rank, len(got), len(glob.Seqs[rank]))
+		}
+	})
+	for _, err := range expandErrs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	return p, nil

@@ -1,0 +1,301 @@
+package merge
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"siesta/internal/perfmodel"
+	"siesta/internal/trace"
+)
+
+// This file implements the inter-process terminal-table merge as the
+// paper's ⌈log₂P⌉-round pairwise tree reduction (§2.6.1), executed by a
+// bounded worker pool.
+//
+// Determinism is the load-bearing invariant: the server's artifact cache
+// and OptionsFingerprint assume that two syntheses with equal options
+// produce byte-identical programs, regardless of Options.Parallelism. The
+// reduction therefore never races on order: the tree's shape is a pure
+// function of the rank count, every pairwise merge is a pure function of
+// its two inputs (left table order is preserved, unmatched right entries
+// append in right order), and the worker pool only decides *which
+// goroutine* executes a given merge, never the merge DAG itself. Running
+// with one worker executes the identical tree serially, so Parallelism=1
+// and Parallelism=N outputs are byte-identical by construction.
+
+// partial is one node of the reduction tree: a globalized table covering a
+// contiguous run of ranks.
+type partial struct {
+	clusters []*trace.Cluster
+	cindex   *clusterIndex
+	records  []*trace.Record
+	keys     []string // records[i].KeyString(), cached across rounds
+	recIndex map[string]int
+	// recMaps maps each covered rank's original local table ids to this
+	// partial's record ids; sequences are rewritten once, at the root.
+	recMaps map[int][]int
+}
+
+func newPartial(th float64) *partial {
+	return &partial{
+		cindex:   newClusterIndex(th),
+		recIndex: map[string]int{},
+		recMaps:  map[int][]int{},
+	}
+}
+
+// addCluster interns one cluster into the partial: it merges into the
+// lowest-indexed existing cluster within the threshold, or appends. The
+// returned id is the cluster's global index in this partial.
+func (p *partial) addCluster(c *trace.Cluster, th float64) int {
+	if found := p.cindex.lookup(p.clusters, c.Rep); found >= 0 {
+		gc := p.clusters[found]
+		gc.Sum.Add(c.Sum)
+		gc.N += c.N
+		gc.TimeSum += c.TimeSum
+		return found
+	}
+	p.clusters = append(p.clusters, c)
+	id := len(p.clusters) - 1
+	p.cindex.insert(c.Rep, id)
+	return id
+}
+
+// addRecord interns one record (whose ComputeCluster, if any, is already in
+// this partial's cluster space) and returns its id. The partial takes
+// ownership of r.
+func (p *partial) addRecord(r *trace.Record, key string) int {
+	if id, ok := p.recIndex[key]; ok {
+		return id
+	}
+	id := len(p.records)
+	p.records = append(p.records, r)
+	p.keys = append(p.keys, key)
+	p.recIndex[key] = id
+	return id
+}
+
+// leafPartial globalizes a single rank: local clusters and records are
+// interned through the same match-or-append path the inner tree nodes use,
+// so one rank's clusters can still collapse when the merge threshold is
+// coarser than the tracing threshold.
+func leafPartial(rt *trace.RankTrace, th float64) *partial {
+	p := newPartial(th)
+	clusterMap := make([]int, len(rt.Clusters))
+	for li, lc := range rt.Clusters {
+		cp := *lc
+		clusterMap[li] = p.addCluster(&cp, th)
+	}
+	recMap := make([]int, len(rt.Table))
+	for li, r := range rt.Table {
+		gr := r.Clone()
+		if gr.IsCompute() {
+			gr.ComputeCluster = clusterMap[gr.ComputeCluster]
+		}
+		recMap[li] = p.addRecord(gr, gr.KeyString())
+	}
+	p.recMaps[rt.Rank] = recMap
+	return p
+}
+
+// mergePartials folds right into left: left's cluster and record order is
+// preserved, right's unmatched entries append in right order. This is the
+// pure pairwise merge the reduction tree is built from.
+func mergePartials(left, right *partial, th float64) {
+	clusterMap := make([]int, len(right.clusters))
+	for i, rc := range right.clusters {
+		clusterMap[i] = left.addCluster(rc, th)
+	}
+	recMap := make([]int, len(right.records))
+	for j, r := range right.records {
+		key := right.keys[j]
+		if r.IsCompute() {
+			if mapped := clusterMap[r.ComputeCluster]; mapped != r.ComputeCluster {
+				r.ComputeCluster = mapped
+				key = r.KeyString()
+			}
+		}
+		recMap[j] = left.addRecord(r, key)
+	}
+	for rank, rm := range right.recMaps {
+		composed := make([]int, len(rm))
+		for i, id := range rm {
+			composed[i] = recMap[id]
+		}
+		left.recMaps[rank] = composed
+	}
+}
+
+// GlobalizeParallel merges the per-rank terminal tables and computation
+// clusters with the paper's pairwise tree reduction, using up to
+// parallelism workers per round. Output is byte-identical for every
+// parallelism value (see the file comment); parallelism ≤ 1 runs the same
+// tree serially.
+func GlobalizeParallel(tr *trace.Trace, clusterThreshold float64, parallelism int) *Globalized {
+	numRanks := len(tr.Ranks)
+	g := &Globalized{Seqs: make([][]int, numRanks)}
+	if numRanks == 0 {
+		return g
+	}
+
+	parts := make([]*partial, numRanks)
+	parfor(numRanks, parallelism, func(i int) {
+		parts[i] = leafPartial(tr.Ranks[i], clusterThreshold)
+	})
+
+	// ⌈log₂P⌉ reduction rounds; round k merges partials 2k·s apart, and
+	// every merge within a round is independent.
+	for stride := 1; stride < numRanks; stride *= 2 {
+		var pairs [][2]int
+		for i := 0; i+stride < numRanks; i += 2 * stride {
+			pairs = append(pairs, [2]int{i, i + stride})
+		}
+		parfor(len(pairs), parallelism, func(k int) {
+			mergePartials(parts[pairs[k][0]], parts[pairs[k][1]], clusterThreshold)
+		})
+	}
+
+	root := parts[0]
+	g.Terminals = root.records
+	g.Clusters = root.clusters
+	parfor(numRanks, parallelism, func(i int) {
+		rt := tr.Ranks[i]
+		rm := root.recMaps[rt.Rank]
+		seq := make([]int, len(rt.Events))
+		for j, id := range rt.Events {
+			seq[j] = rm[id]
+		}
+		g.Seqs[rt.Rank] = seq
+	})
+	return g
+}
+
+// --- bucketed cluster index ------------------------------------------------
+
+// clusterIndex accelerates the "lowest-indexed cluster within the
+// threshold" query: cluster representatives are quantized onto a
+// logarithmic grid with cell size ln(1+threshold) per metric, so any two
+// representatives within the (symmetric) relative threshold land in the
+// same or adjacent cells. A lookup therefore only inspects the 3^m
+// neighbouring cells instead of scanning every cluster; for small tables a
+// plain scan is cheaper and provably returns the same answer (both pick
+// the minimum matching index).
+type clusterIndex struct {
+	th      float64
+	invCell float64 // 1 / ln(1+th)
+	cells   map[clusterCell][]int
+}
+
+type clusterCell [perfmodel.NumMetrics]int16
+
+// indexCutover is the cluster count below which a linear scan beats the
+// 3^NumMetrics-cell neighbourhood probe.
+const indexCutover = 64
+
+func newClusterIndex(th float64) *clusterIndex {
+	ci := &clusterIndex{th: th}
+	if th > 0 {
+		ci.invCell = 1 / math.Log1p(th)
+		ci.cells = map[clusterCell][]int{}
+	}
+	return ci
+}
+
+func (ci *clusterIndex) cellOf(c perfmodel.Counters) clusterCell {
+	var cell clusterCell
+	for i, v := range c {
+		if v < 1 {
+			v = 1
+		}
+		cell[i] = int16(math.Log(v) * ci.invCell)
+	}
+	return cell
+}
+
+func (ci *clusterIndex) insert(rep perfmodel.Counters, id int) {
+	if ci.cells == nil {
+		return
+	}
+	cell := ci.cellOf(rep)
+	ci.cells[cell] = append(ci.cells[cell], id)
+}
+
+// lookup returns the lowest-indexed cluster whose representative is within
+// the symmetric threshold of rep, or -1.
+func (ci *clusterIndex) lookup(clusters []*trace.Cluster, rep perfmodel.Counters) int {
+	if ci.cells == nil || len(clusters) < indexCutover {
+		for i, gc := range clusters {
+			if clusterDist(rep, gc.Rep) <= ci.th {
+				return i
+			}
+		}
+		return -1
+	}
+	center := ci.cellOf(rep)
+	best := -1
+	// Walk the 3^m neighbourhood with a base-3 odometer. If
+	// symDist(a,b) ≤ th then |ln(max(aᵢ,1)) − ln(max(bᵢ,1))| ≤ ln(1+th)
+	// for every metric i, so every admissible cluster is at most one cell
+	// away on every axis.
+	var offs [perfmodel.NumMetrics]int
+	for {
+		cell := center
+		for i, o := range offs {
+			cell[i] += int16(o - 1)
+		}
+		for _, id := range ci.cells[cell] {
+			if (best < 0 || id < best) && clusterDist(rep, clusters[id].Rep) <= ci.th {
+				best = id
+			}
+		}
+		i := 0
+		for ; i < len(offs); i++ {
+			offs[i]++
+			if offs[i] < 3 {
+				break
+			}
+			offs[i] = 0
+		}
+		if i == len(offs) {
+			break
+		}
+	}
+	return best
+}
+
+// --- worker pool -----------------------------------------------------------
+
+// parfor runs fn(0..n-1) on up to par workers. Iterations must be
+// independent; with par ≤ 1 it degenerates to a plain loop, which is what
+// makes sequential and parallel runs execute the same code.
+func parfor(n, par int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if par > n {
+		par = n
+	}
+	if par <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -41,6 +41,14 @@ type SynthesizeRequest struct {
 	// TimeoutMS overrides the server's per-job wall-clock budget; values
 	// above the server limit are clamped to it.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+
+	// Parallelism requests a synthesis worker count for this job, clamped
+	// to the server's MaxParallelism (which is also the default when
+	// omitted). It never changes the synthesized output — parallel and
+	// serial runs are byte-identical — so it does not enter the artifact
+	// cache key: a proxy synthesized at any parallelism answers all of
+	// them.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // SynthesizeResponse answers POST /v1/synthesize.
@@ -110,8 +118,16 @@ func (s *Server) prepare(req *SynthesizeRequest) (*job, int, error) {
 			timeout = t
 		}
 	}
+	par := req.Parallelism
+	if par <= 0 || par > s.cfg.MaxParallelism {
+		par = s.cfg.MaxParallelism
+	}
+	// Set both knobs: core.Synthesize propagates Parallelism into the merge
+	// options itself, but the trace-upload path calls merge.Build directly.
+	opts.Parallelism = par
+	opts.Merge.Parallelism = par
 
-	jb := &job{timeout: timeout}
+	jb := &job{timeout: timeout, parallelism: par}
 	if req.App != "" {
 		spec, err := apps.ByName(req.App)
 		if err != nil {

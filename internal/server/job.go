@@ -25,12 +25,13 @@ const (
 // fields are set at admission; everything below mu is the mutable
 // lifecycle record shared between the HTTP handlers and the worker.
 type job struct {
-	id      string
-	app     string // app name, or "trace" for uploads
-	ranks   int
-	key     cache.Key
-	timeout time.Duration
-	work    func(ctx context.Context, hook func(string)) (*cache.Artifact, error)
+	id          string
+	app         string // app name, or "trace" for uploads
+	ranks       int
+	parallelism int // capped synthesis parallelism (never part of the key)
+	key         cache.Key
+	timeout     time.Duration
+	work        func(ctx context.Context, hook func(string)) (*cache.Artifact, error)
 
 	mu              sync.Mutex
 	status          Status
@@ -49,6 +50,7 @@ type JobView struct {
 	ID          string     `json:"id"`
 	App         string     `json:"app"`
 	Ranks       int        `json:"ranks"`
+	Parallelism int        `json:"parallelism,omitempty"`
 	Status      Status     `json:"status"`
 	Phase       string     `json:"phase,omitempty"`
 	Cached      bool       `json:"cached"`
@@ -65,8 +67,8 @@ func (j *job) view() JobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	v := JobView{
-		ID: j.id, App: j.app, Ranks: j.ranks, Status: j.status,
-		Phase: j.phase, Cached: j.cached, Error: j.errMsg,
+		ID: j.id, App: j.app, Ranks: j.ranks, Parallelism: j.parallelism,
+		Status: j.status, Phase: j.phase, Cached: j.cached, Error: j.errMsg,
 		Created: j.created,
 	}
 	if !j.started.IsZero() {

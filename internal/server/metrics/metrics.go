@@ -45,6 +45,18 @@ func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
 // Value reads the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// GaugeFloat is a float-valued gauge (atomic on the float's bit pattern),
+// for ratios like per-phase speedups that an integer gauge would truncate.
+type GaugeFloat struct {
+	v atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *GaugeFloat) Set(v float64) { g.v.Store(math.Float64bits(v)) }
+
+// Value reads the current value.
+func (g *GaugeFloat) Value() float64 { return math.Float64frombits(g.v.Load()) }
+
 // Histogram counts observations into cumulative buckets, Prometheus-style:
 // bucket i counts observations ≤ Buckets[i], with an implicit +Inf bucket.
 type Histogram struct {
@@ -88,6 +100,7 @@ type kind int
 const (
 	kCounter kind = iota
 	kGauge
+	kGaugeFloat
 	kHistogram
 )
 
@@ -97,6 +110,7 @@ type metric struct {
 	kind kind
 	c    *Counter
 	g    *Gauge
+	gf   *GaugeFloat
 	h    *Histogram
 }
 
@@ -137,6 +151,8 @@ func (r *Registry) lookup(name, help string, k kind) *metric {
 		m.c = &Counter{}
 	case kGauge:
 		m.g = &Gauge{}
+	case kGaugeFloat:
+		m.gf = &GaugeFloat{}
 	}
 	r.metrics[name] = m
 	return m
@@ -151,6 +167,12 @@ func (r *Registry) Counter(name, help string) *Counter {
 // Gauge returns the gauge registered under name, creating it on first use.
 func (r *Registry) Gauge(name, help string) *Gauge {
 	return r.lookup(name, help, kGauge).g
+}
+
+// GaugeFloat returns the float gauge registered under name, creating it on
+// first use.
+func (r *Registry) GaugeFloat(name, help string) *GaugeFloat {
+	return r.lookup(name, help, kGaugeFloat).gf
 }
 
 // Histogram returns the histogram registered under name, creating it with
@@ -194,7 +216,7 @@ func (r *Registry) WriteText(w io.Writer) error {
 		fam := family(m.name)
 		if !seenFamily[fam] {
 			seenFamily[fam] = true
-			typ := map[kind]string{kCounter: "counter", kGauge: "gauge", kHistogram: "histogram"}[m.kind]
+			typ := map[kind]string{kCounter: "counter", kGauge: "gauge", kGaugeFloat: "gauge", kHistogram: "histogram"}[m.kind]
 			if m.help != "" {
 				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam, m.help); err != nil {
 					return err
@@ -210,6 +232,8 @@ func (r *Registry) WriteText(w io.Writer) error {
 			_, err = fmt.Fprintf(w, "%s %d\n", m.name, m.c.Value())
 		case kGauge:
 			_, err = fmt.Fprintf(w, "%s %d\n", m.name, m.g.Value())
+		case kGaugeFloat:
+			_, err = fmt.Fprintf(w, "%s %g\n", m.name, m.gf.Value())
 		case kHistogram:
 			err = writeHistogram(w, m)
 		}

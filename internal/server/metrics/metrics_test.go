@@ -144,3 +144,28 @@ func TestConcurrentUse(t *testing.T) {
 		t.Errorf("histogram count = %d, want 8000", r.Histogram("h", "", nil).Count())
 	}
 }
+
+func TestGaugeFloat(t *testing.T) {
+	r := NewRegistry()
+	g := r.GaugeFloat(`speedup{phase="merge"}`, "per-phase speedup")
+	g.Set(2.75)
+	if v := g.Value(); v != 2.75 {
+		t.Fatalf("Value = %g, want 2.75", v)
+	}
+	if same := r.GaugeFloat(`speedup{phase="merge"}`, ""); same != g {
+		t.Fatal("re-registration must return the same gauge")
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE speedup gauge",
+		`speedup{phase="merge"} 2.75`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"time"
 
@@ -45,6 +46,11 @@ type Config struct {
 	// MaxJobs bounds retained job records; completed records beyond it
 	// are pruned oldest-first. Default 1024.
 	MaxJobs int
+	// MaxParallelism caps the per-job synthesis parallelism a request may
+	// ask for (and is the default when a request does not ask); default
+	// GOMAXPROCS. Parallelism never changes synthesized output, so it does
+	// not participate in artifact-cache keys.
+	MaxParallelism int
 	// LogWriter receives one JSON object per line per job event
 	// (admission, phase transitions, completion). Nil disables logging.
 	LogWriter io.Writer
@@ -65,6 +71,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 1024
+	}
+	if c.MaxParallelism <= 0 {
+		c.MaxParallelism = runtime.GOMAXPROCS(0)
 	}
 	return c
 }
@@ -88,12 +97,26 @@ type Server struct {
 
 	logMu sync.Mutex
 
+	// phaseAgg accumulates per-phase wall times split by serial
+	// (parallelism 1) vs parallel jobs, backing the speedup gauges.
+	phaseMu  sync.Mutex
+	phaseAgg map[string]*phaseTimes
+
 	// metrics handles, registered once at construction
 	mAccepted, mRejected  *metrics.Counter
 	mHits, mMisses        *metrics.Counter
 	mDone, mFail, mCancel *metrics.Counter
 	gQueued, gRunning     *metrics.Gauge
+	gPhasePar             *metrics.Gauge
 	hJobDur               *metrics.Histogram
+}
+
+// phaseTimes aggregates one phase's observed wall times by execution mode.
+type phaseTimes struct {
+	serialSum float64
+	serialN   int
+	parSum    float64
+	parN      int
 }
 
 // New builds a service and starts its worker pool.
@@ -104,11 +127,12 @@ func New(cfg Config) *Server {
 		reg = metrics.NewRegistry()
 	}
 	s := &Server{
-		cfg:   cfg,
-		store: cache.New(cfg.CacheSize),
-		reg:   reg,
-		queue: make(chan *job, cfg.QueueDepth),
-		jobs:  make(map[string]*job),
+		cfg:      cfg,
+		store:    cache.New(cfg.CacheSize),
+		reg:      reg,
+		queue:    make(chan *job, cfg.QueueDepth),
+		jobs:     make(map[string]*job),
+		phaseAgg: make(map[string]*phaseTimes),
 
 		mAccepted: reg.Counter("siesta_jobs_accepted_total", "synthesis jobs admitted to the queue"),
 		mRejected: reg.Counter("siesta_jobs_rejected_total", "synthesis jobs rejected because the queue was full"),
@@ -119,6 +143,7 @@ func New(cfg Config) *Server {
 		mCancel:   reg.Counter(`siesta_jobs_completed_total{status="canceled"}`, "jobs by final status"),
 		gQueued:   reg.Gauge("siesta_queue_depth", "jobs waiting in the queue"),
 		gRunning:  reg.Gauge("siesta_jobs_running", "jobs currently synthesizing"),
+		gPhasePar: reg.Gauge("siesta_phase_parallelism", "synthesis parallelism of the most recently started job"),
 		hJobDur:   reg.Histogram("siesta_job_duration_seconds", "wall-clock synthesis duration", nil),
 	}
 	for i := 0; i < cfg.Workers; i++ {
@@ -260,7 +285,8 @@ func (s *Server) runJob(jb *job) {
 
 	s.gRunning.Add(1)
 	defer s.gRunning.Add(-1)
-	s.logEvent("job_start", map[string]any{"job": jb.id, "app": jb.app, "ranks": jb.ranks})
+	s.gPhasePar.Set(int64(jb.parallelism))
+	s.logEvent("job_start", map[string]any{"job": jb.id, "app": jb.app, "ranks": jb.ranks, "parallelism": jb.parallelism})
 
 	// The phase hook times each pipeline phase, updates the job record,
 	// and emits one log line per transition. It runs on this goroutine
@@ -271,9 +297,11 @@ func (s *Server) runJob(jb *job) {
 		if lastPhase == "" {
 			return
 		}
+		secs := now.Sub(lastStart).Seconds()
 		h := s.reg.Histogram(fmt.Sprintf("siesta_phase_seconds{phase=%q}", lastPhase),
 			"wall-clock time per pipeline phase", nil)
-		h.Observe(now.Sub(lastStart).Seconds())
+		h.Observe(secs)
+		s.observePhase(lastPhase, secs, jb.parallelism)
 	}
 	hook := func(phase string) {
 		now := time.Now()
@@ -315,6 +343,32 @@ func (s *Server) runJob(jb *job) {
 		ev["error"] = errMsg
 	}
 	s.logEvent("job_end", ev)
+}
+
+// observePhase folds one phase wall time into the serial/parallel
+// aggregates and refreshes the phase's speedup gauge (mean serial time over
+// mean parallel time) once both modes have samples. A value above 1 means
+// parallel jobs clear the phase faster.
+func (s *Server) observePhase(phase string, secs float64, parallelism int) {
+	s.phaseMu.Lock()
+	defer s.phaseMu.Unlock()
+	pt := s.phaseAgg[phase]
+	if pt == nil {
+		pt = &phaseTimes{}
+		s.phaseAgg[phase] = pt
+	}
+	if parallelism <= 1 {
+		pt.serialSum += secs
+		pt.serialN++
+	} else {
+		pt.parSum += secs
+		pt.parN++
+	}
+	if pt.serialN > 0 && pt.parN > 0 && pt.parSum > 0 {
+		speedup := (pt.serialSum / float64(pt.serialN)) / (pt.parSum / float64(pt.parN))
+		s.reg.GaugeFloat(fmt.Sprintf("siesta_phase_speedup{phase=%q}", phase),
+			"mean serial over mean parallel phase wall time").Set(speedup)
+	}
 }
 
 // requestCancel cancels a job: queued jobs settle immediately, running jobs

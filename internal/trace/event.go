@@ -159,7 +159,12 @@ type RankTrace struct {
 }
 
 func newRankTrace(rank int) *RankTrace {
-	return &RankTrace{Rank: rank, keyIndex: make(map[string]int)}
+	return &RankTrace{
+		Rank:     rank,
+		Events:   make([]int, 0, 512),
+		Durs:     make([]float64, 0, 512),
+		keyIndex: make(map[string]int),
+	}
 }
 
 // intern returns the id for the record, adding it to the table if new.
@@ -177,6 +182,23 @@ func (rt *RankTrace) intern(r *Record) int {
 // append records one event instance.
 func (rt *RankTrace) append(r *Record) {
 	rt.Events = append(rt.Events, rt.intern(r))
+}
+
+// appendOwned records one event instance from a caller that owns r and
+// wants to recycle its storage: the return value reports whether the table
+// retained r (a new terminal — the caller must stop touching it) or r
+// duplicated an interned record and may be reused, slices and all.
+func (rt *RankTrace) appendOwned(r *Record) bool {
+	key := r.KeyString()
+	if id, ok := rt.keyIndex[key]; ok {
+		rt.Events = append(rt.Events, id)
+		return false
+	}
+	id := len(rt.Table)
+	rt.Table = append(rt.Table, r)
+	rt.keyIndex[key] = id
+	rt.Events = append(rt.Events, id)
+	return true
 }
 
 // clusterOf finds or creates the compute cluster for a counter vector.

@@ -59,6 +59,38 @@ type rankState struct {
 	reqPool  *Pool
 	commPool *Pool
 	filePool *Pool
+	// spare is the event-record slab: in steady state nearly every traced
+	// call repeats an already-interned terminal, so the record the table
+	// rejected is reset and handed out again instead of allocating a fresh
+	// one per event. This is what keeps the per-event overhead flat once
+	// the terminal table saturates.
+	spare *Record
+}
+
+// newRecord hands out a Record initialized to the sentinel defaults,
+// recycling the previous event's record (slices included) when the table
+// deduplicated it.
+func (rs *rankState) newRecord() *Record {
+	r := rs.spare
+	if r == nil {
+		r = &Record{}
+	} else {
+		rs.spare = nil
+	}
+	reqPools, counts := r.ReqPools[:0], r.Counts[:0]
+	*r = Record{
+		DestRel: NoRank, SrcRel: NoRank, Tag: NoRank, RecvTag: NoRank,
+		Root: NoRank, NewCommPool: -1, ReqPool: -1,
+	}
+	r.ReqPools, r.Counts = reqPools, counts
+	return r
+}
+
+// commit appends the event and reclaims the record unless the table kept it.
+func (rs *rankState) commit(r *Record) {
+	if !rs.rt.appendOwned(r) {
+		rs.spare = r
+	}
 }
 
 // NewRecorder returns a recorder for a job with numRanks processes.
@@ -99,17 +131,9 @@ func (rec *Recorder) relRank(c *mpi.Comm, me, partner int) int {
 // Record and appends it to the caller's trace.
 func (rec *Recorder) AfterCall(r *mpi.Rank, call *mpi.Call) {
 	rs := rec.ranks[r.Rank()]
-	rec7 := &Record{
-		Func:        call.Func,
-		DestRel:     NoRank,
-		SrcRel:      NoRank,
-		Tag:         NoRank,
-		RecvTag:     NoRank,
-		Root:        NoRank,
-		NewCommPool: -1,
-		ReqPool:     -1,
-		Bytes:       call.Bytes,
-	}
+	rec7 := rs.newRecord()
+	rec7.Func = call.Func
+	rec7.Bytes = call.Bytes
 	var me int
 	if call.Comm != nil {
 		me = call.Comm.RankOf(r.Rank())
@@ -138,12 +162,10 @@ func (rec *Recorder) AfterCall(r *mpi.Rank, call *mpi.Call) {
 	case "MPI_Wait":
 		rec7.ReqPool = rs.releaseReq(call.Request)
 	case "MPI_Waitall":
-		rec7.ReqPools = make([]int, 0, len(call.Requests))
 		for _, q := range call.Requests {
 			rec7.ReqPools = append(rec7.ReqPools, rs.releaseReq(q))
 		}
 	case "MPI_Waitany":
-		rec7.ReqPools = make([]int, 0, len(call.Requests))
 		for _, q := range call.Requests {
 			if id, ok := rs.reqPool.Lookup(q.ID()); ok {
 				rec7.ReqPools = append(rec7.ReqPools, id)
@@ -154,7 +176,6 @@ func (rec *Recorder) AfterCall(r *mpi.Rank, call *mpi.Call) {
 		}
 	case "MPI_Testall":
 		all := call.Flag
-		rec7.ReqPools = make([]int, 0, len(call.Requests))
 		for _, q := range call.Requests {
 			if q == nil {
 				continue
@@ -194,7 +215,7 @@ func (rec *Recorder) AfterCall(r *mpi.Rank, call *mpi.Call) {
 	case "MPI_Alltoall":
 		// bytes recorded as per-pair volume
 	case "MPI_Alltoallv":
-		rec7.Counts = append([]int(nil), call.Counts...)
+		rec7.Counts = append(rec7.Counts, call.Counts...)
 	case "MPI_Comm_split":
 		rec7.Color = call.Color
 		rec7.Key = call.Key
@@ -236,7 +257,7 @@ func (rec *Recorder) AfterCall(r *mpi.Rank, call *mpi.Call) {
 		rec7.OffsetRel = call.Offset - me*call.Bytes
 	}
 
-	rs.rt.append(rec7)
+	rs.commit(rec7)
 	rs.rt.Durs = append(rs.rt.Durs, float64(call.End.Sub(call.Start)))
 	if !rec.cfg.DisableOverhead {
 		r.AddOverhead(rec.cfg.PerEventOverhead)
@@ -274,17 +295,10 @@ func (rec *Recorder) OnCompute(r *mpi.Rank, k perfmodel.Kernel, c perfmodel.Coun
 	}
 	rs := rec.ranks[r.Rank()]
 	cluster := rs.rt.clusterOf(c, float64(end.Sub(start)), rec.cfg.ClusterThreshold)
-	rs.rt.append(&Record{
-		Func:           "MPI_Compute",
-		DestRel:        NoRank,
-		SrcRel:         NoRank,
-		Tag:            NoRank,
-		RecvTag:        NoRank,
-		Root:           NoRank,
-		NewCommPool:    -1,
-		ReqPool:        -1,
-		ComputeCluster: cluster,
-	})
+	rec7 := rs.newRecord()
+	rec7.Func = "MPI_Compute"
+	rec7.ComputeCluster = cluster
+	rs.commit(rec7)
 	rs.rt.Durs = append(rs.rt.Durs, float64(end.Sub(start)))
 	if !rec.cfg.DisableOverhead {
 		r.AddOverhead(rec.cfg.CounterReadOverhead)
