@@ -1,17 +1,17 @@
 // Command siesta-bench regenerates the paper's evaluation: every table and
 // figure of §3, printed as text tables with the paper's reference numbers
-// alongside.
+// alongside. It is a thin wrapper over the shared driver also reachable as
+// `siesta bench -exp ...` (see EXPERIMENTS.md).
 //
 // Usage:
 //
-//	siesta-bench [-exp table3|fig4|fig5|fig6|fig7|fig8|fig9|all] [-quick] [-seed N]
+//	siesta-bench [-exp table3|fig4|fig5|fig6|fig7|fig8|fig9|ablations|all] [-quick] [-seed N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"siesta/internal/experiments"
 )
@@ -23,124 +23,8 @@ func main() {
 	flag.Parse()
 
 	cfg := experiments.Config{Quick: *quick, Seed: *seed}
-	want := strings.Split(*exp, ",")
-	run := func(name string) bool {
-		if *exp == "all" {
-			return true
-		}
-		for _, w := range want {
-			if strings.TrimSpace(w) == name {
-				return true
-			}
-		}
-		return false
-	}
-
-	fail := func(name string, err error) {
-		fmt.Fprintf(os.Stderr, "siesta-bench: %s: %v\n", name, err)
+	if err := experiments.RunCLI(cfg, *exp, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "siesta-bench: %v\n", err)
 		os.Exit(1)
-	}
-
-	if run("table3") {
-		rows, err := experiments.Table3(cfg)
-		if err != nil {
-			fail("table3", err)
-		}
-		fmt.Println("=== Table 3: Specification of generated proxy-apps ===")
-		fmt.Print(experiments.FormatTable3(rows))
-		fmt.Println()
-	}
-	if run("fig4") {
-		rows, err := experiments.Fig4(cfg)
-		if err != nil {
-			fail("fig4", err)
-		}
-		fmt.Print(experiments.FormatRates("=== Figure 4: single computation event vs MINIME ===", rows))
-		fmt.Println()
-	}
-	if run("fig5") {
-		rows, err := experiments.Fig5(cfg)
-		if err != nil {
-			fail("fig5", err)
-		}
-		fmt.Print(experiments.FormatRates("=== Figure 5: computation event sequence vs MINIME ===", rows))
-		fmt.Println()
-	}
-	var sum6 experiments.Fig6Summary
-	var have6 bool
-	if run("fig6") {
-		rows, sum, err := experiments.Fig6(cfg)
-		if err != nil {
-			fail("fig6", err)
-		}
-		sum6, have6 = sum, true
-		fmt.Println("=== Figure 6: proxy-app execution time (and Pilgrim, §3.4.1) ===")
-		fmt.Print(experiments.FormatFig6(rows, sum))
-		fmt.Println()
-	}
-	var sum7 experiments.EnvSummary
-	var have7 bool
-	if run("fig7") {
-		rows, sum, err := experiments.Fig7(cfg)
-		if err != nil {
-			fail("fig7", err)
-		}
-		sum7, have7 = sum, true
-		fmt.Print(experiments.FormatEnvRows(
-			"=== Figure 7: robustness to MPI implementation changes ===", rows,
-			fmt.Sprintf("mean %%error: Siesta %.2f%%, ScalaBench %.2f%%  (paper: 5.78%%, 33.58%%)",
-				sum.Siesta*100, sum.ScalaBench*100)))
-		fmt.Println()
-	}
-	var sum8 experiments.EnvSummary
-	var have8 bool
-	if run("fig8") {
-		rows, sum, err := experiments.Fig8(cfg)
-		if err != nil {
-			fail("fig8", err)
-		}
-		sum8, have8 = sum, true
-		fmt.Print(experiments.FormatEnvRows(
-			"=== Figure 8: portability between platforms A and C ===", rows,
-			fmt.Sprintf("mean %%error: Siesta %.2f%%, ScalaBench %.2f%%  (paper: 6.83%%, 18.11%%)",
-				sum.Siesta*100, sum.ScalaBench*100)))
-		fmt.Println()
-	}
-	if run("ablations") {
-		a, err := experiments.Ablations(cfg)
-		if err != nil {
-			fail("ablations", err)
-		}
-		fmt.Println("=== Ablations (beyond the paper; see DESIGN.md §4) ===")
-		fmt.Print(experiments.FormatAblations(a))
-		fmt.Println()
-	}
-	var sum9B experiments.EnvSummary
-	var have9 bool
-	if run("fig9") {
-		rows, sameA, portedB, err := experiments.Fig9(cfg)
-		if err != nil {
-			fail("fig9", err)
-		}
-		sum9B, have9 = portedB, true
-		fmt.Print(experiments.FormatEnvRows(
-			"=== Figure 9: BT and CG on platforms A and B ===", rows,
-			fmt.Sprintf("mean %%error on A: Siesta %.2f%%, ScalaBench %.2f%%; ported to B: Siesta %.2f%%, ScalaBench %.2f%%  (paper on B: 13.68%%, 70.44%%)",
-				sameA.Siesta*100, sameA.ScalaBench*100, portedB.Siesta*100, portedB.ScalaBench*100)))
-		fmt.Println()
-	}
-	if have6 && have7 && have8 && have9 {
-		fmt.Println("=== Recap: mean time errors vs paper ===")
-		fmt.Printf("%-34s %10s %10s\n", "experiment", "measured", "paper")
-		fmt.Printf("%-34s %9.2f%% %10s\n", "Fig6 Siesta", sum6.Siesta*100, "5.30%")
-		fmt.Printf("%-34s %9.2f%% %10s\n", "Fig6 Siesta-scaled", sum6.SiestaScaled*100, "9.31%")
-		fmt.Printf("%-34s %9.2f%% %10s\n", "Fig6 ScalaBench", sum6.ScalaBench*100, "13.13%")
-		fmt.Printf("%-34s %9.2f%% %10s\n", "§3.4.1 Pilgrim", sum6.Pilgrim*100, "84.30%")
-		fmt.Printf("%-34s %9.2f%% %10s\n", "Fig7 Siesta (impl change)", sum7.Siesta*100, "5.78%")
-		fmt.Printf("%-34s %9.2f%% %10s\n", "Fig7 ScalaBench", sum7.ScalaBench*100, "33.58%")
-		fmt.Printf("%-34s %9.2f%% %10s\n", "Fig8 Siesta (A↔C)", sum8.Siesta*100, "6.83%")
-		fmt.Printf("%-34s %9.2f%% %10s\n", "Fig8 ScalaBench", sum8.ScalaBench*100, "18.11%")
-		fmt.Printf("%-34s %9.2f%% %10s\n", "Fig9 Siesta (ported to B)", sum9B.Siesta*100, "13.68%")
-		fmt.Printf("%-34s %9.2f%% %10s\n", "Fig9 ScalaBench (ported to B)", sum9B.ScalaBench*100, "70.44%")
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"siesta/internal/apps"
 	"siesta/internal/blocks"
 	"siesta/internal/core"
+	"siesta/internal/experiments"
 	"siesta/internal/merge"
 	"siesta/internal/mpi"
 	"siesta/internal/netmodel"
@@ -44,10 +45,13 @@ type benchReport struct {
 	Results     []benchResult `json:"results"`
 }
 
-// runBench implements the `siesta bench` verb: it times the parallelized
-// synthesis stages (globalize, merge build, proxy search, end-to-end
-// synthesize) serial vs parallel across rank counts and writes a JSON
-// report, seeding the repo's perf trajectory (BENCH_4.json).
+// runBench implements the `siesta bench` verb. By default it times the
+// parallelized synthesis stages (globalize, merge build, proxy search,
+// end-to-end synthesize) serial vs parallel across rank counts and writes a
+// JSON report, seeding the repo's perf trajectory (BENCH_4.json). With
+// -exp it instead regenerates the paper's evaluation tables through the
+// shared experiments driver (same as the siesta-bench command); see
+// EXPERIMENTS.md.
 func runBench(args []string) {
 	fs := flag.NewFlagSet("siesta bench", flag.ExitOnError)
 	appName := fs.String("app", "CG", "application to benchmark")
@@ -57,11 +61,22 @@ func runBench(args []string) {
 	reps := fs.Int("reps", 3, "repetitions per measurement (best-of)")
 	parallel := fs.Int("parallel", 0, "parallel worker count (0 = GOMAXPROCS)")
 	jsonOut := fs.String("json", "", "write the JSON report to this file (default stdout)")
+	exp := fs.String("exp", "", "regenerate paper experiments instead: table3, fig4..fig9, ablations, or all")
+	quick := fs.Bool("quick", false, "with -exp: trim rank ladders and iterations for a fast pass")
+	seed := fs.Uint64("seed", 1, "with -exp: base random seed")
 	fs.Parse(args)
 
 	die := func(err error) {
 		fmt.Fprintf(os.Stderr, "siesta bench: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *exp != "" {
+		cfg := experiments.Config{Quick: *quick, Seed: *seed}
+		if err := experiments.RunCLI(cfg, *exp, os.Stdout); err != nil {
+			die(err)
+		}
+		return
 	}
 
 	par := *parallel

@@ -16,6 +16,10 @@
 //	       [-job-timeout 120s] [-cache-size N] [-max-parallel N]
 //
 //	siesta bench [-app CG] [-ranks 8,32,64] [-reps 3] [-json BENCH_4.json]
+//	siesta bench -exp table3|fig4..fig9|ablations|all [-quick] [-seed N]
+//
+//	siesta trace -app CG -n 16 [-o run.trace.json] [-format chrome|jsonl]
+//	       [-replay=false] [-iters N] [-platform A] [-impl openmpi] [-seed N]
 //
 // The check verb runs the static communication verifier over an encoded
 // program (written by -prog) or a raw trace (written by -trace; it is merged
@@ -29,7 +33,16 @@
 // The bench verb times the parallelized synthesis stages serial vs
 // parallel across rank counts and writes a JSON report; synthesis itself
 // is parallel by default and byte-identical at any -parallel value. See
-// DESIGN.md §9.
+// DESIGN.md §9. With -exp it regenerates the paper's evaluation tables
+// instead (see EXPERIMENTS.md).
+//
+// The trace verb runs one observed synthesis and exports it for
+// chrome://tracing / Perfetto: pipeline phase spans in wall-clock time plus
+// per-rank virtual-time timelines (MPI calls, computation regions, message
+// edges) for the baseline run and the proxy replay. See DESIGN.md §10.
+//
+// All verbs take -log-level (debug, info, warn, error) for structured
+// log/slog diagnostics on stderr.
 //
 // The list of applications comes from the paper's Table 3; run with
 // -list to enumerate them.
@@ -51,6 +64,7 @@ import (
 	"siesta/internal/merge"
 	"siesta/internal/mpi"
 	"siesta/internal/netmodel"
+	"siesta/internal/obs"
 	"siesta/internal/perfmodel"
 	"siesta/internal/platform"
 	"siesta/internal/proxy"
@@ -71,6 +85,10 @@ func main() {
 		runBench(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		runTrace(os.Args[2:])
+		return
+	}
 	appName := flag.String("app", "CG", "application to synthesize a proxy for")
 	ranks := flag.Int("ranks", 8, "number of MPI ranks")
 	iters := flag.Int("iters", 0, "iteration override (0 = application default)")
@@ -88,6 +106,7 @@ func main() {
 	deadlineSpec := flag.String("deadline", "", "virtual-time budget per run (e.g. 30s); exceeding it aborts with a deadlock report")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole synthesis (0 = unlimited)")
 	parallel := flag.Int("parallel", 0, "synthesis parallelism (0 = GOMAXPROCS, 1 = sequential; never changes the output)")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
 	flag.Parse()
 
 	if *list {
@@ -100,6 +119,9 @@ func main() {
 	die := func(err error) {
 		fmt.Fprintf(os.Stderr, "siesta: %v\n", err)
 		os.Exit(1)
+	}
+	if err := setupLogging(*logLevel); err != nil {
+		die(err)
 	}
 
 	spec, err := apps.ByName(*appName)
@@ -137,6 +159,12 @@ func main() {
 	opts := core.Options{
 		Platform: plat, Impl: impl, Ranks: *ranks, Scale: *scale, Seed: *seed,
 		Faults: plan, Deadline: deadline, Parallelism: *parallel,
+	}
+	// At debug verbosity, phase transitions are logged through a tracer
+	// (timelines off — this verb only wants the span stream).
+	if debugEnabled() {
+		opts.Tracer = obs.New().WithoutTimelines()
+		opts.Tracer.SetObserver(phaseLogger)
 	}
 	if *timeout > 0 {
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -28,6 +29,7 @@ func runServe(args []string) {
 	cacheSize := fs.Int("cache-size", 128, "artifact cache entry budget")
 	maxParallel := fs.Int("max-parallel", 0, "per-job synthesis parallelism cap (0 = GOMAXPROCS)")
 	drainTimeout := fs.Duration("drain-timeout", 5*time.Minute, "shutdown budget for in-flight jobs before hard cancel")
+	logLevel := fs.String("log-level", "", "route job events through slog at this verbosity (debug, info, warn, error) instead of the raw JSON stream")
 	fs.Parse(args)
 
 	die := func(err error) {
@@ -35,14 +37,22 @@ func runServe(args []string) {
 		os.Exit(1)
 	}
 
-	svc := server.New(server.Config{
+	cfg := server.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		JobTimeout:     *jobTimeout,
 		CacheSize:      *cacheSize,
 		MaxParallelism: *maxParallel,
 		LogWriter:      os.Stderr,
-	})
+	}
+	if *logLevel != "" {
+		if err := setupLogging(*logLevel); err != nil {
+			die(err)
+		}
+		cfg.Logger = slog.Default()
+		cfg.LogWriter = nil // one stream: slog replaces the raw JSON lines
+	}
+	svc := server.New(cfg)
 	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

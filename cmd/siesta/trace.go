@@ -1,0 +1,109 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+
+	"siesta/internal/apps"
+	"siesta/internal/core"
+	"siesta/internal/netmodel"
+	"siesta/internal/obs"
+	"siesta/internal/platform"
+)
+
+// runTrace implements the `siesta trace` verb: one observed synthesis run
+// exported as a trace file. The output carries the pipeline's wall-clock
+// phase spans plus per-rank virtual-time timelines for the baseline run and
+// the proxy replay — message edges, collective barriers, computation
+// regions — in Chrome trace_event JSON (open in chrome://tracing or
+// https://ui.perfetto.dev) or compact JSONL.
+func runTrace(args []string) {
+	fs := flag.NewFlagSet("siesta trace", flag.ExitOnError)
+	appName := fs.String("app", "CG", "application to trace")
+	ranks := fs.Int("ranks", 8, "number of MPI ranks")
+	n := fs.Int("n", 0, "alias for -ranks")
+	iters := fs.Int("iters", 0, "iteration override (0 = application default)")
+	platName := fs.String("platform", "A", "generation platform: A, B or C")
+	implName := fs.String("impl", "openmpi", "MPI implementation: openmpi, mpich, mvapich")
+	seed := fs.Uint64("seed", 1, "random seed")
+	out := fs.String("o", "run.trace.json", "output file (\"-\" = stdout)")
+	format := fs.String("format", "chrome", "output format: chrome (trace_event JSON) or jsonl")
+	replay := fs.Bool("replay", true, "also run the generated proxy and record its replay timeline")
+	logLevel := fs.String("log-level", "info", "log verbosity: debug, info, warn, error")
+	fs.Parse(args)
+
+	die := func(err error) {
+		fmt.Fprintf(os.Stderr, "siesta trace: %v\n", err)
+		os.Exit(1)
+	}
+	if err := setupLogging(*logLevel); err != nil {
+		die(err)
+	}
+	if *format != "chrome" && *format != "jsonl" {
+		die(fmt.Errorf("unknown -format %q (want chrome or jsonl)", *format))
+	}
+	if *n > 0 {
+		*ranks = *n
+	}
+
+	spec, err := apps.ByName(*appName)
+	if err != nil {
+		die(err)
+	}
+	plat, err := platform.ByName(*platName)
+	if err != nil {
+		die(err)
+	}
+	impl, err := netmodel.ByName(*implName)
+	if err != nil {
+		die(err)
+	}
+	fn, err := spec.Build(apps.Params{Ranks: *ranks, Iters: *iters})
+	if err != nil {
+		die(err)
+	}
+
+	tracer := obs.New()
+	tracer.SetObserver(phaseLogger)
+	res, err := core.Synthesize(fn, core.Options{
+		Platform: plat, Impl: impl, Ranks: *ranks, Seed: *seed, Tracer: tracer,
+	})
+	if err != nil {
+		die(err)
+	}
+	if *replay {
+		if _, err := res.RunProxy(nil, nil); err != nil {
+			die(fmt.Errorf("proxy replay: %w", err))
+		}
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			die(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "chrome":
+		err = tracer.WriteChromeTrace(w)
+	case "jsonl":
+		err = tracer.WriteJSONL(w)
+	}
+	if err != nil {
+		die(err)
+	}
+	if *out != "-" {
+		events := 0
+		for _, tl := range tracer.Timelines() {
+			events += len(tl.Events())
+		}
+		slog.Info("trace written", "file", *out, "format", *format,
+			"phases", len(tracer.Phases()), "timelines", len(tracer.Timelines()),
+			"timeline_events", events)
+	}
+}

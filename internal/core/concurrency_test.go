@@ -11,6 +11,7 @@ import (
 	"siesta/internal/apps"
 	"siesta/internal/core"
 	"siesta/internal/mpi"
+	"siesta/internal/obs"
 )
 
 // synthesizeApp builds and synthesizes one built-in app with small,
@@ -102,16 +103,16 @@ func TestSynthesizeCancel(t *testing.T) {
 		t.Errorf("cause should be context.Canceled, got %v", err)
 	}
 
-	// Cancellation mid-run, triggered from the phase hook so it lands
-	// while simulated ranks are alive.
+	// Cancellation mid-run, triggered from the tracer's phase observer so
+	// it lands while simulated ranks are alive.
 	ctx2, cancel2 := context.WithCancel(context.Background())
 	defer cancel2()
-	opts := core.Options{Seed: 1, Context: ctx2}
-	opts.PhaseHook = func(phase string) {
-		if phase == "trace" {
+	opts := core.Options{Seed: 1, Context: ctx2, Tracer: obs.New()}
+	opts.Tracer.SetObserver(func(ev obs.PhaseEvent) {
+		if ev.Name == "trace" && !ev.End {
 			cancel2()
 		}
-	}
+	})
 	_, err = synthesizeApp(t, "CG", 8, opts)
 	if !errors.Is(err, core.ErrCanceled) {
 		t.Fatalf("mid-run cancel: want ErrCanceled, got %v", err)

@@ -18,6 +18,7 @@ import (
 	"siesta/internal/merge"
 	"siesta/internal/mpi"
 	"siesta/internal/netmodel"
+	"siesta/internal/obs"
 	"siesta/internal/perfmodel"
 	"siesta/internal/platform"
 	"siesta/internal/proxy"
@@ -40,12 +41,17 @@ type Options struct {
 	// two runs differing only in Context are the same synthesis.
 	Context context.Context
 
-	// PhaseHook, when set, observes pipeline progress: it is called at
-	// the start of each phase (baseline, trace, merge, check, codegen)
-	// from the synthesizing goroutine. The server uses it for per-phase
-	// structured logs and metrics. Like Context, it is excluded from
-	// JSON encoding and the fingerprint.
-	PhaseHook func(phase string)
+	// Tracer, when non-nil, records the run's observability data: one
+	// wall-clock span per pipeline phase (baseline, trace, merge, check,
+	// codegen) with rank-count, parallelism, and artifact-size attributes,
+	// plus per-rank virtual-time timelines for the baseline run (and the
+	// proxy replay, via Result.RunProxy). The server attaches an observer
+	// for per-phase structured logs and metrics; the trace CLI verb
+	// exports it. Recording never perturbs the simulated runs' virtual
+	// times. Like Context, it is excluded from JSON encoding and the
+	// fingerprint — two runs differing only in Tracer are the same
+	// synthesis.
+	Tracer *obs.Tracer
 
 	// Execution environment for the traced run.
 	Platform   *platform.Platform // default platform.A
@@ -153,9 +159,20 @@ func Synthesize(app func(*mpi.Rank), opts Options) (*Result, error) {
 		return nil, fmt.Errorf("core: Ranks must be positive")
 	}
 	res := &Result{Opts: opts}
+	tr := opts.Tracer
+	// cur is the in-flight phase span; phase ends it and opens the next.
+	// All obs methods are nil-receiver safe, and the attribute list is only
+	// built when a tracer is attached, so the disabled path costs one nil
+	// check per phase and allocates nothing (pinned by the overhead
+	// benchmark in obs_test.go).
+	var cur *obs.Span
 	phase := func(name string) error {
-		if opts.PhaseHook != nil {
-			opts.PhaseHook(name)
+		cur.End()
+		cur = nil
+		if tr != nil {
+			cur = tr.Phase(name,
+				obs.Int("ranks", opts.Ranks),
+				obs.Int("parallelism", opts.Parallelism))
 		}
 		// The simulated runs poll the context themselves; this check
 		// covers the pure phases (merge, check, codegen) between them.
@@ -164,16 +181,22 @@ func Synthesize(app func(*mpi.Rank), opts Options) (*Result, error) {
 		}
 		return nil
 	}
+	defer func() { cur.End() }()
 
-	// Ground-truth run, without instrumentation.
+	// Ground-truth run, without instrumentation (the timeline observer
+	// charges no virtual-time cost, so the run stays bit-identical).
 	if err := phase("baseline"); err != nil {
 		return nil, fmt.Errorf("core: baseline run: %w", err)
 	}
-	base := mpi.NewWorld(mpi.Config{
+	baseCfg := mpi.Config{
 		Platform: opts.Platform, Impl: opts.Impl, Size: opts.Ranks,
 		NoiseSigma: opts.NoiseSigma, RunVariation: opts.RunVariation, Seed: opts.Seed,
 		Faults: opts.Faults, Deadline: opts.Deadline, Ctx: opts.Context,
-	})
+	}
+	if tl := tr.NewTimeline("baseline", opts.Ranks); tl != nil {
+		baseCfg.Interceptor = tl
+	}
+	base := mpi.NewWorld(baseCfg)
 	var err error
 	if res.BaselineRun, err = base.Run(app); err != nil {
 		return nil, fmt.Errorf("core: baseline run: %w", err)
@@ -195,6 +218,11 @@ func Synthesize(app func(*mpi.Rank), opts Options) (*Result, error) {
 	}
 	res.Overhead = relDiff(float64(res.TracedRun.ExecTime), float64(res.BaselineRun.ExecTime))
 	res.Trace = rec.Trace(opts.Platform.Name, opts.Impl.Name)
+	if tr != nil {
+		cur.SetAttrs(
+			obs.Int("events", res.Trace.TotalEvents()),
+			obs.Int("raw_bytes", res.Trace.RawSize()))
+	}
 
 	// Grammar extraction and merging.
 	if err := phase("merge"); err != nil {
@@ -250,6 +278,9 @@ func Synthesize(app func(*mpi.Rank), opts Options) (*Result, error) {
 	if res.Generated, err = codegen.Generate(res.Program, genOpts); err != nil {
 		return nil, fmt.Errorf("core: generate: %w", err)
 	}
+	if tr != nil {
+		cur.SetAttrs(obs.Int("size_c", res.Generated.SizeC))
+	}
 	res.Proxy = proxy.New(res.Generated)
 	return res, nil
 }
@@ -263,12 +294,18 @@ func (r *Result) RunProxy(p *platform.Platform, im *netmodel.Impl) (*mpi.RunResu
 	if im == nil {
 		im = r.Opts.Impl
 	}
-	return r.Proxy.Run(mpi.Config{
+	cfg := mpi.Config{
 		Platform: p, Impl: im,
 		NoiseSigma: r.Opts.NoiseSigma, RunVariation: r.Opts.RunVariation,
 		Seed:   r.Opts.Seed + 1,
 		Faults: r.Opts.Faults, Deadline: r.Opts.Deadline, Ctx: r.Opts.Context,
-	})
+	}
+	// The replay timeline gives the proxy the same per-rank observability
+	// as the baseline, so the two can be compared side by side in a viewer.
+	if tl := r.Opts.Tracer.NewTimeline("replay", r.Generated.Prog.NumRanks); tl != nil {
+		cfg.Interceptor = tl
+	}
+	return r.Proxy.Run(cfg)
 }
 
 // relDiff is |a−b|/|b| with a zero-safe denominator.

@@ -22,7 +22,7 @@ const fingerprintVersion = "siesta-options-v1"
 
 // optionsJSON is the canonical wire form of Options: platform and
 // implementation are replaced by their registry names, and the runtime-only
-// fields (Context, PhaseHook, Parallelism, SearchMemo — none of which can
+// fields (Context, Tracer, Parallelism, SearchMemo — none of which can
 // change the synthesized output) are omitted entirely. Field order is fixed
 // by this declaration, which is what makes the encoding — and therefore
 // OptionsFingerprint — deterministic.
@@ -83,7 +83,7 @@ func (o Options) MarshalJSON() ([]byte, error) {
 
 // UnmarshalJSON decodes the canonical form written by MarshalJSON,
 // resolving platform and implementation names through their registries.
-// Context and PhaseHook are runtime concerns and always come back nil.
+// Context and Tracer are runtime concerns and always come back nil.
 func (o *Options) UnmarshalJSON(data []byte) error {
 	var c optionsJSON
 	if err := json.Unmarshal(data, &c); err != nil {
@@ -123,7 +123,7 @@ func (o *Options) UnmarshalJSON(data []byte) error {
 
 // OptionsFingerprint returns a stable hex digest identifying the synthesis
 // an Options value describes. Defaults are applied first, so a zero field
-// and its explicit default fingerprint identically; Context and PhaseHook
+// and its explicit default fingerprint identically; Context and Tracer
 // never participate. Two Options with equal fingerprints produce the same
 // proxy (the pipeline is deterministic in its options), which is what makes
 // the fingerprint usable as an artifact-cache key.

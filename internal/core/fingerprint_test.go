@@ -7,6 +7,7 @@ import (
 
 	"siesta/internal/fault"
 	"siesta/internal/netmodel"
+	"siesta/internal/obs"
 	"siesta/internal/platform"
 )
 
@@ -83,14 +84,14 @@ func TestOptionsFingerprint(t *testing.T) {
 		t.Error("explicit defaults should fingerprint like zero values")
 	}
 
-	// Context and PhaseHook are runtime-only and must not perturb the key.
+	// Context and Tracer are runtime-only and must not perturb the key.
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	withRuntime := base
 	withRuntime.Context = ctx
-	withRuntime.PhaseHook = func(string) {}
+	withRuntime.Tracer = obs.New()
 	if OptionsFingerprint(withRuntime) != fp {
-		t.Error("Context/PhaseHook must not change the fingerprint")
+		t.Error("Context/Tracer must not change the fingerprint")
 	}
 
 	// Any synthesis-relevant field must perturb it.

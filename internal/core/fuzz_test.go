@@ -1,0 +1,87 @@
+// FuzzSynthesize: native Go fuzzing over the whole pipeline. The input
+// space is the RandomProgram generator's seed plus rank/phase selectors;
+// the property is the paper's central claim — any program the runtime can
+// execute synthesizes into a proxy that verifies clean and replays with
+// the original's exact per-rank call counts and comparable execution
+// time. The seed corpus lives in testdata/fuzz/FuzzSynthesize; CI runs a
+// 20-second smoke (`go test -fuzz=FuzzSynthesize -fuzztime=20s`), and
+// `go test` alone always replays the committed corpus.
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"siesta/internal/core"
+	"siesta/internal/proxy"
+)
+
+func FuzzSynthesize(f *testing.F) {
+	// Seeds mirror the deterministic round-trip suite plus corner shapes:
+	// one phase, max phases, each rank count, negative and large seeds.
+	f.Add(int64(1), byte(0), byte(11))
+	f.Add(int64(2), byte(1), byte(5))
+	f.Add(int64(3), byte(2), byte(7))
+	f.Add(int64(17), byte(0), byte(0))
+	f.Add(int64(-9), byte(1), byte(3))
+	f.Add(int64(1<<40), byte(2), byte(9))
+
+	f.Fuzz(func(t *testing.T, seed int64, rankSel, phaseSel byte) {
+		ranks := 4 + int(rankSel%3)*2  // 4, 6 or 8
+		phases := 1 + int(phaseSel%12) // 1..12
+
+		fn := proxy.RandomProgram(seed, phases)
+		res, err := core.Synthesize(fn, core.Options{
+			Ranks: ranks, Seed: uint64(seed) + 1, Parallelism: 2,
+		})
+		if err != nil {
+			t.Fatalf("seed=%d ranks=%d phases=%d: synthesize: %v", seed, ranks, phases, err)
+		}
+
+		// The static gate must pass with zero errors: RandomProgram only
+		// emits well-formed SPMD communication.
+		if res.Check == nil {
+			t.Fatal("check report missing")
+		}
+		if res.Check.HasErrors() {
+			t.Fatalf("seed=%d ranks=%d phases=%d: verifier found errors:\n%s",
+				seed, ranks, phases, res.Check)
+		}
+
+		rep, err := res.RunProxy(nil, nil)
+		if err != nil {
+			t.Fatalf("seed=%d ranks=%d phases=%d: replay: %v", seed, ranks, phases, err)
+		}
+		for i := range res.BaselineRun.Ranks {
+			if rep.Ranks[i].Calls != res.BaselineRun.Ranks[i].Calls {
+				t.Errorf("seed=%d ranks=%d phases=%d rank %d: %d replay calls vs %d original",
+					seed, ranks, phases, i, rep.Ranks[i].Calls, res.BaselineRun.Ranks[i].Calls)
+			}
+		}
+		// Generous time bound: the deterministic suite holds 30%; under
+		// fuzz-chosen shapes allow 50% before calling it a regression.
+		orig := float64(res.BaselineRun.ExecTime)
+		got := float64(rep.ExecTime)
+		if orig > 0 {
+			if rel := math.Abs(got-orig) / orig; rel > 0.50 {
+				t.Errorf("seed=%d ranks=%d phases=%d: time error %.1f%% (proxy %v, orig %v)",
+					seed, ranks, phases, rel*100, rep.ExecTime, res.BaselineRun.ExecTime)
+			}
+		}
+		// Structural sanity of the generated C.
+		src := res.Generated.CSource()
+		open, closed := 0, 0
+		for _, ch := range src {
+			switch ch {
+			case '{':
+				open++
+			case '}':
+				closed++
+			}
+		}
+		if open == 0 || open != closed {
+			t.Errorf("seed=%d: generated C has unbalanced braces (%d open, %d close)",
+				seed, open, closed)
+		}
+	})
+}

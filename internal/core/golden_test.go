@@ -1,0 +1,155 @@
+// Golden-artifact regression suite: for every built-in application at two
+// rank counts, the sha256 fingerprints of the encoded program and the
+// generated C source are pinned in testdata/golden.json. Synthesis is
+// deterministic in (app, ranks, seed), so any drift — an intentional
+// algorithm change or an accidental regression — shows up as a focused
+// diff here. Refresh the pins after a deliberate change with:
+//
+//	go test ./internal/core/ -run TestGoldenArtifacts -update
+package core_test
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+
+	"siesta/internal/apps"
+	"siesta/internal/core"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/golden.json with current artifact fingerprints")
+
+const goldenPath = "testdata/golden.json"
+
+// goldenEntry pins one configuration's artifacts.
+type goldenEntry struct {
+	Program string `json:"program"` // sha256 of the encoded program
+	CSource string `json:"c_source"`
+}
+
+// goldenConfigs picks the first two valid rank counts in [4,32] for each
+// built-in app — the same parameter family as the determinism suite.
+func goldenConfigs(t *testing.T) []struct {
+	Spec  *apps.Spec
+	Ranks int
+} {
+	t.Helper()
+	var out []struct {
+		Spec  *apps.Spec
+		Ranks int
+	}
+	for _, spec := range apps.All() {
+		found := 0
+		for r := 4; r <= 32 && found < 2; r++ {
+			if spec.ValidRanks(r) {
+				out = append(out, struct {
+					Spec  *apps.Spec
+					Ranks int
+				}{spec, r})
+				found++
+			}
+		}
+		if found < 2 {
+			t.Fatalf("%s supports fewer than two rank counts in [4,32]", spec.Name)
+		}
+	}
+	return out
+}
+
+func TestGoldenArtifacts(t *testing.T) {
+	want := map[string]goldenEntry{}
+	if !*update {
+		data, err := os.ReadFile(goldenPath)
+		if err != nil {
+			t.Fatalf("read %s (run with -update to create it): %v", goldenPath, err)
+		}
+		if err := json.Unmarshal(data, &want); err != nil {
+			t.Fatalf("parse %s: %v", goldenPath, err)
+		}
+	}
+
+	got := map[string]goldenEntry{}
+	var mu sync.Mutex
+	for _, cfg := range goldenConfigs(t) {
+		cfg := cfg
+		key := fmt.Sprintf("%s@%d", cfg.Spec.Name, cfg.Ranks)
+		t.Run(key, func(t *testing.T) {
+			t.Parallel()
+			fn, err := cfg.Spec.Build(apps.Params{Ranks: cfg.Ranks, Iters: 2, WorkScale: 0.05})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := core.Synthesize(fn, core.Options{Ranks: cfg.Ranks, Seed: 1})
+			if err != nil {
+				t.Fatalf("synthesize: %v", err)
+			}
+			entry := goldenEntry{
+				Program: fmt.Sprintf("%x", sha256.Sum256(res.Program.Encode())),
+				CSource: fmt.Sprintf("%x", sha256.Sum256([]byte(res.Generated.CSource()))),
+			}
+			mu.Lock()
+			got[key] = entry
+			mu.Unlock()
+			if *update {
+				return
+			}
+			ref, ok := want[key]
+			if !ok {
+				t.Fatalf("%s missing from %s — new configuration? rerun with -update", key, goldenPath)
+			}
+			if entry.Program != ref.Program {
+				t.Errorf("%s: encoded program drifted: %s != pinned %s", key, entry.Program, ref.Program)
+			}
+			if entry.CSource != ref.CSource {
+				t.Errorf("%s: generated C drifted: %s != pinned %s", key, entry.CSource, ref.CSource)
+			}
+		})
+	}
+
+	// The rewrite (and the stale-key check) must run after every subtest.
+	t.Cleanup(func() {
+		if t.Failed() {
+			return
+		}
+		if *update {
+			if err := writeGolden(got); err != nil {
+				t.Errorf("write %s: %v", goldenPath, err)
+			}
+			return
+		}
+		// Stale pins: configurations in the file that no longer exist.
+		for key := range want {
+			if _, ok := got[key]; !ok {
+				t.Errorf("%s pins unknown configuration %s — rerun with -update", goldenPath, key)
+			}
+		}
+	})
+}
+
+// writeGolden serializes the pin map with sorted keys and a trailing
+// newline, so regeneration is diff-stable.
+func writeGolden(entries map[string]goldenEntry) error {
+	keys := make([]string, 0, len(entries))
+	for k := range entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ordered := make(map[string]goldenEntry, len(entries))
+	for _, k := range keys {
+		ordered[k] = entries[k]
+	}
+	data, err := json.MarshalIndent(ordered, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(goldenPath, append(data, '\n'), 0o644)
+}

@@ -49,6 +49,16 @@ type Call struct {
 	// runtime so interceptors need not touch live request state from
 	// outside the lock.
 	Flag bool
+
+	// Message-edge coordinates for the observability layer (package obs).
+	// SentSeq/SentDst identify the point-to-point message this call
+	// posted: the runtime's per-(src,dst) channel sequence number
+	// (1-based; 0 = no message) and the destination world rank. RecvSeq/
+	// RecvSrcWorld identify the message a blocking receive completed.
+	// Wait-family calls expose completions through Request.MatchedMessage
+	// instead.
+	SentSeq, SentDst      int
+	RecvSeq, RecvSrcWorld int
 }
 
 // Interceptor is the PMPI hook: it observes every MPI call on every rank and

@@ -85,6 +85,14 @@ type Request struct {
 	// persistent holds the bound parameters of a persistent request
 	// (MPI_Send_init family); nil for ordinary requests.
 	persistent *persistentArgs
+
+	// Message-edge coordinates for the observability layer (package obs):
+	// the sender's world rank and the channel sequence number (1-based;
+	// 0 = none) of the message this receive request matched, written
+	// under World.mu by completeMatch. Persistent receives keep the most
+	// recent match — readers dedup by sequence number.
+	matchedSrc int
+	matchedSeq int
 }
 
 // Persistent reports whether the request is a persistent-communication
@@ -97,6 +105,19 @@ func (r *Request) ID() int { return r.id }
 // Done reports whether the request has completed. It is only meaningful from
 // the owning rank's goroutine.
 func (r *Request) Done() bool { return r.done }
+
+// MatchedMessage reports the message a completed receive request matched:
+// the sender's world rank and the runtime-assigned per-(src,dst) channel
+// sequence number. ok is false for send requests and receives that have
+// not matched. Like Done, it is only meaningful from the owning rank's
+// goroutine once the request has completed; persistent receives report
+// their most recent match.
+func (r *Request) MatchedMessage() (srcWorld, seq int, ok bool) {
+	if r == nil || r.matchedSeq == 0 {
+		return 0, 0, false
+	}
+	return r.matchedSrc, r.matchedSeq - 1, true
+}
 
 // ReduceOp names a reduction operator; the runtime carries no data so the
 // operator is recorded for the trace but does not affect matching.

@@ -25,6 +25,7 @@ func completeMatch(m *message, pr *postedRecv) {
 	pr.req.done = true
 	pr.req.time = float64(done)
 	pr.req.st = Status{Source: m.srcComm, Tag: m.tag, Bytes: m.bytes}
+	pr.req.matchedSrc, pr.req.matchedSeq = m.srcWorld, m.seq+1
 	if pr.buf != nil && m.payload != nil {
 		copy(pr.buf, m.payload)
 	}
@@ -59,6 +60,9 @@ func (pr *postedRecv) matches(m *message) bool {
 // here: the receiver keeps waiting (and a rendezvous sender keeps waiting
 // for the handshake), which the deadlock detector then reports.
 func (w *World) postMessage(m *message) {
+	ch := [2]int{m.srcWorld, m.dstWorld}
+	m.seq = w.msgCount[ch]
+	w.msgCount[ch] = m.seq + 1
 	if !w.routeFaults(m) {
 		return
 	}
@@ -135,6 +139,7 @@ func (r *Rank) sendPayload(c *Comm, dst, tag, bytes int, payload []byte) {
 			w.mu.Lock()
 			w.postMessage(m)
 			w.mu.Unlock()
+			call.SentSeq, call.SentDst = m.seq+1, m.dstWorld
 		} else {
 			req := r.newRequest(reqSend)
 			req.describe(dst, tag)
@@ -148,6 +153,7 @@ func (r *Rank) sendPayload(c *Comm, dst, tag, bytes int, payload []byte) {
 				return op
 			}, func() bool { return req.done })
 			w.mu.Unlock()
+			call.SentSeq, call.SentDst = m.seq+1, m.dstWorld
 			r.abortIfFailed()
 			r.clock.AdvanceTo(vtime.Time(req.time))
 		}
@@ -190,6 +196,7 @@ func (r *Rank) recvInto(c *Comm, src, tag int, buf []byte) Status {
 		r.clock.AdvanceTo(vtime.Time(req.time))
 		r.clock.Advance(w.cfg.Impl.CallOverhead())
 		st = req.st
+		call.RecvSrcWorld, call.RecvSeq = req.matchedSrc, req.matchedSeq
 	}
 	call.Bytes = st.Bytes
 	call.SourceResolved = st.Source
@@ -220,6 +227,7 @@ func (r *Rank) Isend(c *Comm, dst, tag, bytes int) *Request {
 		w.mu.Lock()
 		w.postMessage(m)
 		w.mu.Unlock()
+		call.SentSeq, call.SentDst = m.seq+1, m.dstWorld
 	}
 	call.Request = req
 	r.endCall(call)
@@ -345,6 +353,7 @@ func (r *Rank) Sendrecv(c *Comm, dst, sendTag, sendBytes, src, recvTag int) Stat
 		w.mu.Lock()
 		w.postMessage(m)
 		w.mu.Unlock()
+		call.SentSeq, call.SentDst = m.seq+1, m.dstWorld
 	}
 	if src != ProcNull {
 		rreq = r.newRequest(reqRecv)
@@ -363,6 +372,7 @@ func (r *Rank) Sendrecv(c *Comm, dst, sendTag, sendBytes, src, recvTag int) Stat
 	}
 	if rreq != nil {
 		st = r.waitOne(rreq)
+		call.RecvSrcWorld, call.RecvSeq = rreq.matchedSrc, rreq.matchedSeq
 	}
 	call.SourceResolved = st.Source
 	call.RecvBytes = st.Bytes

@@ -81,6 +81,7 @@ func (r *Rank) Start(req *Request) {
 			w.mu.Lock()
 			w.postMessage(m)
 			w.mu.Unlock()
+			call.SentSeq, call.SentDst = m.seq+1, m.dstWorld
 		}
 	} else {
 		if pa.peer == ProcNull {

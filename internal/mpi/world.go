@@ -74,6 +74,12 @@ type World struct {
 	// plan is active.
 	msgSeq map[[2]int]int
 
+	// msgCount numbers every point-to-point message per (src, dst)
+	// channel in post order, independent of the fault plan's counter:
+	// the observability layer joins send and receive events into message
+	// edges by (src, dst, seq). Guarded by mu.
+	msgCount map[[2]int]int
+
 	failed error
 	// stop mirrors failed != nil as an atomic flag so rank goroutines can
 	// poll for teardown (abortIfFailed, per-call cancellation checks)
@@ -99,6 +105,7 @@ type message struct {
 	srcWorld  int
 	tag       int
 	bytes     int
+	seq       int // per-(src,dst) channel number, assigned at post time
 	payload   []byte
 	eager     bool
 	readyTime vtime.Time     // when the sender's data became available
@@ -168,6 +175,7 @@ func NewWorld(cfg Config) *World {
 		mailbox:    make([][]*message, cfg.Size),
 		posted:     make([][]*postedRecv, cfg.Size),
 		colls:      make(map[collKey]*collSlot),
+		msgCount:   make(map[[2]int]int),
 		nextCommID: 1,
 	}
 	if cfg.Faults != nil {

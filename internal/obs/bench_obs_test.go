@@ -1,0 +1,35 @@
+package obs_test
+
+import (
+	"testing"
+
+	"siesta/internal/obs"
+)
+
+// BenchmarkPhaseDisabled measures the disabled span path — the price every
+// un-traced synthesis pays per phase site. It must stay at one nil check
+// and zero allocations (see the package doc's zero-allocation guarantee;
+// TestDisabledPathAllocationFree pins the alloc count exactly).
+func BenchmarkPhaseDisabled(b *testing.B) {
+	var tr *obs.Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var cur *obs.Span
+		if tr != nil {
+			cur = tr.Phase("baseline", obs.Int("ranks", 16), obs.Int("parallelism", 4))
+		}
+		cur.End()
+	}
+}
+
+// BenchmarkPhaseEnabled is the enabled counterpart, for comparing the two
+// paths in benchstat output. The tracer is recreated each iteration so the
+// committed-span slice doesn't grow with b.N and distort the numbers.
+func BenchmarkPhaseEnabled(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := obs.New()
+		cur := tr.Phase("baseline", obs.Int("ranks", 16), obs.Int("parallelism", 4))
+		cur.End()
+	}
+}

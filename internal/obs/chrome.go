@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace_event exporter. The output is the JSON Object Format of the
+// Trace Event spec: {"traceEvents": [...]}, loadable in chrome://tracing and
+// https://ui.perfetto.dev. Track mapping:
+//
+//   - pid 0            = the synthesis pipeline (wall-clock time), tid 0
+//   - pid 1+i          = runtime timeline i (virtual time)
+//   - tid within a timeline = MPI rank
+//
+// Complete events (ph "X") carry ts+dur in microseconds; message edges are
+// flow event pairs (ph "s"/"f") joined by a hex id; process and thread names
+// are metadata events (ph "M"). Both time domains are exported on the same
+// microsecond axis — the viewer shows them as separate processes.
+
+// chromeEvent is one trace_event record. Field presence follows the spec:
+// dur only on complete events, id/bp only on flow events, s only on
+// instants, args only when attributes exist.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   string         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeDoc is the JSON Object Format envelope.
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes everything the tracer collected as Chrome
+// trace_event JSON. It must only be called after all observed runs have
+// completed. The output is deterministic for a deterministic run. A nil
+// tracer writes an empty, valid trace.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	doc := chromeDoc{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	add := func(ev chromeEvent) { doc.TraceEvents = append(doc.TraceEvents, ev) }
+
+	if phases := t.Phases(); len(phases) > 0 {
+		add(metaEvent(0, 0, "process_name", "siesta pipeline (wall clock)"))
+		add(metaEvent(0, 0, "thread_name", "synthesis"))
+		for _, ev := range phases {
+			add(chromeConvert(ev, 0, 0))
+		}
+	}
+	for i, tl := range t.Timelines() {
+		pid := i + 1
+		add(metaEvent(pid, 0, "process_name", tl.Name()+" (virtual time)"))
+		for rank := 0; rank < tl.NumRanks(); rank++ {
+			add(metaEvent(pid, rank, "thread_name", fmt.Sprintf("rank %d", rank)))
+			for _, ev := range tl.RankEvents(rank) {
+				add(chromeConvert(ev, pid, rank))
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// metaEvent builds a ph "M" metadata record naming a process or thread.
+func metaEvent(pid, tid int, kind, name string) chromeEvent {
+	return chromeEvent{
+		Name: kind, Ph: "M", Pid: pid, Tid: tid,
+		Args: map[string]any{"name": name},
+	}
+}
+
+// chromeConvert maps one internal Event onto a trace_event record. Seconds
+// become microseconds, the spec's time unit.
+func chromeConvert(ev Event, pid, tid int) chromeEvent {
+	ce := chromeEvent{
+		Name: ev.Name, Cat: ev.Cat, Pid: pid, Tid: tid,
+		Ts: ev.Start * 1e6,
+	}
+	switch ev.Kind {
+	case KindSpan:
+		ce.Ph = "X"
+		dur := ev.Dur * 1e6
+		ce.Dur = &dur
+	case KindInstant:
+		ce.Ph = "i"
+		ce.S = "t"
+	case KindFlowStart:
+		ce.Ph = "s"
+		ce.ID = fmt.Sprintf("0x%x", ev.Flow)
+	case KindFlowEnd:
+		ce.Ph = "f"
+		ce.BP = "e"
+		ce.ID = fmt.Sprintf("0x%x", ev.Flow)
+	}
+	if len(ev.Attrs) > 0 {
+		args := make(map[string]any, len(ev.Attrs))
+		for _, a := range ev.Attrs {
+			args[a.Key] = a.Value
+		}
+		ce.Args = args
+	}
+	return ce
+}

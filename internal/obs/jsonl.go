@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSONL exporter: one compact JSON record per line, cheap to stream, grep,
+// and diff — the format the golden and metamorphic tests compare. Stream
+// layout:
+//
+//	{"type":"siesta.trace","version":1}
+//	{"type":"phase", ...event}            one per pipeline phase span
+//	{"type":"timeline","name":...,"ranks":N}
+//	{"type":"event","tl":i, ...event}     that timeline's events, rank-major
+//
+// Times are raw seconds in the owning track's domain, unscaled.
+
+// jsonlHeader is the first line of every stream.
+type jsonlHeader struct {
+	Type    string `json:"type"`
+	Version int    `json:"version"`
+}
+
+type jsonlPhase struct {
+	Type string `json:"type"`
+	Event
+}
+
+type jsonlTimeline struct {
+	Type  string `json:"type"`
+	Name  string `json:"name"`
+	Ranks int    `json:"ranks"`
+}
+
+type jsonlEvent struct {
+	Type string `json:"type"`
+	TL   int    `json:"tl"`
+	Event
+}
+
+// WriteJSONL writes everything the tracer collected as newline-delimited
+// JSON. It must only be called after all observed runs have completed; the
+// output is deterministic for a deterministic run. A nil tracer writes just
+// the header line.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(jsonlHeader{Type: "siesta.trace", Version: 1}); err != nil {
+		return err
+	}
+	for _, ev := range t.Phases() {
+		if err := enc.Encode(jsonlPhase{Type: "phase", Event: ev}); err != nil {
+			return err
+		}
+	}
+	for i, tl := range t.Timelines() {
+		rec := jsonlTimeline{Type: "timeline", Name: tl.Name(), Ranks: tl.NumRanks()}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+		for _, ev := range tl.Events() {
+			if err := enc.Encode(jsonlEvent{Type: "event", TL: i, Event: ev}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

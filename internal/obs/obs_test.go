@@ -1,0 +1,507 @@
+// Unit tests for the observability layer: nil-tracer inertness, phase
+// span bookkeeping, observer notifications, runtime timelines over real
+// simulated runs (including the vtime-agreement invariant and flow-edge
+// pairing), and both exporters.
+package obs_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"siesta/internal/mpi"
+	"siesta/internal/obs"
+	"siesta/internal/vtime"
+)
+
+// TestNilTracerIsInert pins the disabled path's contract: a nil *Tracer
+// (and the nil *Span / *Timeline values it hands out) must absorb every
+// call without panicking or recording anything.
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *obs.Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports Enabled")
+	}
+	tr.SetObserver(func(obs.PhaseEvent) { t.Fatal("observer fired on nil tracer") })
+	if got := tr.WithoutTimelines(); got != nil {
+		t.Fatalf("nil.WithoutTimelines() = %v, want nil", got)
+	}
+	sp := tr.Phase("baseline", obs.Int("ranks", 8))
+	if sp != nil {
+		t.Fatalf("nil.Phase() = %v, want nil", sp)
+	}
+	sp.SetAttrs(obs.String("k", "v"))
+	sp.End()
+	sp.End() // double-End is a no-op too
+	if tl := tr.NewTimeline("baseline", 4); tl != nil {
+		t.Fatalf("nil.NewTimeline() = %v, want nil", tl)
+	}
+	var tl *obs.Timeline
+	if ev := tl.Events(); ev != nil {
+		t.Fatalf("nil timeline Events() = %v, want nil", ev)
+	}
+	if ev := tl.RankEvents(0); ev != nil {
+		t.Fatalf("nil timeline RankEvents() = %v, want nil", ev)
+	}
+	if ph := tr.Phases(); ph != nil {
+		t.Fatalf("nil.Phases() = %v, want nil", ph)
+	}
+	if tls := tr.Timelines(); tls != nil {
+		t.Fatalf("nil.Timelines() = %v, want nil", tls)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("nil.WriteChromeTrace: %v", err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("nil tracer's Chrome export is not valid JSON")
+	}
+	buf.Reset()
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatalf("nil.WriteJSONL: %v", err)
+	}
+}
+
+// TestPhaseSpans checks span commit order, attribute merging, observer
+// start/end pairing, and double-End idempotence on a live tracer.
+func TestPhaseSpans(t *testing.T) {
+	tr := obs.New()
+	var seen []obs.PhaseEvent
+	tr.SetObserver(func(ev obs.PhaseEvent) { seen = append(seen, ev) })
+
+	s1 := tr.Phase("baseline", obs.Int("ranks", 8))
+	s1.SetAttrs(obs.Int("events", 42))
+	s1.End()
+	s1.End() // must not commit a second event
+	s2 := tr.Phase("merge")
+	s2.End()
+
+	ph := tr.Phases()
+	if len(ph) != 2 {
+		t.Fatalf("got %d phases, want 2 (double End must not duplicate)", len(ph))
+	}
+	if ph[0].Name != "baseline" || ph[1].Name != "merge" {
+		t.Fatalf("phase order %q, %q", ph[0].Name, ph[1].Name)
+	}
+	if ph[0].Cat != "phase" || ph[0].Kind != obs.KindSpan {
+		t.Fatalf("phase event miscategorized: cat=%q kind=%d", ph[0].Cat, ph[0].Kind)
+	}
+	if ph[0].Dur < 0 || ph[1].Start < ph[0].Start {
+		t.Fatalf("non-monotonic phase times: %+v", ph)
+	}
+	if len(ph[0].Attrs) != 2 || ph[0].Attrs[0].Key != "ranks" || ph[0].Attrs[1].Key != "events" {
+		t.Fatalf("attrs not merged in order: %+v", ph[0].Attrs)
+	}
+	// Observer saw start/end for each phase, in order.
+	want := []struct {
+		name string
+		end  bool
+	}{{"baseline", false}, {"baseline", true}, {"merge", false}, {"merge", true}}
+	if len(seen) != len(want) {
+		t.Fatalf("observer saw %d events, want %d", len(seen), len(want))
+	}
+	for i, w := range want {
+		if seen[i].Name != w.name || seen[i].End != w.end {
+			t.Fatalf("observer event %d = {%s end=%v}, want {%s end=%v}",
+				i, seen[i].Name, seen[i].End, w.name, w.end)
+		}
+	}
+	if !seen[1].End || seen[1].Dur < 0 {
+		t.Fatalf("end notification missing duration: %+v", seen[1])
+	}
+}
+
+// TestWithoutTimelines: phase spans stay on, timelines come back nil.
+func TestWithoutTimelines(t *testing.T) {
+	tr := obs.New().WithoutTimelines()
+	if tl := tr.NewTimeline("baseline", 4); tl != nil {
+		t.Fatalf("WithoutTimelines tracer handed out a timeline: %v", tl)
+	}
+	sp := tr.Phase("baseline")
+	sp.End()
+	if len(tr.Phases()) != 1 {
+		t.Fatal("WithoutTimelines must keep phase spans")
+	}
+	if len(tr.Timelines()) != 0 {
+		t.Fatal("WithoutTimelines registered a timeline")
+	}
+}
+
+// runObserved executes app on a fresh world with a timeline attached and
+// returns both the timeline and the run result.
+func runObserved(t *testing.T, ranks int, app func(*mpi.Rank)) (*obs.Timeline, *mpi.RunResult, *obs.Tracer) {
+	t.Helper()
+	tr := obs.New()
+	tl := tr.NewTimeline("run", ranks)
+	if tl == nil {
+		t.Fatal("NewTimeline returned nil on an enabled tracer")
+	}
+	w := mpi.NewWorld(mpi.Config{Size: ranks, Interceptor: tl})
+	res, err := w.Run(app)
+	if err != nil {
+		t.Fatalf("observed run failed: %v", err)
+	}
+	return tl, res, tr
+}
+
+// TestTimelineRecordsRun drives a small ring program and checks the
+// recorded spans: one per MPI call and compute region, correct
+// categories, byte attributes, paired flow edges, and BusyTotals agreeing
+// with the runtime's own per-rank accounting to within a nanosecond.
+func TestTimelineRecordsRun(t *testing.T) {
+	const ranks = 4
+	tl, res, _ := runObserved(t, ranks, func(r *mpi.Rank) {
+		c := r.World()
+		next := (r.Rank() + 1) % r.Size()
+		prev := (r.Rank() - 1 + r.Size()) % r.Size()
+		req := r.Irecv(c, prev, 7)
+		r.Send(c, next, 7, 4096)
+		r.Wait(req)
+		r.Elapse(vtime.Duration(1e-3))
+		r.Barrier(c)
+	})
+
+	if tl.NumRanks() != ranks {
+		t.Fatalf("NumRanks = %d, want %d", tl.NumRanks(), ranks)
+	}
+	// Per-rank span inventory: Irecv, Send, Wait, compute, Barrier.
+	for rank := 0; rank < ranks; rank++ {
+		var names []string
+		for _, ev := range tl.RankEvents(rank) {
+			if ev.Kind == obs.KindSpan {
+				names = append(names, ev.Name)
+			}
+			if ev.Rank != rank {
+				t.Fatalf("rank %d track holds an event stamped rank %d", rank, ev.Rank)
+			}
+		}
+		want := []string{"MPI_Irecv", "MPI_Send", "MPI_Wait", "MPI_Compute", "MPI_Barrier"}
+		if len(names) != len(want) {
+			t.Fatalf("rank %d spans %v, want %v", rank, names, want)
+		}
+		for i := range want {
+			if names[i] != want[i] {
+				t.Fatalf("rank %d spans %v, want %v", rank, names, want)
+			}
+		}
+	}
+	// Categories and byte attributes.
+	for _, ev := range tl.Events() {
+		switch ev.Name {
+		case "MPI_Send":
+			if ev.Cat != obs.CatP2P {
+				t.Fatalf("MPI_Send categorized %q", ev.Cat)
+			}
+			if len(ev.Attrs) != 1 || ev.Attrs[0].Key != "bytes" || ev.Attrs[0].Value != int64(4096) {
+				t.Fatalf("MPI_Send attrs = %+v, want bytes=4096", ev.Attrs)
+			}
+		case "MPI_Wait":
+			if ev.Cat != obs.CatSync {
+				t.Fatalf("MPI_Wait categorized %q", ev.Cat)
+			}
+		case "MPI_Barrier":
+			if ev.Cat != obs.CatColl {
+				t.Fatalf("MPI_Barrier categorized %q", ev.Cat)
+			}
+		case "MPI_Compute":
+			if ev.Cat != obs.CatCompute {
+				t.Fatalf("MPI_Compute categorized %q", ev.Cat)
+			}
+		}
+	}
+	assertFlowsPaired(t, tl, ranks) // one message per rank: 4 edges
+	assertBusyTotalsAgree(t, tl, res)
+}
+
+// assertFlowsPaired checks every flow-start has exactly one flow-end with
+// the same id on the destination rank and vice versa, and returns nothing:
+// unpaired edges are bugs in either seq stamping or completion dedup.
+func assertFlowsPaired(t *testing.T, tl *obs.Timeline, wantEdges int) {
+	t.Helper()
+	starts := map[uint64]int{}
+	ends := map[uint64]int{}
+	for _, ev := range tl.Events() {
+		switch ev.Kind {
+		case obs.KindFlowStart:
+			starts[ev.Flow]++
+		case obs.KindFlowEnd:
+			ends[ev.Flow]++
+		}
+	}
+	if wantEdges >= 0 && len(starts) != wantEdges {
+		t.Fatalf("recorded %d message edges, want %d", len(starts), wantEdges)
+	}
+	for id, n := range starts {
+		if n != 1 || ends[id] != 1 {
+			t.Fatalf("flow %#x: %d starts, %d ends (want 1/1)", id, n, ends[id])
+		}
+	}
+	for id := range ends {
+		if starts[id] != 1 {
+			t.Fatalf("flow %#x has an end but no start", id)
+		}
+	}
+}
+
+// assertBusyTotalsAgree pins the vtime-agreement invariant: per rank, the
+// timeline's comm/compute span sums must match the runtime's CommTime and
+// ComputeTime within a virtual nanosecond.
+func assertBusyTotalsAgree(t *testing.T, tl *obs.Timeline, res *mpi.RunResult) {
+	t.Helper()
+	const tol = 1e-9
+	for i, rr := range res.Ranks {
+		comm, compute := tl.BusyTotals(i)
+		if d := math.Abs(comm.Seconds() - rr.CommTime.Seconds()); d > tol {
+			t.Errorf("rank %d: timeline comm %v vs runtime CommTime %v (|Δ| = %.3g s)",
+				i, comm, rr.CommTime, d)
+		}
+		if d := math.Abs(compute.Seconds() - rr.ComputeTime.Seconds()); d > tol {
+			t.Errorf("rank %d: timeline compute %v vs runtime ComputeTime %v (|Δ| = %.3g s)",
+				i, compute, rr.ComputeTime, d)
+		}
+	}
+}
+
+// TestFlowDedupPersistentAndTest exercises the two paths that would
+// double-count message edges without the per-request dedup: persistent
+// requests restarted across iterations, and MPI_Test polling a request
+// that already completed.
+func TestFlowDedupPersistentAndTest(t *testing.T) {
+	const iters = 3
+	tl, res, _ := runObserved(t, 2, func(r *mpi.Rank) {
+		c := r.World()
+		if r.Rank() == 0 {
+			sreq := r.SendInit(c, 1, 5, 256)
+			for i := 0; i < iters; i++ {
+				r.Start(sreq)
+				r.Wait(sreq)
+			}
+			r.RequestFree(sreq)
+		} else {
+			rreq := r.RecvInit(c, 0, 5)
+			for i := 0; i < iters; i++ {
+				r.Start(rreq)
+				// Poll with Test until complete, then keep polling once
+				// more: the extra observations must not re-emit the edge.
+				for done, _ := r.Test(rreq); !done; done, _ = r.Test(rreq) {
+				}
+				r.Test(rreq)
+			}
+			r.RequestFree(rreq)
+		}
+		r.Barrier(c)
+	})
+	assertFlowsPaired(t, tl, iters)
+	assertBusyTotalsAgree(t, tl, res)
+}
+
+// TestDisabledPathAllocationFree pins the "zero-allocation when disabled"
+// guarantee at the API level: the guarded call-site pattern used by
+// core.Synthesize must not allocate when the tracer is nil.
+func TestDisabledPathAllocationFree(t *testing.T) {
+	var tr *obs.Tracer
+	allocs := testing.AllocsPerRun(200, func() {
+		var cur *obs.Span
+		if tr != nil {
+			cur = tr.Phase("baseline", obs.Int("ranks", 8), obs.Int("parallelism", 4))
+		}
+		cur.SetAttrs()
+		cur.End()
+		if tl := tr.NewTimeline("baseline", 8); tl != nil {
+			t.Fatal("nil tracer produced a timeline")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled span path allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestChromeTraceExport validates the exporter against the trace_event
+// schema on a trace containing both domains: phase spans at pid 0 and a
+// runtime timeline with flow edges at pid 1.
+func TestChromeTraceExport(t *testing.T) {
+	tl, _, tr := runObserved(t, 2, func(r *mpi.Rank) {
+		c := r.World()
+		if r.Rank() == 0 {
+			r.Send(c, 1, 3, 1024)
+		} else {
+			r.Recv(c, 0, 3)
+		}
+		r.Elapse(vtime.Duration(1e-4))
+		r.Barrier(c)
+	})
+	sp := tr.Phase("baseline", obs.Int("ranks", 2))
+	sp.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	events := decodeChrome(t, buf.Bytes())
+	validateChromeEvents(t, events)
+
+	// Track layout: pid 0 = pipeline (with the phase span), pid 1 = the
+	// timeline, one tid per rank, all named by metadata events.
+	procNames := map[float64]string{}
+	var phaseSeen, sendSeen bool
+	flowStarts, flowEnds := map[string]int{}, map[string]int{}
+	for _, ev := range events {
+		pid := ev["pid"].(float64)
+		switch ev["ph"] {
+		case "M":
+			if ev["name"] == "process_name" {
+				procNames[pid] = ev["args"].(map[string]any)["name"].(string)
+			}
+		case "X":
+			if ev["name"] == "baseline" && pid == 0 {
+				phaseSeen = true
+				args := ev["args"].(map[string]any)
+				if args["ranks"] != float64(2) {
+					t.Fatalf("phase args = %v, want ranks=2", args)
+				}
+			}
+			if ev["name"] == "MPI_Send" && pid == 1 {
+				sendSeen = true
+			}
+		case "s":
+			flowStarts[ev["id"].(string)]++
+		case "f":
+			flowEnds[ev["id"].(string)]++
+		}
+	}
+	if procNames[0] == "" || procNames[1] == "" {
+		t.Fatalf("missing process_name metadata: %v", procNames)
+	}
+	if !phaseSeen {
+		t.Fatal("phase span missing from pid 0")
+	}
+	if !sendSeen {
+		t.Fatal("MPI_Send span missing from pid 1")
+	}
+	if len(flowStarts) != 1 {
+		t.Fatalf("chrome export has %d flow ids, want 1", len(flowStarts))
+	}
+	for id := range flowStarts {
+		if flowEnds[id] != 1 {
+			t.Fatalf("flow %s unpaired in chrome export", id)
+		}
+	}
+	_ = tl
+}
+
+// decodeChrome unmarshals a trace_event JSON Object Format document.
+func decodeChrome(t *testing.T, data []byte) []map[string]any {
+	t.Helper()
+	var doc struct {
+		TraceEvents     []map[string]any `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit == "" {
+		t.Fatal("chrome export missing displayTimeUnit")
+	}
+	return doc.TraceEvents
+}
+
+// validateChromeEvents asserts every event satisfies the trace_event
+// schema subset the exporter emits (see chrome.go).
+func validateChromeEvents(t *testing.T, events []map[string]any) {
+	t.Helper()
+	if len(events) == 0 {
+		t.Fatal("chrome export has no events")
+	}
+	for i, ev := range events {
+		for _, key := range []string{"name", "ph", "pid", "tid"} {
+			if _, ok := ev[key]; !ok {
+				t.Fatalf("event %d missing %q: %v", i, key, ev)
+			}
+		}
+		ph := ev["ph"].(string)
+		switch ph {
+		case "M":
+			// Metadata events carry args.name and no timestamp semantics.
+			if _, ok := ev["args"].(map[string]any)["name"]; !ok {
+				t.Fatalf("metadata event %d has no args.name: %v", i, ev)
+			}
+			continue
+		case "X":
+			dur, ok := ev["dur"].(float64)
+			if !ok || dur < 0 || math.IsNaN(dur) || math.IsInf(dur, 0) {
+				t.Fatalf("complete event %d has bad dur: %v", i, ev)
+			}
+		case "i":
+			if ev["s"] != "t" {
+				t.Fatalf("instant event %d missing thread scope: %v", i, ev)
+			}
+		case "s", "f":
+			id, ok := ev["id"].(string)
+			if !ok || id == "" {
+				t.Fatalf("flow event %d has no string id: %v", i, ev)
+			}
+			if ph == "f" && ev["bp"] != "e" {
+				t.Fatalf("flow-end %d missing bp=e binding: %v", i, ev)
+			}
+		default:
+			t.Fatalf("event %d has unexpected ph %q", i, ph)
+		}
+		ts, ok := ev["ts"].(float64)
+		if !ok || ts < 0 || math.IsNaN(ts) || math.IsInf(ts, 0) {
+			t.Fatalf("event %d has bad ts: %v", i, ev)
+		}
+	}
+}
+
+// TestJSONLExport checks the line protocol: a typed header, one line per
+// phase, a timeline descriptor, then one line per timeline event.
+func TestJSONLExport(t *testing.T) {
+	tl, _, tr := runObserved(t, 2, func(r *mpi.Rank) {
+		r.Barrier(r.World())
+	})
+	sp := tr.Phase("merge")
+	sp.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	var types []string
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var line map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("JSONL line not valid JSON: %q (%v)", sc.Text(), err)
+		}
+		tp, _ := line["type"].(string)
+		types = append(types, tp)
+		switch tp {
+		case "siesta.trace":
+			if line["version"] != float64(1) {
+				t.Fatalf("header version %v, want 1", line["version"])
+			}
+		case "timeline":
+			if line["name"] != "run" || line["ranks"] != float64(2) {
+				t.Fatalf("timeline descriptor %v", line)
+			}
+		}
+	}
+	if len(types) == 0 || types[0] != "siesta.trace" {
+		t.Fatalf("first JSONL line is %v, want the siesta.trace header", types)
+	}
+	counts := map[string]int{}
+	for _, tp := range types {
+		counts[tp]++
+	}
+	if counts["phase"] != 1 {
+		t.Fatalf("JSONL has %d phase lines, want 1", counts["phase"])
+	}
+	if counts["timeline"] != 1 {
+		t.Fatalf("JSONL has %d timeline lines, want 1", counts["timeline"])
+	}
+	if counts["event"] != len(tl.Events()) {
+		t.Fatalf("JSONL has %d event lines, want %d", counts["event"], len(tl.Events()))
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"siesta/internal/apps"
@@ -49,6 +50,13 @@ type SynthesizeRequest struct {
 	// cache key: a proxy synthesized at any parallelism answers all of
 	// them.
 	Parallelism int `json:"parallelism,omitempty"`
+
+	// Trace requests a Chrome trace_event recording of the job: pipeline
+	// phase spans plus per-rank runtime timelines, served at
+	// GET /v1/jobs/{id}/trace once the job settles. Traced jobs always
+	// synthesize — there is no run to record on a cache hit — but their
+	// artifact still lands in the cache for later requests.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // SynthesizeResponse answers POST /v1/synthesize.
@@ -84,9 +92,17 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/artifact", s.handleGetArtifact)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleGetTrace)
 	mux.HandleFunc("GET /v1/apps", s.handleListApps)
 	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	// Standard Go profiling endpoints: CPU/heap/goroutine profiles of the
+	// service itself, the other half of the observability story.
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return mux
 }
 
@@ -127,7 +143,7 @@ func (s *Server) prepare(req *SynthesizeRequest) (*job, int, error) {
 	opts.Parallelism = par
 	opts.Merge.Parallelism = par
 
-	jb := &job{timeout: timeout, parallelism: par}
+	jb := &job{timeout: timeout, parallelism: par, wantTrace: req.Trace}
 	if req.App != "" {
 		spec, err := apps.ByName(req.App)
 		if err != nil {
@@ -182,8 +198,9 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Identical finished work is answered from the artifact cache without
-	// touching the queue.
-	if _, ok := s.store.Get(jb.key); ok {
+	// touching the queue — unless the request wants a trace, which only a
+	// fresh run can record.
+	if _, ok := s.store.Get(jb.key); ok && !jb.wantTrace {
 		s.mHits.Inc()
 		s.registerCached(jb)
 		s.logEvent("cache_hit", map[string]any{"job": jb.id, "app": jb.app, "key": string(jb.key)})
@@ -267,6 +284,31 @@ func (s *Server) handleGetArtifact(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, art)
+}
+
+func (s *Server) handleGetTrace(w http.ResponseWriter, r *http.Request) {
+	jb, ok := s.lookupJob(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	jb.mu.Lock()
+	data := jb.traceJSON
+	status := jb.status
+	wantTrace := jb.wantTrace
+	jb.mu.Unlock()
+	switch {
+	case len(data) > 0:
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	case !wantTrace:
+		writeError(w, http.StatusNotFound,
+			"job %s was not traced; re-submit with \"trace\": true", jb.id)
+	case status == StatusQueued || status == StatusRunning:
+		writeError(w, http.StatusConflict, "job %s is %s, trace not available yet", jb.id, status)
+	default:
+		writeError(w, http.StatusNotFound, "no trace recorded for job %s", jb.id)
+	}
 }
 
 func (s *Server) handleListApps(w http.ResponseWriter, r *http.Request) {

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"siesta/internal/obs"
 	"siesta/internal/server/cache"
 )
 
@@ -31,7 +32,8 @@ type job struct {
 	parallelism int // capped synthesis parallelism (never part of the key)
 	key         cache.Key
 	timeout     time.Duration
-	work        func(ctx context.Context, hook func(string)) (*cache.Artifact, error)
+	wantTrace   bool // request asked for a runtime trace ("trace": true)
+	work        func(ctx context.Context, tracer *obs.Tracer) (*cache.Artifact, error)
 
 	mu              sync.Mutex
 	status          Status
@@ -43,6 +45,10 @@ type job struct {
 	finished        time.Time
 	cancelRequested bool
 	cancel          context.CancelFunc
+	// traceJSON is the Chrome trace_event document recorded for a
+	// wantTrace job, set when the job settles and served by
+	// GET /v1/jobs/{id}/trace.
+	traceJSON []byte
 }
 
 // JobView is the JSON shape of a job record.
@@ -56,6 +62,7 @@ type JobView struct {
 	Cached      bool       `json:"cached"`
 	Error       string     `json:"error,omitempty"`
 	ArtifactKey string     `json:"artifact_key,omitempty"`
+	TraceURL    string     `json:"trace_url,omitempty"`
 	Created     time.Time  `json:"created"`
 	Started     *time.Time `json:"started,omitempty"`
 	Finished    *time.Time `json:"finished,omitempty"`
@@ -81,6 +88,9 @@ func (j *job) view() JobView {
 	}
 	if j.status == StatusDone {
 		v.ArtifactKey = string(j.key)
+	}
+	if len(j.traceJSON) > 0 {
+		v.TraceURL = "/v1/jobs/" + j.id + "/trace"
 	}
 	if !j.started.IsZero() && !j.finished.IsZero() {
 		v.DurationMS = j.finished.Sub(j.started).Milliseconds()

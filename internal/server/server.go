@@ -11,11 +11,13 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"runtime"
 	"sync"
 	"time"
@@ -26,6 +28,7 @@ import (
 	"siesta/internal/core"
 	"siesta/internal/merge"
 	"siesta/internal/mpi"
+	"siesta/internal/obs"
 	"siesta/internal/server/cache"
 	"siesta/internal/server/metrics"
 	"siesta/internal/trace"
@@ -52,8 +55,13 @@ type Config struct {
 	// not participate in artifact-cache keys.
 	MaxParallelism int
 	// LogWriter receives one JSON object per line per job event
-	// (admission, phase transitions, completion). Nil disables logging.
+	// (admission, phase transitions, completion). Nil disables the plain
+	// JSON stream.
 	LogWriter io.Writer
+	// Logger, when non-nil, receives the same job events as structured
+	// log/slog records at Info level (Debug for phase transitions). It
+	// composes with LogWriter; set either or both.
+	Logger *slog.Logger
 	// Registry receives the service metrics; a private registry is
 	// created when nil.
 	Registry *metrics.Registry
@@ -157,8 +165,20 @@ func New(cfg Config) *Server {
 func (s *Server) Metrics() *metrics.Registry { return s.reg }
 
 // logEvent writes one structured JSON log line; fields must be
-// JSON-encodable. Nil LogWriter disables logging entirely.
+// JSON-encodable. Events also flow to the slog Logger when one is
+// configured; with neither sink, logging is disabled entirely.
 func (s *Server) logEvent(event string, fields map[string]any) {
+	if lg := s.cfg.Logger; lg != nil {
+		level := slog.LevelInfo
+		if event == "phase" {
+			level = slog.LevelDebug
+		}
+		attrs := make([]any, 0, 2*len(fields))
+		for k, v := range fields {
+			attrs = append(attrs, k, v)
+		}
+		lg.Log(context.Background(), level, event, attrs...)
+	}
 	w := s.cfg.LogWriter
 	if w == nil {
 		return
@@ -288,36 +308,44 @@ func (s *Server) runJob(jb *job) {
 	s.gPhasePar.Set(int64(jb.parallelism))
 	s.logEvent("job_start", map[string]any{"job": jb.id, "app": jb.app, "ranks": jb.ranks, "parallelism": jb.parallelism})
 
-	// The phase hook times each pipeline phase, updates the job record,
-	// and emits one log line per transition. It runs on this goroutine
-	// (core.Synthesize is synchronous), so the timing state needs no lock.
-	var lastPhase string
-	var lastStart time.Time
-	observe := func(now time.Time) {
-		if lastPhase == "" {
+	// Every job runs under a tracer: phase spans drive the job record,
+	// the per-phase histograms, and one log line per transition. Runtime
+	// timelines are only recorded when the request asked for a trace —
+	// they cost memory proportional to the run. The observer fires on
+	// this goroutine (core.Synthesize is synchronous).
+	tracer := obs.New()
+	if !jb.wantTrace {
+		tracer.WithoutTimelines()
+	}
+	tracer.SetObserver(func(ev obs.PhaseEvent) {
+		if !ev.End {
+			jb.setPhase(ev.Name)
+			s.logEvent("phase", map[string]any{"job": jb.id, "phase": ev.Name})
 			return
 		}
-		secs := now.Sub(lastStart).Seconds()
-		h := s.reg.Histogram(fmt.Sprintf("siesta_phase_seconds{phase=%q}", lastPhase),
-			"wall-clock time per pipeline phase", nil)
-		h.Observe(secs)
-		s.observePhase(lastPhase, secs, jb.parallelism)
-	}
-	hook := func(phase string) {
-		now := time.Now()
-		observe(now)
-		lastPhase, lastStart = phase, now
-		jb.setPhase(phase)
-		s.logEvent("phase", map[string]any{"job": jb.id, "phase": phase})
-	}
+		secs := ev.Dur.Seconds()
+		s.reg.Histogram(fmt.Sprintf("siesta_phase_seconds{phase=%q}", ev.Name),
+			"wall-clock time per pipeline phase", nil).Observe(secs)
+		s.observePhase(ev.Name, secs, jb.parallelism)
+	})
 
-	art, err := jb.work(ctx, hook)
+	art, err := jb.work(ctx, tracer)
 	finished := time.Now()
-	observe(finished)
+
+	// Export the recorded trace even for failed or canceled jobs: a
+	// partial timeline is exactly what debugging those needs.
+	var traceJSON []byte
+	if jb.wantTrace {
+		var buf bytes.Buffer
+		if werr := tracer.WriteChromeTrace(&buf); werr == nil {
+			traceJSON = buf.Bytes()
+		}
+	}
 
 	jb.mu.Lock()
 	jb.finished = finished
 	jb.phase = ""
+	jb.traceJSON = traceJSON
 	switch {
 	case err == nil:
 		art.Key = jb.key
@@ -437,15 +465,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // --- synthesis work functions ----------------------------------------------
 
 // appWork prepares the work function for a built-in application request.
-func appWork(spec *apps.Spec, params apps.Params, opts core.Options) (func(context.Context, func(string)) (*cache.Artifact, error), error) {
+func appWork(spec *apps.Spec, params apps.Params, opts core.Options) (func(context.Context, *obs.Tracer) (*cache.Artifact, error), error) {
 	fn, err := spec.Build(params)
 	if err != nil {
 		return nil, err
 	}
-	return func(ctx context.Context, hook func(string)) (*cache.Artifact, error) {
+	return func(ctx context.Context, tracer *obs.Tracer) (*cache.Artifact, error) {
 		opts := opts
 		opts.Context = ctx
-		opts.PhaseHook = hook
+		opts.Tracer = tracer
 		res, err := core.Synthesize(fn, opts)
 		if err != nil {
 			return nil, err
@@ -466,15 +494,23 @@ func appWork(spec *apps.Spec, params apps.Params, opts core.Options) (func(conte
 
 // traceWork prepares the work function for an uploaded trace: the pipeline
 // minus the two simulated runs — merge, verify, generate.
-func traceWork(tr *trace.Trace, opts core.Options) func(context.Context, func(string)) (*cache.Artifact, error) {
-	return func(ctx context.Context, hook func(string)) (*cache.Artifact, error) {
+func traceWork(tr *trace.Trace, opts core.Options) func(context.Context, *obs.Tracer) (*cache.Artifact, error) {
+	return func(ctx context.Context, tracer *obs.Tracer) (*cache.Artifact, error) {
+		var cur *obs.Span
 		step := func(phase string) error {
-			hook(phase)
+			cur.End()
+			cur = nil
+			if tracer != nil {
+				cur = tracer.Phase(phase,
+					obs.Int("ranks", len(tr.Ranks)),
+					obs.Int("parallelism", opts.Parallelism))
+			}
 			if ctx != nil && ctx.Err() != nil {
 				return fmt.Errorf("server: %s: %w", phase, &mpi.CancelError{Cause: context.Cause(ctx)})
 			}
 			return nil
 		}
+		defer func() { cur.End() }()
 		if err := step("merge"); err != nil {
 			return nil, err
 		}

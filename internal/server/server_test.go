@@ -18,6 +18,7 @@ import (
 	"siesta/internal/apps"
 	"siesta/internal/core"
 	"siesta/internal/mpi"
+	"siesta/internal/obs"
 	"siesta/internal/server/cache"
 )
 
@@ -233,8 +234,9 @@ func blockerJob(release chan struct{}) *job {
 	return &job{
 		app: "blocker", ranks: 1, timeout: time.Minute,
 		key: cache.KeyFrom([]byte(fmt.Sprintf("blocker-%p", release))),
-		work: func(ctx context.Context, hook func(string)) (*cache.Artifact, error) {
-			hook("baseline")
+		work: func(ctx context.Context, tracer *obs.Tracer) (*cache.Artifact, error) {
+			sp := tracer.Phase("baseline")
+			defer sp.End()
 			select {
 			case <-release:
 				return &cache.Artifact{App: "blocker"}, nil

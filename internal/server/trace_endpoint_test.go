@@ -1,0 +1,120 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+// TestJobTraceEndpoint covers the observability surface of the service:
+// a job submitted with "trace": true bypasses the cache-hit shortcut,
+// records a Chrome trace_event document, and serves it at
+// GET /v1/jobs/{id}/trace; untraced jobs 404 there.
+func TestJobTraceEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	req := SynthesizeRequest{App: "CG", Ranks: 8, Iters: 2, Trace: true}
+
+	resp, body := postJSON(t, ts.URL+"/v1/synthesize", req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST traced job = %d: %s", resp.StatusCode, body)
+	}
+	var sr SynthesizeResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	v := waitJob(t, ts.URL, sr.Job.ID)
+	if v.Status != StatusDone {
+		t.Fatalf("traced job: %s (%s)", v.Status, v.Error)
+	}
+	if v.TraceURL == "" {
+		t.Fatal("settled traced job has no trace_url")
+	}
+
+	// The recorded trace must be a valid trace_event document with both
+	// pipeline spans and runtime timeline events.
+	httpResp, err := http.Get(ts.URL + v.TraceURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", v.TraceURL, httpResp.StatusCode)
+	}
+	if ct := httpResp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("trace content-type %q", ct)
+	}
+	data, err := io.ReadAll(httpResp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	var phaseSpan, timelineSpan bool
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] == "X" {
+			if ev["pid"] == float64(0) {
+				phaseSpan = true
+			} else {
+				timelineSpan = true
+			}
+		}
+	}
+	if !phaseSpan || !timelineSpan {
+		t.Fatalf("trace missing spans: pipeline=%v timeline=%v (%d events)",
+			phaseSpan, timelineSpan, len(doc.TraceEvents))
+	}
+
+	// A repeat WITH trace must synthesize again (a cache hit has no run
+	// to record); a repeat WITHOUT trace hits the cache and carries no
+	// trace_url.
+	resp2, body2 := postJSON(t, ts.URL+"/v1/synthesize", req)
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("repeat traced job should re-synthesize, got %d: %s", resp2.StatusCode, body2)
+	}
+	var sr2 SynthesizeResponse
+	if err := json.Unmarshal(body2, &sr2); err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, ts.URL, sr2.Job.ID)
+
+	plain := req
+	plain.Trace = false
+	resp3, body3 := postJSON(t, ts.URL+"/v1/synthesize", plain)
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("untraced repeat should hit the cache, got %d: %s", resp3.StatusCode, body3)
+	}
+	var sr3 SynthesizeResponse
+	if err := json.Unmarshal(body3, &sr3); err != nil {
+		t.Fatal(err)
+	}
+	if sr3.Job.TraceURL != "" {
+		t.Errorf("cache-hit job advertises a trace_url: %q", sr3.Job.TraceURL)
+	}
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+sr3.Job.ID+"/trace", nil); code != http.StatusNotFound {
+		t.Errorf("GET trace on untraced job = %d, want 404", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/jobs/nope/trace", nil); code != http.StatusNotFound {
+		t.Errorf("GET trace on unknown job = %d, want 404", code)
+	}
+}
+
+// TestPprofRoutes: the profiling surface rides on the same mux.
+func TestPprofRoutes(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
