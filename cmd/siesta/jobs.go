@@ -1,0 +1,93 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"text/tabwriter"
+
+	"siesta/internal/durable"
+)
+
+// runJobs implements the `siesta jobs` verb: offline inspection of a
+// `siesta serve -state-dir` journal. It replays the write-ahead log
+// read-only (no lock, no tail truncation — safe against a live server)
+// and prints the per-job durable state: pending jobs are exactly what
+// the next serve incarnation will re-admit.
+func runJobs(args []string) {
+	fs := flag.NewFlagSet("siesta jobs", flag.ExitOnError)
+	stateDir := fs.String("state-dir", "", "state directory of a siesta serve instance (required)")
+	asJSON := fs.Bool("json", false, "emit machine-readable job states instead of a table")
+	fs.Parse(args)
+
+	die := func(err error) {
+		fmt.Fprintf(os.Stderr, "siesta jobs: %v\n", err)
+		os.Exit(1)
+	}
+	if *stateDir == "" {
+		die(fmt.Errorf("-state-dir is required"))
+	}
+
+	path := filepath.Join(*stateDir, "journal.wal")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		die(err)
+	}
+	recs, valid := durable.Replay(data)
+	states, order := durable.Reduce(recs)
+
+	if *asJSON {
+		out := make([]*durable.JobState, 0, len(order))
+		for _, id := range order {
+			out = append(out, states[id])
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			die(err)
+		}
+		if int64(len(data)) > valid {
+			fmt.Fprintf(os.Stderr, "siesta jobs: journal has a torn tail: %d of %d bytes valid\n",
+				valid, len(data))
+		}
+		return
+	}
+
+	fmt.Printf("journal %s: %d records, %d jobs\n", path, len(recs), len(order))
+	if int64(len(data)) > valid {
+		fmt.Printf("torn tail: %d trailing bytes ignored (%d of %d valid)\n",
+			int64(len(data))-valid, valid, len(data))
+	}
+	if len(order) == 0 {
+		return
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "JOB\tSTATUS\tATTEMPTS\tCHECKPOINT\tENQUEUED\tERROR")
+	for _, id := range order {
+		st := states[id]
+		status := "pending"
+		switch st.Terminal {
+		case durable.TypeDone:
+			status = "done"
+		case durable.TypeFailed:
+			status = "failed"
+		}
+		ckpt := st.CheckpointPhase
+		if ckpt == "" {
+			ckpt = "-"
+		}
+		enq := "-"
+		if !st.Enqueued.IsZero() {
+			enq = st.Enqueued.Format("2006-01-02 15:04:05")
+		}
+		errMsg := st.Error
+		if errMsg == "" {
+			errMsg = "-"
+		}
+		fmt.Fprintf(w, "%s\t%s\t%d\t%s\t%s\t%s\n", id, status, st.Attempts, ckpt, enq, errMsg)
+	}
+	w.Flush()
+}

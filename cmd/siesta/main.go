@@ -21,6 +21,8 @@
 //	siesta trace -app CG -n 16 [-o run.trace.json] [-format chrome|jsonl]
 //	       [-replay=false] [-iters N] [-platform A] [-impl openmpi] [-seed N]
 //
+//	siesta jobs -state-dir DIR [-json]
+//
 // The check verb runs the static communication verifier over an encoded
 // program (written by -prog) or a raw trace (written by -trace; it is merged
 // first) and exits non-zero if any error-severity diagnostic is found.
@@ -40,6 +42,11 @@
 // chrome://tracing / Perfetto: pipeline phase spans in wall-clock time plus
 // per-rank virtual-time timelines (MPI calls, computation regions, message
 // edges) for the baseline run and the proxy replay. See DESIGN.md §10.
+//
+// The jobs verb inspects a `siesta serve -state-dir` journal offline: it
+// replays the write-ahead log and prints each job's durable state (pending
+// jobs are what the next serve incarnation will re-admit). See DESIGN.md
+// §11.
 //
 // All verbs take -log-level (debug, info, warn, error) for structured
 // log/slog diagnostics on stderr.
@@ -87,6 +94,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "trace" {
 		runTrace(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "jobs" {
+		runJobs(os.Args[2:])
 		return
 	}
 	appName := flag.String("app", "CG", "application to synthesize a proxy for")

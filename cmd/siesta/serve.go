@@ -30,6 +30,8 @@ func runServe(args []string) {
 	maxParallel := fs.Int("max-parallel", 0, "per-job synthesis parallelism cap (0 = GOMAXPROCS)")
 	drainTimeout := fs.Duration("drain-timeout", 5*time.Minute, "shutdown budget for in-flight jobs before hard cancel")
 	logLevel := fs.String("log-level", "", "route job events through slog at this verbosity (debug, info, warn, error) instead of the raw JSON stream")
+	stateDir := fs.String("state-dir", "", "directory for the job journal, phase checkpoints, and disk artifact cache; enables crash recovery (empty = in-memory only)")
+	maxRetries := fs.Int("max-retries", 3, "in-process retry budget for transient durability failures (also the cap on a request's max_retries field)")
 	fs.Parse(args)
 
 	die := func(err error) {
@@ -44,6 +46,8 @@ func runServe(args []string) {
 		CacheSize:      *cacheSize,
 		MaxParallelism: *maxParallel,
 		LogWriter:      os.Stderr,
+		StateDir:       *stateDir,
+		MaxRetries:     *maxRetries,
 	}
 	if *logLevel != "" {
 		if err := setupLogging(*logLevel); err != nil {
@@ -52,7 +56,10 @@ func runServe(args []string) {
 		cfg.Logger = slog.Default()
 		cfg.LogWriter = nil // one stream: slog replaces the raw JSON lines
 	}
-	svc := server.New(cfg)
+	svc, err := server.New(cfg)
+	if err != nil {
+		die(err)
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

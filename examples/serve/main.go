@@ -34,7 +34,10 @@ func main() {
 	// The service is an ordinary library object: New starts the worker
 	// pool, Handler is a net/http handler. `siesta serve` wraps exactly
 	// this with flags and signal handling.
-	svc := server.New(server.Config{Workers: 2, QueueDepth: 3, JobTimeout: 2 * time.Minute})
+	svc, err := server.New(server.Config{Workers: 2, QueueDepth: 3, JobTimeout: 2 * time.Minute})
+	if err != nil {
+		log.Fatal(err)
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)

@@ -88,6 +88,25 @@ type Options struct {
 	// changes results, so this too is excluded from the fingerprint.
 	SearchMemo *blocks.Memo
 
+	// Checkpointer, when non-nil, persists canonical pipeline state at
+	// completed phase boundaries (post-trace, post-merge, post-search) so
+	// an interrupted synthesis can resume instead of recomputing. A Save
+	// failure aborts the run with a *CheckpointError, which callers should
+	// treat as transient. Checkpointing never changes the synthesized
+	// output, so like Context and Tracer it participates in neither JSON
+	// encoding nor OptionsFingerprint.
+	Checkpointer Checkpointer
+	// Resume, when non-nil, is a checkpoint from an earlier attempt of
+	// the same synthesis. It is honored only when its fingerprint matches
+	// these options and its payload decodes cleanly; any mismatch or
+	// corruption silently degrades to a full recompute. Resumed phases are
+	// skipped: the simulated runs from PhaseTrace on, grammar merging from
+	// PhaseMerge on (static verification always re-runs — it is cheap and
+	// keeps the C header stamp identical), and the QP solves at
+	// PhaseSearch answer from the imported memo. Excluded from the
+	// fingerprint.
+	Resume *Checkpoint
+
 	// Pipeline knobs.
 	Trace trace.Config
 	Merge merge.Options
@@ -150,6 +169,12 @@ type Result struct {
 	Check     *check.Report // nil when Options.DisableCheck
 	Generated *codegen.Generated
 	Proxy     *proxy.App
+
+	// ResumedFrom names the checkpoint phase this run resumed from, ""
+	// for an uninterrupted run. Resumed runs carry nil BaselineRun and
+	// TracedRun (the simulated executions were skipped); Overhead is
+	// restored from the checkpoint.
+	ResumedFrom string
 }
 
 // Synthesize runs the full pipeline on the application.
@@ -183,53 +208,115 @@ func Synthesize(app func(*mpi.Rank), opts Options) (*Result, error) {
 	}
 	defer func() { cur.End() }()
 
-	// Ground-truth run, without instrumentation (the timeline observer
-	// charges no virtual-time cost, so the run stays bit-identical).
-	if err := phase("baseline"); err != nil {
-		return nil, fmt.Errorf("core: baseline run: %w", err)
+	// Checkpoint/restart support (DESIGN.md §11): validate any resume
+	// checkpoint up front — a stale fingerprint or corrupt payload forces
+	// a clean recompute rather than an error — and prepare the save hook
+	// for the phase boundaries below.
+	var fp string
+	if opts.Checkpointer != nil || opts.Resume != nil {
+		fp = OptionsFingerprint(opts)
 	}
-	baseCfg := mpi.Config{
-		Platform: opts.Platform, Impl: opts.Impl, Size: opts.Ranks,
-		NoiseSigma: opts.NoiseSigma, RunVariation: opts.RunVariation, Seed: opts.Seed,
-		Faults: opts.Faults, Deadline: opts.Deadline, Ctx: opts.Context,
+	resume, resumeTrace, resumeProg := validateResume(opts.Resume, fp)
+	var traceBytes, progBytes []byte // canonical payloads, encoded at most once
+	if resume != nil {
+		traceBytes, progBytes = resume.TraceBytes, resume.ProgramBytes
 	}
-	if tl := tr.NewTimeline("baseline", opts.Ranks); tl != nil {
-		baseCfg.Interceptor = tl
+	save := func(boundary string, build func(cp *Checkpoint)) error {
+		if opts.Checkpointer == nil {
+			return nil
+		}
+		var sp *obs.Span
+		if tr != nil {
+			sp = tr.Phase("checkpoint", obs.String("boundary", boundary))
+		}
+		cp := &Checkpoint{Fingerprint: fp, Phase: boundary, Overhead: res.Overhead}
+		build(cp)
+		err := opts.Checkpointer.Save(cp)
+		if sp != nil {
+			sp.SetAttrs(obs.Int("bytes",
+				len(cp.TraceBytes)+len(cp.ProgramBytes)+len(cp.MemoBytes)))
+		}
+		sp.End()
+		if err != nil {
+			return &CheckpointError{Phase: boundary, Err: err}
+		}
+		return nil
 	}
-	base := mpi.NewWorld(baseCfg)
+
 	var err error
-	if res.BaselineRun, err = base.Run(app); err != nil {
-		return nil, fmt.Errorf("core: baseline run: %w", err)
+	if resume != nil {
+		// The simulated executions are already captured in the encoded
+		// trace; restore it and the overhead they measured.
+		if err := phase("resume"); err != nil {
+			return nil, fmt.Errorf("core: resume: %w", err)
+		}
+		if tr != nil {
+			cur.SetAttrs(
+				obs.String("from", resume.Phase),
+				obs.Bool("resumed", true))
+		}
+		res.Trace = resumeTrace
+		res.Overhead = resume.Overhead
+		res.ResumedFrom = resume.Phase
+	} else {
+		// Ground-truth run, without instrumentation (the timeline observer
+		// charges no virtual-time cost, so the run stays bit-identical).
+		if err := phase("baseline"); err != nil {
+			return nil, fmt.Errorf("core: baseline run: %w", err)
+		}
+		baseCfg := mpi.Config{
+			Platform: opts.Platform, Impl: opts.Impl, Size: opts.Ranks,
+			NoiseSigma: opts.NoiseSigma, RunVariation: opts.RunVariation, Seed: opts.Seed,
+			Faults: opts.Faults, Deadline: opts.Deadline, Ctx: opts.Context,
+		}
+		if tl := tr.NewTimeline("baseline", opts.Ranks); tl != nil {
+			baseCfg.Interceptor = tl
+		}
+		base := mpi.NewWorld(baseCfg)
+		if res.BaselineRun, err = base.Run(app); err != nil {
+			return nil, fmt.Errorf("core: baseline run: %w", err)
+		}
+
+		// Traced run: same seeds, plus the PMPI recorder.
+		if err := phase("trace"); err != nil {
+			return nil, fmt.Errorf("core: traced run: %w", err)
+		}
+		rec := trace.NewRecorder(opts.Ranks, opts.Trace)
+		traced := mpi.NewWorld(mpi.Config{
+			Platform: opts.Platform, Impl: opts.Impl, Size: opts.Ranks,
+			NoiseSigma: opts.NoiseSigma, RunVariation: opts.RunVariation,
+			Seed: opts.Seed, Interceptor: rec,
+			Faults: opts.Faults, Deadline: opts.Deadline, Ctx: opts.Context,
+		})
+		if res.TracedRun, err = traced.Run(app); err != nil {
+			return nil, fmt.Errorf("core: traced run: %w", err)
+		}
+		res.Overhead = relDiff(float64(res.TracedRun.ExecTime), float64(res.BaselineRun.ExecTime))
+		res.Trace = rec.Trace(opts.Platform.Name, opts.Impl.Name)
+		if tr != nil {
+			cur.SetAttrs(
+				obs.Int("events", res.Trace.TotalEvents()),
+				obs.Int("raw_bytes", res.Trace.RawSize()))
+		}
+		if err := save(PhaseTrace, func(cp *Checkpoint) {
+			traceBytes = res.Trace.Encode()
+			cp.TraceBytes = traceBytes
+		}); err != nil {
+			return nil, err
+		}
 	}
 
-	// Traced run: same seeds, plus the PMPI recorder.
-	if err := phase("trace"); err != nil {
-		return nil, fmt.Errorf("core: traced run: %w", err)
-	}
-	rec := trace.NewRecorder(opts.Ranks, opts.Trace)
-	traced := mpi.NewWorld(mpi.Config{
-		Platform: opts.Platform, Impl: opts.Impl, Size: opts.Ranks,
-		NoiseSigma: opts.NoiseSigma, RunVariation: opts.RunVariation,
-		Seed: opts.Seed, Interceptor: rec,
-		Faults: opts.Faults, Deadline: opts.Deadline, Ctx: opts.Context,
-	})
-	if res.TracedRun, err = traced.Run(app); err != nil {
-		return nil, fmt.Errorf("core: traced run: %w", err)
-	}
-	res.Overhead = relDiff(float64(res.TracedRun.ExecTime), float64(res.BaselineRun.ExecTime))
-	res.Trace = rec.Trace(opts.Platform.Name, opts.Impl.Name)
-	if tr != nil {
-		cur.SetAttrs(
-			obs.Int("events", res.Trace.TotalEvents()),
-			obs.Int("raw_bytes", res.Trace.RawSize()))
-	}
-
-	// Grammar extraction and merging.
-	if err := phase("merge"); err != nil {
-		return nil, fmt.Errorf("core: merge: %w", err)
-	}
-	if res.Program, err = merge.Build(res.Trace, opts.Merge); err != nil {
-		return nil, fmt.Errorf("core: merge: %w", err)
+	// Grammar extraction and merging; a post-merge checkpoint restores
+	// the program directly.
+	if resumeProg != nil {
+		res.Program = resumeProg
+	} else {
+		if err := phase("merge"); err != nil {
+			return nil, fmt.Errorf("core: merge: %w", err)
+		}
+		if res.Program, err = merge.Build(res.Trace, opts.Merge); err != nil {
+			return nil, fmt.Errorf("core: merge: %w", err)
+		}
 	}
 
 	// Static verification gate: the traced run completed, so the merged
@@ -260,8 +347,33 @@ func Synthesize(app func(*mpi.Rank), opts Options) (*Result, error) {
 				rep.Summary(), first)
 		}
 	}
+	if resumeProg == nil {
+		if err := save(PhaseMerge, func(cp *Checkpoint) {
+			if traceBytes == nil {
+				traceBytes = res.Trace.Encode()
+			}
+			progBytes = res.Program.Encode()
+			cp.TraceBytes, cp.ProgramBytes = traceBytes, progBytes
+			if res.Check != nil {
+				cp.CheckSummary = res.Check.Summary()
+			}
+		}); err != nil {
+			return nil, err
+		}
+	}
 
-	// Code generation.
+	// Code generation. A post-search checkpoint pre-loads the memo so
+	// every cluster's QP solve is a cache hit; memo purity guarantees the
+	// replayed solutions are byte-identical to cold ones.
+	memo := opts.SearchMemo
+	if resume.covers(PhaseSearch) && len(resume.MemoBytes) > 0 {
+		if memo == nil {
+			memo = blocks.DefaultMemo
+		}
+		// An undecodable snapshot degrades to cold solves; results are
+		// unchanged either way.
+		memo.Import(resume.MemoBytes)
+	}
 	if err := phase("codegen"); err != nil {
 		return nil, fmt.Errorf("core: generate: %w", err)
 	}
@@ -269,7 +381,7 @@ func Synthesize(app func(*mpi.Rank), opts Options) (*Result, error) {
 		Platform:   opts.Platform,
 		Scale:      opts.Scale,
 		BenchNoise: opts.BenchNoise,
-		SearchMemo: opts.SearchMemo,
+		SearchMemo: memo,
 		Check:      res.Check,
 	}
 	if opts.Scale > 1 {
@@ -280,6 +392,27 @@ func Synthesize(app func(*mpi.Rank), opts Options) (*Result, error) {
 	}
 	if tr != nil {
 		cur.SetAttrs(obs.Int("size_c", res.Generated.SizeC))
+	}
+	if !resume.covers(PhaseSearch) {
+		if err := save(PhaseSearch, func(cp *Checkpoint) {
+			if traceBytes == nil {
+				traceBytes = res.Trace.Encode()
+			}
+			if progBytes == nil {
+				progBytes = res.Program.Encode()
+			}
+			cp.TraceBytes, cp.ProgramBytes = traceBytes, progBytes
+			if res.Check != nil {
+				cp.CheckSummary = res.Check.Summary()
+			}
+			m := memo
+			if m == nil {
+				m = blocks.DefaultMemo
+			}
+			cp.MemoBytes = m.Export()
+		}); err != nil {
+			return nil, err
+		}
 	}
 	res.Proxy = proxy.New(res.Generated)
 	return res, nil

@@ -1,0 +1,98 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// CheckpointStore keeps one opaque checkpoint blob per job under
+// <state-dir>/checkpoints. Blobs are written atomically — temp file,
+// fsync, rename, directory fsync — so a crash mid-save leaves either the
+// previous checkpoint or the new one, never a torn blob. The blob's
+// contents (a core.Checkpoint encoding) are opaque at this layer; interior
+// corruption is caught by the checkpoint decoder's CRC-free but
+// length-checked codec plus the options-fingerprint match on resume.
+type CheckpointStore struct {
+	dir    string
+	nosync bool
+}
+
+// NewCheckpointStore creates (if needed) and returns the store rooted at
+// dir.
+func NewCheckpointStore(dir string) (*CheckpointStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: checkpoint dir: %w", err)
+	}
+	return &CheckpointStore{dir: dir}, nil
+}
+
+// fileFor maps a job id to its blob filename, rejecting ids that could
+// escape the store directory.
+func (s *CheckpointStore) fileFor(id string) (string, error) {
+	if id == "" || strings.ContainsAny(id, "/\\") || strings.Contains(id, "..") {
+		return "", fmt.Errorf("durable: invalid checkpoint id %q", id)
+	}
+	return id + ".ckpt", nil
+}
+
+// Save atomically persists blob as the job's current checkpoint and
+// returns the filename (relative to the store directory) for journaling.
+func (s *CheckpointStore) Save(id string, blob []byte) (string, error) {
+	name, err := s.fileFor(id)
+	if err != nil {
+		return "", err
+	}
+	final := filepath.Join(s.dir, name)
+	tmp, err := os.CreateTemp(s.dir, name+".tmp-*")
+	if err != nil {
+		return "", fmt.Errorf("durable: checkpoint temp: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		return "", fmt.Errorf("durable: checkpoint write: %w", err)
+	}
+	if !s.nosync {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			return "", fmt.Errorf("durable: checkpoint sync: %w", err)
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		return "", fmt.Errorf("durable: checkpoint close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return "", fmt.Errorf("durable: checkpoint rename: %w", err)
+	}
+	if !s.nosync {
+		if err := syncDir(s.dir); err != nil {
+			return "", err
+		}
+	}
+	return name, nil
+}
+
+// Load returns the job's current checkpoint blob; os.ErrNotExist when the
+// job has none.
+func (s *CheckpointStore) Load(id string) ([]byte, error) {
+	name, err := s.fileFor(id)
+	if err != nil {
+		return nil, err
+	}
+	return os.ReadFile(filepath.Join(s.dir, name))
+}
+
+// Delete removes the job's checkpoint; deleting a missing checkpoint is
+// not an error (settled jobs are cleaned opportunistically).
+func (s *CheckpointStore) Delete(id string) error {
+	name, err := s.fileFor(id)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(filepath.Join(s.dir, name)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("durable: checkpoint delete: %w", err)
+	}
+	return nil
+}

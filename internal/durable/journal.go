@@ -1,0 +1,334 @@
+// Package durable is the synthesis service's crash-durability layer: a
+// write-ahead job journal and an atomic checkpoint-blob store, both living
+// under one operator-chosen state directory. The design follows the proxy
+// checkpointing idea from "DMTCP Checkpoint/Restart of MPI Programs via
+// Proxies" (PAPERS.md): instead of snapshotting a whole process image, the
+// service persists only the canonical, replayable state — journal records
+// describing job intent and outcome, and encoded pipeline state at phase
+// boundaries — and rebuilds everything else on restart.
+//
+// Journal format (version 1):
+//
+//	file   := magic frame*
+//	magic  := "SIESTAW1" (8 bytes)
+//	frame  := len(uint32 BE) crc(uint32 BE, IEEE over payload) payload
+//	payload:= one JSON-encoded Record
+//
+// Every append is fsync'd before it is acknowledged, so an acknowledged
+// record survives power loss. Replay scans frames from the start and stops
+// at the first invalid one — short header, length past EOF, CRC mismatch,
+// or undecodable payload — which makes a torn or truncated tail (the only
+// corruption an fsync'd append-only file can suffer) recover to exactly
+// the fully-written prefix. Open then truncates the torn tail so new
+// appends start on a clean frame boundary.
+package durable
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Type classifies a journal record.
+type Type string
+
+// The journal's record vocabulary. One job's life is a subsequence
+// enqueued → started* → checkpoint* → (done | failed); a job whose journal
+// ends without a terminal record was in flight when the process died and
+// is re-admitted on replay.
+const (
+	TypeEnqueued   Type = "enqueued"
+	TypeStarted    Type = "started"
+	TypeCheckpoint Type = "checkpoint"
+	TypeDone       Type = "done"
+	TypeFailed     Type = "failed"
+)
+
+// Record is one journal entry. Which payload fields are meaningful depends
+// on Type: enqueued carries the original request and cache key, checkpoint
+// carries the phase and blob filename, failed carries the error.
+type Record struct {
+	Seq  uint64    `json:"seq"`
+	Type Type      `json:"type"`
+	Job  string    `json:"job"`
+	Time time.Time `json:"ts"`
+
+	// Request is the verbatim JSON synthesis request (enqueued), replayed
+	// through the normal admission path on recovery.
+	Request json.RawMessage `json:"request,omitempty"`
+	// Key is the content-addressed artifact cache key (enqueued).
+	Key string `json:"key,omitempty"`
+	// Phase names the completed pipeline phase a checkpoint covers.
+	Phase string `json:"phase,omitempty"`
+	// File is the checkpoint blob's filename within the state directory.
+	File string `json:"file,omitempty"`
+	// Attempt is the 1-based execution attempt (started, failed).
+	Attempt int `json:"attempt,omitempty"`
+	// Error is the terminal failure message (failed).
+	Error string `json:"error,omitempty"`
+}
+
+const (
+	journalMagic = "SIESTAW1"
+	// maxFrame bounds one record's payload; a corrupt length field must
+	// not make replay attempt an absurd allocation. Requests embed
+	// uploaded traces (bounded at 16 MiB by the HTTP layer), so 64 MiB
+	// leaves generous headroom.
+	maxFrame = 64 << 20
+	frameHdr = 8 // uint32 length + uint32 CRC
+)
+
+// Replay decodes the longest valid prefix of journal bytes (magic
+// included). It never fails: corruption anywhere — bad magic, torn frame,
+// CRC mismatch, undecodable payload — simply ends the scan, and valid is
+// the byte offset appends may resume from. A bad record is never returned.
+func Replay(data []byte) (recs []Record, valid int64) {
+	if len(data) < len(journalMagic) || string(data[:len(journalMagic)]) != journalMagic {
+		return nil, 0
+	}
+	off := int64(len(journalMagic))
+	for {
+		rest := data[off:]
+		if len(rest) < frameHdr {
+			return recs, off
+		}
+		n := binary.BigEndian.Uint32(rest[:4])
+		sum := binary.BigEndian.Uint32(rest[4:8])
+		if n > maxFrame || int64(n) > int64(len(rest)-frameHdr) {
+			return recs, off
+		}
+		payload := rest[frameHdr : frameHdr+int(n)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return recs, off
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil || rec.Type == "" {
+			return recs, off
+		}
+		recs = append(recs, rec)
+		off += frameHdr + int64(n)
+	}
+}
+
+// Journal is an append-only, fsync'd record log. Append is safe for
+// concurrent use; Open recovers the valid prefix and truncates any torn
+// tail before the first append.
+type Journal struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	nextSeq uint64
+	nosync  bool // tests only: skip fsync for speed
+}
+
+// Open opens (or creates) the journal at path, replays its valid prefix,
+// truncates any torn tail, and positions the file for appending. The
+// returned records are everything that was fully written before the last
+// shutdown or crash.
+func Open(path string) (*Journal, []Record, error) {
+	data, err := os.ReadFile(path)
+	switch {
+	case os.IsNotExist(err):
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_EXCL, 0o644)
+		if err != nil {
+			return nil, nil, fmt.Errorf("durable: create journal: %w", err)
+		}
+		if _, err := f.WriteString(journalMagic); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("durable: write journal magic: %w", err)
+		}
+		if err := syncFileAndDir(f, path); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		return &Journal{f: f, path: path, nextSeq: 1}, nil, nil
+	case err != nil:
+		return nil, nil, fmt.Errorf("durable: read journal: %w", err)
+	}
+	if len(data) >= len(journalMagic) && string(data[:len(journalMagic)]) != journalMagic {
+		return nil, nil, fmt.Errorf("durable: %s is not a siesta journal (bad magic)", path)
+	}
+	if len(data) < len(journalMagic) {
+		// A crash during creation can leave a short magic; rewrite it.
+		if err := os.WriteFile(path, []byte(journalMagic), 0o644); err != nil {
+			return nil, nil, fmt.Errorf("durable: repair journal header: %w", err)
+		}
+		data = []byte(journalMagic)
+	}
+	recs, valid := Replay(data)
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("durable: open journal: %w", err)
+	}
+	// Drop the torn tail so the next frame starts on a clean boundary.
+	if int64(len(data)) > valid {
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("durable: truncate torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("durable: seek journal: %w", err)
+	}
+	j := &Journal{f: f, path: path, nextSeq: 1}
+	for _, r := range recs {
+		if r.Seq >= j.nextSeq {
+			j.nextSeq = r.Seq + 1
+		}
+	}
+	return j, recs, nil
+}
+
+// noSync disables fsync on this journal. Tests only — an unsynced journal
+// still recovers cleanly from process death, just not from power loss.
+func (j *Journal) noSync() { j.nosync = true }
+
+// Append assigns the record a sequence number and timestamp, frames it,
+// writes it, and fsyncs before returning. When Append returns nil the
+// record is durable.
+func (j *Journal) Append(rec *Record) error {
+	if rec.Type == "" || rec.Job == "" {
+		return fmt.Errorf("durable: record needs type and job (got %q, %q)", rec.Type, rec.Job)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("durable: journal is closed")
+	}
+	rec.Seq = j.nextSeq
+	if rec.Time.IsZero() {
+		rec.Time = time.Now().UTC()
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("durable: encode record: %w", err)
+	}
+	frame := make([]byte, frameHdr+len(payload))
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHdr:], payload)
+	if _, err := j.f.Write(frame); err != nil {
+		return fmt.Errorf("durable: append record: %w", err)
+	}
+	if !j.nosync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("durable: sync journal: %w", err)
+		}
+	}
+	j.nextSeq++
+	return nil
+}
+
+// Compact atomically rewrites the journal to contain exactly recs (in the
+// given order, keeping their sequence numbers), dropping everything else.
+// The server calls it at startup after replay so records for settled jobs
+// do not accumulate forever. The write is crash-safe: a new journal is
+// written beside the old one, fsync'd, and renamed over it.
+func (j *Journal) Compact(recs []Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("durable: journal is closed")
+	}
+	tmp := j.path + ".compact"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: compact: %w", err)
+	}
+	defer os.Remove(tmp) // no-op after a successful rename
+	if _, err := f.WriteString(journalMagic); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: compact: %w", err)
+	}
+	maxSeq := uint64(0)
+	for i := range recs {
+		payload, err := json.Marshal(&recs[i])
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("durable: compact encode: %w", err)
+		}
+		var hdr [frameHdr]byte
+		binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+		binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+		if _, err := f.Write(hdr[:]); err == nil {
+			_, err = f.Write(payload)
+		}
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("durable: compact write: %w", err)
+		}
+		if recs[i].Seq > maxSeq {
+			maxSeq = recs[i].Seq
+		}
+	}
+	if !j.nosync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("durable: compact sync: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("durable: compact close: %w", err)
+	}
+	if err := os.Rename(tmp, j.path); err != nil {
+		return fmt.Errorf("durable: compact rename: %w", err)
+	}
+	if !j.nosync {
+		if err := syncDir(filepath.Dir(j.path)); err != nil {
+			return err
+		}
+	}
+	old := j.f
+	nf, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: reopen compacted journal: %w", err)
+	}
+	old.Close()
+	j.f = nf
+	if maxSeq >= j.nextSeq {
+		j.nextSeq = maxSeq + 1
+	}
+	return nil
+}
+
+// Close syncs and closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	f := j.f
+	j.f = nil
+	if !j.nosync {
+		f.Sync()
+	}
+	return f.Close()
+}
+
+// syncFileAndDir fsyncs a freshly created file and its directory entry.
+func syncFileAndDir(f *os.File, path string) error {
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("durable: sync %s: %w", path, err)
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("durable: open dir %s: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("durable: sync dir %s: %w", dir, err)
+	}
+	return nil
+}

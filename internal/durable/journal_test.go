@@ -1,0 +1,303 @@
+package durable
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func appendAll(t *testing.T, j *Journal, recs ...Record) {
+	t.Helper()
+	for i := range recs {
+		if err := j.Append(&recs[i]); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j, recs, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(recs))
+	}
+	j.noSync()
+	appendAll(t, j,
+		Record{Type: TypeEnqueued, Job: "j-000001", Key: "abc", Request: json.RawMessage(`{"app":"CG","ranks":8}`)},
+		Record{Type: TypeStarted, Job: "j-000001", Attempt: 1},
+		Record{Type: TypeCheckpoint, Job: "j-000001", Phase: "trace", File: "j-000001.ckpt"},
+		Record{Type: TypeDone, Job: "j-000001"},
+	)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, recs, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(recs) != 4 {
+		t.Fatalf("replayed %d records, want 4", len(recs))
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(i+1) {
+			t.Errorf("record %d has seq %d", i, r.Seq)
+		}
+	}
+	if recs[0].Type != TypeEnqueued || string(recs[0].Request) != `{"app":"CG","ranks":8}` {
+		t.Errorf("enqueued payload did not round-trip: %+v", recs[0])
+	}
+	if recs[2].Phase != "trace" || recs[2].File != "j-000001.ckpt" {
+		t.Errorf("checkpoint payload did not round-trip: %+v", recs[2])
+	}
+	// Appends after reopen continue the sequence.
+	if err := j2.Append(&Record{Type: TypeEnqueued, Job: "j-000002"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, recs, _ := reopen(t, path); len(recs) != 5 || recs[4].Seq != 5 {
+		t.Fatalf("after reopen+append: %d records, last seq %d", len(recs), recs[len(recs)-1].Seq)
+	}
+}
+
+func reopen(t *testing.T, path string) (*Journal, []Record, error) {
+	t.Helper()
+	j, recs, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j, recs, err
+}
+
+// journalBytes builds a valid journal image with n trivial records.
+func journalBytes(t *testing.T, n int) []byte {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.noSync()
+	for i := 0; i < n; i++ {
+		appendAll(t, j, Record{Type: TypeStarted, Job: "j-000001", Attempt: i + 1})
+	}
+	j.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestReplayTruncatedTail(t *testing.T) {
+	data := journalBytes(t, 3)
+	full, valid := Replay(data)
+	if len(full) != 3 || valid != int64(len(data)) {
+		t.Fatalf("clean replay: %d records, valid %d of %d", len(full), valid, len(data))
+	}
+	// Every proper prefix recovers exactly the fully-framed records.
+	for cut := len(data) - 1; cut >= 0; cut-- {
+		recs, valid := Replay(data[:cut])
+		if valid > int64(cut) {
+			t.Fatalf("cut %d: valid offset %d past input", cut, valid)
+		}
+		for _, r := range recs {
+			if r.Type != TypeStarted || r.Job != "j-000001" {
+				t.Fatalf("cut %d: replayed corrupt record %+v", cut, r)
+			}
+		}
+		if len(recs) > 3 {
+			t.Fatalf("cut %d: more records than written", cut)
+		}
+	}
+}
+
+func TestReplayBitFlippedCRC(t *testing.T) {
+	data := journalBytes(t, 3)
+	// Flip one bit in the middle record's payload: replay must stop
+	// before it and keep only the first record.
+	recs, _ := Replay(data)
+	_ = recs
+	// Locate frame boundaries by re-scanning.
+	off := len(journalMagic)
+	frameEnds := []int{}
+	for off+frameHdr <= len(data) {
+		n := int(binary.BigEndian.Uint32(data[off : off+4]))
+		off += frameHdr + n
+		frameEnds = append(frameEnds, off)
+	}
+	if len(frameEnds) != 3 {
+		t.Fatalf("expected 3 frames, found %d", len(frameEnds))
+	}
+	corrupt := append([]byte(nil), data...)
+	corrupt[frameEnds[0]+frameHdr+2] ^= 0x40 // inside record 2's payload
+	got, valid := Replay(corrupt)
+	if len(got) != 1 {
+		t.Fatalf("replay after bit flip returned %d records, want 1", len(got))
+	}
+	if valid != int64(frameEnds[0]) {
+		t.Fatalf("valid offset %d, want %d (end of record 1)", valid, frameEnds[0])
+	}
+}
+
+func TestOpenTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j.wal")
+	data := journalBytes(t, 2)
+	// Simulate a crash mid-append: a partial third frame of garbage.
+	torn := append(append([]byte(nil), data...), 0x00, 0x00, 0x00, 0x10, 0xde, 0xad)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, recs, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.noSync()
+	if len(recs) != 2 {
+		t.Fatalf("recovered %d records, want 2", len(recs))
+	}
+	// The torn tail must be gone and the next append must frame cleanly.
+	appendAll(t, j, Record{Type: TypeDone, Job: "j-000001"})
+	j.Close()
+	_, recs, _ = reopen(t, path)
+	if len(recs) != 3 || recs[2].Type != TypeDone {
+		t.Fatalf("after truncate+append: %+v", recs)
+	}
+}
+
+func TestReplayInterleavedPartialFrame(t *testing.T) {
+	data := journalBytes(t, 2)
+	// Claim a frame longer than the remaining bytes: replay must stop at
+	// the boundary, not read past the end.
+	off := len(journalMagic)
+	n := int(binary.BigEndian.Uint32(data[off : off+4]))
+	end1 := off + frameHdr + n
+	bogus := append([]byte(nil), data[:end1]...)
+	var hdr [frameHdr]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(1<<20)) // length far past EOF
+	binary.BigEndian.PutUint32(hdr[4:8], 0)
+	bogus = append(bogus, hdr[:]...)
+	bogus = append(bogus, data[end1:]...) // a valid frame drowned after the bad header
+	recs, valid := Replay(bogus)
+	if len(recs) != 1 || valid != int64(end1) {
+		t.Fatalf("interleaved partial frame: %d records, valid %d (want 1, %d)", len(recs), valid, end1)
+	}
+}
+
+func TestCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.noSync()
+	appendAll(t, j,
+		Record{Type: TypeEnqueued, Job: "j-000001", Request: json.RawMessage(`{"app":"CG"}`)},
+		Record{Type: TypeDone, Job: "j-000001"},
+		Record{Type: TypeEnqueued, Job: "j-000002", Request: json.RawMessage(`{"app":"LU"}`), Key: "k2"},
+		Record{Type: TypeStarted, Job: "j-000002", Attempt: 1},
+		Record{Type: TypeCheckpoint, Job: "j-000002", Phase: "merge", File: "j-000002.ckpt"},
+	)
+	_, recs, _ := reopen(t, path)
+	live := LiveRecords(recs)
+	if err := j.Compact(live); err != nil {
+		t.Fatal(err)
+	}
+	// Post-compaction appends land after the rewritten records.
+	appendAll(t, j, Record{Type: TypeDone, Job: "j-000002"})
+	j.Close()
+
+	_, recs, _ = reopen(t, path)
+	states, order := Reduce(recs)
+	if len(order) != 1 || order[0] != "j-000002" {
+		t.Fatalf("compacted journal folds to jobs %v, want [j-000002]", order)
+	}
+	st := states["j-000002"]
+	if st.Pending() || st.Attempts != 1 || st.CheckpointPhase != "merge" || st.Key != "k2" {
+		t.Fatalf("compacted state: %+v", st)
+	}
+}
+
+func TestReduce(t *testing.T) {
+	recs := []Record{
+		{Type: TypeEnqueued, Job: "a", Key: "ka", Request: json.RawMessage(`{}`)},
+		{Type: TypeEnqueued, Job: "b", Key: "kb", Request: json.RawMessage(`{}`)},
+		{Type: TypeStarted, Job: "a", Attempt: 1},
+		{Type: TypeCheckpoint, Job: "a", Phase: "trace", File: "a.ckpt"},
+		{Type: TypeStarted, Job: "a", Attempt: 2},
+		{Type: TypeCheckpoint, Job: "a", Phase: "merge", File: "a.ckpt"},
+		{Type: TypeFailed, Job: "b", Error: "boom"},
+	}
+	states, order := Reduce(recs)
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("order %v", order)
+	}
+	a, b := states["a"], states["b"]
+	if !a.Pending() || a.Attempts != 2 || a.CheckpointPhase != "merge" {
+		t.Fatalf("a: %+v", a)
+	}
+	if b.Pending() || b.Terminal != TypeFailed || b.Error != "boom" {
+		t.Fatalf("b: %+v", b)
+	}
+}
+
+func TestCheckpointStore(t *testing.T) {
+	st, err := NewCheckpointStore(filepath.Join(t.TempDir(), "ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Save("../evil", []byte("x")); err == nil {
+		t.Fatal("path traversal id accepted")
+	}
+	name, err := st.Save("j-000001", []byte("blob-v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "j-000001.ckpt" {
+		t.Fatalf("name %q", name)
+	}
+	// Overwrite is atomic replace.
+	if _, err := st.Save("j-000001", []byte("blob-v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Load("j-000001")
+	if err != nil || string(got) != "blob-v2" {
+		t.Fatalf("load: %q, %v", got, err)
+	}
+	if err := st.Delete("j-000001"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Delete("j-000001"); err != nil {
+		t.Fatal("double delete should be a no-op")
+	}
+	if _, err := st.Load("j-000001"); !os.IsNotExist(err) {
+		t.Fatalf("load after delete: %v", err)
+	}
+	// No stray temp files survive saves.
+	ents, _ := os.ReadDir(filepath.Join(t.TempDir()))
+	_ = ents
+}
+
+func TestCrcMatchesButPayloadGarbage(t *testing.T) {
+	// A CRC-valid frame whose payload is not a decodable record must end
+	// replay (never surface a bad record).
+	data := journalBytes(t, 1)
+	payload := []byte(`{"seq":2,"type":"","job":""}`) // decodes but fails validation
+	var hdr [frameHdr]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	bad := append(append([]byte(nil), data...), hdr[:]...)
+	bad = append(bad, payload...)
+	recs, valid := Replay(bad)
+	if len(recs) != 1 || valid != int64(len(data)) {
+		t.Fatalf("garbage payload: %d records, valid %d", len(recs), valid)
+	}
+}

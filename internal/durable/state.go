@@ -1,0 +1,108 @@
+package durable
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// JobState is the per-job fold of a journal: everything the service needs
+// to decide, after a restart, whether a job is settled, resumable, or has
+// exhausted its attempts. It is also what `siesta jobs` prints.
+type JobState struct {
+	ID      string          `json:"id"`
+	Request json.RawMessage `json:"request,omitempty"`
+	Key     string          `json:"key,omitempty"`
+
+	Enqueued time.Time `json:"enqueued,omitempty"`
+	// Attempts counts started records: how many times a worker has picked
+	// the job up, across all process incarnations.
+	Attempts int `json:"attempts"`
+
+	// CheckpointPhase/CheckpointFile describe the most recent checkpoint;
+	// empty when the job never reached a phase boundary.
+	CheckpointPhase string `json:"checkpoint_phase,omitempty"`
+	CheckpointFile  string `json:"checkpoint_file,omitempty"`
+
+	// Terminal is TypeDone or TypeFailed once the job settled, "" while it
+	// is still pending (queued or in flight at crash time).
+	Terminal Type      `json:"terminal,omitempty"`
+	Error    string    `json:"error,omitempty"`
+	Finished time.Time `json:"finished,omitempty"`
+}
+
+// Pending reports whether the job still owes a terminal record — the
+// replay-time definition of "must be re-admitted".
+func (s *JobState) Pending() bool { return s.Terminal == "" }
+
+// Reduce folds replayed records into per-job states, returning the states
+// and the job IDs in first-appearance (admission) order. Records for a job
+// whose enqueued record was lost to corruption still fold (the job is
+// unrecoverable without its request, but the inspector should show it).
+func Reduce(recs []Record) (map[string]*JobState, []string) {
+	states := make(map[string]*JobState)
+	var order []string
+	get := func(id string) *JobState {
+		st, ok := states[id]
+		if !ok {
+			st = &JobState{ID: id}
+			states[id] = st
+			order = append(order, id)
+		}
+		return st
+	}
+	for _, r := range recs {
+		st := get(r.Job)
+		switch r.Type {
+		case TypeEnqueued:
+			st.Request = r.Request
+			st.Key = r.Key
+			st.Enqueued = r.Time
+		case TypeStarted:
+			st.Attempts++
+			if r.Attempt > st.Attempts {
+				st.Attempts = r.Attempt
+			}
+		case TypeCheckpoint:
+			st.CheckpointPhase = r.Phase
+			st.CheckpointFile = r.File
+		case TypeDone, TypeFailed:
+			st.Terminal = r.Type
+			st.Error = r.Error
+			st.Finished = r.Time
+		}
+	}
+	return states, order
+}
+
+// LiveRecords rebuilds the minimal record set a compacted journal needs:
+// for every pending job, its enqueued record plus its latest checkpoint
+// record (attempt history collapses into one synthetic started record per
+// past attempt so the attempt budget survives compaction). Settled jobs
+// vanish.
+func LiveRecords(recs []Record) []Record {
+	states, order := Reduce(recs)
+	var out []Record
+	for _, id := range order {
+		st := states[id]
+		if !st.Pending() || len(st.Request) == 0 {
+			continue
+		}
+		out = append(out, Record{
+			Type: TypeEnqueued, Job: id, Time: st.Enqueued,
+			Request: st.Request, Key: st.Key,
+		})
+		for a := 1; a <= st.Attempts; a++ {
+			out = append(out, Record{Type: TypeStarted, Job: id, Attempt: a, Time: st.Enqueued})
+		}
+		if st.CheckpointFile != "" {
+			out = append(out, Record{
+				Type: TypeCheckpoint, Job: id,
+				Phase: st.CheckpointPhase, File: st.CheckpointFile,
+			})
+		}
+	}
+	for i := range out {
+		out[i].Seq = uint64(i + 1)
+	}
+	return out
+}

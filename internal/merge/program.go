@@ -8,6 +8,8 @@
 package merge
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 
 	"siesta/internal/perfmodel"
@@ -168,6 +170,15 @@ func (p *Program) Encode() []byte {
 		}
 	}
 	return e.Bytes()
+}
+
+// Digest is the sha256 of the canonical encoding — the program-identity
+// half of the checkpoint/restart correctness contract: a resumed synthesis
+// must reproduce the digest an uninterrupted run yields. It is cheap
+// enough to stamp into journals and inspection output.
+func (p *Program) Digest() string {
+	sum := sha256.Sum256(p.Encode())
+	return hex.EncodeToString(sum[:])
 }
 
 func encodeSym(e *trace.Enc, s Sym) {

@@ -49,6 +49,11 @@ func Float(k string, v float64) Attr { return Attr{Key: k, Value: v} }
 // String builds a string attribute.
 func String(k, v string) Attr { return Attr{Key: k, Value: v} }
 
+// Bool builds a boolean attribute. The checkpoint/restart layer marks
+// resumed pipeline spans with it so a trace viewer can tell a recovered
+// run from a fresh one.
+func Bool(k string, v bool) Attr { return Attr{Key: k, Value: v} }
+
 // Kind classifies a timeline event.
 type Kind uint8
 

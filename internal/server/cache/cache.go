@@ -58,12 +58,15 @@ type Artifact struct {
 	Overhead float64 `json:"overhead,omitempty"`
 }
 
-// Store is a bounded, concurrency-safe LRU artifact cache.
+// Store is a bounded, concurrency-safe LRU artifact cache, with an
+// optional disk tier (see AttachDisk) that makes artifacts survive
+// restarts.
 type Store struct {
 	mu      sync.Mutex
 	max     int
 	entries map[Key]*list.Element
 	order   *list.List // front = most recently used; values are *Artifact
+	disk    string     // disk-tier directory; "" = memory only
 }
 
 // New returns a store retaining at most max artifacts; max <= 0 selects a
@@ -79,24 +82,42 @@ func New(max int) *Store {
 	}
 }
 
-// Get returns the artifact under key and marks it recently used.
+// Get returns the artifact under key and marks it recently used. On a
+// memory miss it consults the disk tier and promotes a hit back into the
+// LRU.
 func (s *Store) Get(key Key) (*Artifact, bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	el, ok := s.entries[key]
+	if el, ok := s.entries[key]; ok {
+		s.order.MoveToFront(el)
+		a := el.Value.(*Artifact)
+		s.mu.Unlock()
+		return a, true
+	}
+	s.mu.Unlock()
+	a, ok := s.readDisk(key)
 	if !ok {
 		return nil, false
 	}
-	s.order.MoveToFront(el)
-	return el.Value.(*Artifact), true
+	s.mu.Lock()
+	s.putLocked(a)
+	s.mu.Unlock()
+	return a, true
 }
 
 // Put stores the artifact under its own Key, evicting the least recently
-// used entry when the store is full. Storing an existing key refreshes its
-// recency and replaces the value.
-func (s *Store) Put(a *Artifact) {
+// used memory entry when the store is full, and mirrors it to the disk
+// tier when one is attached. Storing an existing key refreshes its recency
+// and replaces the value. The disk write error, if any, is returned so the
+// caller can log it; the memory tier has already accepted the artifact.
+func (s *Store) Put(a *Artifact) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.putLocked(a)
+	s.mu.Unlock()
+	return s.writeDisk(a)
+}
+
+// putLocked inserts into the memory LRU. Caller holds s.mu.
+func (s *Store) putLocked(a *Artifact) {
 	if el, ok := s.entries[a.Key]; ok {
 		el.Value = a
 		s.order.MoveToFront(el)

@@ -1,0 +1,92 @@
+package cache
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// AttachDisk adds a disk tier under dir: every Put also writes the artifact
+// as <key>.json (atomically — temp file, fsync, rename), and a memory miss
+// in Get falls through to disk and promotes the artifact back into the LRU.
+// The disk tier is what lets a finished proxy survive a crash or restart:
+// the in-memory LRU is rebuilt lazily from it. Disk entries are never
+// evicted by the memory budget; artifacts are small (one C source plus
+// stats) and the operator owns the state directory.
+func (s *Store) AttachDisk(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("cache: artifact dir: %w", err)
+	}
+	s.mu.Lock()
+	s.disk = dir
+	s.mu.Unlock()
+	return nil
+}
+
+// diskPath maps a key to its tier directory and blob path. Keys are hex
+// digests, but guard anyway: a hostile key must not escape the directory.
+func (s *Store) diskPath(key Key) (dir, path string, ok bool) {
+	s.mu.Lock()
+	dir = s.disk
+	s.mu.Unlock()
+	if dir == "" || key == "" ||
+		strings.ContainsAny(string(key), "/\\") || strings.Contains(string(key), "..") {
+		return "", "", false
+	}
+	return dir, filepath.Join(dir, string(key)+".json"), true
+}
+
+// writeDisk persists the artifact; failures are returned so the caller can
+// log them, but the memory tier has already accepted the artifact — a
+// full disk degrades durability, not availability.
+func (s *Store) writeDisk(a *Artifact) error {
+	dir, path, ok := s.diskPath(a.Key)
+	if !ok {
+		return nil
+	}
+	data, err := json.Marshal(a)
+	if err != nil {
+		return fmt.Errorf("cache: encode artifact: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, "art-*.tmp")
+	if err != nil {
+		return fmt.Errorf("cache: artifact temp: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("cache: artifact write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("cache: artifact sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("cache: artifact close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("cache: artifact rename: %w", err)
+	}
+	return nil
+}
+
+// readDisk loads and validates an artifact blob from the disk tier.
+func (s *Store) readDisk(key Key) (*Artifact, bool) {
+	_, path, ok := s.diskPath(key)
+	if !ok {
+		return nil, false
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil || a.Key != key {
+		// A torn or mismatched blob is treated as a miss; the next Put
+		// overwrites it atomically.
+		return nil, false
+	}
+	return &a, true
+}

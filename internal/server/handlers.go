@@ -57,6 +57,12 @@ type SynthesizeRequest struct {
 	// synthesize — there is no run to record on a cache hit — but their
 	// artifact still lands in the cache for later requests.
 	Trace bool `json:"trace,omitempty"`
+
+	// MaxRetries caps in-process retries of transient failures (checkpoint
+	// or journal I/O errors; the synthesis itself was healthy). Values
+	// above the server limit are clamped to it; omitted selects the server
+	// limit. 0 disables retries for this job.
+	MaxRetries *int `json:"max_retries,omitempty"`
 }
 
 // SynthesizeResponse answers POST /v1/synthesize.
@@ -143,7 +149,23 @@ func (s *Server) prepare(req *SynthesizeRequest) (*job, int, error) {
 	opts.Parallelism = par
 	opts.Merge.Parallelism = par
 
-	jb := &job{timeout: timeout, parallelism: par, wantTrace: req.Trace}
+	retries := s.cfg.MaxRetries
+	if req.MaxRetries != nil {
+		switch r := *req.MaxRetries; {
+		case r < 0:
+			retries = 0
+		case r < retries:
+			retries = r
+		}
+	}
+	// The verbatim request is what the journal replays through this same
+	// prepare path on recovery — marshal it once, canonically.
+	reqJSON, err := json.Marshal(req)
+	if err != nil {
+		return nil, http.StatusBadRequest, fmt.Errorf("encode request: %w", err)
+	}
+	jb := &job{timeout: timeout, parallelism: par, wantTrace: req.Trace,
+		maxRetries: retries, reqJSON: reqJSON}
 	if req.App != "" {
 		spec, err := apps.ByName(req.App)
 		if err != nil {
@@ -258,7 +280,7 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
-	if !s.requestCancel(jb) {
+	if !s.requestCancel(jb, true) {
 		writeError(w, http.StatusConflict, "job %s already %s", jb.id, jb.view().Status)
 		return
 	}

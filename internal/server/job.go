@@ -2,9 +2,11 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"sync"
 	"time"
 
+	"siesta/internal/core"
 	"siesta/internal/obs"
 	"siesta/internal/server/cache"
 )
@@ -32,11 +34,20 @@ type job struct {
 	parallelism int // capped synthesis parallelism (never part of the key)
 	key         cache.Key
 	timeout     time.Duration
-	wantTrace   bool // request asked for a runtime trace ("trace": true)
-	work        func(ctx context.Context, tracer *obs.Tracer) (*cache.Artifact, error)
+	wantTrace   bool            // request asked for a runtime trace ("trace": true)
+	reqJSON     json.RawMessage // canonical request, journaled at admission
+	maxRetries  int             // in-process retry budget for transient failures
+	work        func(ctx context.Context, tracer *obs.Tracer, ck core.Checkpointer, resume *core.Checkpoint) (*cache.Artifact, error)
 
-	mu              sync.Mutex
-	status          Status
+	// recovered marks a job re-admitted from the journal (set before
+	// admission, immutable after).
+	recovered bool
+
+	mu     sync.Mutex
+	status Status
+	// attempts counts execution starts across all process incarnations
+	// (seeded from the journal for recovered jobs).
+	attempts        int
 	phase           string
 	errMsg          string
 	cached          bool
@@ -44,7 +55,12 @@ type job struct {
 	started         time.Time
 	finished        time.Time
 	cancelRequested bool
+	cancelByUser    bool // cancellation came from DELETE, not drain/timeout
 	cancel          context.CancelFunc
+	// resume is the most recent checkpoint: loaded from the state
+	// directory at recovery, refreshed by every successful checkpoint
+	// save, consumed by retries and restarts.
+	resume *core.Checkpoint
 	// traceJSON is the Chrome trace_event document recorded for a
 	// wantTrace job, set when the job settles and served by
 	// GET /v1/jobs/{id}/trace.
@@ -60,6 +76,8 @@ type JobView struct {
 	Status      Status     `json:"status"`
 	Phase       string     `json:"phase,omitempty"`
 	Cached      bool       `json:"cached"`
+	Recovered   bool       `json:"recovered,omitempty"`
+	Attempts    int        `json:"attempts,omitempty"`
 	Error       string     `json:"error,omitempty"`
 	ArtifactKey string     `json:"artifact_key,omitempty"`
 	TraceURL    string     `json:"trace_url,omitempty"`
@@ -76,6 +94,7 @@ func (j *job) view() JobView {
 	v := JobView{
 		ID: j.id, App: j.app, Ranks: j.ranks, Parallelism: j.parallelism,
 		Status: j.status, Phase: j.phase, Cached: j.cached, Error: j.errMsg,
+		Recovered: j.recovered, Attempts: j.attempts,
 		Created: j.created,
 	}
 	if !j.started.IsZero() {
@@ -104,6 +123,20 @@ func (j *job) setPhase(p string) {
 	j.mu.Lock()
 	j.phase = p
 	j.mu.Unlock()
+}
+
+// setResume publishes the latest checkpoint (called from the checkpoint
+// save path); latestResume reads it for a retry or restart.
+func (j *job) setResume(cp *core.Checkpoint) {
+	j.mu.Lock()
+	j.resume = cp
+	j.mu.Unlock()
+}
+
+func (j *job) latestResume() *core.Checkpoint {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.resume
 }
 
 // terminal reports whether the job has reached a final state.

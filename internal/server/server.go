@@ -26,6 +26,7 @@ import (
 	"siesta/internal/check"
 	"siesta/internal/codegen"
 	"siesta/internal/core"
+	"siesta/internal/durable"
 	"siesta/internal/merge"
 	"siesta/internal/mpi"
 	"siesta/internal/obs"
@@ -65,6 +66,16 @@ type Config struct {
 	// Registry receives the service metrics; a private registry is
 	// created when nil.
 	Registry *metrics.Registry
+	// StateDir enables crash durability: a write-ahead job journal, phase
+	// checkpoints, and a disk artifact tier all live under it. On startup
+	// the journal is replayed — jobs that were queued or in flight when
+	// the previous process died are re-admitted and resume from their last
+	// checkpoint. Empty keeps everything in memory.
+	StateDir string
+	// MaxRetries is both the default and the cap for a request's
+	// max_retries field: in-process retries of transient (durability I/O)
+	// failures; default 3.
+	MaxRetries int
 }
 
 func (c Config) withDefaults() Config {
@@ -83,6 +94,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxParallelism <= 0 {
 		c.MaxParallelism = runtime.GOMAXPROCS(0)
 	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 3
+	}
 	return c
 }
 
@@ -92,6 +106,11 @@ type Server struct {
 	cfg   Config
 	store *cache.Store
 	reg   *metrics.Registry
+
+	// Durability layer; all nil/zero without a StateDir.
+	journal   *durable.Journal
+	ckpts     *durable.CheckpointStore
+	retryBase time.Duration // backoff base; tests shrink it
 
 	queue chan *job
 	wg    sync.WaitGroup // worker goroutines
@@ -114,6 +133,8 @@ type Server struct {
 	mAccepted, mRejected  *metrics.Counter
 	mHits, mMisses        *metrics.Counter
 	mDone, mFail, mCancel *metrics.Counter
+	mRecovered, mCkptW    *metrics.Counter
+	mRetries              *metrics.Counter
 	gQueued, gRunning     *metrics.Gauge
 	gPhasePar             *metrics.Gauge
 	hJobDur               *metrics.Histogram
@@ -127,8 +148,11 @@ type phaseTimes struct {
 	parN      int
 }
 
-// New builds a service and starts its worker pool.
-func New(cfg Config) *Server {
+// New builds a service and starts its worker pool. With a StateDir
+// configured it also opens the durability layer and re-admits jobs the
+// previous incarnation left unfinished; the only error paths are state-dir
+// I/O, so a memory-only service never fails to construct.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	reg := cfg.Registry
 	if reg == nil {
@@ -142,23 +166,35 @@ func New(cfg Config) *Server {
 		jobs:     make(map[string]*job),
 		phaseAgg: make(map[string]*phaseTimes),
 
-		mAccepted: reg.Counter("siesta_jobs_accepted_total", "synthesis jobs admitted to the queue"),
-		mRejected: reg.Counter("siesta_jobs_rejected_total", "synthesis jobs rejected because the queue was full"),
-		mHits:     reg.Counter("siesta_cache_hits_total", "requests answered from the artifact cache"),
-		mMisses:   reg.Counter("siesta_cache_misses_total", "requests that required synthesis"),
-		mDone:     reg.Counter(`siesta_jobs_completed_total{status="done"}`, "jobs by final status"),
-		mFail:     reg.Counter(`siesta_jobs_completed_total{status="failed"}`, "jobs by final status"),
-		mCancel:   reg.Counter(`siesta_jobs_completed_total{status="canceled"}`, "jobs by final status"),
-		gQueued:   reg.Gauge("siesta_queue_depth", "jobs waiting in the queue"),
-		gRunning:  reg.Gauge("siesta_jobs_running", "jobs currently synthesizing"),
-		gPhasePar: reg.Gauge("siesta_phase_parallelism", "synthesis parallelism of the most recently started job"),
-		hJobDur:   reg.Histogram("siesta_job_duration_seconds", "wall-clock synthesis duration", nil),
+		mAccepted:  reg.Counter("siesta_jobs_accepted_total", "synthesis jobs admitted to the queue"),
+		mRejected:  reg.Counter("siesta_jobs_rejected_total", "synthesis jobs rejected because the queue was full"),
+		mHits:      reg.Counter("siesta_cache_hits_total", "requests answered from the artifact cache"),
+		mMisses:    reg.Counter("siesta_cache_misses_total", "requests that required synthesis"),
+		mDone:      reg.Counter(`siesta_jobs_completed_total{status="done"}`, "jobs by final status"),
+		mFail:      reg.Counter(`siesta_jobs_completed_total{status="failed"}`, "jobs by final status"),
+		mCancel:    reg.Counter(`siesta_jobs_completed_total{status="canceled"}`, "jobs by final status"),
+		mRecovered: reg.Counter("siesta_jobs_recovered_total", "jobs re-admitted from the journal after a restart"),
+		mCkptW:     reg.Counter("siesta_checkpoints_written_total", "phase-boundary checkpoints persisted"),
+		mRetries:   reg.Counter("siesta_job_retries_total", "in-process retries of transient job failures"),
+		gQueued:    reg.Gauge("siesta_queue_depth", "jobs waiting in the queue"),
+		gRunning:   reg.Gauge("siesta_jobs_running", "jobs currently synthesizing"),
+		gPhasePar:  reg.Gauge("siesta_phase_parallelism", "synthesis parallelism of the most recently started job"),
+		hJobDur:    reg.Histogram("siesta_job_duration_seconds", "wall-clock synthesis duration", nil),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	// Recovery needs the workers: re-admission pushes onto the bounded
+	// queue and relies on them to drain a backlog deeper than it.
+	if cfg.StateDir != "" {
+		if err := s.openState(); err != nil {
+			close(s.queue)
+			s.wg.Wait()
+			return nil, err
+		}
+	}
+	return s, nil
 }
 
 // Metrics returns the registry the server reports into.
@@ -230,6 +266,14 @@ func (s *Server) admit(jb *job) (ok bool, draining bool) {
 	s.jobOrder = append(s.jobOrder, jb.id)
 	s.pruneLocked()
 	s.mAccepted.Inc()
+	// Write-ahead: the enqueued record makes the job survive a crash from
+	// here on. A worker may race ahead and journal `started` first —
+	// record order within one job is not load-bearing, the replay fold
+	// accepts any interleaving.
+	s.journalRec(&durable.Record{
+		Type: durable.TypeEnqueued, Job: jb.id,
+		Request: jb.reqJSON, Key: string(jb.key),
+	})
 	return true, false
 }
 
@@ -306,13 +350,95 @@ func (s *Server) runJob(jb *job) {
 	s.gRunning.Add(1)
 	defer s.gRunning.Add(-1)
 	s.gPhasePar.Set(int64(jb.parallelism))
-	s.logEvent("job_start", map[string]any{"job": jb.id, "app": jb.app, "ranks": jb.ranks, "parallelism": jb.parallelism})
+	s.logEvent("job_start", map[string]any{"job": jb.id, "app": jb.app, "ranks": jb.ranks, "parallelism": jb.parallelism, "recovered": jb.recovered})
 
-	// Every job runs under a tracer: phase spans drive the job record,
-	// the per-phase histograms, and one log line per transition. Runtime
-	// timelines are only recorded when the request asked for a trace —
-	// they cost memory proportional to the run. The observer fires on
-	// this goroutine (core.Synthesize is synchronous).
+	// Attempt loop: transient (durability I/O) failures back off and
+	// retry within the job's budget, resuming from the latest checkpoint;
+	// everything else settles on the first attempt.
+	var (
+		art       *cache.Artifact
+		traceJSON []byte
+		err       error
+	)
+	for {
+		jb.mu.Lock()
+		jb.attempts++
+		attempt := jb.attempts
+		jb.mu.Unlock()
+		s.journalRec(&durable.Record{Type: durable.TypeStarted, Job: jb.id, Attempt: attempt})
+		art, traceJSON, err = s.runAttempt(ctx, jb)
+		if err == nil || !transientErr(err) || attempt > jb.maxRetries || ctx.Err() != nil {
+			break
+		}
+		s.mRetries.Inc()
+		delay := s.retryDelay(attempt)
+		s.logEvent("job_retry", map[string]any{"job": jb.id, "attempt": attempt, "delay_ms": delay.Milliseconds(), "error": err.Error()})
+		select {
+		case <-ctx.Done():
+		case <-time.After(delay):
+		}
+	}
+	finished := time.Now()
+
+	jb.mu.Lock()
+	jb.finished = finished
+	jb.phase = ""
+	jb.traceJSON = traceJSON
+	switch {
+	case err == nil:
+		art.Key = jb.key
+		jb.status = StatusDone
+		s.mDone.Inc()
+	case errors.Is(err, core.ErrCanceled):
+		jb.status = StatusCanceled
+		jb.errMsg = err.Error()
+		s.mCancel.Inc()
+	default:
+		jb.status = StatusFailed
+		jb.errMsg = err.Error()
+		s.mFail.Inc()
+	}
+	status, errMsg := jb.status, jb.errMsg
+	byUser := jb.cancelByUser
+	dur := jb.finished.Sub(jb.started)
+	jb.mu.Unlock()
+
+	// Settle durably. Done and failed jobs write their terminal record and
+	// drop their checkpoint. A user cancel is terminal too — the job must
+	// not resurrect on restart. A drain or timeout cancellation journals
+	// nothing: the job's pending records stand, so the next incarnation
+	// re-admits it and resumes from its last checkpoint (the journal-backed
+	// half of graceful drain).
+	switch {
+	case status == StatusDone:
+		if perr := s.store.Put(art); perr != nil {
+			s.logEvent("cache_disk_error", map[string]any{"job": jb.id, "error": perr.Error()})
+		}
+		s.journalRec(&durable.Record{Type: durable.TypeDone, Job: jb.id, Key: string(jb.key)})
+		s.dropCheckpoint(jb.id)
+	case status == StatusFailed:
+		s.journalRec(&durable.Record{Type: durable.TypeFailed, Job: jb.id, Error: errMsg})
+		s.dropCheckpoint(jb.id)
+	case status == StatusCanceled && byUser:
+		s.journalRec(&durable.Record{Type: durable.TypeFailed, Job: jb.id, Error: "canceled by user"})
+		s.dropCheckpoint(jb.id)
+	}
+
+	s.hJobDur.Observe(dur.Seconds())
+	ev := map[string]any{"job": jb.id, "status": string(status), "duration_ms": dur.Milliseconds()}
+	if errMsg != "" {
+		ev["error"] = errMsg
+	}
+	s.logEvent("job_end", ev)
+}
+
+// runAttempt executes one synthesis attempt under a fresh tracer. Every
+// attempt runs under one: phase spans drive the job record, the per-phase
+// histograms, and one log line per transition. Runtime timelines are only
+// recorded when the request asked for a trace — they cost memory
+// proportional to the run. The observer fires on this goroutine
+// (core.Synthesize is synchronous).
+func (s *Server) runAttempt(ctx context.Context, jb *job) (*cache.Artifact, []byte, error) {
 	tracer := obs.New()
 	if !jb.wantTrace {
 		tracer.WithoutTimelines()
@@ -329,8 +455,11 @@ func (s *Server) runJob(jb *job) {
 		s.observePhase(ev.Name, secs, jb.parallelism)
 	})
 
-	art, err := jb.work(ctx, tracer)
-	finished := time.Now()
+	var ck core.Checkpointer
+	if s.ckpts != nil {
+		ck = jobCheckpointer{s: s, jb: jb}
+	}
+	art, err := jb.work(ctx, tracer, ck, jb.latestResume())
 
 	// Export the recorded trace even for failed or canceled jobs: a
 	// partial timeline is exactly what debugging those needs.
@@ -341,36 +470,7 @@ func (s *Server) runJob(jb *job) {
 			traceJSON = buf.Bytes()
 		}
 	}
-
-	jb.mu.Lock()
-	jb.finished = finished
-	jb.phase = ""
-	jb.traceJSON = traceJSON
-	switch {
-	case err == nil:
-		art.Key = jb.key
-		s.store.Put(art)
-		jb.status = StatusDone
-		s.mDone.Inc()
-	case errors.Is(err, core.ErrCanceled):
-		jb.status = StatusCanceled
-		jb.errMsg = err.Error()
-		s.mCancel.Inc()
-	default:
-		jb.status = StatusFailed
-		jb.errMsg = err.Error()
-		s.mFail.Inc()
-	}
-	status, errMsg := jb.status, jb.errMsg
-	dur := jb.finished.Sub(jb.started)
-	jb.mu.Unlock()
-
-	s.hJobDur.Observe(dur.Seconds())
-	ev := map[string]any{"job": jb.id, "status": string(status), "duration_ms": dur.Milliseconds()}
-	if errMsg != "" {
-		ev["error"] = errMsg
-	}
-	s.logEvent("job_end", ev)
+	return art, traceJSON, err
 }
 
 // observePhase folds one phase wall time into the serial/parallel
@@ -402,25 +502,37 @@ func (s *Server) observePhase(phase string, secs float64, parallelism int) {
 // requestCancel cancels a job: queued jobs settle immediately, running jobs
 // get their context canceled and settle on the worker's path. It reports
 // whether the cancellation was accepted (false once the job is terminal).
-func (s *Server) requestCancel(jb *job) bool {
+// byUser distinguishes an explicit DELETE — terminal in the journal — from
+// a drain or hard stop, after which the job's pending journal records let
+// the next incarnation resume it.
+func (s *Server) requestCancel(jb *job, byUser bool) bool {
 	jb.mu.Lock()
-	defer jb.mu.Unlock()
 	switch jb.status {
 	case StatusQueued:
 		jb.status = StatusCanceled
 		jb.errMsg = "canceled while queued"
 		jb.finished = time.Now()
 		s.mCancel.Inc()
+		jb.mu.Unlock()
 		// The worker discards it when it reaches the head of the queue;
 		// the queued-depth gauge settles there.
+		if byUser {
+			s.journalRec(&durable.Record{Type: durable.TypeFailed, Job: jb.id, Error: "canceled while queued"})
+			s.dropCheckpoint(jb.id)
+		}
 		return true
 	case StatusRunning:
 		jb.cancelRequested = true
+		if byUser {
+			jb.cancelByUser = true
+		}
 		if jb.cancel != nil {
 			jb.cancel()
 		}
+		jb.mu.Unlock()
 		return true
 	default:
+		jb.mu.Unlock()
 		return false
 	}
 }
@@ -448,32 +560,43 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 	select {
 	case <-done:
+		s.closeState()
 		return nil
 	case <-ctx.Done():
 		// Hard stop: cancel whatever is still running, then wait for the
-		// workers to observe it.
+		// workers to observe it. These cancellations are not journaled as
+		// terminal — interrupted jobs stay pending and are re-admitted by
+		// the next incarnation.
 		s.mu.Lock()
 		for _, jb := range s.jobs {
-			s.requestCancel(jb)
+			s.requestCancel(jb, false)
 		}
 		s.mu.Unlock()
 		<-done
+		s.closeState()
 		return ctx.Err()
 	}
 }
 
 // --- synthesis work functions ----------------------------------------------
 
+// workFn is the signature of a queued job's executable body: one attempt,
+// checkpointing through ck and resuming from the checkpoint if one is
+// offered (a nil ck disables durability, a nil resume runs cold).
+type workFn = func(ctx context.Context, tracer *obs.Tracer, ck core.Checkpointer, resume *core.Checkpoint) (*cache.Artifact, error)
+
 // appWork prepares the work function for a built-in application request.
-func appWork(spec *apps.Spec, params apps.Params, opts core.Options) (func(context.Context, *obs.Tracer) (*cache.Artifact, error), error) {
+func appWork(spec *apps.Spec, params apps.Params, opts core.Options) (workFn, error) {
 	fn, err := spec.Build(params)
 	if err != nil {
 		return nil, err
 	}
-	return func(ctx context.Context, tracer *obs.Tracer) (*cache.Artifact, error) {
+	return func(ctx context.Context, tracer *obs.Tracer, ck core.Checkpointer, resume *core.Checkpoint) (*cache.Artifact, error) {
 		opts := opts
 		opts.Context = ctx
 		opts.Tracer = tracer
+		opts.Checkpointer = ck
+		opts.Resume = resume
 		res, err := core.Synthesize(fn, opts)
 		if err != nil {
 			return nil, err
@@ -493,9 +616,12 @@ func appWork(spec *apps.Spec, params apps.Params, opts core.Options) (func(conte
 }
 
 // traceWork prepares the work function for an uploaded trace: the pipeline
-// minus the two simulated runs — merge, verify, generate.
-func traceWork(tr *trace.Trace, opts core.Options) func(context.Context, *obs.Tracer) (*cache.Artifact, error) {
-	return func(ctx context.Context, tracer *obs.Tracer) (*cache.Artifact, error) {
+// minus the two simulated runs — merge, verify, generate. The merged
+// program is checkpointed through the same merge.Program codec the core
+// pipeline uses, so a restart skips straight to verification and codegen.
+func traceWork(tr *trace.Trace, opts core.Options) workFn {
+	return func(ctx context.Context, tracer *obs.Tracer, ck core.Checkpointer, resume *core.Checkpoint) (*cache.Artifact, error) {
+		fp := core.OptionsFingerprint(opts)
 		var cur *obs.Span
 		step := func(phase string) error {
 			cur.End()
@@ -511,18 +637,41 @@ func traceWork(tr *trace.Trace, opts core.Options) func(context.Context, *obs.Tr
 			return nil
 		}
 		defer func() { cur.End() }()
-		if err := step("merge"); err != nil {
-			return nil, err
+
+		// Resume honors only a checkpoint written by an identical request
+		// (fingerprint match) whose program decodes; anything else recomputes.
+		var prog *merge.Program
+		resumed := false
+		if resume != nil && resume.Fingerprint == fp && len(resume.ProgramBytes) > 0 {
+			if p, derr := merge.Decode(resume.ProgramBytes); derr == nil {
+				prog = p
+				resumed = true
+				if tracer != nil {
+					sp := tracer.Phase("resume",
+						obs.String("from", resume.Phase), obs.Bool("resumed", true))
+					sp.End()
+				}
+			}
 		}
-		prog, err := merge.Build(tr, opts.Merge)
-		if err != nil {
-			return nil, fmt.Errorf("server: merge: %w", err)
+		if !resumed {
+			if err := step("merge"); err != nil {
+				return nil, err
+			}
+			var err error
+			prog, err = merge.Build(tr, opts.Merge)
+			if err != nil {
+				return nil, fmt.Errorf("server: merge: %w", err)
+			}
 		}
+		// Verification always re-runs, resumed or not: its verdict is
+		// stamped into the generated header, and re-checking an identical
+		// program is cheap and yields the identical summary.
 		var rep *check.Report
 		if !opts.DisableCheck {
 			if err := step("check"); err != nil {
 				return nil, err
 			}
+			var err error
 			rep, err = check.Verify(prog, check.Options{
 				ExactBytes:    true,
 				AbsoluteRanks: opts.Trace.AbsoluteRanks,
@@ -532,6 +681,15 @@ func traceWork(tr *trace.Trace, opts core.Options) func(context.Context, *obs.Tr
 			}
 			if rep.HasErrors() {
 				return nil, fmt.Errorf("server: uploaded trace failed static verification (%s)", rep.Summary())
+			}
+		}
+		if ck != nil && !resumed {
+			cp := &core.Checkpoint{Fingerprint: fp, Phase: core.PhaseMerge, ProgramBytes: prog.Encode()}
+			if rep != nil {
+				cp.CheckSummary = rep.Summary()
+			}
+			if err := ck.Save(cp); err != nil {
+				return nil, &core.CheckpointError{Phase: core.PhaseMerge, Err: err}
 			}
 		}
 		if err := step("codegen"); err != nil {

@@ -25,7 +25,10 @@ import (
 // newTestServer builds a server + HTTP frontend and registers cleanup.
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -234,7 +237,7 @@ func blockerJob(release chan struct{}) *job {
 	return &job{
 		app: "blocker", ranks: 1, timeout: time.Minute,
 		key: cache.KeyFrom([]byte(fmt.Sprintf("blocker-%p", release))),
-		work: func(ctx context.Context, tracer *obs.Tracer) (*cache.Artifact, error) {
+		work: func(ctx context.Context, tracer *obs.Tracer, _ core.Checkpointer, _ *core.Checkpoint) (*cache.Artifact, error) {
 			sp := tracer.Phase("baseline")
 			defer sp.End()
 			select {
@@ -416,7 +419,10 @@ func TestTraceUploadSynthesis(t *testing.T) {
 }
 
 func TestDrainFinishesQueuedJobs(t *testing.T) {
-	s := New(Config{Workers: 1, QueueDepth: 4})
+	s, err := New(Config{Workers: 1, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -458,7 +464,10 @@ func TestDrainFinishesQueuedJobs(t *testing.T) {
 // Shutdown call that finds draining already set must still block until the
 // workers have exited, not return early.
 func TestConcurrentShutdownWaitsForDrain(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	release := make(chan struct{})
 	jb := blockerJob(release)
 	if ok, _ := s.admit(jb); !ok {
