@@ -1,0 +1,83 @@
+// Command maporder runs the maporder static analyzer (map-iteration-order
+// determinism checking) over Go package directories. It is the hermetic
+// stand-in for `go vet -vettool`: the analyzer depends only on the standard
+// library, so CI can run it without fetching golang.org/x/tools.
+//
+// Usage:
+//
+//	maporder [dir ...]
+//	(default: internal/merge internal/codegen internal/check
+//	 internal/statics internal/core)
+//
+// Non-test .go files of each directory are parsed as one package. Exits
+// non-zero if any finding is reported.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+
+	"siesta/internal/analysis/maporder"
+)
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = []string{
+			"internal/merge", "internal/codegen", "internal/check",
+			"internal/statics", "internal/core",
+		}
+	}
+	failed := false
+	for _, dir := range dirs {
+		findings, err := runDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "maporder: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		for _, f := range findings {
+			fmt.Println(f)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func runDir(dir string) ([]maporder.Finding, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var out []maporder.Finding
+	names := make([]string, 0, len(pkgs))
+	for name := range pkgs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pkg := pkgs[name]
+		files := make([]*ast.File, 0, len(pkg.Files))
+		paths := make([]string, 0, len(pkg.Files))
+		for path := range pkg.Files {
+			paths = append(paths, path)
+		}
+		sort.Strings(paths)
+		for _, path := range paths {
+			files = append(files, pkg.Files[path])
+		}
+		out = append(out, maporder.MapOrder.Run(&maporder.Pass{
+			Fset: fset, Files: files, PkgName: name,
+		})...)
+	}
+	return out, nil
+}

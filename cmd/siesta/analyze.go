@@ -1,0 +1,112 @@
+// The analyze verb runs the static communication-cost analyzer over a
+// merged program: exact per-rank traffic totals, the P×P volume matrix,
+// per-communicator collective stats, compute-cluster costs and the
+// critical-path lower bound — all folded out of the grammar, no replay.
+// Input is either an encoded program (-prog, as written by `siesta -prog`)
+// or a built-in application traced on the spot (-app/-ranks). See
+// DESIGN.md §12.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"siesta/internal/apps"
+	"siesta/internal/merge"
+	"siesta/internal/mpi"
+	"siesta/internal/platform"
+	"siesta/internal/statics"
+	"siesta/internal/trace"
+)
+
+func runAnalyze(args []string) {
+	fs := flag.NewFlagSet("siesta analyze", flag.ExitOnError)
+	progFile := fs.String("prog", "", "encoded merged program (SIESTA-PROG1) to analyze")
+	appName := fs.String("app", "", "built-in application to trace and analyze (alternative to -prog)")
+	ranks := fs.Int("ranks", 8, "number of MPI ranks (with -app)")
+	iters := fs.Int("iters", 0, "iteration override (0 = application default; with -app)")
+	platName := fs.String("platform", "", "cost-model platform: A, B or C (default: the program's recorded platform)")
+	seed := fs.Uint64("seed", 1, "virtual-noise seed for the traced run (with -app)")
+	asJSON := fs.Bool("json", false, "emit the full analysis report as JSON")
+	exact := fs.Bool("exact-bytes", false, "embedded check requires matched pairs to carry identical byte counts")
+	absolute := fs.Bool("absolute-ranks", false, "partner fields carry comm-local absolute ranks")
+	maxDiags := fs.Int("max-diags", 0, "embedded check diagnostic cap (0 = default 100)")
+	logLevel := fs.String("log-level", "info", "log verbosity: debug, info, warn, error")
+	fs.Parse(args)
+
+	die := func(err error) {
+		fmt.Fprintf(os.Stderr, "siesta analyze: %v\n", err)
+		os.Exit(1)
+	}
+	if err := setupLogging(*logLevel); err != nil {
+		die(err)
+	}
+	if (*progFile == "") == (*appName == "") {
+		die(fmt.Errorf("need exactly one of -prog or -app"))
+	}
+
+	var prog *merge.Program
+	exactBytes := *exact
+	switch {
+	case *progFile != "":
+		data, err := os.ReadFile(*progFile)
+		if err != nil {
+			die(err)
+		}
+		if prog, err = merge.Decode(data); err != nil {
+			die(err)
+		}
+	default:
+		spec, err := apps.ByName(*appName)
+		if err != nil {
+			die(err)
+		}
+		fn, err := spec.Build(apps.Params{Ranks: *ranks, Iters: *iters})
+		if err != nil {
+			die(err)
+		}
+		rec := trace.NewRecorder(*ranks, trace.Config{})
+		w := mpi.NewWorld(mpi.Config{Size: *ranks, Interceptor: rec, NoiseSigma: 0.004, Seed: *seed})
+		if _, err := w.Run(fn); err != nil {
+			die(err)
+		}
+		if prog, err = merge.Build(rec.Trace("A", "openmpi"), merge.Options{}); err != nil {
+			die(err)
+		}
+		// A freshly traced program records real transfer sizes on both
+		// sides, so the stricter byte gate is sound.
+		exactBytes = true
+	}
+
+	var plat *platform.Platform
+	if *platName != "" {
+		var err error
+		if plat, err = platform.ByName(*platName); err != nil {
+			die(err)
+		}
+	}
+
+	rep, err := statics.Analyze(prog, plat, statics.Options{
+		ExactBytes:     exactBytes,
+		AbsoluteRanks:  *absolute,
+		MaxDiagnostics: *maxDiags,
+	})
+	if err != nil {
+		die(err)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			die(err)
+		}
+	} else {
+		fmt.Print(rep.String())
+	}
+	if rep.Check != nil && rep.Check.HasErrors() {
+		os.Exit(1)
+	}
+}

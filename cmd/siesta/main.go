@@ -10,7 +10,10 @@
 //	       [--faults "crash:rank=3@call=100"] [--deadline 30s] [-parallel N]
 //
 //	siesta check [-prog prog.bin] [-trace trace.bin] [-exact-bytes]
-//	       [-absolute-ranks] [-max-diags N]
+//	       [-absolute-ranks] [-max-diags N] [-json]
+//
+//	siesta analyze [-prog prog.bin | -app CG -ranks 8] [-platform A]
+//	       [-exact-bytes] [-json]
 //
 //	siesta serve [-addr 127.0.0.1:8080] [-workers N] [-queue N]
 //	       [-job-timeout 120s] [-cache-size N] [-max-parallel N]
@@ -25,7 +28,15 @@
 //
 // The check verb runs the static communication verifier over an encoded
 // program (written by -prog) or a raw trace (written by -trace; it is merged
-// first) and exits non-zero if any error-severity diagnostic is found.
+// first) and exits non-zero if any error-severity diagnostic is found. With
+// -json it emits the structured reports instead of the table; exit codes are
+// unchanged.
+//
+// The analyze verb runs the static communication-cost analyzer: exact
+// per-rank traffic totals, the P×P byte-volume matrix, per-communicator
+// collective stats, compute-cluster costs and the critical-path lower bound,
+// all derived from the grammar without replaying anything. See DESIGN.md
+// §12.
 //
 // The serve verb exposes the whole pipeline as an HTTP service: POST
 // /v1/synthesize queues jobs onto a bounded worker pool, finished proxies are
@@ -57,6 +68,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -82,6 +94,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "check" {
 		runCheck(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "analyze" {
+		runAnalyze(os.Args[2:])
 		return
 	}
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
@@ -260,6 +276,7 @@ func runCheck(args []string) {
 	exact := fs.Bool("exact-bytes", false, "require matched send/recv pairs to carry identical byte counts")
 	absolute := fs.Bool("absolute-ranks", false, "partner fields carry comm-local absolute ranks (trace recorded with AbsoluteRanks)")
 	maxDiags := fs.Int("max-diags", 0, "diagnostic cap (0 = default 100)")
+	asJSON := fs.Bool("json", false, "emit structured reports as JSON instead of the table")
 	fs.Parse(args)
 
 	die := func(err error) {
@@ -271,15 +288,28 @@ func runCheck(args []string) {
 	}
 	opts := check.Options{ExactBytes: *exact, AbsoluteRanks: *absolute, MaxDiagnostics: *maxDiags}
 
+	// checkResult pairs one input with its report; -json emits the list so
+	// the diagnostic shape matches the "check" object inside `siesta
+	// analyze -json` output.
+	type checkResult struct {
+		Input  string        `json:"input"`
+		Report *check.Report `json:"report"`
+	}
+	var results []checkResult
+
 	failed := false
 	verify := func(label string, p *merge.Program) {
 		rep, err := check.Verify(p, opts)
 		if err != nil {
 			die(fmt.Errorf("%s: %w", label, err))
 		}
-		fmt.Printf("%s: %s\n", label, rep.Summary())
-		for _, d := range rep.Diags {
-			fmt.Println("  " + d.String())
+		if *asJSON {
+			results = append(results, checkResult{Input: label, Report: rep})
+		} else {
+			fmt.Printf("%s: %s\n", label, rep.Summary())
+			for _, d := range rep.Diags {
+				fmt.Println("  " + d.String())
+			}
 		}
 		failed = failed || rep.HasErrors()
 	}
@@ -309,6 +339,13 @@ func runCheck(args []string) {
 			die(err)
 		}
 		verify(*traceFile, p)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			die(err)
+		}
 	}
 	if failed {
 		os.Exit(1)

@@ -42,6 +42,27 @@ func (s Severity) String() string {
 	return fmt.Sprintf("severity(%d)", int(s))
 }
 
+// MarshalJSON renders the severity by name, so `siesta check -json` output
+// reads "error", not 2.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts the names MarshalJSON produces.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"info"`:
+		*s = Info
+	case `"warning"`:
+		*s = Warning
+	case `"error"`:
+		*s = Error
+	default:
+		return fmt.Errorf("check: unknown severity %s", b)
+	}
+	return nil
+}
+
 // Rule identifiers. Every diagnostic carries one, so tests and tooling can
 // filter without parsing messages.
 const (
@@ -61,13 +82,13 @@ const (
 // and the terminal (trace record) index anchor the finding back to both the
 // merged program and the original trace.
 type Diagnostic struct {
-	Rule     string
-	Severity Severity
-	Ranks    []int  // ranks involved, sorted
-	Record   int    // global terminal id the finding anchors to, -1 if none
-	Event    int    // event index in Ranks[0]'s expansion, -1 if none
-	Path     string // grammar-symbol path of (Ranks[0], Event), "" if none
-	Message  string
+	Rule     string   `json:"rule"`
+	Severity Severity `json:"severity"`
+	Ranks    []int    `json:"ranks"`          // ranks involved, sorted
+	Record   int      `json:"record"`         // global terminal id the finding anchors to, -1 if none
+	Event    int      `json:"event"`          // event index in Ranks[0]'s expansion, -1 if none
+	Path     string   `json:"path,omitempty"` // grammar-symbol path of (Ranks[0], Event), "" if none
+	Message  string   `json:"message"`
 }
 
 // String formats the diagnostic on one line.
@@ -114,6 +135,9 @@ type Options struct {
 	// MaxDiagnostics caps the report (0 selects the default of 100);
 	// findings beyond the cap are counted in Report.Truncated.
 	MaxDiagnostics int
+	// Hooks, when non-nil, receives the machine's event stream (see the
+	// Hooks interface). Verification semantics are unaffected.
+	Hooks Hooks
 }
 
 func (o Options) withDefaults() Options {
@@ -125,10 +149,10 @@ func (o Options) withDefaults() Options {
 
 // Report is the result of one verification pass.
 type Report struct {
-	NumRanks  int
-	Events    int // total expanded events across all ranks
-	Diags     []Diagnostic
-	Truncated int // diagnostics dropped beyond Options.MaxDiagnostics
+	NumRanks  int          `json:"num_ranks"`
+	Events    int          `json:"events"` // total expanded events across all ranks
+	Diags     []Diagnostic `json:"diagnostics"`
+	Truncated int          `json:"truncated,omitempty"` // diagnostics dropped beyond Options.MaxDiagnostics
 }
 
 // Errors counts error-severity diagnostics.

@@ -61,12 +61,12 @@ func (m *machine) blockInfo(r *lrank) (string, []int) {
 	case r.curSlot != nil:
 		slot := r.curSlot
 		return fmt.Sprintf("%s (collective step %d, %d/%d arrived)",
-				rec.Func, slot.seq, len(slot.arrived), len(slot.comm.members)),
+				rec.Func, slot.seq, slot.arrivedN, len(slot.comm.members)),
 			slotEdges(slot)
 	}
 	switch rec.Func {
 	case "MPI_Probe":
-		if c := r.comms[rec.CommPool]; c != nil {
+		if c := r.comms.get(rec.CommPool); c != nil {
 			if src, ok := m.peerOf(c, r.rank, rec.SrcRel); ok {
 				return fmt.Sprintf("MPI_Probe from %s tag %s", peerName(src), tagName(rec.Tag)),
 					recvEdges(&vrecv{owner: r.rank, comm: c, src: src})
@@ -74,7 +74,7 @@ func (m *machine) blockInfo(r *lrank) (string, []int) {
 		}
 		return "MPI_Probe", nil
 	case "MPI_Wait", "MPI_Waitany":
-		if req := r.reqs[rec.ReqPool]; req != nil {
+		if req := r.reqs.get(rec.ReqPool); req != nil {
 			desc, to := reqBlock(req)
 			return fmt.Sprintf("%s on %s", rec.Func, desc), to
 		}
@@ -82,7 +82,7 @@ func (m *machine) blockInfo(r *lrank) (string, []int) {
 		var to []int
 		var pending []string
 		for _, q := range rec.ReqPools {
-			if req, ok := r.reqs[q]; ok && !reqDone(req) {
+			if req := r.reqs.get(q); req != nil && !reqDone(req) {
 				desc, e := reqBlock(req)
 				pending = append(pending, desc)
 				to = append(to, e...)
@@ -108,7 +108,7 @@ func reqBlock(req *vreq) (string, []int) {
 	case rkColl:
 		if req.slot != nil && !req.slot.full {
 			return fmt.Sprintf("%s (collective step %d, %d/%d arrived)",
-				fn, req.slot.seq, len(req.slot.arrived), len(req.slot.comm.members)), slotEdges(req.slot)
+				fn, req.slot.seq, req.slot.arrivedN, len(req.slot.comm.members)), slotEdges(req.slot)
 		}
 	}
 	return fn, nil
@@ -132,8 +132,8 @@ func recvEdges(pr *vrecv) []int {
 // slotEdges: a collective waits on every member that has not arrived.
 func slotEdges(slot *vslot) []int {
 	var to []int
-	for _, wr := range slot.comm.members {
-		if _, ok := slot.arrived[wr]; !ok {
+	for cr, wr := range slot.comm.members {
+		if slot.arrived[cr] == nil {
 			to = append(to, wr)
 		}
 	}
@@ -195,7 +195,7 @@ func findCycle(edges map[int][]int) []int {
 		return nil
 	}
 	nodes := make([]int, 0, len(edges))
-	for n := range edges {
+	for n := range edges { //maporder:ok — sorted below
 		nodes = append(nodes, n)
 	}
 	sort.Ints(nodes)

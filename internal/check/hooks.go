@@ -1,0 +1,44 @@
+package check
+
+import "siesta/internal/trace"
+
+// Hooks receives a callback stream from the abstract machine as it discharges
+// the program. The machine's greedy fixpoint executes events in a valid
+// topological order of the blocking-dependency graph — a send's Send callback
+// always precedes the matching receive's RecvComplete, and every member's
+// CollArrive precedes the collective's completion on any member — so a
+// listener can fold dependency-sensitive metrics (message matrices under
+// communicator splits, per-communicator collective stats, critical-path
+// clocks) in a single pass without re-deriving MPI matching. Package statics
+// is the intended consumer.
+//
+// Callbacks fire synchronously on the verifier's goroutine; implementations
+// must not retain the members slice or the records beyond the call.
+type Hooks interface {
+	// Exec fires once per completed event, in each rank's program order,
+	// immediately before the machine moves past it. term is the global
+	// terminal id, rec the terminal's record.
+	Exec(rank, idx, term int, rec *trace.Record)
+
+	// Send fires when a send event posts a message, with source and
+	// destination resolved to world ranks. msgID is a machine-global
+	// sequential message identity; the matching RecvComplete quotes it.
+	// Sends to MPI_PROC_NULL and sends on invalid communicators never fire.
+	Send(msgID, src, dst, tag, bytes, term int)
+
+	// RecvComplete fires when rank's event idx observes the completion of a
+	// matched receive: at the blocking receive itself (MPI_Recv,
+	// MPI_Sendrecv) or at the wait that discharges a nonblocking or
+	// persistent receive. Receives that never match never fire.
+	RecvComplete(rank, idx, msgID int)
+
+	// CollArrive fires when rank's event idx registers at a collective slot
+	// (commID, seq): commID is the communicator-instance identity, members
+	// its world-rank membership, and blocking distinguishes blocking
+	// collectives from MPI_Ibarrier-family arrivals.
+	CollArrive(rank, idx, commID int, members []int, seq int, blocking bool, rec *trace.Record)
+
+	// CollComplete fires once per collective slot, when its last member
+	// arrives.
+	CollComplete(commID, seq int)
+}

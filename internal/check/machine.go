@@ -30,8 +30,9 @@ type evRef struct{ rank, idx int }
 // cannot confuse two generations of communicators.
 type vcomm struct {
 	id      int
-	members []int       // comm rank -> world rank
-	index   map[int]int // world rank -> comm rank
+	members []int    // comm rank -> world rank
+	index   []int    // world rank -> comm rank, -1 for non-members
+	slots   []*vslot // collective sequence number -> rendezvous slot
 }
 
 type vfile struct {
@@ -39,10 +40,13 @@ type vfile struct {
 	name string
 }
 
-// vmsg is one in-flight message.
+// vmsg is one in-flight message. It holds the communicator's instance id
+// rather than a pointer so the message arena stays pointer-free (no write
+// barriers or GC scans on the hottest allocation).
 type vmsg struct {
+	id          int // machine-global sequential identity, for Hooks
 	src, dst    int // world ranks
-	comm        *vcomm
+	commID      int // communicator instance id
 	tag, bytes  int
 	ev          evRef
 	term        int // sending terminal id
@@ -52,11 +56,12 @@ type vmsg struct {
 
 // vrecv is one posted receive.
 type vrecv struct {
-	owner   int // world rank
-	comm    *vcomm
-	src     int // world rank, anyPeer, or procNull
-	tag     int // tag or anyPeer
-	bytes   int // expected bytes, -1 unknown (Sendrecv's receive half)
+	owner   int    // world rank
+	comm    *vcomm // for deadlock reporting
+	commID  int    // communicator instance id, for matching
+	src     int    // world rank, anyPeer, or procNull
+	tag     int    // tag or anyPeer
+	bytes   int    // expected bytes, -1 unknown (Sendrecv's receive half)
 	ev      evRef
 	term    int
 	matched *vmsg
@@ -86,20 +91,20 @@ type vreq struct {
 // exempt from leak reporting, and re-acquiring its pool number is treated
 // as the implicit release the runtime already performed.
 
-type slotKey struct{ comm, seq int }
-
 // vslot is one collective instance: the (communicator instance, per-rank
-// sequence number) rendezvous the runtime keys its slots by.
+// sequence number) rendezvous the runtime keys its slots by. Slots live on
+// their communicator, indexed by sequence number.
 type vslot struct {
-	comm    *vcomm
-	seq     int
-	fn      string
-	root    int
-	op      string
-	firstEv evRef
-	arrived map[int]*trace.Record // world rank -> its record
-	full    bool
-	flagged bool // mismatch already reported
+	comm     *vcomm
+	seq      int
+	fn       string
+	root     int
+	op       string
+	firstEv  evRef
+	arrived  []*trace.Record // comm rank -> its record, nil until arrival
+	arrivedN int
+	full     bool
+	flagged  bool // mismatch already reported
 
 	splitArgs map[int][2]int // world rank -> (color, key)
 	groups    map[int]*vcomm // world rank -> split/dup result (nil = MPI_UNDEFINED)
@@ -112,10 +117,10 @@ type lrank struct {
 	seq     []int // expanded global terminal ids
 	pc      int
 	done    bool
-	comms   map[int]*vcomm
-	files   map[int]*vfile
-	reqs    map[int]*vreq
-	collSeq map[int]int // comm instance id -> next collective sequence number
+	comms   poolTable[*vcomm]
+	files   poolTable[*vfile]
+	reqs    poolTable[*vreq]
+	collSeq poolTable[int] // comm instance id -> issued collective steps
 
 	// Current blocking operation, once initiated (receive posted, message
 	// posted, collective arrival registered). Cleared on advance.
@@ -126,16 +131,26 @@ type lrank struct {
 }
 
 type machine struct {
-	p    *merge.Program
-	opts Options
-	rep  *Report
-	pf   *pathFinder
+	p     *merge.Program
+	opts  Options
+	rep   *Report
+	pf    *pathFinder
+	hooks Hooks // nil when no listener is attached
 
-	ranks    []*lrank
-	mailbox  map[int][]*vmsg  // destination world rank -> unmatched messages
-	posted   map[int][]*vrecv // destination world rank -> unmatched receives
-	slots    map[slotKey]*vslot
+	ranks []*lrank
+	// mailbox and posted are indexed by destination world rank; mailbox has
+	// one extra trailing slot for messages whose destination is no world
+	// rank (a wildcard destination in a corrupt program), which can never
+	// match but must still surface in the unmatched-traffic report.
+	mailbox  [][]*vmsg
+	posted   [][]*vrecv
 	nextInst int
+	nextMsg  int
+
+	msgArena  arena[vmsg]
+	recvArena arena[vrecv]
+	reqArena  arena[vreq]
+	slotArena arena[vslot]
 
 	byteSeen map[[2]int]bool // (send terminal, recv terminal) pairs reported
 	zeroSeen map[int]bool    // zero-byte send terminals reported
@@ -146,18 +161,23 @@ func newMachine(p *merge.Program, opts Options) (*machine, error) {
 	m := &machine{
 		p:        p,
 		opts:     opts,
+		hooks:    opts.Hooks,
 		rep:      &Report{NumRanks: p.NumRanks},
 		pf:       newPathFinder(p),
-		mailbox:  map[int][]*vmsg{},
-		posted:   map[int][]*vrecv{},
-		slots:    map[slotKey]*vslot{},
+		mailbox:  make([][]*vmsg, p.NumRanks+1),
+		posted:   make([][]*vrecv, p.NumRanks),
 		byteSeen: map[[2]int]bool{},
 		zeroSeen: map[int]bool{},
 		cntSeen:  map[int]bool{},
 	}
 	world := m.newComm(allRanks(p.NumRanks))
+	m.ranks = make([]*lrank, 0, p.NumRanks)
 	for r := 0; r < p.NumRanks; r++ {
-		seq, err := p.ExpandRank(r)
+		n, err := p.ExpandedLen(r)
+		if err != nil {
+			return nil, err
+		}
+		seq, err := p.AppendExpansion(r, make([]int, 0, n))
 		if err != nil {
 			return nil, err
 		}
@@ -167,14 +187,9 @@ func newMachine(p *merge.Program, opts Options) (*machine, error) {
 			}
 		}
 		m.rep.Events += len(seq)
-		m.ranks = append(m.ranks, &lrank{
-			rank:    r,
-			seq:     seq,
-			comms:   map[int]*vcomm{0: world}, // pool 0 is MPI_COMM_WORLD
-			files:   map[int]*vfile{},
-			reqs:    map[int]*vreq{},
-			collSeq: map[int]int{},
-		})
+		lr := &lrank{rank: r, seq: seq}
+		lr.comms.set(0, world) // pool 0 is MPI_COMM_WORLD
+		m.ranks = append(m.ranks, lr)
 	}
 	return m, nil
 }
@@ -188,10 +203,15 @@ func allRanks(n int) []int {
 }
 
 func (m *machine) newComm(members []int) *vcomm {
-	c := &vcomm{id: m.nextInst, members: members, index: make(map[int]int, len(members))}
+	c := &vcomm{id: m.nextInst, members: members, index: make([]int, m.p.NumRanks)}
 	m.nextInst++
+	for i := range c.index {
+		c.index[i] = -1
+	}
 	for i, wr := range members {
-		c.index[wr] = i
+		if wr >= 0 && wr < len(c.index) {
+			c.index[wr] = i
+		}
 	}
 	return c
 }
@@ -241,8 +261,17 @@ func (m *machine) run() {
 	m.reportCollLengths()
 }
 
-// advance completes the current event and clears blocking state.
+// advance completes the current event and clears blocking state. It is the
+// single completion point for every event, so Hooks.Exec fires here; a
+// blocking receive that completed this event reports its match first.
 func (m *machine) advance(r *lrank) bool {
+	if m.hooks != nil {
+		if r.curRecv != nil && r.curRecv.matched != nil {
+			m.hooks.RecvComplete(r.rank, r.pc, r.curRecv.matched.id)
+		}
+		term := r.seq[r.pc]
+		m.hooks.Exec(r.rank, r.pc, term, m.p.Terminals[term])
+	}
 	r.pc++
 	r.inited = false
 	r.curRecv, r.curMsg, r.curSlot = nil, nil, nil
@@ -272,7 +301,7 @@ func (m *machine) step(r *lrank) bool {
 			m.emitSend(r, c, rec, ev, false)
 		}
 		if rec.Func == "MPI_Isend" {
-			m.acquireReq(r, rec.ReqPool, &vreq{kind: rkSend, rec: rec, ev: ev}, ev)
+			m.acquireReq(r, rec.ReqPool, m.newReq(vreq{kind: rkSend, rec: rec, ev: ev}), ev)
 		}
 		return m.advance(r)
 
@@ -315,7 +344,7 @@ func (m *machine) step(r *lrank) bool {
 		// Irecv traces record Bytes=0 (the size is only known at match
 		// time), so the receive side's expected size is unknown here.
 		c := m.commOf(r, rec, ev)
-		req := &vreq{kind: rkRecv, rec: rec, ev: ev}
+		req := m.newReq(vreq{kind: rkRecv, rec: rec, ev: ev})
 		if c != nil {
 			if pr := m.makeRecv(r, c, rec.SrcRel, rec.Tag, -1, ev); pr != nil {
 				m.postRecv(pr)
@@ -365,8 +394,8 @@ func (m *machine) step(r *lrank) bool {
 		if q < 0 {
 			return m.advance(r)
 		}
-		req, ok := r.reqs[q]
-		if !ok {
+		req := r.reqs.get(q)
+		if req == nil {
 			m.diag(Error, RuleHandleRequest, []int{r.rank}, ev,
 				"%s on request pool %d with no live request", rec.Func, q)
 			return m.advance(r)
@@ -382,7 +411,7 @@ func (m *machine) step(r *lrank) bool {
 			if q < 0 {
 				continue
 			}
-			if req, ok := r.reqs[q]; ok && !reqDone(req) {
+			if req := r.reqs.get(q); req != nil && !reqDone(req) {
 				return false
 			}
 		}
@@ -390,29 +419,29 @@ func (m *machine) step(r *lrank) bool {
 			if q < 0 {
 				continue
 			}
-			if req, ok := r.reqs[q]; ok {
+			if req := r.reqs.get(q); req != nil {
 				m.releaseReq(r, q, req)
 			}
 		}
 		return m.advance(r)
 
 	case "MPI_Test":
-		if req, ok := r.reqs[rec.ReqPool]; ok {
+		if req := r.reqs.get(rec.ReqPool); req != nil {
 			req.polled = true
 		}
 		return m.advance(r)
 
 	case "MPI_Testall":
 		for _, q := range rec.ReqPools {
-			if req, ok := r.reqs[q]; ok {
+			if req := r.reqs.get(q); req != nil {
 				req.polled = true
 			}
 		}
 		return m.advance(r)
 
 	case "MPI_Request_free":
-		if _, ok := r.reqs[rec.ReqPool]; ok {
-			delete(r.reqs, rec.ReqPool)
+		if r.reqs.get(rec.ReqPool) != nil {
+			r.reqs.set(rec.ReqPool, nil)
 		}
 		return m.advance(r)
 
@@ -421,7 +450,7 @@ func (m *machine) step(r *lrank) bool {
 		if rec.Func == "MPI_Recv_init" {
 			kind = rkRecv
 		}
-		m.acquireReq(r, rec.ReqPool, &vreq{kind: kind, persistent: true, rec: rec, ev: ev}, ev)
+		m.acquireReq(r, rec.ReqPool, m.newReq(vreq{kind: kind, persistent: true, rec: rec, ev: ev}), ev)
 		return m.advance(r)
 
 	case "MPI_Start":
@@ -429,8 +458,8 @@ func (m *machine) step(r *lrank) bool {
 		if q < 0 {
 			return m.advance(r)
 		}
-		req, ok := r.reqs[q]
-		if !ok {
+		req := r.reqs.get(q)
+		if req == nil {
 			m.diag(Error, RuleHandleRequest, []int{r.rank}, ev,
 				"MPI_Start on request pool %d with no live request", q)
 			return m.advance(r)
@@ -462,16 +491,16 @@ func (m *machine) step(r *lrank) bool {
 		case pool == 0:
 			m.diag(Error, RuleHandleComm, []int{r.rank}, ev,
 				"MPI_Comm_free on communicator pool 0 (MPI_COMM_WORLD)")
-		case r.comms[pool] == nil:
+		case r.comms.get(pool) == nil:
 			m.diag(Error, RuleHandleComm, []int{r.rank}, ev,
 				"MPI_Comm_free on communicator pool %d with no live communicator", pool)
 		default:
-			delete(r.comms, pool)
+			r.comms.set(pool, nil)
 		}
 		return m.advance(r)
 
 	case "MPI_File_write_at", "MPI_File_read_at":
-		if r.files[rec.FilePool] == nil {
+		if r.files.get(rec.FilePool) == nil {
 			m.diag(Error, RuleHandleFile, []int{r.rank}, ev,
 				"%s on file pool %d with no open file", rec.Func, rec.FilePool)
 		}
@@ -479,7 +508,7 @@ func (m *machine) step(r *lrank) bool {
 
 	case "MPI_Ibarrier", "MPI_Ibcast", "MPI_Iallreduce":
 		c := m.commOf(r, rec, ev)
-		req := &vreq{kind: rkColl, rec: rec, ev: ev}
+		req := m.newReq(vreq{kind: rkColl, rec: rec, ev: ev})
 		if c != nil {
 			req.slot = m.arrive(r, c, rec, ev)
 		}
@@ -493,7 +522,7 @@ func (m *machine) step(r *lrank) bool {
 			if c == nil {
 				return m.advance(r)
 			}
-			if isFileFunc(rec.Func) && rec.Func != "MPI_File_open" && r.files[rec.FilePool] == nil {
+			if isFileFunc(rec.Func) && rec.Func != "MPI_File_open" && r.files.get(rec.FilePool) == nil {
 				m.diag(Error, RuleHandleFile, []int{r.rank}, ev,
 					"%s on file pool %d with no open file", rec.Func, rec.FilePool)
 				return m.advance(r)
@@ -535,8 +564,8 @@ func isFileFunc(fn string) bool {
 
 // commOf resolves the record's communicator pool for rank r.
 func (m *machine) commOf(r *lrank, rec *trace.Record, ev evRef) *vcomm {
-	c, ok := r.comms[rec.CommPool]
-	if !ok {
+	c := r.comms.get(rec.CommPool)
+	if c == nil {
 		m.diag(Error, RuleHandleComm, []int{r.rank}, ev,
 			"%s uses communicator pool %d before any communicator was created there", rec.Func, rec.CommPool)
 		return nil
@@ -561,8 +590,11 @@ func (m *machine) peerOf(c *vcomm, me, rel int) (int, bool) {
 		}
 		return c.members[rel], true
 	}
-	idx, ok := c.index[me]
-	if !ok {
+	if me < 0 || me >= len(c.index) {
+		return 0, false
+	}
+	idx := c.index[me]
+	if idx < 0 {
 		return 0, false
 	}
 	return c.members[((idx+rel)%sz+sz)%sz], true
@@ -585,8 +617,13 @@ func (m *machine) emitSend(r *lrank, c *vcomm, rec *trace.Record, ev evRef, sync
 		m.diag(Warning, RuleP2PBytes, []int{r.rank}, ev,
 			"%s sends a zero-byte message to rank %d tag %d", rec.Func, dst, rec.Tag)
 	}
-	msg := &vmsg{src: r.rank, dst: dst, comm: c, tag: rec.Tag, bytes: rec.Bytes,
-		ev: ev, term: term, synchronous: synchronous}
+	msg := m.msgArena.alloc()
+	*msg = vmsg{id: m.nextMsg, src: r.rank, dst: dst, commID: c.id, tag: rec.Tag,
+		bytes: rec.Bytes, ev: ev, term: term, synchronous: synchronous}
+	m.nextMsg++
+	if m.hooks != nil {
+		m.hooks.Send(msg.id, msg.src, msg.dst, msg.tag, msg.bytes, term)
+	}
 	m.postMsg(msg)
 	return msg
 }
@@ -603,14 +640,16 @@ func (m *machine) makeRecv(r *lrank, c *vcomm, srcRel, tag, bytes int, ev evRef)
 	if src == procNull {
 		return nil
 	}
-	return &vrecv{owner: r.rank, comm: c, src: src, tag: tag, bytes: bytes,
+	pr := m.recvArena.alloc()
+	*pr = vrecv{owner: r.rank, comm: c, commID: c.id, src: src, tag: tag, bytes: bytes,
 		ev: ev, term: r.seq[ev.idx]}
+	return pr
 }
 
 // matches applies the runtime's matching rule: same communicator instance,
 // source and tag each equal or wildcard.
 func matches(pr *vrecv, msg *vmsg) bool {
-	return pr.comm == msg.comm &&
+	return pr.commID == msg.commID &&
 		(pr.src == anyPeer || pr.src == msg.src) &&
 		(pr.tag == anyPeer || pr.tag == msg.tag)
 }
@@ -618,15 +657,23 @@ func matches(pr *vrecv, msg *vmsg) bool {
 // postMsg delivers a message: first posted matching receive wins (FIFO, as
 // in the runtime); otherwise it queues in the destination's mailbox.
 func (m *machine) postMsg(msg *vmsg) {
-	q := m.posted[msg.dst]
-	for i, pr := range q {
-		if matches(pr, msg) {
-			m.posted[msg.dst] = append(q[:i:i], q[i+1:]...)
-			m.complete(pr, msg)
-			return
+	if msg.dst >= 0 && msg.dst < len(m.posted) {
+		q := m.posted[msg.dst]
+		for i, pr := range q {
+			if matches(pr, msg) {
+				copy(q[i:], q[i+1:]) // FIFO removal in place; q is unaliased
+				q[len(q)-1] = nil
+				m.posted[msg.dst] = q[:len(q)-1]
+				m.complete(pr, msg)
+				return
+			}
 		}
 	}
-	m.mailbox[msg.dst] = append(m.mailbox[msg.dst], msg)
+	mi := msg.dst
+	if mi < 0 || mi >= len(m.posted) {
+		mi = len(m.mailbox) - 1 // the unroutable-destination slot
+	}
+	m.mailbox[mi] = append(m.mailbox[mi], msg)
 }
 
 // postRecv posts a receive: earliest queued matching message wins;
@@ -635,7 +682,9 @@ func (m *machine) postRecv(pr *vrecv) {
 	q := m.mailbox[pr.owner]
 	for i, msg := range q {
 		if matches(pr, msg) {
-			m.mailbox[pr.owner] = append(q[:i:i], q[i+1:]...)
+			copy(q[i:], q[i+1:]) // FIFO removal in place; q is unaliased
+			q[len(q)-1] = nil
+			m.mailbox[pr.owner] = q[:len(q)-1]
 			m.complete(pr, msg)
 			return
 		}
@@ -684,6 +733,12 @@ func reqDone(req *vreq) bool {
 	return true
 }
 
+func (m *machine) newReq(v vreq) *vreq {
+	req := m.reqArena.alloc()
+	*req = v
+	return req
+}
+
 // acquireReq binds a request to its pool number. Overwriting a polled entry
 // is the Test-ambiguity implicit release; overwriting anything else live is
 // a lifecycle violation.
@@ -691,34 +746,43 @@ func (m *machine) acquireReq(r *lrank, pool int, req *vreq, ev evRef) {
 	if pool < 0 {
 		return
 	}
-	if old, ok := r.reqs[pool]; ok && !old.polled {
+	if old := r.reqs.get(pool); old != nil && !old.polled {
 		m.diag(Error, RuleHandleRequest, []int{r.rank}, ev,
 			"request pool %d overwritten while its previous request is still live", pool)
 	}
-	r.reqs[pool] = req
+	r.reqs.set(pool, req)
 }
 
 // releaseReq discharges a completed request: persistent requests return to
-// the inactive state (MPI keeps them pooled), others leave the pool.
+// the inactive state (MPI keeps them pooled), others leave the pool. The
+// discharging wait event (r.pc) is where a nonblocking receive's match
+// becomes observable, so RecvComplete anchors there.
 func (m *machine) releaseReq(r *lrank, pool int, req *vreq) {
+	if m.hooks != nil && req.kind == rkRecv && req.recv != nil && req.recv.matched != nil {
+		m.hooks.RecvComplete(r.rank, r.pc, req.recv.matched.id)
+	}
 	if req.persistent {
 		req.active = false
+		req.recv = nil
 		return
 	}
-	delete(r.reqs, pool)
+	r.reqs.set(pool, nil)
 }
 
 // arrive registers rank r at the collective slot its record names,
 // checking that the call agrees with the slot's first arrival.
 func (m *machine) arrive(r *lrank, c *vcomm, rec *trace.Record, ev evRef) *vslot {
-	seq := r.collSeq[c.id]
-	r.collSeq[c.id] = seq + 1
-	key := slotKey{comm: c.id, seq: seq}
-	slot, ok := m.slots[key]
-	if !ok {
-		slot = &vslot{comm: c, seq: seq, fn: rec.Func, root: rec.Root, op: rec.Op,
-			firstEv: ev, arrived: map[int]*trace.Record{}}
-		m.slots[key] = slot
+	seq := r.collSeq.get(c.id)
+	r.collSeq.set(c.id, seq+1)
+	for len(c.slots) <= seq {
+		c.slots = append(c.slots, nil)
+	}
+	slot := c.slots[seq]
+	if slot == nil {
+		slot = m.slotArena.alloc()
+		*slot = vslot{comm: c, seq: seq, fn: rec.Func, root: rec.Root, op: rec.Op,
+			firstEv: ev, arrived: make([]*trace.Record, len(c.members))}
+		c.slots[seq] = slot
 	}
 	if !slot.flagged {
 		switch {
@@ -760,11 +824,18 @@ func (m *machine) arrive(r *lrank, c *vcomm, rec *trace.Record, ev evRef) *vslot
 		}
 		slot.splitArgs[r.rank] = [2]int{0, c.index[r.rank]}
 	}
-	if _, dup := slot.arrived[r.rank]; !dup {
-		slot.arrived[r.rank] = rec
-		if len(slot.arrived) == len(c.members) {
+	if cr := c.index[r.rank]; cr >= 0 && slot.arrived[cr] == nil {
+		slot.arrived[cr] = rec
+		slot.arrivedN++
+		if m.hooks != nil {
+			m.hooks.CollArrive(r.rank, ev.idx, c.id, c.members, seq, isBlockingCollective(rec.Func), rec)
+		}
+		if slot.arrivedN == len(c.members) {
 			slot.full = true
 			m.resolveSlot(slot)
+			if m.hooks != nil {
+				m.hooks.CollComplete(c.id, seq)
+			}
 		}
 	}
 	return slot
@@ -777,7 +848,7 @@ func (m *machine) resolveSlot(slot *vslot) {
 	if slot.splitArgs != nil {
 		byColor := map[int][]int{}
 		var colors []int
-		for wr, ck := range slot.splitArgs {
+		for wr, ck := range slot.splitArgs { //maporder:ok — colors and members sorted below
 			if ck[0] < 0 {
 				continue
 			}
@@ -804,8 +875,10 @@ func (m *machine) resolveSlot(slot *vslot) {
 		}
 	}
 	if slot.fn == "MPI_File_open" {
-		if rec := slot.arrived[slot.firstEv.rank]; rec != nil {
-			slot.file = &vfile{comm: slot.comm, name: rec.FileName}
+		if cr := slot.comm.index[slot.firstEv.rank]; cr >= 0 {
+			if rec := slot.arrived[cr]; rec != nil {
+				slot.file = &vfile{comm: slot.comm, name: rec.FileName}
+			}
 		}
 	}
 }
@@ -821,19 +894,19 @@ func (m *machine) completeColl(r *lrank, rec *trace.Record, slot *vslot, ev evRe
 		if nc == nil {
 			return
 		}
-		if old, ok := r.comms[rec.NewCommPool]; ok && old != nil && rec.NewCommPool != 0 {
+		if old := r.comms.get(rec.NewCommPool); old != nil && rec.NewCommPool != 0 {
 			m.diag(Error, RuleHandleComm, []int{r.rank}, ev,
 				"communicator pool %d overwritten while its previous communicator is still live", rec.NewCommPool)
 		}
-		r.comms[rec.NewCommPool] = nc
+		r.comms.set(rec.NewCommPool, nc)
 	case "MPI_File_open":
-		if old, ok := r.files[rec.FilePool]; ok && old != nil {
+		if old := r.files.get(rec.FilePool); old != nil {
 			m.diag(Error, RuleHandleFile, []int{r.rank}, ev,
 				"file pool %d overwritten while its previous file is still open", rec.FilePool)
 		}
-		r.files[rec.FilePool] = slot.file
+		r.files.set(rec.FilePool, slot.file)
 	case "MPI_File_close":
-		delete(r.files, rec.FilePool)
+		r.files.set(rec.FilePool, nil)
 	}
 }
 
@@ -841,13 +914,11 @@ func (m *machine) completeColl(r *lrank, rec *trace.Record, slot *vslot, ev evRe
 // any live, never-polled, non-persistent request is a leaked nonblocking
 // operation.
 func (m *machine) finishRank(r *lrank) {
-	pools := make([]int, 0, len(r.reqs))
-	for q := range r.reqs {
-		pools = append(pools, q)
-	}
+	var pools []int
+	r.reqs.each(func(q int, _ *vreq) { pools = append(pools, q) })
 	sort.Ints(pools)
 	for _, q := range pools {
-		req := r.reqs[q]
+		req := r.reqs.get(q)
 		if req.persistent || req.polled {
 			continue
 		}
@@ -900,7 +971,7 @@ func (m *machine) reportChannels() {
 
 func sortedChanKeys[V any](mm map[chanKey]V) []chanKey {
 	keys := make([]chanKey, 0, len(mm))
-	for k := range mm {
+	for k := range mm { //maporder:ok — sorted below
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool {
@@ -923,18 +994,17 @@ func (m *machine) reportCollLengths() {
 	counts := map[int]map[int]int{} // instance id -> world rank -> steps
 	insts := map[int]*vcomm{}
 	for _, r := range m.ranks {
-		for _, c := range r.comms {
-			insts[c.id] = c
-		}
-		for id, n := range r.collSeq {
+		r.comms.each(func(_ int, c *vcomm) { insts[c.id] = c })
+		rank := r.rank
+		r.collSeq.each(func(id, n int) {
 			if counts[id] == nil {
 				counts[id] = map[int]int{}
 			}
-			counts[id][r.rank] = n
-		}
+			counts[id][rank] = n
+		})
 	}
 	ids := make([]int, 0, len(counts))
-	for id := range counts {
+	for id := range counts { //maporder:ok — sorted below
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)

@@ -1,0 +1,86 @@
+package check
+
+import "sort"
+
+// arena hands out pointers from chunked backing arrays. The machine
+// allocates one vmsg/vrecv/vreq/vslot per matching event, and individual
+// heap allocations dominated its profile; chunking amortizes them 256×.
+// Chunks are never grown in place (a full chunk is replaced, not
+// reallocated), so handed-out pointers stay valid for the machine's
+// lifetime.
+type arena[T any] struct{ chunk []T }
+
+const arenaChunk = 256
+
+func (a *arena[T]) alloc() *T {
+	if len(a.chunk) == cap(a.chunk) {
+		a.chunk = make([]T, 0, arenaChunk)
+	}
+	var zero T
+	a.chunk = append(a.chunk, zero)
+	return &a.chunk[len(a.chunk)-1]
+}
+
+// poolTable maps pool numbers (and communicator instance ids) to values.
+// Well-formed programs use small, dense, non-negative numbers, served from
+// a slice; decoded programs can carry arbitrary numbers, which fall back to
+// a map so a corrupt input cannot force a huge dense allocation. The zero
+// value of V means absent — no caller stores a nil pointer or a zero count.
+type poolTable[V comparable] struct {
+	dense  []V
+	sparse map[int]V
+}
+
+// maxDensePool bounds the dense side: one entry per pool number is cheap up
+// to here, and anything larger only appears in hand-crafted inputs.
+const maxDensePool = 1 << 12
+
+func (t *poolTable[V]) get(k int) V {
+	if k >= 0 && k < len(t.dense) {
+		return t.dense[k]
+	}
+	if k >= 0 && k < maxDensePool {
+		var zero V
+		return zero
+	}
+	return t.sparse[k]
+}
+
+func (t *poolTable[V]) set(k int, v V) {
+	if k >= 0 && k < maxDensePool {
+		var zero V
+		for len(t.dense) <= k {
+			t.dense = append(t.dense, zero)
+		}
+		t.dense[k] = v
+		return
+	}
+	if t.sparse == nil {
+		t.sparse = map[int]V{}
+	}
+	t.sparse[k] = v
+}
+
+// each visits live entries: dense keys ascending, then sparse keys sorted,
+// so iteration is deterministic. Callers that need a global key order sort
+// the collected keys themselves.
+func (t *poolTable[V]) each(fn func(k int, v V)) {
+	var zero V
+	for k, v := range t.dense {
+		if v != zero {
+			fn(k, v)
+		}
+	}
+	if len(t.sparse) > 0 {
+		keys := make([]int, 0, len(t.sparse))
+		for k := range t.sparse { //maporder:ok — sorted below
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		for _, k := range keys {
+			if v := t.sparse[k]; v != zero {
+				fn(k, v)
+			}
+		}
+	}
+}

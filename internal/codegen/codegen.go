@@ -9,6 +9,7 @@ package codegen
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"siesta/internal/blocks"
 	"siesta/internal/check"
@@ -161,9 +162,18 @@ func fitRegressions(samples []CommSample) map[string]Regression {
 		}
 	}
 	samples = samples[:0:0]
-	for k, v := range mins {
+	for k, v := range mins { //maporder:ok — sorted below
 		samples = append(samples, CommSample{Func: k.f, Bytes: k.b, Dur: v})
 	}
+	// The accumulator folds below sum floats, so the fold order — and with
+	// it the last ulp of the fitted coefficients — must not depend on map
+	// iteration order.
+	sort.Slice(samples, func(i, j int) bool {
+		if samples[i].Func != samples[j].Func {
+			return samples[i].Func < samples[j].Func
+		}
+		return samples[i].Bytes < samples[j].Bytes
+	})
 	type acc struct {
 		n                float64
 		sx, sy, sxx, sxy float64

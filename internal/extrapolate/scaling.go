@@ -1,0 +1,72 @@
+package extrapolate
+
+import (
+	"fmt"
+	"sort"
+
+	"siesta/internal/merge"
+	"siesta/internal/platform"
+	"siesta/internal/statics"
+)
+
+// ScalePoint is one point of a predicted scaling curve: the static
+// analysis of the program extrapolated to Ranks processes.
+type ScalePoint struct {
+	Ranks int `json:"ranks"`
+
+	TotalMessages int64 `json:"total_messages"`
+	TotalBytes    int64 `json:"total_bytes"`
+	CollectiveOps int64 `json:"collective_ops"` // per-rank collective arrivals, summed
+
+	// ComputeSeconds is the job-wide compute total; CriticalPathSeconds
+	// the dependency-structure lower bound on runtime at this scale.
+	ComputeSeconds      float64 `json:"compute_seconds"`
+	CriticalPathSeconds float64 `json:"critical_path_seconds"`
+
+	// Report is the full analysis behind the summary fields.
+	Report *statics.Report `json:"-"`
+}
+
+// PredictScaling predicts the program's communication and compute costs
+// across rank counts without running mpi.World once: each target is an
+// Extrapolate followed by a statics.Analyze of the result, so the numbers
+// carry the same exactness contract as the agreement gate — they are what
+// a real run at that scale would measure, not a model fit. The same
+// eligibility boundary as Extrapolate applies (fully SPMD programs); the
+// error names the first target that cannot be re-scaled. Targets are
+// deduplicated and returned in ascending rank order; a target equal to the
+// program's own rank count analyzes the program as-is.
+func PredictScaling(p *merge.Program, plat *platform.Platform, targets []int) ([]ScalePoint, error) {
+	uniq := append([]int(nil), targets...)
+	sort.Ints(uniq)
+	out := make([]ScalePoint, 0, len(uniq))
+	for i, ranks := range uniq {
+		if i > 0 && ranks == uniq[i-1] {
+			continue
+		}
+		scaled := p
+		if ranks != p.NumRanks {
+			var err error
+			if scaled, err = Extrapolate(p, ranks); err != nil {
+				return nil, fmt.Errorf("extrapolate: scaling to %d ranks: %w", ranks, err)
+			}
+		}
+		rep, err := statics.Analyze(scaled, plat, statics.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("extrapolate: analyze at %d ranks: %w", ranks, err)
+		}
+		pt := ScalePoint{
+			Ranks:               ranks,
+			TotalMessages:       rep.TotalMessages,
+			TotalBytes:          rep.TotalBytes,
+			ComputeSeconds:      rep.ComputeSeconds,
+			CriticalPathSeconds: rep.CriticalPathSeconds,
+			Report:              rep,
+		}
+		for _, rt := range rep.Ranks {
+			pt.CollectiveOps += rt.CollectiveOps
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

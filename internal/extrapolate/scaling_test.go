@@ -1,0 +1,57 @@
+package extrapolate
+
+import (
+	"testing"
+)
+
+// TestPredictScaling: the predicted curve must behave like the weak-scaling
+// replication it is — per-rank work constant, totals linear in P — and the
+// point at the traced scale must equal a direct analysis of the program.
+func TestPredictScaling(t *testing.T) {
+	p8 := program(t, ringApp(5), 8)
+	pts, err := PredictScaling(p8, nil, []int{16, 8, 32, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("want 3 deduplicated points, got %d", len(pts))
+	}
+	for i, want := range []int{8, 16, 32} {
+		if pts[i].Ranks != want {
+			t.Fatalf("point %d at %d ranks, want %d", i, pts[i].Ranks, want)
+		}
+		if !pts[i].Report.Complete {
+			t.Fatalf("analysis at %d ranks incomplete", pts[i].Ranks)
+		}
+		if pts[i].CriticalPathSeconds <= 0 {
+			t.Errorf("no critical path at %d ranks", pts[i].Ranks)
+		}
+	}
+
+	// Weak scaling: messages, bytes, collective arrivals and compute all
+	// replicate per rank, so every total must scale exactly with P.
+	base := pts[0]
+	for _, pt := range pts[1:] {
+		f := int64(pt.Ranks / base.Ranks)
+		if pt.TotalMessages != base.TotalMessages*f {
+			t.Errorf("%d ranks: %d messages, want %d", pt.Ranks, pt.TotalMessages, base.TotalMessages*f)
+		}
+		if pt.TotalBytes != base.TotalBytes*f {
+			t.Errorf("%d ranks: %d bytes, want %d", pt.Ranks, pt.TotalBytes, base.TotalBytes*f)
+		}
+		if pt.CollectiveOps != base.CollectiveOps*f {
+			t.Errorf("%d ranks: %d collective arrivals, want %d", pt.Ranks, pt.CollectiveOps, base.CollectiveOps*f)
+		}
+	}
+
+	// The point at the traced scale is a plain analysis, no extrapolation.
+	if pts[0].TotalMessages == 0 || pts[0].ComputeSeconds <= 0 {
+		t.Fatalf("empty analysis at the traced scale: %+v", pts[0])
+	}
+
+	// Ineligible targets surface Extrapolate's diagnostic: at 2 ranks the
+	// ring's +1 and −1 displacements alias onto the same neighbour.
+	if _, err := PredictScaling(p8, nil, []int{2}); err == nil {
+		t.Error("2 ranks should be rejected for a ±1 ring traced at 8")
+	}
+}

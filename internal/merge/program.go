@@ -97,11 +97,77 @@ func (p *Program) mainOf(rank int) (*Main, error) {
 // This is the losslessness check: for every rank the expansion must equal
 // the rank's original trace rewritten to global ids.
 func (p *Program) ExpandRank(rank int) ([]int, error) {
+	return p.AppendExpansion(rank, nil)
+}
+
+// ExpandedLen computes the length of the rank's expansion in O(|grammar|),
+// via the same rule-multiplicity fold as TerminalCounts, so callers can
+// pre-size buffers for AppendExpansion without expanding twice.
+func (p *Program) ExpandedLen(rank int) (int64, error) {
+	m, err := p.mainOf(rank)
+	if err != nil {
+		return 0, err
+	}
+	memo := make([]int64, len(p.Rules))
+	for i := range memo {
+		memo[i] = -1
+	}
+	visiting := make([]bool, len(p.Rules))
+	var ruleLen func(ref int) (int64, error)
+	ruleLen = func(ref int) (int64, error) {
+		if ref < 0 || ref >= len(p.Rules) {
+			return 0, fmt.Errorf("merge: dangling rule ref %d", ref)
+		}
+		if memo[ref] >= 0 {
+			return memo[ref], nil
+		}
+		if visiting[ref] {
+			return 0, fmt.Errorf("merge: rule cycle through rule %d", ref)
+		}
+		visiting[ref] = true
+		defer func() { visiting[ref] = false }()
+		var n int64
+		for _, s := range p.Rules[ref] {
+			if !s.IsRule {
+				n += int64(s.Count)
+				continue
+			}
+			inner, err := ruleLen(s.Ref)
+			if err != nil {
+				return 0, err
+			}
+			n += int64(s.Count) * inner
+		}
+		memo[ref] = n
+		return n, nil
+	}
+	var total int64
+	for _, ms := range m.Body {
+		if !ms.Ranks.Contains(rank) {
+			continue
+		}
+		if !ms.IsRule {
+			total += int64(ms.Count)
+			continue
+		}
+		inner, err := ruleLen(ms.Ref)
+		if err != nil {
+			return 0, err
+		}
+		total += int64(ms.Count) * inner
+	}
+	return total, nil
+}
+
+// AppendExpansion appends the rank's expansion to buf and returns the
+// extended slice, letting callers that know the length (ExpandedLen) avoid
+// regrowth.
+func (p *Program) AppendExpansion(rank int, buf []int) ([]int, error) {
 	m, err := p.mainOf(rank)
 	if err != nil {
 		return nil, err
 	}
-	var out []int
+	out := buf
 	var expand func(s Sym) error
 	expand = func(s Sym) error {
 		for c := 0; c < s.Count; c++ {
@@ -126,6 +192,130 @@ func (p *Program) ExpandRank(rank int) ([]int, error) {
 		}
 		if err := expand(ms.Sym); err != nil {
 			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// TerminalCounts returns how many times each global terminal id occurs in
+// the rank's expansion, without expanding: rule subtrees are folded once into
+// sparse per-terminal count maps (memoized across the rank's main symbols)
+// and weighted by run-length multiplicities on the way up. The grammar is a
+// DAG (cycles are rejected), so the fold is O(|grammar|) per distinct rule
+// plus O(distinct terminals) per reference, versus O(|trace|) for
+// ExpandRank. This is the core of the paper's claim
+// that the grammar is an exact compressed representation: any per-terminal
+// additive metric over the trace is computable from these counts.
+func (p *Program) TerminalCounts(rank int) (map[int]int64, error) {
+	return p.NewTerminalCounter().Counts(rank)
+}
+
+// TerminalCounter performs the TerminalCounts fold with the per-rule memo
+// shared across calls, so folding all P ranks costs O(|grammar|) once plus
+// O(main body × distinct terminals) per rank instead of rebuilding every
+// rule's count map P times. The counter is not safe for concurrent use.
+type TerminalCounter struct {
+	p        *Program
+	memo     []map[int]int64
+	visiting []bool
+}
+
+// NewTerminalCounter prepares a counter over the program's rules.
+func (p *Program) NewTerminalCounter() *TerminalCounter {
+	return &TerminalCounter{
+		p:        p,
+		memo:     make([]map[int]int64, len(p.Rules)),
+		visiting: make([]bool, len(p.Rules)),
+	}
+}
+
+func (c *TerminalCounter) ruleCounts(ref int) (map[int]int64, error) {
+	p := c.p
+	if ref < 0 || ref >= len(p.Rules) {
+		return nil, fmt.Errorf("merge: dangling rule ref %d", ref)
+	}
+	if c.memo[ref] != nil {
+		return c.memo[ref], nil
+	}
+	if c.visiting[ref] {
+		return nil, fmt.Errorf("merge: rule cycle through rule %d", ref)
+	}
+	c.visiting[ref] = true
+	defer func() { c.visiting[ref] = false }()
+	counts := map[int]int64{}
+	for _, s := range p.Rules[ref] {
+		if !s.IsRule {
+			counts[s.Ref] += int64(s.Count)
+			continue
+		}
+		inner, err := c.ruleCounts(s.Ref)
+		if err != nil {
+			return nil, err
+		}
+		for t, n := range inner {
+			counts[t] += int64(s.Count) * n
+		}
+	}
+	c.memo[ref] = counts
+	return counts, nil
+}
+
+// CountsDense writes the rank's per-terminal occurrence counts into out,
+// which must have one entry per global terminal; references outside the
+// terminal table are ignored, as in the sparse fold. It exists for callers
+// folding every rank, where a map per rank is measurable.
+func (c *TerminalCounter) CountsDense(rank int, out []int64) error {
+	for i := range out {
+		out[i] = 0
+	}
+	m, err := c.p.mainOf(rank)
+	if err != nil {
+		return err
+	}
+	for _, ms := range m.Body {
+		if !ms.Ranks.Contains(rank) {
+			continue
+		}
+		if !ms.IsRule {
+			if ms.Ref >= 0 && ms.Ref < len(out) {
+				out[ms.Ref] += int64(ms.Count)
+			}
+			continue
+		}
+		inner, err := c.ruleCounts(ms.Ref)
+		if err != nil {
+			return err
+		}
+		for t, n := range inner {
+			if t >= 0 && t < len(out) {
+				out[t] += int64(ms.Count) * n
+			}
+		}
+	}
+	return nil
+}
+
+// Counts returns the rank's per-terminal occurrence counts.
+func (c *TerminalCounter) Counts(rank int) (map[int]int64, error) {
+	m, err := c.p.mainOf(rank)
+	if err != nil {
+		return nil, err
+	}
+	out := map[int]int64{}
+	for _, ms := range m.Body {
+		if !ms.Ranks.Contains(rank) {
+			continue
+		}
+		if !ms.IsRule {
+			out[ms.Ref] += int64(ms.Count)
+			continue
+		}
+		inner, err := c.ruleCounts(ms.Ref)
+		if err != nil {
+			return nil, err
+		}
+		for t, n := range inner {
+			out[t] += int64(ms.Count) * n
 		}
 	}
 	return out, nil

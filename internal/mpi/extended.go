@@ -36,7 +36,7 @@ func (r *Rank) Ssend(c *Comm, dst, tag, bytes int) {
 			return op
 		}, func() bool { return req.done })
 		w.mu.Unlock()
-		call.SentSeq, call.SentDst = m.seq+1, m.dstWorld
+		call.SentSeq, call.SentDst, call.SentBytes = m.seq+1, m.dstWorld, m.bytes
 		r.abortIfFailed()
 		r.clock.AdvanceTo(vtime.Time(req.time))
 	}

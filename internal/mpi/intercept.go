@@ -51,14 +51,15 @@ type Call struct {
 	Flag bool
 
 	// Message-edge coordinates for the observability layer (package obs).
-	// SentSeq/SentDst identify the point-to-point message this call
-	// posted: the runtime's per-(src,dst) channel sequence number
-	// (1-based; 0 = no message) and the destination world rank. RecvSeq/
-	// RecvSrcWorld identify the message a blocking receive completed.
-	// Wait-family calls expose completions through Request.MatchedMessage
-	// instead.
-	SentSeq, SentDst      int
-	RecvSeq, RecvSrcWorld int
+	// SentSeq/SentDst/SentBytes identify the point-to-point message this
+	// call posted: the runtime's per-(src,dst) channel sequence number
+	// (1-based; 0 = no message), the destination world rank, and the
+	// message's size (Call.Bytes is the call argument, which persistent
+	// MPI_Start does not carry). RecvSeq/RecvSrcWorld identify the message
+	// a blocking receive completed. Wait-family calls expose completions
+	// through Request.MatchedMessage instead.
+	SentSeq, SentDst, SentBytes int
+	RecvSeq, RecvSrcWorld       int
 }
 
 // Interceptor is the PMPI hook: it observes every MPI call on every rank and

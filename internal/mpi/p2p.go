@@ -139,7 +139,7 @@ func (r *Rank) sendPayload(c *Comm, dst, tag, bytes int, payload []byte) {
 			w.mu.Lock()
 			w.postMessage(m)
 			w.mu.Unlock()
-			call.SentSeq, call.SentDst = m.seq+1, m.dstWorld
+			call.SentSeq, call.SentDst, call.SentBytes = m.seq+1, m.dstWorld, m.bytes
 		} else {
 			req := r.newRequest(reqSend)
 			req.describe(dst, tag)
@@ -153,7 +153,7 @@ func (r *Rank) sendPayload(c *Comm, dst, tag, bytes int, payload []byte) {
 				return op
 			}, func() bool { return req.done })
 			w.mu.Unlock()
-			call.SentSeq, call.SentDst = m.seq+1, m.dstWorld
+			call.SentSeq, call.SentDst, call.SentBytes = m.seq+1, m.dstWorld, m.bytes
 			r.abortIfFailed()
 			r.clock.AdvanceTo(vtime.Time(req.time))
 		}
@@ -227,7 +227,7 @@ func (r *Rank) Isend(c *Comm, dst, tag, bytes int) *Request {
 		w.mu.Lock()
 		w.postMessage(m)
 		w.mu.Unlock()
-		call.SentSeq, call.SentDst = m.seq+1, m.dstWorld
+		call.SentSeq, call.SentDst, call.SentBytes = m.seq+1, m.dstWorld, m.bytes
 	}
 	call.Request = req
 	r.endCall(call)
@@ -353,7 +353,7 @@ func (r *Rank) Sendrecv(c *Comm, dst, sendTag, sendBytes, src, recvTag int) Stat
 		w.mu.Lock()
 		w.postMessage(m)
 		w.mu.Unlock()
-		call.SentSeq, call.SentDst = m.seq+1, m.dstWorld
+		call.SentSeq, call.SentDst, call.SentBytes = m.seq+1, m.dstWorld, m.bytes
 	}
 	if src != ProcNull {
 		rreq = r.newRequest(reqRecv)

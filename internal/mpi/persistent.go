@@ -81,7 +81,7 @@ func (r *Rank) Start(req *Request) {
 			w.mu.Lock()
 			w.postMessage(m)
 			w.mu.Unlock()
-			call.SentSeq, call.SentDst = m.seq+1, m.dstWorld
+			call.SentSeq, call.SentDst, call.SentBytes = m.seq+1, m.dstWorld, m.bytes
 		}
 	} else {
 		if pa.peer == ProcNull {

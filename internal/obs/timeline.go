@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"sort"
 	"strings"
 
 	"siesta/internal/mpi"
@@ -157,6 +158,7 @@ func (tl *Timeline) AfterCall(r *mpi.Rank, call *mpi.Call) {
 			Name: "msg", Cat: CatMsg, Kind: KindFlowStart, Rank: me,
 			Start: float64(call.Start),
 			Flow:  tl.flowID(me, call.SentDst, call.SentSeq-1),
+			Attrs: []Attr{Int("bytes", call.SentBytes)},
 		})
 	}
 
@@ -220,6 +222,82 @@ func (tl *Timeline) OnCompute(r *mpi.Rank, k perfmodel.Kernel, c perfmodel.Count
 		Start: float64(start),
 		Dur:   float64(end.Sub(start)),
 	})
+}
+
+// MessageTotal is the observed traffic on one (Src, Dst) world-rank channel,
+// derived from the timeline's flow edges: Messages/Bytes count send sides
+// (FlowStart), Matched counts receive sides (FlowEnd). These are the
+// replay-side half of the statics agreement gate: for any run, they must
+// equal the send/recv volume matrix statics.Analyze computes from the
+// grammar alone.
+type MessageTotal struct {
+	Src, Dst int
+	Messages int64
+	Bytes    int64
+	Matched  int64
+}
+
+// MessageTotals derives the per-(src,dst) traffic matrix from the recorded
+// flow edges, sorted by (src, dst). Endpoint ranks are decoded from the
+// flow-id bit fields, so the totals cover every send path (including
+// persistent MPI_Start).
+func (tl *Timeline) MessageTotals() []MessageTotal {
+	if tl == nil {
+		return nil
+	}
+	agg := map[[2]int]*MessageTotal{}
+	for i := range tl.ranks {
+		for _, ev := range tl.ranks[i].events {
+			if ev.Cat != CatMsg {
+				continue
+			}
+			src := int(ev.Flow >> 40 & 0xFFFFF)
+			dst := int(ev.Flow >> 20 & 0xFFFFF)
+			key := [2]int{src, dst}
+			mt := agg[key]
+			if mt == nil {
+				mt = &MessageTotal{Src: src, Dst: dst}
+				agg[key] = mt
+			}
+			switch ev.Kind {
+			case KindFlowStart:
+				mt.Messages++
+				for _, a := range ev.Attrs {
+					if a.Key == "bytes" {
+						if b, ok := a.Value.(int64); ok {
+							mt.Bytes += b
+						}
+					}
+				}
+			case KindFlowEnd:
+				mt.Matched++
+			}
+		}
+	}
+	out := make([]MessageTotal, 0, len(agg))
+	for _, mt := range agg { //maporder:ok — sorted below
+		out = append(out, *mt)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		return out[i].Dst < out[j].Dst
+	})
+	return out
+}
+
+// CallCounts returns one rank's span counts keyed by name ("MPI_Send",
+// "MPI_Compute", ...), the per-rank call histogram half of the statics
+// agreement gate.
+func (tl *Timeline) CallCounts(rank int) map[string]int64 {
+	counts := map[string]int64{}
+	for _, ev := range tl.ranks[rank].events {
+		if ev.Kind == KindSpan {
+			counts[ev.Name]++
+		}
+	}
+	return counts
 }
 
 // BusyTotals sums one rank's span durations: virtual time inside MPI calls

@@ -1,0 +1,126 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"siesta/internal/statics"
+)
+
+// TestJobAnalysisEndpoint covers the static-analysis surface of the
+// service: a job submitted with "analyze": true bypasses the cache-hit
+// shortcut, records a statics.Report, and serves it at
+// GET /v1/jobs/{id}/analysis; unanalyzed jobs 404 there.
+func TestJobAnalysisEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	req := SynthesizeRequest{App: "CG", Ranks: 8, Iters: 2, Analyze: true}
+
+	resp, body := postJSON(t, ts.URL+"/v1/synthesize", req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST analyzed job = %d: %s", resp.StatusCode, body)
+	}
+	var sr SynthesizeResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	v := waitJob(t, ts.URL, sr.Job.ID)
+	if v.Status != StatusDone {
+		t.Fatalf("analyzed job: %s (%s)", v.Status, v.Error)
+	}
+	if v.AnalysisURL == "" {
+		t.Fatal("settled analyzed job has no analysis_url")
+	}
+
+	// The served document must round-trip as a statics.Report whose totals
+	// are populated and internally consistent.
+	httpResp, err := http.Get(ts.URL + v.AnalysisURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", v.AnalysisURL, httpResp.StatusCode)
+	}
+	if ct := httpResp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("analysis content-type %q", ct)
+	}
+	data, err := io.ReadAll(httpResp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep statics.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("analysis is not a statics.Report: %v", err)
+	}
+	if rep.NumRanks != 8 || !rep.Complete || rep.TotalMessages == 0 {
+		t.Fatalf("implausible analysis: ranks=%d complete=%v messages=%d",
+			rep.NumRanks, rep.Complete, rep.TotalMessages)
+	}
+	var pairSum int64
+	for _, pv := range rep.Pairs {
+		pairSum += pv.Messages
+	}
+	if pairSum != rep.TotalMessages {
+		t.Errorf("pair messages sum %d != total %d", pairSum, rep.TotalMessages)
+	}
+
+	// A repeat WITH analyze must synthesize again (a cache hit carries no
+	// program to analyze); a repeat WITHOUT hits the cache and carries no
+	// analysis_url.
+	resp2, body2 := postJSON(t, ts.URL+"/v1/synthesize", req)
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("repeat analyzed job should re-synthesize, got %d: %s", resp2.StatusCode, body2)
+	}
+	var sr2 SynthesizeResponse
+	if err := json.Unmarshal(body2, &sr2); err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, ts.URL, sr2.Job.ID)
+
+	plain := req
+	plain.Analyze = false
+	resp3, body3 := postJSON(t, ts.URL+"/v1/synthesize", plain)
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("unanalyzed repeat should hit the cache, got %d: %s", resp3.StatusCode, body3)
+	}
+	var sr3 SynthesizeResponse
+	if err := json.Unmarshal(body3, &sr3); err != nil {
+		t.Fatal(err)
+	}
+	if sr3.Job.AnalysisURL != "" {
+		t.Errorf("cache-hit job advertises an analysis_url: %q", sr3.Job.AnalysisURL)
+	}
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+sr3.Job.ID+"/analysis", nil); code != http.StatusNotFound {
+		t.Errorf("GET analysis on unanalyzed job = %d, want 404", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/jobs/nope/analysis", nil); code != http.StatusNotFound {
+		t.Errorf("GET analysis on unknown job = %d, want 404", code)
+	}
+
+	// The scrape must expose the analyze-latency histogram with at least
+	// the two analyses above, and the severity-labelled diagnostic
+	// counters (all zero: the runs were clean).
+	mResp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mResp.Body.Close()
+	mBody, err := io.ReadAll(mResp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scrape := string(mBody)
+	for _, want := range []string{
+		"siesta_analyze_seconds_count 2",
+		`siesta_check_diagnostics_total{severity="info"} 0`,
+		`siesta_check_diagnostics_total{severity="warning"} 0`,
+		`siesta_check_diagnostics_total{severity="error"} 0`,
+	} {
+		if !strings.Contains(scrape, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+}

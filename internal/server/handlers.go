@@ -58,6 +58,15 @@ type SynthesizeRequest struct {
 	// artifact still lands in the cache for later requests.
 	Trace bool `json:"trace,omitempty"`
 
+	// Analyze requests a static communication-cost analysis of the job's
+	// merged program (see internal/statics): the full statics.Report —
+	// volume matrix, per-rank totals, collective stats, cluster costs and
+	// the critical-path lower bound — served at GET /v1/jobs/{id}/analysis
+	// once the job settles. Like Trace, analyzed jobs always synthesize (a
+	// cache hit carries no program to analyze), but their artifact still
+	// lands in the cache for later requests.
+	Analyze bool `json:"analyze,omitempty"`
+
 	// MaxRetries caps in-process retries of transient failures (checkpoint
 	// or journal I/O errors; the synthesis itself was healthy). Values
 	// above the server limit are clamped to it; omitted selects the server
@@ -99,6 +108,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/artifact", s.handleGetArtifact)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleGetTrace)
+	mux.HandleFunc("GET /v1/jobs/{id}/analysis", s.handleGetAnalysis)
 	mux.HandleFunc("GET /v1/apps", s.handleListApps)
 	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -165,7 +175,7 @@ func (s *Server) prepare(req *SynthesizeRequest) (*job, int, error) {
 		return nil, http.StatusBadRequest, fmt.Errorf("encode request: %w", err)
 	}
 	jb := &job{timeout: timeout, parallelism: par, wantTrace: req.Trace,
-		maxRetries: retries, reqJSON: reqJSON}
+		wantAnalyze: req.Analyze, maxRetries: retries, reqJSON: reqJSON}
 	if req.App != "" {
 		spec, err := apps.ByName(req.App)
 		if err != nil {
@@ -175,7 +185,7 @@ func (s *Server) prepare(req *SynthesizeRequest) (*job, int, error) {
 			return nil, http.StatusBadRequest, errors.New("ranks must be positive")
 		}
 		opts.Ranks = req.Ranks
-		work, err := appWork(spec, apps.Params{Ranks: req.Ranks, Iters: req.Iters}, opts)
+		work, err := s.appWork(spec, apps.Params{Ranks: req.Ranks, Iters: req.Iters}, opts, req.Analyze)
 		if err != nil {
 			return nil, http.StatusBadRequest, err
 		}
@@ -198,7 +208,7 @@ func (s *Server) prepare(req *SynthesizeRequest) (*job, int, error) {
 		return nil, http.StatusBadRequest, fmt.Errorf("trace_base64: %w", err)
 	}
 	opts.Ranks = len(tr.Ranks)
-	jb.app, jb.ranks, jb.work = "trace", len(tr.Ranks), traceWork(tr, opts)
+	jb.app, jb.ranks, jb.work = "trace", len(tr.Ranks), s.traceWork(tr, opts, req.Analyze)
 	jb.key = cache.KeyFrom(
 		[]byte("trace:"), raw,
 		[]byte(core.OptionsFingerprint(opts)),
@@ -220,9 +230,9 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Identical finished work is answered from the artifact cache without
-	// touching the queue — unless the request wants a trace, which only a
-	// fresh run can record.
-	if _, ok := s.store.Get(jb.key); ok && !jb.wantTrace {
+	// touching the queue — unless the request wants a trace or an
+	// analysis, which only a fresh run can record.
+	if _, ok := s.store.Get(jb.key); ok && !jb.wantTrace && !jb.wantAnalyze {
 		s.mHits.Inc()
 		s.registerCached(jb)
 		s.logEvent("cache_hit", map[string]any{"job": jb.id, "app": jb.app, "key": string(jb.key)})
@@ -330,6 +340,31 @@ func (s *Server) handleGetTrace(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, "job %s is %s, trace not available yet", jb.id, status)
 	default:
 		writeError(w, http.StatusNotFound, "no trace recorded for job %s", jb.id)
+	}
+}
+
+func (s *Server) handleGetAnalysis(w http.ResponseWriter, r *http.Request) {
+	jb, ok := s.lookupJob(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	jb.mu.Lock()
+	data := jb.analysisJSON
+	status := jb.status
+	wantAnalyze := jb.wantAnalyze
+	jb.mu.Unlock()
+	switch {
+	case len(data) > 0:
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	case !wantAnalyze:
+		writeError(w, http.StatusNotFound,
+			"job %s was not analyzed; re-submit with \"analyze\": true", jb.id)
+	case status == StatusQueued || status == StatusRunning:
+		writeError(w, http.StatusConflict, "job %s is %s, analysis not available yet", jb.id, status)
+	default:
+		writeError(w, http.StatusNotFound, "no analysis recorded for job %s", jb.id)
 	}
 }
 

@@ -35,9 +35,10 @@ type job struct {
 	key         cache.Key
 	timeout     time.Duration
 	wantTrace   bool            // request asked for a runtime trace ("trace": true)
+	wantAnalyze bool            // request asked for a static analysis ("analyze": true)
 	reqJSON     json.RawMessage // canonical request, journaled at admission
 	maxRetries  int             // in-process retry budget for transient failures
-	work        func(ctx context.Context, tracer *obs.Tracer, ck core.Checkpointer, resume *core.Checkpoint) (*cache.Artifact, error)
+	work        func(ctx context.Context, tracer *obs.Tracer, ck core.Checkpointer, resume *core.Checkpoint) (*cache.Artifact, []byte, error)
 
 	// recovered marks a job re-admitted from the journal (set before
 	// admission, immutable after).
@@ -65,6 +66,9 @@ type job struct {
 	// wantTrace job, set when the job settles and served by
 	// GET /v1/jobs/{id}/trace.
 	traceJSON []byte
+	// analysisJSON is the statics.Report recorded for a wantAnalyze job,
+	// set when the job settles and served by GET /v1/jobs/{id}/analysis.
+	analysisJSON []byte
 }
 
 // JobView is the JSON shape of a job record.
@@ -81,6 +85,7 @@ type JobView struct {
 	Error       string     `json:"error,omitempty"`
 	ArtifactKey string     `json:"artifact_key,omitempty"`
 	TraceURL    string     `json:"trace_url,omitempty"`
+	AnalysisURL string     `json:"analysis_url,omitempty"`
 	Created     time.Time  `json:"created"`
 	Started     *time.Time `json:"started,omitempty"`
 	Finished    *time.Time `json:"finished,omitempty"`
@@ -110,6 +115,9 @@ func (j *job) view() JobView {
 	}
 	if len(j.traceJSON) > 0 {
 		v.TraceURL = "/v1/jobs/" + j.id + "/trace"
+	}
+	if len(j.analysisJSON) > 0 {
+		v.AnalysisURL = "/v1/jobs/" + j.id + "/analysis"
 	}
 	if !j.started.IsZero() && !j.finished.IsZero() {
 		v.DurationMS = j.finished.Sub(j.started).Milliseconds()

@@ -30,8 +30,10 @@ import (
 	"siesta/internal/merge"
 	"siesta/internal/mpi"
 	"siesta/internal/obs"
+	"siesta/internal/platform"
 	"siesta/internal/server/cache"
 	"siesta/internal/server/metrics"
+	"siesta/internal/statics"
 	"siesta/internal/trace"
 )
 
@@ -135,9 +137,12 @@ type Server struct {
 	mDone, mFail, mCancel *metrics.Counter
 	mRecovered, mCkptW    *metrics.Counter
 	mRetries              *metrics.Counter
+	mDiagInfo, mDiagWarn  *metrics.Counter
+	mDiagErr              *metrics.Counter
 	gQueued, gRunning     *metrics.Gauge
 	gPhasePar             *metrics.Gauge
 	hJobDur               *metrics.Histogram
+	hAnalyze              *metrics.Histogram
 }
 
 // phaseTimes aggregates one phase's observed wall times by execution mode.
@@ -176,10 +181,14 @@ func New(cfg Config) (*Server, error) {
 		mRecovered: reg.Counter("siesta_jobs_recovered_total", "jobs re-admitted from the journal after a restart"),
 		mCkptW:     reg.Counter("siesta_checkpoints_written_total", "phase-boundary checkpoints persisted"),
 		mRetries:   reg.Counter("siesta_job_retries_total", "in-process retries of transient job failures"),
+		mDiagInfo:  reg.Counter(`siesta_check_diagnostics_total{severity="info"}`, "static-verifier diagnostics by severity"),
+		mDiagWarn:  reg.Counter(`siesta_check_diagnostics_total{severity="warning"}`, "static-verifier diagnostics by severity"),
+		mDiagErr:   reg.Counter(`siesta_check_diagnostics_total{severity="error"}`, "static-verifier diagnostics by severity"),
 		gQueued:    reg.Gauge("siesta_queue_depth", "jobs waiting in the queue"),
 		gRunning:   reg.Gauge("siesta_jobs_running", "jobs currently synthesizing"),
 		gPhasePar:  reg.Gauge("siesta_phase_parallelism", "synthesis parallelism of the most recently started job"),
 		hJobDur:    reg.Histogram("siesta_job_duration_seconds", "wall-clock synthesis duration", nil),
+		hAnalyze:   reg.Histogram("siesta_analyze_seconds", "wall-clock time of static communication-cost analyses", nil),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -356,9 +365,10 @@ func (s *Server) runJob(jb *job) {
 	// retry within the job's budget, resuming from the latest checkpoint;
 	// everything else settles on the first attempt.
 	var (
-		art       *cache.Artifact
-		traceJSON []byte
-		err       error
+		art          *cache.Artifact
+		traceJSON    []byte
+		analysisJSON []byte
+		err          error
 	)
 	for {
 		jb.mu.Lock()
@@ -366,7 +376,7 @@ func (s *Server) runJob(jb *job) {
 		attempt := jb.attempts
 		jb.mu.Unlock()
 		s.journalRec(&durable.Record{Type: durable.TypeStarted, Job: jb.id, Attempt: attempt})
-		art, traceJSON, err = s.runAttempt(ctx, jb)
+		art, traceJSON, analysisJSON, err = s.runAttempt(ctx, jb)
 		if err == nil || !transientErr(err) || attempt > jb.maxRetries || ctx.Err() != nil {
 			break
 		}
@@ -384,6 +394,7 @@ func (s *Server) runJob(jb *job) {
 	jb.finished = finished
 	jb.phase = ""
 	jb.traceJSON = traceJSON
+	jb.analysisJSON = analysisJSON
 	switch {
 	case err == nil:
 		art.Key = jb.key
@@ -438,7 +449,7 @@ func (s *Server) runJob(jb *job) {
 // recorded when the request asked for a trace — they cost memory
 // proportional to the run. The observer fires on this goroutine
 // (core.Synthesize is synchronous).
-func (s *Server) runAttempt(ctx context.Context, jb *job) (*cache.Artifact, []byte, error) {
+func (s *Server) runAttempt(ctx context.Context, jb *job) (*cache.Artifact, []byte, []byte, error) {
 	tracer := obs.New()
 	if !jb.wantTrace {
 		tracer.WithoutTimelines()
@@ -459,7 +470,7 @@ func (s *Server) runAttempt(ctx context.Context, jb *job) (*cache.Artifact, []by
 	if s.ckpts != nil {
 		ck = jobCheckpointer{s: s, jb: jb}
 	}
-	art, err := jb.work(ctx, tracer, ck, jb.latestResume())
+	art, analysisJSON, err := jb.work(ctx, tracer, ck, jb.latestResume())
 
 	// Export the recorded trace even for failed or canceled jobs: a
 	// partial timeline is exactly what debugging those needs.
@@ -470,7 +481,44 @@ func (s *Server) runAttempt(ctx context.Context, jb *job) (*cache.Artifact, []by
 			traceJSON = buf.Bytes()
 		}
 	}
-	return art, traceJSON, err
+	return art, traceJSON, analysisJSON, err
+}
+
+// countDiags folds one verification report into the severity-labelled
+// diagnostic counters.
+func (s *Server) countDiags(rep *check.Report) {
+	if rep == nil {
+		return
+	}
+	for _, d := range rep.Diags {
+		switch d.Severity {
+		case check.Info:
+			s.mDiagInfo.Inc()
+		case check.Warning:
+			s.mDiagWarn.Inc()
+		default:
+			s.mDiagErr.Inc()
+		}
+	}
+}
+
+// analyzeProgram runs the static analyzer over a job's merged program under
+// an "analyze" phase span, feeds the analyze-latency histogram, and returns
+// the marshaled statics.Report. A nil platform resolves the program's
+// recorded one.
+func (s *Server) analyzeProgram(tracer *obs.Tracer, prog *merge.Program, plat *platform.Platform) ([]byte, error) {
+	var sp *obs.Span
+	if tracer != nil {
+		sp = tracer.Phase("analyze")
+	}
+	start := time.Now()
+	rep, err := statics.Analyze(prog, plat, statics.Options{ExactBytes: true})
+	s.hAnalyze.Observe(time.Since(start).Seconds())
+	sp.End()
+	if err != nil {
+		return nil, fmt.Errorf("server: analyze: %w", err)
+	}
+	return json.Marshal(rep)
 }
 
 // observePhase folds one phase wall time into the serial/parallel
@@ -582,16 +630,17 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // workFn is the signature of a queued job's executable body: one attempt,
 // checkpointing through ck and resuming from the checkpoint if one is
-// offered (a nil ck disables durability, a nil resume runs cold).
-type workFn = func(ctx context.Context, tracer *obs.Tracer, ck core.Checkpointer, resume *core.Checkpoint) (*cache.Artifact, error)
+// offered (a nil ck disables durability, a nil resume runs cold). The byte
+// slice is the marshaled statics.Report for an analyze job, nil otherwise.
+type workFn = func(ctx context.Context, tracer *obs.Tracer, ck core.Checkpointer, resume *core.Checkpoint) (*cache.Artifact, []byte, error)
 
 // appWork prepares the work function for a built-in application request.
-func appWork(spec *apps.Spec, params apps.Params, opts core.Options) (workFn, error) {
+func (s *Server) appWork(spec *apps.Spec, params apps.Params, opts core.Options, analyze bool) (workFn, error) {
 	fn, err := spec.Build(params)
 	if err != nil {
 		return nil, err
 	}
-	return func(ctx context.Context, tracer *obs.Tracer, ck core.Checkpointer, resume *core.Checkpoint) (*cache.Artifact, error) {
+	return func(ctx context.Context, tracer *obs.Tracer, ck core.Checkpointer, resume *core.Checkpoint) (*cache.Artifact, []byte, error) {
 		opts := opts
 		opts.Context = ctx
 		opts.Tracer = tracer
@@ -599,7 +648,14 @@ func appWork(spec *apps.Spec, params apps.Params, opts core.Options) (workFn, er
 		opts.Resume = resume
 		res, err := core.Synthesize(fn, opts)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
+		}
+		s.countDiags(res.Check)
+		var analysis []byte
+		if analyze {
+			if analysis, err = s.analyzeProgram(tracer, res.Program, opts.Platform); err != nil {
+				return nil, nil, err
+			}
 		}
 		st := res.Program.Stats()
 		art := &cache.Artifact{
@@ -611,7 +667,7 @@ func appWork(spec *apps.Spec, params apps.Params, opts core.Options) (workFn, er
 		if res.Check != nil {
 			art.CheckSummary = res.Check.Summary()
 		}
-		return art, nil
+		return art, analysis, nil
 	}, nil
 }
 
@@ -619,8 +675,8 @@ func appWork(spec *apps.Spec, params apps.Params, opts core.Options) (workFn, er
 // minus the two simulated runs — merge, verify, generate. The merged
 // program is checkpointed through the same merge.Program codec the core
 // pipeline uses, so a restart skips straight to verification and codegen.
-func traceWork(tr *trace.Trace, opts core.Options) workFn {
-	return func(ctx context.Context, tracer *obs.Tracer, ck core.Checkpointer, resume *core.Checkpoint) (*cache.Artifact, error) {
+func (s *Server) traceWork(tr *trace.Trace, opts core.Options, analyze bool) workFn {
+	return func(ctx context.Context, tracer *obs.Tracer, ck core.Checkpointer, resume *core.Checkpoint) (*cache.Artifact, []byte, error) {
 		fp := core.OptionsFingerprint(opts)
 		var cur *obs.Span
 		step := func(phase string) error {
@@ -655,12 +711,12 @@ func traceWork(tr *trace.Trace, opts core.Options) workFn {
 		}
 		if !resumed {
 			if err := step("merge"); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			var err error
 			prog, err = merge.Build(tr, opts.Merge)
 			if err != nil {
-				return nil, fmt.Errorf("server: merge: %w", err)
+				return nil, nil, fmt.Errorf("server: merge: %w", err)
 			}
 		}
 		// Verification always re-runs, resumed or not: its verdict is
@@ -669,7 +725,7 @@ func traceWork(tr *trace.Trace, opts core.Options) workFn {
 		var rep *check.Report
 		if !opts.DisableCheck {
 			if err := step("check"); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			var err error
 			rep, err = check.Verify(prog, check.Options{
@@ -677,10 +733,11 @@ func traceWork(tr *trace.Trace, opts core.Options) workFn {
 				AbsoluteRanks: opts.Trace.AbsoluteRanks,
 			})
 			if err != nil {
-				return nil, fmt.Errorf("server: check: %w", err)
+				return nil, nil, fmt.Errorf("server: check: %w", err)
 			}
+			s.countDiags(rep)
 			if rep.HasErrors() {
-				return nil, fmt.Errorf("server: uploaded trace failed static verification (%s)", rep.Summary())
+				return nil, nil, fmt.Errorf("server: uploaded trace failed static verification (%s)", rep.Summary())
 			}
 		}
 		if ck != nil && !resumed {
@@ -689,11 +746,22 @@ func traceWork(tr *trace.Trace, opts core.Options) workFn {
 				cp.CheckSummary = rep.Summary()
 			}
 			if err := ck.Save(cp); err != nil {
-				return nil, &core.CheckpointError{Phase: core.PhaseMerge, Err: err}
+				return nil, nil, &core.CheckpointError{Phase: core.PhaseMerge, Err: err}
+			}
+		}
+		// The analysis, when requested, runs on the verified program; the
+		// phase span and latency observation live in analyzeProgram.
+		var analysis []byte
+		if analyze {
+			cur.End()
+			cur = nil
+			var aerr error
+			if analysis, aerr = s.analyzeProgram(tracer, prog, opts.Platform); aerr != nil {
+				return nil, nil, aerr
 			}
 		}
 		if err := step("codegen"); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		genOpts := codegen.Options{Platform: opts.Platform, Scale: opts.Scale, Check: rep}
 		if opts.Scale > 1 {
@@ -701,7 +769,7 @@ func traceWork(tr *trace.Trace, opts core.Options) workFn {
 		}
 		gen, err := codegen.Generate(prog, genOpts)
 		if err != nil {
-			return nil, fmt.Errorf("server: generate: %w", err)
+			return nil, nil, fmt.Errorf("server: generate: %w", err)
 		}
 		st := prog.Stats()
 		art := &cache.Artifact{
@@ -712,6 +780,6 @@ func traceWork(tr *trace.Trace, opts core.Options) workFn {
 		if rep != nil {
 			art.CheckSummary = rep.Summary()
 		}
-		return art, nil
+		return art, analysis, nil
 	}
 }

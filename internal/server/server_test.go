@@ -237,14 +237,14 @@ func blockerJob(release chan struct{}) *job {
 	return &job{
 		app: "blocker", ranks: 1, timeout: time.Minute,
 		key: cache.KeyFrom([]byte(fmt.Sprintf("blocker-%p", release))),
-		work: func(ctx context.Context, tracer *obs.Tracer, _ core.Checkpointer, _ *core.Checkpoint) (*cache.Artifact, error) {
+		work: func(ctx context.Context, tracer *obs.Tracer, _ core.Checkpointer, _ *core.Checkpoint) (*cache.Artifact, []byte, error) {
 			sp := tracer.Phase("baseline")
 			defer sp.End()
 			select {
 			case <-release:
-				return &cache.Artifact{App: "blocker"}, nil
+				return &cache.Artifact{App: "blocker"}, nil, nil
 			case <-ctx.Done():
-				return nil, &mpi.CancelError{Cause: context.Cause(ctx)}
+				return nil, nil, &mpi.CancelError{Cause: context.Cause(ctx)}
 			}
 		},
 	}

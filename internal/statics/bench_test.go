@@ -1,0 +1,115 @@
+package statics_test
+
+import (
+	"testing"
+	"time"
+
+	"siesta/internal/apps"
+	"siesta/internal/merge"
+	"siesta/internal/mpi"
+	"siesta/internal/obs"
+	"siesta/internal/statics"
+	"siesta/internal/trace"
+)
+
+// BenchmarkAnalyzeVsReplay is the ISSUE's performance gate: analyzing the
+// 64-rank CG grammar must be at least 10× faster than replaying the run
+// under an obs.Timeline and deriving the same totals. The assertion runs
+// inside the benchmark (like BenchmarkTracingOverhead), so CI's bench smoke
+// fails on a regression even at -benchtime=1x.
+func BenchmarkAnalyzeVsReplay(b *testing.B) {
+	const ranks, iters = 64, 2
+	spec, err := apps.ByName("CG")
+	if err != nil {
+		b.Fatal(err)
+	}
+	build := func() func(*mpi.Rank) {
+		fn, err := spec.Build(apps.Params{Ranks: ranks, Iters: iters})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return fn
+	}
+	rec := trace.NewRecorder(ranks, trace.Config{})
+	w := mpi.NewWorld(mpi.Config{Size: ranks, Interceptor: rec, NoiseSigma: testNoise, Seed: testSeed})
+	if _, err := w.Run(build()); err != nil {
+		b.Fatal(err)
+	}
+	prog, err := merge.Build(rec.Trace("A", "openmpi"), merge.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	replay := func() {
+		tl := obs.New().NewTimeline("replay", ranks)
+		w := mpi.NewWorld(mpi.Config{Size: ranks, Interceptor: tl, NoiseSigma: testNoise, Seed: testSeed})
+		if _, err := w.Run(build()); err != nil {
+			b.Fatal(err)
+		}
+		if tot := tl.MessageTotals(); len(tot) == 0 {
+			b.Fatal("replay produced no messages")
+		}
+	}
+	analyze := func() {
+		rep, err := statics.Analyze(prog, nil, statics.Options{ExactBytes: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Complete {
+			b.Fatal("incomplete analysis")
+		}
+	}
+
+	minTime := func(fn func(), n int) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < n; i++ {
+			start := time.Now()
+			fn()
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	replayTime := minTime(replay, 3)
+	analyzeTime := minTime(analyze, 3)
+	speedup := float64(replayTime) / float64(analyzeTime)
+	b.ReportMetric(speedup, "speedup")
+	if speedup < 10 {
+		b.Fatalf("statics.Analyze only %.1fx faster than replay (replay %v, analyze %v); the gate requires 10x",
+			speedup, replayTime, analyzeTime)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analyze()
+	}
+}
+
+// BenchmarkAnalyze measures the analyzer alone on the 64-rank CG grammar.
+func BenchmarkAnalyze(b *testing.B) {
+	const ranks, iters = 64, 2
+	spec, err := apps.ByName("CG")
+	if err != nil {
+		b.Fatal(err)
+	}
+	fn, err := spec.Build(apps.Params{Ranks: ranks, Iters: iters})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := trace.NewRecorder(ranks, trace.Config{})
+	w := mpi.NewWorld(mpi.Config{Size: ranks, Interceptor: rec, NoiseSigma: testNoise, Seed: testSeed})
+	if _, err := w.Run(fn); err != nil {
+		b.Fatal(err)
+	}
+	prog, err := merge.Build(rec.Trace("A", "openmpi"), merge.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := statics.Analyze(prog, nil, statics.Options{ExactBytes: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

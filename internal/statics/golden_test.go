@@ -1,0 +1,55 @@
+package statics_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"siesta/internal/apps"
+	"siesta/internal/statics"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenAnalyzeCG16 pins the complete analyze JSON for CG at 16 ranks.
+// The report is a pure function of the merged program, which is a pure
+// function of (app, ranks, iters, seed, noise), so the bytes are stable
+// across machines and worker counts; regenerate with `go test -run Golden
+// ./internal/statics -update` after an intentional format change.
+func TestGoldenAnalyzeCG16(t *testing.T) {
+	spec, err := apps.ByName("CG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := traceProgram(t, spec, 16, 2)
+	rep, err := statics.Analyze(prog, nil, statics.Options{ExactBytes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	path := filepath.Join("testdata", "analyze_cg16.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("analyze JSON for CG@16 drifted from %s (run with -update to regenerate)\ngot:\n%s", path, got)
+	}
+}

@@ -1,0 +1,130 @@
+// Metamorphic properties of the analyzer, mirroring the determinism suite:
+// the report is invariant under merge parallelism (byte-identical JSON),
+// invariant under repeated analysis of the same program, and structurally
+// invariant under the virtual-noise seed — a different seed perturbs traced
+// durations (so the seconds fields legitimately move) but must not change a
+// single count, byte total, or matrix cell.
+package statics_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"siesta/internal/apps"
+	"siesta/internal/merge"
+	"siesta/internal/mpi"
+	"siesta/internal/statics"
+	"siesta/internal/trace"
+)
+
+func analyzeJSON(t *testing.T, p *merge.Program) []byte {
+	t.Helper()
+	rep, err := statics.Analyze(p, nil, statics.Options{ExactBytes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestAnalyzeInvariantUnderParallelism(t *testing.T) {
+	spec, err := apps.ByName("CG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ranks = 8
+	rec := trace.NewRecorder(ranks, trace.Config{})
+	w := mpi.NewWorld(mpi.Config{Size: ranks, Interceptor: rec, NoiseSigma: testNoise, Seed: testSeed})
+	if _, err := w.Run(buildApp(t, spec, ranks, 2)); err != nil {
+		t.Fatal(err)
+	}
+	tr := rec.Trace("A", "openmpi")
+
+	var first []byte
+	for _, par := range []int{1, 2, 8} {
+		p, err := merge.Build(tr, merge.Options{Parallelism: par})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		got := analyzeJSON(t, p)
+		if first == nil {
+			first = got
+			continue
+		}
+		if !bytes.Equal(first, got) {
+			t.Errorf("analysis differs between Parallelism=1 and Parallelism=%d", par)
+		}
+	}
+}
+
+func TestAnalyzeDeterministic(t *testing.T) {
+	spec, err := apps.ByName("Sweep3d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := traceProgram(t, spec, 6, 2)
+	a, b := analyzeJSON(t, prog), analyzeJSON(t, prog)
+	if !bytes.Equal(a, b) {
+		t.Error("two analyses of the same program differ")
+	}
+}
+
+// structural projects the seed-invariant half of a report: everything except
+// the duration-derived seconds fields.
+func structural(rep *statics.Report) map[string]any {
+	ranks := make([][4]int64, len(rep.Ranks))
+	for i, rt := range rep.Ranks {
+		ranks[i] = [4]int64{rt.Calls, rt.SentBytes, rt.RecvBytes, rt.CollectiveOps}
+	}
+	clusters := make([][2]int64, len(rep.Clusters))
+	for i, cc := range rep.Clusters {
+		clusters[i] = [2]int64{int64(cc.Cluster), cc.Events}
+	}
+	return map[string]any{
+		"events":   rep.Events,
+		"messages": rep.TotalMessages,
+		"bytes":    rep.TotalBytes,
+		"pairs":    rep.Pairs,
+		"funcs":    rep.Funcs,
+		"comms":    rep.Comms,
+		"ranks":    ranks,
+		"clusters": clusters,
+	}
+}
+
+func TestAnalyzeStructureInvariantUnderSeed(t *testing.T) {
+	spec, err := apps.ByName("CG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ranks = 8
+	var first map[string]any
+	for _, seed := range []uint64{7, 1234} {
+		rec := trace.NewRecorder(ranks, trace.Config{})
+		w := mpi.NewWorld(mpi.Config{Size: ranks, Interceptor: rec, NoiseSigma: testNoise, Seed: seed})
+		if _, err := w.Run(buildApp(t, spec, ranks, 2)); err != nil {
+			t.Fatal(err)
+		}
+		p, err := merge.Build(rec.Trace("A", "openmpi"), merge.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := statics.Analyze(p, nil, statics.Options{ExactBytes: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := structural(rep)
+		if first == nil {
+			first = got
+			continue
+		}
+		if !reflect.DeepEqual(first, got) {
+			t.Errorf("structural analysis differs between noise seeds:\nseed 7: %v\nseed %d: %v", first, seed, got)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package statics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"siesta/internal/check"
+)
+
+// PairVolume is one cell of the P×P point-to-point volume matrix: traffic
+// posted on the (Src, Dst) world-rank channel, send-side, plus how many of
+// those messages some receive actually matched.
+type PairVolume struct {
+	Src      int   `json:"src"`
+	Dst      int   `json:"dst"`
+	Messages int64 `json:"messages"`
+	Bytes    int64 `json:"bytes"`
+	Matched  int64 `json:"matched"`
+}
+
+// RankTotals aggregates one rank's traffic and compute.
+type RankTotals struct {
+	Rank          int   `json:"rank"`
+	Calls         int64 `json:"calls"` // every event, from the grammar fold
+	SentMessages  int64 `json:"sent_messages"`
+	SentBytes     int64 `json:"sent_bytes"`
+	RecvMessages  int64 `json:"recv_messages"` // matched receives
+	RecvBytes     int64 `json:"recv_bytes"`
+	CollectiveOps int64 `json:"collective_ops"` // collective arrivals
+	ComputeEvents int64 `json:"compute_events"`
+	// ComputeSeconds is the grammar-derived estimate: occurrence count times
+	// the cluster's mean traced duration, per compute terminal.
+	ComputeSeconds float64 `json:"compute_seconds"`
+	// LowerBoundSeconds is the rank's critical-path clock: compute means
+	// plus message and collective ordering, zero communication cost.
+	LowerBoundSeconds float64 `json:"lower_bound_seconds"`
+}
+
+// FuncCount is one row of the job-wide call histogram, from the grammar
+// fold: Calls occurrences of Func across all ranks, and the sum of the
+// terminals' recorded byte counts weighted by occurrence.
+type FuncCount struct {
+	Func  string `json:"func"`
+	Calls int64  `json:"calls"`
+	Bytes int64  `json:"bytes,omitempty"`
+}
+
+// CommStats aggregates collective activity on one communicator instance
+// (instance 0 is MPI_COMM_WORLD; split/dup results get fresh instances, so
+// pool reuse cannot conflate two communicators).
+type CommStats struct {
+	Comm      int              `json:"comm"`
+	Size      int              `json:"size"`
+	Steps     int64            `json:"steps"`     // collective slots opened
+	Completed int64            `json:"completed"` // slots every member reached
+	Arrivals  int64            `json:"arrivals"`  // per-rank participations
+	Bytes     int64            `json:"bytes"`
+	ByFunc    map[string]int64 `json:"by_func"`
+}
+
+// ClusterCost is one computation cluster's cost decomposition.
+type ClusterCost struct {
+	Cluster int   `json:"cluster"`
+	Events  int64 `json:"events"` // occurrences across ranks, from the fold
+	N       int   `json:"n"`      // events the tracer clustered (must equal Events)
+	// MeanSeconds is the cluster's mean traced duration; TotalSeconds its
+	// traced sum; ModelSeconds the perfmodel prediction from the summed
+	// counter vector (CyclesToSeconds of the cycle total).
+	MeanSeconds  float64 `json:"mean_seconds"`
+	TotalSeconds float64 `json:"total_seconds"`
+	ModelSeconds float64 `json:"model_seconds"`
+}
+
+// Report is the full static analysis of one merged program.
+type Report struct {
+	NumRanks int    `json:"num_ranks"`
+	Platform string `json:"platform"`
+	// Events counts the full program's events via the multiplicity fold;
+	// ExecutedEvents counts what the abstract machine discharged. They are
+	// equal (Complete) unless the program statically deadlocks, in which
+	// case the machine-derived metrics cover only the executed prefix.
+	Events         int64 `json:"events"`
+	ExecutedEvents int64 `json:"executed_events"`
+	Complete       bool  `json:"complete"`
+
+	TotalMessages int64 `json:"total_messages"`
+	TotalBytes    int64 `json:"total_bytes"`
+
+	Pairs    []PairVolume  `json:"pairs"`
+	Ranks    []RankTotals  `json:"ranks"`
+	Funcs    []FuncCount   `json:"funcs"`
+	Comms    []CommStats   `json:"comms"`
+	Clusters []ClusterCost `json:"clusters"`
+
+	// ComputeSeconds is the job-wide traced compute total (Σ cluster
+	// TimeSum); ModelComputeSeconds the perfmodel-coefficient prediction.
+	ComputeSeconds      float64 `json:"compute_seconds"`
+	ModelComputeSeconds float64 `json:"model_compute_seconds"`
+	// CriticalPathSeconds is the dependency-structure lower bound on the
+	// job's runtime: max over ranks of the critical-path clock.
+	CriticalPathSeconds float64 `json:"critical_path_seconds"`
+
+	Check *check.Report `json:"check"`
+}
+
+// Matrix returns the dense P×P byte-volume matrix, row = source rank.
+func (r *Report) Matrix() [][]int64 {
+	m := make([][]int64, r.NumRanks)
+	for i := range m {
+		m[i] = make([]int64, r.NumRanks)
+	}
+	for _, pv := range r.Pairs {
+		m[pv.Src][pv.Dst] = pv.Bytes
+	}
+	return m
+}
+
+// maxDensePairs bounds the rank count for which the human-readable table
+// prints the dense volume matrix; larger jobs get the top pairs by bytes.
+const maxDensePairs = 16
+
+// String renders the human-readable table the CLI prints by default.
+func (r *Report) String() string {
+	var b strings.Builder
+	state := "complete"
+	if !r.Complete {
+		state = fmt.Sprintf("PARTIAL (%d of %d events discharged)", r.ExecutedEvents, r.Events)
+	}
+	fmt.Fprintf(&b, "analyze: %d ranks, %d events, %s\n", r.NumRanks, r.Events, state)
+	fmt.Fprintf(&b, "p2p: %d message(s), %s over %d rank pair(s)\n",
+		r.TotalMessages, fmtBytes(r.TotalBytes), len(r.Pairs))
+	if len(r.Pairs) > 0 {
+		if r.NumRanks <= maxDensePairs {
+			b.WriteString("volume matrix (bytes, row=src):\n")
+			m := r.Matrix()
+			fmt.Fprintf(&b, "%6s", "")
+			for d := 0; d < r.NumRanks; d++ {
+				fmt.Fprintf(&b, " %8d", d)
+			}
+			b.WriteByte('\n')
+			for s := 0; s < r.NumRanks; s++ {
+				fmt.Fprintf(&b, "%6d", s)
+				for d := 0; d < r.NumRanks; d++ {
+					fmt.Fprintf(&b, " %8d", m[s][d])
+				}
+				b.WriteByte('\n')
+			}
+		} else {
+			top := append([]PairVolume(nil), r.Pairs...)
+			sort.Slice(top, func(i, j int) bool {
+				if top[i].Bytes != top[j].Bytes {
+					return top[i].Bytes > top[j].Bytes
+				}
+				if top[i].Src != top[j].Src {
+					return top[i].Src < top[j].Src
+				}
+				return top[i].Dst < top[j].Dst
+			})
+			if len(top) > 20 {
+				top = top[:20]
+			}
+			fmt.Fprintf(&b, "top %d pairs by bytes:\n", len(top))
+			for _, pv := range top {
+				fmt.Fprintf(&b, "  %5d -> %-5d %10d msg %12s\n", pv.Src, pv.Dst, pv.Messages, fmtBytes(pv.Bytes))
+			}
+		}
+	}
+	b.WriteString("calls by function:\n")
+	for _, fc := range r.Funcs {
+		fmt.Fprintf(&b, "  %-24s %10d", fc.Func, fc.Calls)
+		if fc.Bytes > 0 {
+			fmt.Fprintf(&b, " %12s", fmtBytes(fc.Bytes))
+		}
+		b.WriteByte('\n')
+	}
+	if len(r.Comms) > 0 {
+		b.WriteString("collectives by communicator:\n")
+		for _, cs := range r.Comms {
+			fmt.Fprintf(&b, "  comm %-3d size %-5d %6d step(s) %8d arrival(s) %12s\n",
+				cs.Comm, cs.Size, cs.Steps, cs.Arrivals, fmtBytes(cs.Bytes))
+		}
+	}
+	if len(r.Clusters) > 0 {
+		b.WriteString("compute clusters:\n")
+		for _, cc := range r.Clusters {
+			fmt.Fprintf(&b, "  cluster %-3d %8d event(s) mean %.3e s total %.3e s (model %.3e s)\n",
+				cc.Cluster, cc.Events, cc.MeanSeconds, cc.TotalSeconds, cc.ModelSeconds)
+		}
+	}
+	fmt.Fprintf(&b, "compute total: %.6e s (model %.6e s)\n", r.ComputeSeconds, r.ModelComputeSeconds)
+	fmt.Fprintf(&b, "critical-path lower bound: %.6e s\n", r.CriticalPathSeconds)
+	if r.Check != nil {
+		fmt.Fprintf(&b, "check: %s\n", r.Check.Summary())
+	}
+	return b.String()
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}
