@@ -7,7 +7,7 @@
 //
 //	maporder [dir ...]
 //	(default: internal/merge internal/codegen internal/check
-//	 internal/statics internal/core)
+//	 internal/statics internal/core internal/fleet)
 //
 // Non-test .go files of each directory are parsed as one package. Exits
 // non-zero if any finding is reported.
@@ -30,7 +30,7 @@ func main() {
 	if len(dirs) == 0 {
 		dirs = []string{
 			"internal/merge", "internal/codegen", "internal/check",
-			"internal/statics", "internal/core",
+			"internal/statics", "internal/core", "internal/fleet",
 		}
 	}
 	failed := false

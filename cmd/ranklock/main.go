@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	ranklock [dir ...]   (default: internal/mpi internal/proxy)
+//	ranklock [dir ...]   (default: internal/mpi internal/proxy internal/fleet)
 //
 // Non-test .go files of each directory are parsed as one package. Exits
 // non-zero if any finding is reported.
@@ -26,7 +26,7 @@ import (
 func main() {
 	dirs := os.Args[1:]
 	if len(dirs) == 0 {
-		dirs = []string{"internal/mpi", "internal/proxy"}
+		dirs = []string{"internal/mpi", "internal/proxy", "internal/fleet"}
 	}
 	failed := false
 	for _, dir := range dirs {

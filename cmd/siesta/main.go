@@ -18,6 +18,12 @@
 //	siesta serve [-addr 127.0.0.1:8080] [-workers N] [-queue N]
 //	       [-job-timeout 120s] [-cache-size N] [-max-parallel N]
 //
+//	siesta gateway [-addr 127.0.0.1:8090] [-registry URL] [-ttl 3s]
+//	       [-route-refresh 500ms]
+//
+//	siesta worker [-addr 127.0.0.1:8081] [-registry http://127.0.0.1:8090]
+//	       [-advertise URL] [-id NAME] [-heartbeat 1s] [-state-dir DIR]
+//
 //	siesta bench [-app CG] [-ranks 8,32,64] [-reps 3] [-json BENCH_4.json]
 //	siesta bench -exp table3|fig4..fig9|ablations|all [-quick] [-seed N]
 //
@@ -42,6 +48,12 @@
 // /v1/synthesize queues jobs onto a bounded worker pool, finished proxies are
 // kept in a content-addressed artifact cache, and GET /metrics reports
 // service counters in Prometheus text format. See DESIGN.md §8.
+//
+// The gateway and worker verbs scale serve horizontally: workers register
+// with the gateway's embedded registry and heartbeat within a TTL, and the
+// gateway consistent-hash-routes each request by its artifact cache key to
+// the owning worker, failing jobs over (resuming from their replicated
+// phase-boundary checkpoint) when a worker dies. See DESIGN.md §13.
 //
 // The bench verb times the parallelized synthesis stages serial vs
 // parallel across rank counts and writes a JSON report; synthesis itself
@@ -102,6 +114,14 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
 		runServe(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "gateway" {
+		runGateway(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "worker" {
+		runWorker(os.Args[2:])
 		return
 	}
 	if len(os.Args) > 1 && os.Args[1] == "bench" {

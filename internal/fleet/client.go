@@ -1,0 +1,192 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"siesta/internal/server/cache"
+)
+
+// ErrUnknownWorker is returned by Heartbeat when the registry no longer
+// knows the worker (TTL expiry or registry restart); the worker responds
+// by re-registering.
+var ErrUnknownWorker = errors.New("fleet: registry does not know this worker")
+
+// RegistryClient talks to a Registry's /fleet/v1 HTTP API.
+type RegistryClient struct {
+	base string // registry base URL, no trailing slash
+	hc   *http.Client
+}
+
+// NewRegistryClient builds a client for the registry at base (scheme +
+// host, e.g. "http://10.0.0.1:8080"). A nil http.Client selects one with a
+// 5s timeout — registry calls are tiny and must fail fast.
+func NewRegistryClient(base string, hc *http.Client) *RegistryClient {
+	if hc == nil {
+		hc = &http.Client{Timeout: 5 * time.Second}
+	}
+	return &RegistryClient{base: strings.TrimSuffix(base, "/"), hc: hc}
+}
+
+func (c *RegistryClient) postEpoch(ctx context.Context, path string, body registerRequest) (uint64, int, error) {
+	data, _ := json.Marshal(body)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(data))
+	if err != nil {
+		return 0, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	var er epochResponse
+	if derr := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&er); derr != nil &&
+		resp.StatusCode == http.StatusOK {
+		return 0, resp.StatusCode, fmt.Errorf("fleet: decode %s response: %w", path, derr)
+	}
+	return er.Epoch, resp.StatusCode, nil
+}
+
+// Register announces the worker and returns the resulting epoch.
+func (c *RegistryClient) Register(ctx context.Context, info WorkerInfo, ready bool) (uint64, error) {
+	epoch, status, err := c.postEpoch(ctx, "/fleet/v1/register", registerRequest{ID: info.ID, Addr: info.Addr, Ready: ready})
+	if err != nil {
+		return 0, err
+	}
+	if status != http.StatusOK {
+		return 0, fmt.Errorf("fleet: register: registry answered %d", status)
+	}
+	return epoch, nil
+}
+
+// Heartbeat refreshes the worker's TTL; ErrUnknownWorker asks it to
+// re-register.
+func (c *RegistryClient) Heartbeat(ctx context.Context, id string, ready bool) (uint64, error) {
+	epoch, status, err := c.postEpoch(ctx, "/fleet/v1/heartbeat", registerRequest{ID: id, Ready: ready})
+	if err != nil {
+		return 0, err
+	}
+	switch status {
+	case http.StatusOK:
+		return epoch, nil
+	case http.StatusNotFound:
+		return epoch, ErrUnknownWorker
+	default:
+		return 0, fmt.Errorf("fleet: heartbeat: registry answered %d", status)
+	}
+}
+
+// Deregister removes the worker from the table immediately.
+func (c *RegistryClient) Deregister(ctx context.Context, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+"/fleet/v1/workers/"+id, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// Route fetches the current route table.
+func (c *RegistryClient) Route(ctx context.Context) (Table, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/fleet/v1/route", nil)
+	if err != nil {
+		return Table{}, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return Table{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Table{}, fmt.Errorf("fleet: route: registry answered %d", resp.StatusCode)
+	}
+	var t Table
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&t); err != nil {
+		return Table{}, fmt.Errorf("fleet: decode route table: %w", err)
+	}
+	return t, nil
+}
+
+// --- peer API client --------------------------------------------------------
+
+// maxPeerArtifact bounds a peer artifact response; generated C sources are
+// well under this.
+const maxPeerArtifact = 64 << 20
+
+// fetchPeerArtifact asks one worker's peer endpoint for a cached artifact.
+// Any failure — network, 404, undecodable body, key mismatch — is a miss;
+// peering is an optimization, never a correctness dependency.
+func fetchPeerArtifact(ctx context.Context, hc *http.Client, addr string, key cache.Key) (*cache.Artifact, bool) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimSuffix(addr, "/")+"/peer/v1/artifact/"+string(key), nil)
+	if err != nil {
+		return nil, false
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false
+	}
+	var a cache.Artifact
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxPeerArtifact)).Decode(&a); err != nil || a.Key != key {
+		return nil, false
+	}
+	return &a, true
+}
+
+// fetchPeerCheckpoint asks one worker for its replicated checkpoint blob
+// under an artifact key.
+func fetchPeerCheckpoint(ctx context.Context, hc *http.Client, addr string, key cache.Key) ([]byte, bool) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimSuffix(addr, "/")+"/peer/v1/checkpoint/"+string(key), nil)
+	if err != nil {
+		return nil, false
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false
+	}
+	blob, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerArtifact))
+	if err != nil || len(blob) == 0 {
+		return nil, false
+	}
+	return blob, true
+}
+
+// putPeerCheckpoint replicates a checkpoint blob to one worker.
+func putPeerCheckpoint(ctx context.Context, hc *http.Client, addr string, key cache.Key, blob []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut,
+		strings.TrimSuffix(addr, "/")+"/peer/v1/checkpoint/"+string(key), bytes.NewReader(blob))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("fleet: peer checkpoint put: %d", resp.StatusCode)
+	}
+	return nil
+}

@@ -1,0 +1,326 @@
+package fleet
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"siesta/internal/server"
+	"siesta/internal/server/cache"
+)
+
+// TestFleetE2ESubprocesses is the full multi-process drill: a real gateway
+// (embedded registry) and a three-worker fleet as separate OS processes, a
+// cache-peering hit on a non-owner replica, and a kill -9 of the owner
+// mid-job — the job must finish on a survivor, resumed from its replicated
+// checkpoint, with an artifact byte-identical to a single-node control
+// run. Heavy (builds the binary, runs ~5 processes), so it only runs when
+// SIESTA_FLEET_E2E=1; CI's fleet-e2e job sets it.
+func TestFleetE2ESubprocesses(t *testing.T) {
+	if os.Getenv("SIESTA_FLEET_E2E") == "" {
+		t.Skip("set SIESTA_FLEET_E2E=1 to run the subprocess fleet e2e")
+	}
+	bin := filepath.Join(t.TempDir(), "siesta")
+	build := exec.Command("go", "build", "-o", bin, "siesta/cmd/siesta")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build siesta: %v\n%s", err, out)
+	}
+
+	gwPort := freePort(t)
+	gwURL := fmt.Sprintf("http://127.0.0.1:%d", gwPort)
+
+	gwLog := &syncBuffer{}
+	startProc(t, gwLog, bin, "gateway",
+		"-addr", fmt.Sprintf("127.0.0.1:%d", gwPort),
+		"-ttl", "600ms", "-route-refresh", "100ms")
+
+	workerIDs := []string{"w1", "w2", "w3"}
+	workerLogs := map[string]*syncBuffer{}
+	workerURLs := map[string]string{}
+	procs := map[string]*exec.Cmd{}
+	for _, id := range workerIDs {
+		port := freePort(t)
+		workerLogs[id] = &syncBuffer{}
+		workerURLs[id] = fmt.Sprintf("http://127.0.0.1:%d", port)
+		procs[id] = startProc(t, workerLogs[id], bin, "worker",
+			"-addr", fmt.Sprintf("127.0.0.1:%d", port),
+			"-id", id, "-registry", gwURL, "-heartbeat", "100ms")
+	}
+
+	waitHTTP(t, gwURL+"/healthz", func(body []byte) bool {
+		var hz struct {
+			Workers int `json:"workers"`
+		}
+		return json.Unmarshal(body, &hz) == nil && hz.Workers == len(workerIDs)
+	}, 30*time.Second)
+
+	// --- consistent routing + cache hit -------------------------------------
+	shortReq := []byte(`{"app":"CG","ranks":4,"iters":2}`)
+	resp, raw := postRaw(t, gwURL+"/v1/synthesize", shortReq)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("synthesize: %d\n%s", resp.StatusCode, raw)
+	}
+	owner := resp.Header.Get("X-Siesta-Worker")
+	var sr server.SynthesizeResponse
+	if err := json.Unmarshal(raw, &sr); err != nil {
+		t.Fatal(err)
+	}
+	waitJobDone(t, gwURL, sr.Job.ID, 60*time.Second)
+	resp2, raw2 := postRaw(t, gwURL+"/v1/synthesize", shortReq)
+	var sr2 server.SynthesizeResponse
+	if err := json.Unmarshal(raw2, &sr2); err != nil {
+		t.Fatal(err)
+	}
+	if resp2.StatusCode != http.StatusOK || !sr2.Cached || resp2.Header.Get("X-Siesta-Worker") != owner {
+		t.Fatalf("repeat request: %d cached=%v worker=%q, want a hit on %q",
+			resp2.StatusCode, sr2.Cached, resp2.Header.Get("X-Siesta-Worker"), owner)
+	}
+
+	// --- cache peering on a non-owner replica -------------------------------
+	var nonOwner string
+	for _, id := range workerIDs {
+		if id != owner {
+			nonOwner = id
+			break
+		}
+	}
+	resp3, raw3 := postRaw(t, workerURLs[nonOwner]+"/v1/synthesize", shortReq)
+	var sr3 server.SynthesizeResponse
+	if err := json.Unmarshal(raw3, &sr3); err != nil {
+		t.Fatal(err)
+	}
+	if resp3.StatusCode != http.StatusOK || !sr3.Cached {
+		t.Fatalf("non-owner direct request: %d cached=%v, want a peer-served hit", resp3.StatusCode, sr3.Cached)
+	}
+	if !strings.Contains(getBody(t, workerURLs[nonOwner]+"/metrics"), "siesta_peer_hits_total 1") {
+		t.Error("non-owner metrics do not count the peer hit")
+	}
+
+	// --- kill -9 failover ----------------------------------------------------
+	longReq := []byte(`{"app":"CG","ranks":4,"iters":1500}`)
+	resp4, raw4 := postRaw(t, gwURL+"/v1/synthesize", longReq)
+	if resp4.StatusCode != http.StatusAccepted {
+		t.Fatalf("long synthesize: %d\n%s", resp4.StatusCode, raw4)
+	}
+	longOwner := resp4.Header.Get("X-Siesta-Worker")
+	var sr4 server.SynthesizeResponse
+	if err := json.Unmarshal(raw4, &sr4); err != nil {
+		t.Fatal(err)
+	}
+	waitHTTP(t, workerURLs[longOwner]+"/metrics", func(body []byte) bool {
+		return checkpointCount(string(body)) >= 1
+	}, 60*time.Second)
+	// Checkpoint replication is asynchronous: the owner's counter increments
+	// at save time, before the PUT to its ring successor completes. Only pull
+	// the trigger once a survivor actually holds the replica — otherwise the
+	// kill races the handoff and the redispatch legitimately runs cold.
+	waitReplica(t, workerURLs, longOwner, sr4.CacheKey, 30*time.Second)
+	if err := procs[longOwner].Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatalf("kill -9 %s: %v", longOwner, err)
+	}
+
+	view := waitJobDone(t, gwURL, sr4.Job.ID, 120*time.Second)
+	if view.Worker == longOwner || workerLogs[view.Worker] == nil {
+		t.Fatalf("failed-over job finished on %q, want a survivor (owner %q was killed)", view.Worker, longOwner)
+	}
+	if !strings.Contains(workerLogs[view.Worker].String(), `"phase":"resume"`) {
+		t.Fatalf("survivor never logged a resume phase — the job restarted cold\ngateway log:\n%s", gwLog.String())
+	}
+	failoverArt := getArtifact(t, gwURL+"/v1/jobs/"+sr4.Job.ID+"/artifact")
+
+	// --- byte-identical vs a single-node control -----------------------------
+	ctrlPort := freePort(t)
+	ctrlURL := fmt.Sprintf("http://127.0.0.1:%d", ctrlPort)
+	startProc(t, &syncBuffer{}, bin, "serve", "-addr", fmt.Sprintf("127.0.0.1:%d", ctrlPort))
+	waitHTTP(t, ctrlURL+"/readyz", func([]byte) bool { return true }, 30*time.Second)
+	cresp, craw := postRaw(t, ctrlURL+"/v1/synthesize", longReq)
+	if cresp.StatusCode != http.StatusAccepted {
+		t.Fatalf("control synthesize: %d\n%s", cresp.StatusCode, craw)
+	}
+	var csr server.SynthesizeResponse
+	if err := json.Unmarshal(craw, &csr); err != nil {
+		t.Fatal(err)
+	}
+	waitJobDone(t, ctrlURL, csr.Job.ID, 120*time.Second)
+	ctrlArt := getArtifact(t, ctrlURL+"/v1/jobs/"+csr.Job.ID+"/artifact")
+
+	if f, c := artifactSHA(t, failoverArt), artifactSHA(t, ctrlArt); f != c {
+		t.Fatalf("failover artifact sha256 %s != control %s", f, c)
+	}
+}
+
+func freePort(t *testing.T) int {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	return l.Addr().(*net.TCPAddr).Port
+}
+
+func startProc(t *testing.T, log *syncBuffer, bin string, args ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = log
+	cmd.Stdout = log
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start %s %v: %v", bin, args, err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	return cmd
+}
+
+func waitHTTP(t *testing.T, url string, ok func([]byte) bool, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK && ok(body) {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("condition on %s not met within %v", url, timeout)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func postRaw(t *testing.T, url string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func getBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return string(body)
+}
+
+func waitJobDone(t *testing.T, base, id string, timeout time.Duration) server.JobView {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		var v server.JobView
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err == nil {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK && json.Unmarshal(body, &v) == nil {
+				switch v.Status {
+				case server.StatusDone:
+					return v
+				case server.StatusFailed, server.StatusCanceled:
+					t.Fatalf("job %s settled %s: %s", id, v.Status, v.Error)
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s did not finish within %v (last %+v)", id, timeout, v)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func getArtifact(t *testing.T, url string) *cache.Artifact {
+	t.Helper()
+	var art cache.Artifact
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("artifact %s: %d\n%s", url, resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &art); err != nil {
+		t.Fatal(err)
+	}
+	return &art
+}
+
+// artifactSHA hashes the canonical JSON encoding so formatting differences
+// between endpoints cannot mask (or fake) a content difference.
+func artifactSHA(t *testing.T, art *cache.Artifact) string {
+	t.Helper()
+	data, err := json.Marshal(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// waitReplica polls the non-owner workers' peer endpoints until one of them
+// holds the replicated checkpoint for key.
+func waitReplica(t *testing.T, workerURLs map[string]string, owner, key string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		for id, base := range workerURLs {
+			if id == owner {
+				continue
+			}
+			resp, err := http.Get(base + "/peer/v1/checkpoint/" + key)
+			if err != nil {
+				continue
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("checkpoint %s never replicated off %s within %v", key, owner, timeout)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// checkpointCount extracts siesta_checkpoints_written_total from a metrics
+// exposition.
+func checkpointCount(text string) int {
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "siesta_checkpoints_written_total ") {
+			var n int
+			fmt.Sscanf(line, "siesta_checkpoints_written_total %d", &n)
+			return n
+		}
+	}
+	return 0
+}

@@ -1,0 +1,668 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"siesta/internal/server"
+	"siesta/internal/server/cache"
+	"siesta/internal/server/metrics"
+)
+
+// GatewayConfig tunes the fleet's routing front door.
+type GatewayConfig struct {
+	// RegistryURL points at an external registry; empty embeds one in the
+	// gateway process (the usual deployment: one stateful component fewer).
+	RegistryURL string
+	// TTL is the embedded registry's heartbeat TTL; ignored with an
+	// external registry. 0 selects DefaultTTL.
+	TTL time.Duration
+	// RouteRefresh is how often the gateway refreshes its route table and
+	// scans for dead-worker jobs to fail over; default 500ms.
+	RouteRefresh time.Duration
+	// Registry receives the gateway metrics; a private registry is created
+	// when nil. With an embedded fleet registry the same instance carries
+	// siesta_fleet_workers and siesta_route_epoch.
+	Registry *metrics.Registry
+	// LogWriter receives one JSON object per line per routing event
+	// (dispatch, eviction, failover). Nil disables logging.
+	LogWriter io.Writer
+}
+
+// gwJob is the gateway's record of one routed job: which worker holds it
+// under which remote id, plus everything needed to re-submit it elsewhere
+// if that worker dies.
+type gwJob struct {
+	mu        sync.Mutex
+	id        string    // gateway-facing id, g-%06d
+	key       cache.Key // artifact cache key = routing key
+	reqJSON   []byte    // canonical original request, for failover re-submission
+	worker    string    // current owner's ID
+	addr      string    // current owner's base URL
+	remote    string    // job id on the current owner
+	done      bool      // reached a terminal status; failover stops watching
+	failovers int
+}
+
+// Gateway is the stateless routing tier: it owns no synthesis state, only
+// the (rebuildable) mapping from its job ids to worker-local ones. Every
+// request is routed by its content-addressed artifact cache key, so the
+// ring sends a key to the same worker that previously cached it.
+type Gateway struct {
+	cfg GatewayConfig
+	reg *Registry       // embedded registry; nil when external
+	rc  *RegistryClient // external registry client; nil when embedded
+	hc  *http.Client
+	mr  *metrics.Registry
+
+	mu     sync.Mutex
+	routes *routes
+	jobs   map[string]*gwJob
+	nextID int
+
+	logMu sync.Mutex
+
+	mRouted    *metrics.Counter
+	mFailovers *metrics.Counter
+	mProxyErr  *metrics.Counter
+	gWorkers   *metrics.Gauge
+	gEpoch     *metrics.Gauge
+}
+
+// NewGateway builds a gateway; call Run to start its refresh and failover
+// loops, and serve Handler.
+func NewGateway(cfg GatewayConfig) *Gateway {
+	if cfg.RouteRefresh <= 0 {
+		cfg.RouteRefresh = 500 * time.Millisecond
+	}
+	mr := cfg.Registry
+	if mr == nil {
+		mr = metrics.NewRegistry()
+	}
+	g := &Gateway{
+		cfg:        cfg,
+		hc:         &http.Client{Timeout: 10 * time.Second},
+		mr:         mr,
+		routes:     newRoutes(Table{}),
+		jobs:       make(map[string]*gwJob),
+		mRouted:    mr.Counter("siesta_gateway_jobs_routed_total", "synthesize requests routed to a worker"),
+		mFailovers: mr.Counter("siesta_gateway_failovers_total", "jobs re-dispatched after their worker died"),
+		mProxyErr:  mr.Counter("siesta_gateway_proxy_errors_total", "proxied worker calls that failed"),
+	}
+	if cfg.RegistryURL == "" {
+		// Embedded registry: it reports the fleet gauges into the shared
+		// metrics registry itself.
+		g.reg = NewRegistry(cfg.TTL, mr)
+	} else {
+		g.rc = NewRegistryClient(cfg.RegistryURL, nil)
+		g.gWorkers = mr.Gauge("siesta_fleet_workers", "ready workers in the route table")
+		g.gEpoch = mr.Gauge("siesta_route_epoch", "route-table epoch; bumps on membership or readiness change")
+	}
+	return g
+}
+
+func (g *Gateway) logEvent(event string, fields map[string]any) {
+	w := g.cfg.LogWriter
+	if w == nil {
+		return
+	}
+	rec := make(map[string]any, len(fields)+2)
+	for k, v := range fields {
+		rec[k] = v
+	}
+	rec["ts"] = time.Now().UTC().Format(time.RFC3339Nano)
+	rec["event"] = event
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	g.logMu.Lock()
+	defer g.logMu.Unlock()
+	w.Write(append(data, '\n'))
+}
+
+// refreshRoutes pulls the registry's current table and publishes it if its
+// epoch is not older than the cached one.
+func (g *Gateway) refreshRoutes(ctx context.Context) {
+	var (
+		t   Table
+		err error
+	)
+	if g.reg != nil {
+		t = g.reg.Table()
+	} else {
+		rctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		t, err = g.rc.Route(rctx)
+		cancel()
+		if err != nil {
+			return
+		}
+	}
+	rt := newRoutes(t)
+	g.mu.Lock()
+	if rt.table.Epoch >= g.routes.table.Epoch {
+		g.routes = rt
+	}
+	g.mu.Unlock()
+	if g.gWorkers != nil {
+		g.gWorkers.Set(int64(len(t.Workers)))
+		g.gEpoch.Set(int64(t.Epoch))
+	}
+}
+
+func (g *Gateway) currentRoutes() *routes {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.routes
+}
+
+// evict removes a worker the gateway has proven unreachable — waiting out
+// the TTL would keep routing requests at a dead node — and refreshes the
+// table immediately so the very next lookup sees the shrunk ring.
+func (g *Gateway) evict(ctx context.Context, id string) {
+	if g.reg != nil {
+		g.reg.Deregister(id)
+	} else {
+		dctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		g.rc.Deregister(dctx, id)
+		cancel()
+	}
+	g.logEvent("worker_evicted", map[string]any{"worker": id})
+	g.refreshRoutes(ctx)
+}
+
+// Run drives the gateway's background loops until ctx is done: the
+// embedded registry's TTL sweeper (when embedded), plus the combined
+// route-refresh / failover scan.
+func (g *Gateway) Run(ctx context.Context) {
+	if g.reg != nil {
+		go g.reg.SweepLoop(ctx, 0)
+	}
+	tick := time.NewTicker(g.cfg.RouteRefresh)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			g.refreshRoutes(ctx)
+			g.checkFailovers(ctx)
+		}
+	}
+}
+
+// --- request routing --------------------------------------------------------
+
+// maxRequestBody mirrors the worker API's request bound.
+const maxRequestBody = 16 << 20
+
+func readAllLimited(r io.Reader, limit int64) ([]byte, error) {
+	data, err := io.ReadAll(io.LimitReader(r, limit+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(data)) > limit {
+		return nil, fmt.Errorf("body exceeds %d bytes", limit)
+	}
+	return data, nil
+}
+
+func writeGatewayJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	// Match the worker API's indentation so clients (and CI greps) see one
+	// JSON dialect regardless of which tier answered.
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeGatewayError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeGatewayJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// Handler returns the gateway's HTTP surface: the /v1 API (proxied), the
+// fleet registry API (when embedded), and the gateway's own health and
+// metrics endpoints.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/synthesize", g.handleSynthesize)
+	mux.HandleFunc("GET /v1/jobs", g.handleListJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", g.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", g.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/artifact", g.handleArtifact)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", g.handleSubResource("trace"))
+	mux.HandleFunc("GET /v1/jobs/{id}/analysis", g.handleSubResource("analysis"))
+	mux.HandleFunc("GET /v1/apps", g.handleApps)
+	mux.HandleFunc("GET /healthz", g.handleHealthz)
+	mux.HandleFunc("GET /readyz", g.handleReadyz)
+	mux.Handle("GET /metrics", g.mr.Handler())
+	if g.reg != nil {
+		mux.Handle("/fleet/v1/", g.reg.Handler())
+	}
+	return mux
+}
+
+// dispatch POSTs a synthesize body to one worker and decodes the answer.
+func (g *Gateway) dispatch(ctx context.Context, addr string, body []byte) (*server.SynthesizeResponse, int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimSuffix(addr, "/")+"/v1/synthesize", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := g.hc.Do(req)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := readAllLimited(resp.Body, maxRequestBody)
+	if err != nil {
+		return nil, resp.StatusCode, nil, err
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		// Validation errors, backpressure, drain: the worker's answer is
+		// authoritative; pass it through untouched.
+		return nil, resp.StatusCode, raw, nil
+	}
+	var sr server.SynthesizeResponse
+	if err := json.Unmarshal(raw, &sr); err != nil {
+		return nil, resp.StatusCode, nil, fmt.Errorf("decode worker response: %w", err)
+	}
+	return &sr, resp.StatusCode, raw, nil
+}
+
+// rewriteView maps a worker-local job view onto the gateway's id space.
+func rewriteView(v server.JobView, gid string) server.JobView {
+	remote := v.ID
+	v.ID = gid
+	if v.TraceURL != "" {
+		v.TraceURL = strings.Replace(v.TraceURL, remote, gid, 1)
+	}
+	if v.AnalysisURL != "" {
+		v.AnalysisURL = strings.Replace(v.AnalysisURL, remote, gid, 1)
+	}
+	return v
+}
+
+func (g *Gateway) handleSynthesize(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
+	var req server.SynthesizeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeGatewayError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	key, err := server.RequestKey(&req)
+	if err != nil {
+		writeGatewayError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Re-marshal the typed request: this canonical body is what a failover
+	// re-submission starts from (with resume_base64 added).
+	body, err := json.Marshal(&req)
+	if err != nil {
+		writeGatewayError(w, http.StatusBadRequest, "encode request: %v", err)
+		return
+	}
+
+	// The owner first, then its ring successors: a dead owner must not
+	// make the request fail while any replica can take it.
+	rt := g.currentRoutes()
+	cands := rt.successors(string(key), 3)
+	if len(cands) == 0 {
+		writeGatewayError(w, http.StatusServiceUnavailable, "no ready workers in the fleet")
+		return
+	}
+	for _, cand := range cands {
+		sr, status, raw, derr := g.dispatch(r.Context(), cand.Addr, body)
+		if derr != nil {
+			// Unreachable or garbled: evict and try the next candidate.
+			g.mProxyErr.Inc()
+			g.evict(r.Context(), cand.ID)
+			continue
+		}
+		if sr == nil {
+			// Worker answered with an error status; relay it verbatim.
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("X-Siesta-Worker", cand.ID)
+			w.WriteHeader(status)
+			w.Write(raw)
+			return
+		}
+		j := &gwJob{key: key, reqJSON: body, worker: cand.ID, addr: cand.Addr, remote: sr.Job.ID}
+		if sr.Cached || sr.Job.Status == server.StatusDone {
+			j.done = true
+		}
+		g.mu.Lock()
+		g.nextID++
+		j.id = fmt.Sprintf("g-%06d", g.nextID)
+		g.jobs[j.id] = j
+		g.mu.Unlock()
+		g.mRouted.Inc()
+		g.logEvent("job_routed", map[string]any{
+			"job": j.id, "worker": cand.ID, "remote": sr.Job.ID,
+			"key": string(key), "cached": sr.Cached,
+		})
+		sr.Job = rewriteView(sr.Job, j.id)
+		sr.ArtifactURL = "/v1/jobs/" + j.id + "/artifact"
+		w.Header().Set("X-Siesta-Worker", cand.ID)
+		writeGatewayJSON(w, status, sr)
+		return
+	}
+	writeGatewayError(w, http.StatusServiceUnavailable, "all candidate workers for this key are unreachable")
+}
+
+func (g *Gateway) lookup(gid string) (*gwJob, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	j, ok := g.jobs[gid]
+	return j, ok
+}
+
+// snapshot reads a job's current placement.
+func (j *gwJob) snapshot() (worker, addr, remote string, done bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.worker, j.addr, j.remote, j.done
+}
+
+func (g *Gateway) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := g.lookup(r.PathValue("id"))
+	if !ok {
+		writeGatewayError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	worker, addr, remote, _ := j.snapshot()
+	req, _ := http.NewRequestWithContext(r.Context(), http.MethodGet,
+		strings.TrimSuffix(addr, "/")+"/v1/jobs/"+remote, nil)
+	resp, err := g.hc.Do(req)
+	if err != nil {
+		// The worker is (momentarily) unreachable. The job is not lost —
+		// the failover scan re-homes it — so answer with a synthetic
+		// running view rather than an error a polling client would trip on.
+		g.mProxyErr.Inc()
+		writeGatewayJSON(w, http.StatusOK, server.JobView{
+			ID: j.id, Status: server.StatusRunning, Phase: "failover-pending",
+			Worker: worker, CacheKey: string(j.key),
+		})
+		return
+	}
+	defer resp.Body.Close()
+	raw, _ := readAllLimited(resp.Body, maxRequestBody)
+	if resp.StatusCode != http.StatusOK {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(resp.StatusCode)
+		w.Write(raw)
+		return
+	}
+	var v server.JobView
+	if err := json.Unmarshal(raw, &v); err != nil {
+		writeGatewayError(w, http.StatusBadGateway, "decode worker job view: %v", err)
+		return
+	}
+	if v.Status == server.StatusDone || v.Status == server.StatusFailed || v.Status == server.StatusCanceled {
+		j.mu.Lock()
+		j.done = true
+		j.mu.Unlock()
+	}
+	if wid := resp.Header.Get("X-Siesta-Worker"); wid != "" {
+		w.Header().Set("X-Siesta-Worker", wid)
+	}
+	writeGatewayJSON(w, http.StatusOK, rewriteView(v, j.id))
+}
+
+func (g *Gateway) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := g.lookup(r.PathValue("id"))
+	if !ok {
+		writeGatewayError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	_, addr, remote, _ := j.snapshot()
+	req, _ := http.NewRequestWithContext(r.Context(), http.MethodDelete,
+		strings.TrimSuffix(addr, "/")+"/v1/jobs/"+remote, nil)
+	resp, err := g.hc.Do(req)
+	if err != nil {
+		g.mProxyErr.Inc()
+		writeGatewayError(w, http.StatusBadGateway, "worker unreachable: %v", err)
+		return
+	}
+	defer resp.Body.Close()
+	raw, _ := readAllLimited(resp.Body, maxRequestBody)
+	// A canceled job must not be resurrected by the failover scan.
+	j.mu.Lock()
+	j.done = true
+	j.mu.Unlock()
+	var v server.JobView
+	if resp.StatusCode == http.StatusOK && json.Unmarshal(raw, &v) == nil {
+		writeGatewayJSON(w, http.StatusOK, rewriteView(v, j.id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(resp.StatusCode)
+	w.Write(raw)
+}
+
+// handleArtifact proxies the artifact with a fleet-grade fallback: the
+// artifact is content-addressed, so if the worker that ran the job is gone
+// the gateway asks the key's current ring neighbourhood directly.
+func (g *Gateway) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	j, ok := g.lookup(r.PathValue("id"))
+	if !ok {
+		writeGatewayError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	_, addr, remote, _ := j.snapshot()
+	req, _ := http.NewRequestWithContext(r.Context(), http.MethodGet,
+		strings.TrimSuffix(addr, "/")+"/v1/jobs/"+remote+"/artifact", nil)
+	resp, err := g.hc.Do(req)
+	if err == nil {
+		defer resp.Body.Close()
+		raw, _ := readAllLimited(resp.Body, maxPeerArtifact)
+		if wid := resp.Header.Get("X-Siesta-Worker"); wid != "" {
+			w.Header().Set("X-Siesta-Worker", wid)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(resp.StatusCode)
+		w.Write(raw)
+		return
+	}
+	g.mProxyErr.Inc()
+	rt := g.currentRoutes()
+	for _, cand := range rt.successors(string(j.key), 3) {
+		if art, ok := fetchPeerArtifact(r.Context(), g.hc, cand.Addr, j.key); ok {
+			w.Header().Set("X-Siesta-Worker", cand.ID)
+			writeGatewayJSON(w, http.StatusOK, art)
+			return
+		}
+	}
+	writeGatewayError(w, http.StatusBadGateway, "no live replica holds artifact %s", j.key)
+}
+
+// handleSubResource proxies trace/analysis documents verbatim.
+func (g *Gateway) handleSubResource(kind string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		j, ok := g.lookup(r.PathValue("id"))
+		if !ok {
+			writeGatewayError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+			return
+		}
+		_, addr, remote, _ := j.snapshot()
+		req, _ := http.NewRequestWithContext(r.Context(), http.MethodGet,
+			strings.TrimSuffix(addr, "/")+"/v1/jobs/"+remote+"/"+kind, nil)
+		resp, err := g.hc.Do(req)
+		if err != nil {
+			g.mProxyErr.Inc()
+			writeGatewayError(w, http.StatusBadGateway, "worker unreachable: %v", err)
+			return
+		}
+		defer resp.Body.Close()
+		raw, _ := readAllLimited(resp.Body, maxPeerArtifact)
+		if wid := resp.Header.Get("X-Siesta-Worker"); wid != "" {
+			w.Header().Set("X-Siesta-Worker", wid)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(resp.StatusCode)
+		w.Write(raw)
+	}
+}
+
+// handleListJobs reports the gateway's own routing records — placement,
+// not lifecycle; poll GET /v1/jobs/{id} for a job's live status.
+func (g *Gateway) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	type routedJob struct {
+		ID        string `json:"id"`
+		CacheKey  string `json:"cache_key"`
+		Worker    string `json:"worker"`
+		Done      bool   `json:"done"`
+		Failovers int    `json:"failovers,omitempty"`
+	}
+	g.mu.Lock()
+	ids := make([]string, 0, len(g.jobs))
+	for id := range g.jobs { //maporder:ok — sorted below before the slice escapes
+		ids = append(ids, id)
+	}
+	jobs := make([]*gwJob, 0, len(ids))
+	sort.Strings(ids)
+	for _, id := range ids {
+		jobs = append(jobs, g.jobs[id])
+	}
+	g.mu.Unlock()
+	out := make([]routedJob, 0, len(jobs))
+	for _, j := range jobs {
+		j.mu.Lock()
+		out = append(out, routedJob{ID: j.id, CacheKey: string(j.key),
+			Worker: j.worker, Done: j.done, Failovers: j.failovers})
+		j.mu.Unlock()
+	}
+	writeGatewayJSON(w, http.StatusOK, out)
+}
+
+func (g *Gateway) handleApps(w http.ResponseWriter, r *http.Request) {
+	rt := g.currentRoutes()
+	for _, wi := range rt.table.Workers {
+		req, _ := http.NewRequestWithContext(r.Context(), http.MethodGet,
+			strings.TrimSuffix(wi.Addr, "/")+"/v1/apps", nil)
+		resp, err := g.hc.Do(req)
+		if err != nil {
+			continue
+		}
+		raw, _ := readAllLimited(resp.Body, maxRequestBody)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			continue
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(raw)
+		return
+	}
+	writeGatewayError(w, http.StatusServiceUnavailable, "no worker answered the app catalog")
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	rt := g.currentRoutes()
+	writeGatewayJSON(w, http.StatusOK, map[string]any{
+		"status": "ok", "role": "gateway",
+		"workers": len(rt.table.Workers), "epoch": rt.table.Epoch,
+	})
+}
+
+// handleReadyz: a gateway with an empty route table can only say 503, so
+// load balancers keep traffic on gateways that can actually place work.
+func (g *Gateway) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	rt := g.currentRoutes()
+	if len(rt.table.Workers) == 0 {
+		writeGatewayJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "not ready", "reason": "no ready workers"})
+		return
+	}
+	writeGatewayJSON(w, http.StatusOK, map[string]any{"status": "ready", "workers": len(rt.table.Workers)})
+}
+
+// --- failover ---------------------------------------------------------------
+
+// checkFailovers re-homes jobs whose worker has left the route table: it
+// recovers the job's replicated phase-boundary checkpoint from the key's
+// live ring neighbourhood, attaches it to the original request as
+// resume_base64, and re-submits to the key's current owner — so the job
+// finishes elsewhere, resuming where the dead node stopped instead of at
+// phase zero.
+func (g *Gateway) checkFailovers(ctx context.Context) {
+	rt := g.currentRoutes()
+	g.mu.Lock()
+	watch := make([]*gwJob, 0, len(g.jobs))
+	for _, j := range g.jobs { //maporder:ok — order-insensitive scan; each job is handled independently
+		watch = append(watch, j)
+	}
+	g.mu.Unlock()
+	for _, j := range watch {
+		j.mu.Lock()
+		if j.done || rt.has(j.worker) {
+			j.mu.Unlock()
+			continue
+		}
+		g.redispatchLocked(ctx, rt, j)
+		j.mu.Unlock()
+	}
+}
+
+// redispatchLocked re-submits one orphaned job; caller holds j.mu.
+func (g *Gateway) redispatchLocked(ctx context.Context, rt *routes, j *gwJob) {
+	owner, ok := rt.owner(string(j.key))
+	if !ok {
+		return // fleet momentarily empty; retry next scan
+	}
+	body := j.reqJSON
+	// Recover the newest checkpoint replica from the key's live
+	// neighbourhood. Losing the race (no replica) degrades to a cold
+	// re-run — slower, byte-identical output.
+	var resumed bool
+	for _, cand := range rt.successors(string(j.key), 3) {
+		fctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+		blob, ok := fetchPeerCheckpoint(fctx, g.hc, cand.Addr, j.key)
+		cancel()
+		if !ok {
+			continue
+		}
+		var req server.SynthesizeRequest
+		if err := json.Unmarshal(j.reqJSON, &req); err != nil {
+			break
+		}
+		req.ResumeBase64 = base64.StdEncoding.EncodeToString(blob)
+		if b, err := json.Marshal(&req); err == nil {
+			body = b
+			resumed = true
+		}
+		break
+	}
+	dctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	sr, status, _, err := g.dispatch(dctx, owner.Addr, body)
+	cancel()
+	if err != nil {
+		g.mProxyErr.Inc()
+		g.evict(ctx, owner.ID)
+		return // next scan retries against the shrunk ring
+	}
+	if sr == nil {
+		g.logEvent("failover_rejected", map[string]any{"job": j.id, "worker": owner.ID, "status": status})
+		return
+	}
+	dead := j.worker
+	j.worker, j.addr, j.remote = owner.ID, owner.Addr, sr.Job.ID
+	j.failovers++
+	if sr.Cached || sr.Job.Status == server.StatusDone {
+		j.done = true
+	}
+	g.mFailovers.Inc()
+	g.logEvent("job_failover", map[string]any{
+		"job": j.id, "from": dead, "to": owner.ID, "remote": sr.Job.ID,
+		"resumed": resumed, "cached": sr.Cached,
+	})
+}

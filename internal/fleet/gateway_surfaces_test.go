@@ -1,0 +1,246 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"siesta/internal/server"
+	"siesta/internal/server/metrics"
+)
+
+// TestGatewayJobSurfaces covers the proxied job lifecycle beyond
+// synthesize/poll: the routing-record list, cancellation, and the
+// trace/analysis sub-resources.
+func TestGatewayJobSurfaces(t *testing.T) {
+	f := startFleet(t, 2)
+
+	// "trace"/"analyze" bypass the cache-hit shortcut, so this always runs
+	// and serves both sub-resources.
+	req := map[string]any{"app": "CG", "ranks": 4, "iters": 2, "trace": true, "analyze": true}
+	resp, raw := postBody(t, f.gwTS.URL+"/v1/synthesize", req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("synthesize: %d\n%s", resp.StatusCode, raw)
+	}
+	var sr server.SynthesizeResponse
+	if err := json.Unmarshal(raw, &sr); err != nil {
+		t.Fatal(err)
+	}
+	v := waitDone(t, f.gwTS.URL, sr.Job.ID, 60*time.Second)
+	if v.Status != server.StatusDone {
+		t.Fatalf("job settled %s: %s", v.Status, v.Error)
+	}
+	// Sub-resource URLs in the view are rewritten to the gateway id space.
+	if !strings.Contains(v.TraceURL, sr.Job.ID) || !strings.Contains(v.AnalysisURL, sr.Job.ID) {
+		t.Fatalf("sub-resource URLs not rewritten: trace %q analysis %q", v.TraceURL, v.AnalysisURL)
+	}
+	for _, path := range []string{"/trace", "/analysis"} {
+		hresp, err := http.Get(f.gwTS.URL + "/v1/jobs/" + sr.Job.ID + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hresp.Body.Close()
+		if hresp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", path, hresp.StatusCode)
+		}
+		if hresp.Header.Get("X-Siesta-Worker") == "" {
+			t.Errorf("GET %s: missing worker attribution", path)
+		}
+	}
+
+	// The list endpoint reports the gateway's own routing records.
+	var listed []struct {
+		ID       string `json:"id"`
+		CacheKey string `json:"cache_key"`
+		Worker   string `json:"worker"`
+		Done     bool   `json:"done"`
+	}
+	if code := getInto(t, f.gwTS.URL+"/v1/jobs", &listed); code != http.StatusOK {
+		t.Fatalf("list jobs: %d", code)
+	}
+	found := false
+	for _, lj := range listed {
+		if lj.ID == sr.Job.ID {
+			found = true
+			if lj.CacheKey != sr.CacheKey || lj.Worker == "" || !lj.Done {
+				t.Fatalf("routing record %+v, want key %s and done", lj, sr.CacheKey)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("job %s missing from the list: %+v", sr.Job.ID, listed)
+	}
+
+	// Cancel a long job through the gateway; it must settle canceled and
+	// never be resurrected by the failover scan.
+	resp2, raw2 := postBody(t, f.gwTS.URL+"/v1/synthesize",
+		map[string]any{"app": "CG", "ranks": 4, "iters": 1200, "seed": 99})
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("long synthesize: %d\n%s", resp2.StatusCode, raw2)
+	}
+	var sr2 server.SynthesizeResponse
+	if err := json.Unmarshal(raw2, &sr2); err != nil {
+		t.Fatal(err)
+	}
+	dreq, _ := http.NewRequest(http.MethodDelete, f.gwTS.URL+"/v1/jobs/"+sr2.Job.ID, nil)
+	dresp, err := http.DefaultClient.Do(dreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dv server.JobView
+	if err := json.NewDecoder(dresp.Body).Decode(&dv); err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK || dv.ID != sr2.Job.ID {
+		t.Fatalf("cancel: %d %+v", dresp.StatusCode, dv)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var cv server.JobView
+		if getInto(t, f.gwTS.URL+"/v1/jobs/"+sr2.Job.ID, &cv) == http.StatusOK && cv.Status == server.StatusCanceled {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("canceled job never settled canceled through the gateway")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestGatewayEvictsDeadWorkerOnDispatch pins proactive eviction: a request
+// routed at a dead owner must not fail — the gateway evicts the node and
+// retries the next ring candidate within the same request.
+func TestGatewayEvictsDeadWorkerOnDispatch(t *testing.T) {
+	f := startFleet(t, 2)
+
+	// Find a request owned by w1 by replaying the gateway's own routing
+	// math over the registered membership.
+	rt := newRoutes(Table{Epoch: 1, Workers: []WorkerInfo{
+		{ID: f.ws[0].id, Addr: f.ws[0].ts.URL},
+		{ID: f.ws[1].id, Addr: f.ws[1].ts.URL},
+	}})
+	victim := f.ws[0]
+	var req *server.SynthesizeRequest
+	for seed := 1; seed < 100; seed++ {
+		cand := &server.SynthesizeRequest{App: "CG", Ranks: 4, Iters: 2, Seed: uint64(seed)}
+		key, err := server.RequestKey(cand)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if owner, ok := rt.owner(string(key)); ok && owner.ID == victim.id {
+			req = cand
+			break
+		}
+	}
+	if req == nil {
+		t.Fatal("no seed in [1,100) hashes to the victim — ring balance is broken")
+	}
+
+	victim.kill()
+	resp, raw := postBody(t, f.gwTS.URL+"/v1/synthesize", req)
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("request owned by a dead worker: %d\n%s", resp.StatusCode, raw)
+	}
+	if got := resp.Header.Get("X-Siesta-Worker"); got != f.ws[1].id {
+		t.Fatalf("served by %q, want the surviving worker %q", got, f.ws[1].id)
+	}
+	if !strings.Contains(f.gwLog.String(), `"event":"worker_evicted"`) {
+		t.Fatal("gateway log records no eviction of the dead owner")
+	}
+}
+
+// TestGatewayWithExternalRegistry runs the three roles as separate
+// components: a standalone registry process boundary (HTTP), a gateway
+// pointed at it, and a worker that registers, serves one job, and leaves
+// gracefully — after which the gateway reports not-ready.
+func TestGatewayWithExternalRegistry(t *testing.T) {
+	reg := NewRegistry(2*time.Second, metrics.NewRegistry())
+	regTS := httptest.NewServer(reg.Handler())
+	defer regTS.Close()
+
+	gw := NewGateway(GatewayConfig{RegistryURL: regTS.URL, RouteRefresh: 50 * time.Millisecond})
+	gwTS := httptest.NewServer(gw.Handler())
+	defer gwTS.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go gw.Run(ctx)
+
+	// No workers yet: routable requests have nowhere to go.
+	resp, _ := postBody(t, gwTS.URL+"/v1/synthesize", map[string]any{"app": "CG", "ranks": 4, "iters": 2})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("synthesize with an empty fleet: %d, want 503", resp.StatusCode)
+	}
+	if code := getInto(t, gwTS.URL+"/readyz", nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with an empty fleet: %d, want 503", code)
+	}
+
+	var h atomic.Value
+	wts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hh, ok := h.Load().(http.Handler); ok {
+			hh.ServeHTTP(w, r)
+			return
+		}
+		http.Error(w, "starting", http.StatusServiceUnavailable)
+	}))
+	defer wts.Close()
+	wk, err := NewWorker(WorkerConfig{
+		ID: "solo", AdvertiseURL: wts.URL, RegistryURL: regTS.URL,
+		Heartbeat: 50 * time.Millisecond,
+		Server:    server.Config{Workers: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Store(wk.Handler())
+	wctx, wcancel := context.WithCancel(ctx)
+	defer wcancel()
+	go wk.Run(wctx)
+
+	deadline := time.Now().Add(15 * time.Second)
+	for getInto(t, gwTS.URL+"/readyz", nil) != http.StatusOK {
+		if time.Now().After(deadline) {
+			t.Fatal("gateway never became ready after the worker registered")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	var hz struct {
+		Workers int `json:"workers"`
+	}
+	if getInto(t, gwTS.URL+"/healthz", &hz) != http.StatusOK || hz.Workers != 1 {
+		t.Fatalf("healthz = %+v", hz)
+	}
+
+	resp2, raw2 := postBody(t, gwTS.URL+"/v1/synthesize", map[string]any{"app": "CG", "ranks": 4, "iters": 2})
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("synthesize via external registry: %d\n%s", resp2.StatusCode, raw2)
+	}
+	var sr server.SynthesizeResponse
+	if err := json.Unmarshal(raw2, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if v := waitDone(t, gwTS.URL, sr.Job.ID, 60*time.Second); v.Status != server.StatusDone {
+		t.Fatalf("job settled %s: %s", v.Status, v.Error)
+	}
+
+	// Graceful leave: deregisters immediately (no TTL wait), drains, and
+	// the gateway flips to not-ready on its next refresh.
+	wcancel()
+	sctx, scancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer scancel()
+	if err := wk.Close(sctx); err != nil {
+		t.Fatalf("worker close: %v", err)
+	}
+	deadline = time.Now().Add(15 * time.Second)
+	for getInto(t, gwTS.URL+"/readyz", nil) != http.StatusServiceUnavailable {
+		if time.Now().After(deadline) {
+			t.Fatal("gateway stayed ready after the only worker left")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,138 @@
+// Package fleet promotes the single-process synthesis service to a
+// horizontally scalable tier with three roles (DESIGN.md §13):
+//
+//   - a Registry (in-repo, stdlib HTTP) tracking worker membership:
+//     registration, TTL heartbeats, and an epoch-versioned route table;
+//   - a stateless Gateway that consistent-hash-routes every job by its
+//     content-addressed artifact cache key to the worker that owns it,
+//     proxies the /v1/* API transparently, and re-routes on worker death
+//     — re-submitting with the replicated phase-boundary checkpoint so
+//     the replacement resumes where the dead node stopped;
+//   - Workers wrapping internal/server with fleet membership, a peering
+//     API (any replica answers a cache hit before recomputing), and
+//     checkpoint replication to a hash-ring successor.
+//
+// Jobs are pure functions of (input identity, options fingerprint) and
+// artifacts are content-addressed, which is what makes the tier shardable:
+// routing by cache key means the owner's cache fills with exactly the keys
+// it is asked for, and any node can verify an artifact it receives.
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// ringPointsPerNode is the number of virtual points each node contributes
+// to the ring. 64 keeps the load imbalance across a handful of workers in
+// the few-percent range while the whole ring stays small enough to rebuild
+// on every epoch change.
+const ringPointsPerNode = 64
+
+// Ring is an immutable consistent-hash ring over node names. Construction
+// is deterministic: the same node set yields the same ring regardless of
+// input order, so every gateway and worker that holds the same route table
+// agrees on ownership without coordination.
+type Ring struct {
+	nodes  []string // sorted, deduplicated
+	points []ringPoint
+}
+
+type ringPoint struct {
+	h    uint64
+	node int32 // index into nodes
+}
+
+// hashPoint maps an arbitrary string to its ring coordinate: the first 8
+// bytes of its sha256, matching the distribution quality of the artifact
+// keys being routed.
+func hashPoint(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// NewRing builds a ring over the given node names. Duplicates collapse; an
+// empty slice yields an empty ring whose lookups report no owner.
+func NewRing(nodes []string) *Ring {
+	sorted := append([]string(nil), nodes...)
+	sort.Strings(sorted)
+	dedup := sorted[:0]
+	for i, n := range sorted {
+		if i == 0 || n != sorted[i-1] {
+			dedup = append(dedup, n)
+		}
+	}
+	r := &Ring{nodes: dedup, points: make([]ringPoint, 0, len(dedup)*ringPointsPerNode)}
+	for ni, n := range r.nodes {
+		for v := 0; v < ringPointsPerNode; v++ {
+			r.points = append(r.points, ringPoint{
+				h:    hashPoint(n + "#" + strconv.Itoa(v)),
+				node: int32(ni),
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.h != b.h {
+			return a.h < b.h
+		}
+		// Ties (vanishingly rare) break by node index so construction
+		// stays order-independent.
+		return a.node < b.node
+	})
+	return r
+}
+
+// Len reports the number of distinct nodes on the ring.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Nodes returns the sorted node names (shared slice; do not mutate).
+func (r *Ring) Nodes() []string { return r.nodes }
+
+// start locates the first ring point at or clockwise of key's coordinate.
+func (r *Ring) start(key string) int {
+	h := hashPoint(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the ring is circular
+	}
+	return i
+}
+
+// Owner returns the node that owns key — the first node clockwise of the
+// key's point. false on an empty ring.
+func (r *Ring) Owner(key string) (string, bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	return r.nodes[r.points[r.start(key)].node], true
+}
+
+// Successors returns up to n distinct nodes in ring order starting at the
+// key's owner. Successor walks are how replicas are chosen: the owner
+// first, then the nodes that would inherit the key if the owner left —
+// exactly the nodes worth asking for a peer copy.
+func (r *Ring) Successors(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	out := make([]string, 0, n)
+	seen := make(map[int32]bool, n)
+	for i, walked := r.start(key), 0; walked < len(r.points) && len(out) < n; walked++ {
+		p := r.points[i]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, r.nodes[p.node])
+		}
+		i++
+		if i == len(r.points) {
+			i = 0
+		}
+	}
+	return out
+}

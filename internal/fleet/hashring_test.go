@@ -1,0 +1,138 @@
+package fleet
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%04d", i)
+	}
+	return keys
+}
+
+func TestRingDeterministicAcrossInsertionOrder(t *testing.T) {
+	a := NewRing([]string{"w1", "w2", "w3"})
+	b := NewRing([]string{"w3", "w1", "w2", "w2"}) // shuffled, with a duplicate
+	if a.Len() != 3 || b.Len() != 3 {
+		t.Fatalf("Len = %d, %d, want 3", a.Len(), b.Len())
+	}
+	for _, k := range ringKeys(500) {
+		ao, _ := a.Owner(k)
+		bo, _ := b.Owner(k)
+		if ao != bo {
+			t.Fatalf("owner(%q) differs across construction order: %q vs %q", k, ao, bo)
+		}
+		if !reflect.DeepEqual(a.Successors(k, 3), b.Successors(k, 3)) {
+			t.Fatalf("successors(%q) differ across construction order", k)
+		}
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	empty := NewRing(nil)
+	if _, ok := empty.Owner("anything"); ok {
+		t.Fatal("empty ring reported an owner")
+	}
+	if s := empty.Successors("anything", 2); s != nil {
+		t.Fatalf("empty ring returned successors %v", s)
+	}
+	one := NewRing([]string{"solo"})
+	if o, ok := one.Owner("k"); !ok || o != "solo" {
+		t.Fatalf("single-node owner = %q, %v", o, ok)
+	}
+	if s := one.Successors("k", 5); len(s) != 1 || s[0] != "solo" {
+		t.Fatalf("single-node successors = %v", s)
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"w1", "w2", "w3", "w4"}
+	r := NewRing(nodes)
+	counts := map[string]int{}
+	keys := ringKeys(4000)
+	for _, k := range keys {
+		o, _ := r.Owner(k)
+		counts[o]++
+	}
+	// With 64 virtual points per node, no node should stray wildly from the
+	// 25% fair share; a generous 2x band catches gross imbalance (e.g. a
+	// broken hash) without being flaky.
+	fair := len(keys) / len(nodes)
+	for _, n := range nodes {
+		if c := counts[n]; c < fair/2 || c > fair*2 {
+			t.Errorf("node %s owns %d of %d keys (fair share %d)", n, c, len(keys), fair)
+		}
+	}
+}
+
+func TestRingConsistencyUnderMembershipChange(t *testing.T) {
+	before := NewRing([]string{"w1", "w2", "w3"})
+	after := NewRing([]string{"w1", "w2", "w3", "w4"})
+	keys := ringKeys(2000)
+	moved := 0
+	for _, k := range keys {
+		bo, _ := before.Owner(k)
+		ao, _ := after.Owner(k)
+		if bo != ao {
+			if ao != "w4" {
+				// The defining property: adding a node only moves keys TO
+				// that node, never between surviving nodes.
+				t.Fatalf("key %q moved %q -> %q on node add", k, bo, ao)
+			}
+			moved++
+		}
+	}
+	// Expect roughly 1/4 of the keyspace to move to the new node.
+	if moved < len(keys)/8 || moved > len(keys)/2 {
+		t.Errorf("%d of %d keys moved to the new node; expected around %d", moved, len(keys), len(keys)/4)
+	}
+}
+
+func TestRingSuccessorsDistinct(t *testing.T) {
+	r := NewRing([]string{"w1", "w2", "w3"})
+	if got := r.Nodes(); len(got) != 3 || got[0] != "w1" || got[2] != "w3" {
+		t.Fatalf("Nodes() = %v, want sorted [w1 w2 w3]", got)
+	}
+	for _, k := range ringKeys(100) {
+		succ := r.Successors(k, 3)
+		if len(succ) != 3 {
+			t.Fatalf("successors(%q) = %v, want 3 nodes", k, succ)
+		}
+		owner, _ := r.Owner(k)
+		if succ[0] != owner {
+			t.Fatalf("successors(%q)[0] = %q, want owner %q", k, succ[0], owner)
+		}
+		seen := map[string]bool{}
+		for _, s := range succ {
+			if seen[s] {
+				t.Fatalf("successors(%q) repeats %q: %v", k, s, succ)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestRoutesLookups(t *testing.T) {
+	rt := newRoutes(Table{Epoch: 7, Workers: []WorkerInfo{
+		{ID: "w2", Addr: "http://b"},
+		{ID: "w1", Addr: "http://a"},
+	}})
+	if !rt.has("w1") || !rt.has("w2") || rt.has("w3") {
+		t.Fatal("has() does not match the table")
+	}
+	if a, ok := rt.addr("w2"); !ok || a != "http://b" {
+		t.Fatalf("addr(w2) = %q, %v", a, ok)
+	}
+	o, ok := rt.owner("some-key")
+	if !ok || o.Addr == "" {
+		t.Fatalf("owner = %+v, %v", o, ok)
+	}
+	succ := rt.successors("some-key", 2)
+	if len(succ) != 2 || succ[0] != o {
+		t.Fatalf("successors = %+v, owner %+v", succ, o)
+	}
+}

@@ -1,0 +1,230 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"siesta/internal/server/metrics"
+)
+
+// DefaultTTL is how long a worker stays routable after its last heartbeat.
+const DefaultTTL = 3 * time.Second
+
+// Registry tracks fleet membership: workers register, heartbeat within a
+// TTL, and report readiness; the registry folds that into an
+// epoch-versioned route table of ready workers. It is the one stateful
+// fleet component, and deliberately tiny — membership is soft state that
+// every worker re-creates by registering, so a restarted registry
+// converges within one heartbeat interval.
+type Registry struct {
+	ttl   time.Duration
+	clock func() time.Time // injectable for tests
+
+	mu      sync.Mutex
+	workers map[string]*regEntry
+	epoch   uint64
+	table   Table // cached; rebuilt on every epoch bump
+
+	gWorkers *metrics.Gauge
+	gEpoch   *metrics.Gauge
+}
+
+type regEntry struct {
+	info     WorkerInfo
+	ready    bool
+	lastSeen time.Time
+}
+
+// NewRegistry builds a registry with the given heartbeat TTL (0 selects
+// DefaultTTL), reporting fleet gauges into reg when non-nil.
+func NewRegistry(ttl time.Duration, reg *metrics.Registry) *Registry {
+	if ttl <= 0 {
+		ttl = DefaultTTL
+	}
+	r := &Registry{
+		ttl:     ttl,
+		clock:   time.Now,
+		workers: make(map[string]*regEntry),
+	}
+	if reg != nil {
+		r.gWorkers = reg.Gauge("siesta_fleet_workers", "ready workers in the route table")
+		r.gEpoch = reg.Gauge("siesta_route_epoch", "route-table epoch; bumps on membership or readiness change")
+	}
+	return r
+}
+
+// bumpLocked advances the epoch and rebuilds the cached table after any
+// membership or readiness change. Caller holds r.mu.
+func (r *Registry) bumpLocked() {
+	r.epoch++
+	ws := make([]WorkerInfo, 0, len(r.workers))
+	for _, e := range r.workers { //maporder:ok — sorted below before the table escapes
+		if e.ready {
+			ws = append(ws, e.info)
+		}
+	}
+	sort.Slice(ws, func(i, j int) bool { return ws[i].ID < ws[j].ID })
+	r.table = Table{Epoch: r.epoch, Workers: ws}
+	if r.gWorkers != nil {
+		r.gWorkers.Set(int64(len(ws)))
+		r.gEpoch.Set(int64(r.epoch))
+	}
+}
+
+// Register adds or refreshes a worker and returns the resulting epoch.
+// Re-registering an existing ID updates its address and readiness — the
+// normal path for a worker that restarted faster than its TTL.
+func (r *Registry) Register(info WorkerInfo, ready bool) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.workers[info.ID]
+	changed := !ok || e.info != info || e.ready != ready
+	if !ok {
+		e = &regEntry{}
+		r.workers[info.ID] = e
+	}
+	e.info, e.ready, e.lastSeen = info, ready, r.clock()
+	if changed {
+		r.bumpLocked()
+	}
+	return r.epoch
+}
+
+// Heartbeat refreshes a worker's TTL and readiness. ok=false means the
+// registry does not know the worker (it expired, or the registry
+// restarted) and it must re-register.
+func (r *Registry) Heartbeat(id string, ready bool) (epoch uint64, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, exists := r.workers[id]
+	if !exists {
+		return r.epoch, false
+	}
+	e.lastSeen = r.clock()
+	if e.ready != ready {
+		e.ready = ready
+		r.bumpLocked()
+	}
+	return r.epoch, true
+}
+
+// Deregister removes a worker immediately — a graceful goodbye, or the
+// gateway evicting a node it has proven unreachable rather than waiting
+// out the TTL.
+func (r *Registry) Deregister(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.workers[id]; ok {
+		delete(r.workers, id)
+		r.bumpLocked()
+	}
+}
+
+// Sweep expires workers whose last heartbeat is older than the TTL as of
+// now. It returns the expired IDs (for logging).
+func (r *Registry) Sweep(now time.Time) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var expired []string
+	for id, e := range r.workers { //maporder:ok — sorted below before the slice escapes
+		if now.Sub(e.lastSeen) > r.ttl {
+			expired = append(expired, id)
+		}
+	}
+	if len(expired) == 0 {
+		return nil
+	}
+	sort.Strings(expired)
+	for _, id := range expired {
+		delete(r.workers, id)
+	}
+	r.bumpLocked()
+	return expired
+}
+
+// SweepLoop runs Sweep every interval until ctx is done; the conventional
+// cadence is a fraction of the TTL so expiry lag stays small.
+func (r *Registry) SweepLoop(ctx context.Context, every time.Duration) {
+	if every <= 0 {
+		every = r.ttl / 3
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-t.C:
+			r.Sweep(now)
+		}
+	}
+}
+
+// Table returns the current route table (value copy; the worker slice is
+// shared and immutable once published).
+func (r *Registry) Table() Table {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.table
+}
+
+// --- HTTP API ---------------------------------------------------------------
+
+// registerRequest is the POST /fleet/v1/register and heartbeat body.
+type registerRequest struct {
+	ID    string `json:"id"`
+	Addr  string `json:"addr,omitempty"`
+	Ready bool   `json:"ready"`
+}
+
+// epochResponse answers register and heartbeat calls.
+type epochResponse struct {
+	Epoch uint64 `json:"epoch"`
+}
+
+// Handler exposes the registry over HTTP under /fleet/v1/. The gateway
+// embeds it by default; it can equally run standalone behind any mux.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /fleet/v1/register", func(w http.ResponseWriter, req *http.Request) {
+		var body registerRequest
+		if err := json.NewDecoder(req.Body).Decode(&body); err != nil || body.ID == "" || body.Addr == "" {
+			http.Error(w, fmt.Sprintf("register: id and addr are required (%v)", err), http.StatusBadRequest)
+			return
+		}
+		epoch := r.Register(WorkerInfo{ID: body.ID, Addr: body.Addr}, body.Ready)
+		writeFleetJSON(w, http.StatusOK, epochResponse{Epoch: epoch})
+	})
+	mux.HandleFunc("POST /fleet/v1/heartbeat", func(w http.ResponseWriter, req *http.Request) {
+		var body registerRequest
+		if err := json.NewDecoder(req.Body).Decode(&body); err != nil || body.ID == "" {
+			http.Error(w, fmt.Sprintf("heartbeat: id is required (%v)", err), http.StatusBadRequest)
+			return
+		}
+		epoch, ok := r.Heartbeat(body.ID, body.Ready)
+		if !ok {
+			writeFleetJSON(w, http.StatusNotFound, epochResponse{Epoch: epoch})
+			return
+		}
+		writeFleetJSON(w, http.StatusOK, epochResponse{Epoch: epoch})
+	})
+	mux.HandleFunc("DELETE /fleet/v1/workers/{id}", func(w http.ResponseWriter, req *http.Request) {
+		r.Deregister(req.PathValue("id"))
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("GET /fleet/v1/route", func(w http.ResponseWriter, req *http.Request) {
+		writeFleetJSON(w, http.StatusOK, r.Table())
+	})
+	return mux
+}
+
+func writeFleetJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

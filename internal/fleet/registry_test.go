@@ -1,0 +1,122 @@
+package fleet
+
+import (
+	"context"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"siesta/internal/server/metrics"
+)
+
+func TestRegistryEpochsAndMembership(t *testing.T) {
+	mr := metrics.NewRegistry()
+	r := NewRegistry(time.Second, mr)
+
+	e1 := r.Register(WorkerInfo{ID: "w1", Addr: "http://a"}, true)
+	if e1 == 0 {
+		t.Fatal("first registration did not bump the epoch")
+	}
+	// A heartbeat with unchanged readiness must NOT bump the epoch:
+	// otherwise every beat would invalidate every cached route table.
+	e2, ok := r.Heartbeat("w1", true)
+	if !ok || e2 != e1 {
+		t.Fatalf("no-op heartbeat: epoch %d -> %d, ok=%v", e1, e2, ok)
+	}
+	// Re-registering identical state is also a no-op.
+	if e := r.Register(WorkerInfo{ID: "w1", Addr: "http://a"}, true); e != e1 {
+		t.Fatalf("idempotent re-register bumped epoch %d -> %d", e1, e)
+	}
+
+	e3 := r.Register(WorkerInfo{ID: "w2", Addr: "http://b"}, true)
+	if e3 <= e1 {
+		t.Fatalf("second worker did not bump the epoch: %d -> %d", e1, e3)
+	}
+	tab := r.Table()
+	want := []WorkerInfo{{ID: "w1", Addr: "http://a"}, {ID: "w2", Addr: "http://b"}}
+	if tab.Epoch != e3 || !reflect.DeepEqual(tab.Workers, want) {
+		t.Fatalf("table = %+v, want epoch %d workers %+v", tab, e3, want)
+	}
+
+	// A not-ready worker leaves the route table but stays registered.
+	e4, ok := r.Heartbeat("w2", false)
+	if !ok || e4 <= e3 {
+		t.Fatalf("readiness flip: epoch %d -> %d, ok=%v", e3, e4, ok)
+	}
+	if tab := r.Table(); len(tab.Workers) != 1 || tab.Workers[0].ID != "w1" {
+		t.Fatalf("not-ready worker still routable: %+v", tab.Workers)
+	}
+
+	if g := mr.Gauge("siesta_fleet_workers", "").Value(); g != 1 {
+		t.Errorf("siesta_fleet_workers = %d, want 1", g)
+	}
+	if g := mr.Gauge("siesta_route_epoch", "").Value(); uint64(g) != e4 {
+		t.Errorf("siesta_route_epoch = %d, want %d", g, e4)
+	}
+
+	r.Deregister("w1")
+	if tab := r.Table(); len(tab.Workers) != 0 {
+		t.Fatalf("deregistered worker still routable: %+v", tab.Workers)
+	}
+	if _, ok := r.Heartbeat("w1", true); ok {
+		t.Fatal("heartbeat after deregister claimed the worker is known")
+	}
+}
+
+func TestRegistryTTLExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	r := NewRegistry(3*time.Second, nil)
+	r.clock = func() time.Time { return now }
+
+	r.Register(WorkerInfo{ID: "w1", Addr: "http://a"}, true)
+	r.Register(WorkerInfo{ID: "w2", Addr: "http://b"}, true)
+
+	now = now.Add(2 * time.Second)
+	if _, ok := r.Heartbeat("w1", true); !ok {
+		t.Fatal("heartbeat within TTL rejected")
+	}
+	// w2 has been silent for 4s > TTL; w1 beat 2s ago.
+	now = now.Add(2 * time.Second)
+	expired := r.Sweep(now)
+	if !reflect.DeepEqual(expired, []string{"w2"}) {
+		t.Fatalf("Sweep expired %v, want [w2]", expired)
+	}
+	if tab := r.Table(); len(tab.Workers) != 1 || tab.Workers[0].ID != "w1" {
+		t.Fatalf("post-sweep table = %+v", tab.Workers)
+	}
+	if again := r.Sweep(now); again != nil {
+		t.Fatalf("second sweep expired %v, want none", again)
+	}
+}
+
+func TestRegistryHTTPRoundTrip(t *testing.T) {
+	r := NewRegistry(time.Second, nil)
+	ts := httptest.NewServer(r.Handler())
+	defer ts.Close()
+	c := NewRegistryClient(ts.URL, nil)
+	ctx := context.Background()
+
+	e1, err := c.Register(ctx, WorkerInfo{ID: "w1", Addr: "http://a"}, true)
+	if err != nil || e1 == 0 {
+		t.Fatalf("Register: epoch %d, err %v", e1, err)
+	}
+	e2, err := c.Heartbeat(ctx, "w1", true)
+	if err != nil || e2 != e1 {
+		t.Fatalf("Heartbeat: epoch %d (want %d), err %v", e2, e1, err)
+	}
+	tab, err := c.Route(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Epoch != e1 || len(tab.Workers) != 1 || tab.Workers[0].Addr != "http://a" {
+		t.Fatalf("Route = %+v", tab)
+	}
+	if err := c.Deregister(ctx, "w1"); err != nil {
+		t.Fatal(err)
+	}
+	// An unknown worker's heartbeat asks the caller to re-register.
+	if _, err := c.Heartbeat(ctx, "w1", true); err != ErrUnknownWorker {
+		t.Fatalf("heartbeat after deregister: err = %v, want ErrUnknownWorker", err)
+	}
+}

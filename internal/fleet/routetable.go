@@ -1,0 +1,73 @@
+package fleet
+
+import "sort"
+
+// WorkerInfo identifies one fleet worker: a stable ID (the ring identity)
+// and the base URL its HTTP API is reachable at. Ring placement depends
+// only on the ID, so a worker that comes back on a new port keeps its
+// keyspace.
+type WorkerInfo struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// Table is the registry's epoch-versioned view of the ready fleet. Epochs
+// are strictly increasing across membership or readiness changes; holders
+// compare epochs to decide whose view is fresher, never diff the worker
+// lists. Workers are sorted by ID so the encoding — and the ring built
+// from it — is deterministic.
+type Table struct {
+	Epoch   uint64       `json:"epoch"`
+	Workers []WorkerInfo `json:"workers"`
+}
+
+// routes is a Table resolved for lookups: the consistent-hash ring plus
+// the ID→address index. Gateways and workers cache one per epoch.
+type routes struct {
+	table Table
+	ring  *Ring
+	addrs map[string]string
+}
+
+func newRoutes(t Table) *routes {
+	sort.Slice(t.Workers, func(i, j int) bool { return t.Workers[i].ID < t.Workers[j].ID })
+	ids := make([]string, len(t.Workers))
+	addrs := make(map[string]string, len(t.Workers))
+	for i, w := range t.Workers {
+		ids[i] = w.ID
+		addrs[w.ID] = w.Addr
+	}
+	return &routes{table: t, ring: NewRing(ids), addrs: addrs}
+}
+
+// addr resolves a worker ID to its base URL.
+func (r *routes) addr(id string) (string, bool) {
+	a, ok := r.addrs[id]
+	return a, ok
+}
+
+// has reports whether the worker is in this epoch's table.
+func (r *routes) has(id string) bool {
+	_, ok := r.addrs[id]
+	return ok
+}
+
+// owner returns the worker owning key on this epoch's ring.
+func (r *routes) owner(key string) (WorkerInfo, bool) {
+	id, ok := r.ring.Owner(key)
+	if !ok {
+		return WorkerInfo{}, false
+	}
+	return WorkerInfo{ID: id, Addr: r.addrs[id]}, true
+}
+
+// successors returns up to n distinct workers in ring order from key's
+// owner — the candidate set for both peer fetches and failover targets.
+func (r *routes) successors(key string, n int) []WorkerInfo {
+	ids := r.ring.Successors(key, n)
+	out := make([]WorkerInfo, len(ids))
+	for i, id := range ids {
+		out[i] = WorkerInfo{ID: id, Addr: r.addrs[id]}
+	}
+	return out
+}

@@ -13,6 +13,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"fmt"
 	"sync"
 )
 
@@ -31,6 +32,24 @@ func KeyFrom(sections ...[]byte) Key {
 		h.Write(s)
 	}
 	return Key(hex.EncodeToString(h.Sum(nil)))
+}
+
+// ParseKey validates an externally supplied key string — a URL path
+// segment on the fleet peer API, a client-quoted cache_key — as a
+// well-formed artifact key: exactly the lowercase-hex sha256 shape KeyFrom
+// produces. Anything else (path traversal attempts included) is rejected
+// before it can reach the disk tier.
+func ParseKey(s string) (Key, error) {
+	if len(s) != sha256.Size*2 {
+		return "", fmt.Errorf("cache: key must be %d hex chars, got %d", sha256.Size*2, len(s))
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return "", fmt.Errorf("cache: key has non-hex byte %q at %d", c, i)
+		}
+	}
+	return Key(s), nil
 }
 
 // Artifact is one finished synthesis: the generated proxy source plus the

@@ -1,0 +1,76 @@
+package cache
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestDiskTierRoundTrip covers the disk tier directly: Put writes through,
+// a cold store (fresh LRU, same dir) promotes from disk on a memory miss,
+// and torn or foreign blobs degrade to misses.
+func TestDiskTierRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := New(4)
+	if err := s.AttachDisk(dir); err != nil {
+		t.Fatal(err)
+	}
+	art := &Artifact{Key: KeyFrom([]byte("disk-tier")), App: "CG", Ranks: 4, CSource: "/* c */"}
+	if err := s.Put(art); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, string(art.Key)+".json")); err != nil {
+		t.Fatalf("artifact blob not on disk: %v", err)
+	}
+
+	// A fresh store over the same directory: memory miss, disk hit.
+	cold := New(4)
+	if err := cold.AttachDisk(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := cold.Get(art.Key)
+	if !ok || got.CSource != art.CSource {
+		t.Fatalf("cold Get = %+v, %v; want the disk artifact", got, ok)
+	}
+	// Promoted: a second Get is a pure memory hit even if the blob vanishes.
+	os.Remove(filepath.Join(dir, string(art.Key)+".json"))
+	if _, ok := cold.Get(art.Key); !ok {
+		t.Fatal("promoted artifact lost after disk blob removal")
+	}
+
+	// A torn blob is a miss, not an error.
+	torn := KeyFrom([]byte("torn"))
+	if err := os.WriteFile(filepath.Join(dir, string(torn)+".json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cold.Get(torn); ok {
+		t.Fatal("torn disk blob served as an artifact")
+	}
+	// A blob whose embedded key disagrees with its filename is a miss too.
+	foreign := KeyFrom([]byte("foreign"))
+	if err := os.WriteFile(filepath.Join(dir, string(foreign)+".json"),
+		[]byte(`{"key":"`+string(art.Key)+`"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cold.Get(foreign); ok {
+		t.Fatal("key-mismatched disk blob served as an artifact")
+	}
+}
+
+// TestDiskPathRejectsHostileKeys pins the traversal guard.
+func TestDiskPathRejectsHostileKeys(t *testing.T) {
+	s := New(4)
+	if err := s.AttachDisk(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []Key{"", "../escape", "a/b", `a\b`} {
+		if _, _, ok := s.diskPath(k); ok {
+			t.Errorf("diskPath accepted hostile key %q", k)
+		}
+	}
+	// Without a disk tier every key is rejected.
+	bare := New(4)
+	if _, _, ok := bare.diskPath(KeyFrom([]byte("x"))); ok {
+		t.Error("diskPath produced a path with no disk tier attached")
+	}
+}

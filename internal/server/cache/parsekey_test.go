@@ -1,0 +1,39 @@
+package cache
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseKeyRoundTrip(t *testing.T) {
+	key := KeyFrom([]byte("some"), []byte("sections"))
+	got, err := ParseKey(string(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != key {
+		t.Fatalf("ParseKey(%q) = %q", key, got)
+	}
+}
+
+func TestParseKeyRejectsMalformedInput(t *testing.T) {
+	valid := string(KeyFrom([]byte("x")))
+	bad := []string{
+		"",
+		"short",
+		valid[:63],                           // truncated
+		valid + "0",                          // too long
+		strings.ToUpper(valid),               // uppercase hex
+		strings.Replace(valid, "a", "g", 1),  // non-hex rune (if an 'a' exists)
+		"../../../../etc/passwd0123456789ab", // traversal attempt
+		strings.Repeat("z", 64),              // right length, wrong alphabet
+	}
+	for _, s := range bad {
+		if s == valid {
+			continue // the Replace above may have been a no-op
+		}
+		if _, err := ParseKey(s); err == nil {
+			t.Errorf("ParseKey(%q) accepted malformed input", s)
+		}
+	}
+}

@@ -204,7 +204,8 @@ type jobCheckpointer struct {
 }
 
 func (c jobCheckpointer) Save(cp *core.Checkpoint) error {
-	name, err := c.s.ckpts.Save(c.jb.id, cp.Encode())
+	blob := cp.Encode()
+	name, err := c.s.ckpts.Save(c.jb.id, blob)
 	if err != nil {
 		return err
 	}
@@ -215,6 +216,25 @@ func (c jobCheckpointer) Save(cp *core.Checkpoint) error {
 	}
 	c.s.mCkptW.Inc()
 	c.jb.setResume(cp)
+	if sink := c.s.cfg.CheckpointSink; sink != nil {
+		sink(c.jb.key, blob)
+	}
+	return nil
+}
+
+// sinkCheckpointer is the stateless-node variant of jobCheckpointer: no
+// journal or blob store, but checkpoints still publish to the in-memory
+// resume (for in-process retries) and to the fleet's replication sink (for
+// cross-node failover). It never fails — there is no durability to fail.
+type sinkCheckpointer struct {
+	s  *Server
+	jb *job
+}
+
+func (c sinkCheckpointer) Save(cp *core.Checkpoint) error {
+	c.s.mCkptW.Inc()
+	c.jb.setResume(cp)
+	c.s.cfg.CheckpointSink(c.jb.key, cp.Encode())
 	return nil
 }
 

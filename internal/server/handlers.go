@@ -72,12 +72,29 @@ type SynthesizeRequest struct {
 	// above the server limit are clamped to it; omitted selects the server
 	// limit. 0 disables retries for this job.
 	MaxRetries *int `json:"max_retries,omitempty"`
+
+	// ResumeBase64 optionally seeds the job with a phase-boundary
+	// checkpoint (standard base64 of core.Checkpoint.Encode bytes)
+	// exported from another node — the fleet gateway's failover handoff:
+	// when a worker dies mid-job, the gateway re-submits the original
+	// request to a new owner with the replicated checkpoint attached, and
+	// the new worker resumes from the last completed boundary instead of
+	// phase zero. A checkpoint whose options fingerprint does not match
+	// this request is ignored (clean cold run); a blob that does not even
+	// decode is a 400. It never participates in the artifact cache key.
+	ResumeBase64 string `json:"resume_base64,omitempty"`
 }
 
 // SynthesizeResponse answers POST /v1/synthesize.
 type SynthesizeResponse struct {
 	Job    JobView `json:"job"`
 	Cached bool    `json:"cached"`
+	// CacheKey is the content-addressed artifact key (hex sha256 over the
+	// input identity plus the canonical options fingerprint) this request
+	// resolves to. It is location-independent: any fleet replica holding
+	// the key serves the same bytes, and the gateway consistent-hash
+	// routes on it.
+	CacheKey string `json:"cache_key"`
 	// ArtifactURL is where the generated proxy can be fetched once the
 	// job is done.
 	ArtifactURL string `json:"artifact_url"`
@@ -112,6 +129,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/apps", s.handleListApps)
 	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	// Standard Go profiling endpoints: CPU/heap/goroutine profiles of the
 	// service itself, the other half of the observability story.
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -119,7 +137,95 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
-	return mux
+	if s.cfg.WorkerID == "" {
+		return mux
+	}
+	// Fleet mode: stamp every response with the node that served it, so
+	// clients (and the gateway's proxied responses) can attribute work.
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Siesta-Worker", s.cfg.WorkerID)
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// baseOptions builds the synthesis options the tuning fields of a request
+// select (ranks still unset). It is the shared root of prepare and
+// RequestKey, so the gateway's routing key and the worker's cache key are
+// derived from identical options by construction.
+func baseOptions(req *SynthesizeRequest) (core.Options, error) {
+	opts := core.Options{Scale: req.Scale, Seed: req.Seed}
+	if req.Platform != "" {
+		p, err := platform.ByName(req.Platform)
+		if err != nil {
+			return core.Options{}, err
+		}
+		opts.Platform = p
+	}
+	if req.Impl != "" {
+		im, err := netmodel.ByName(req.Impl)
+		if err != nil {
+			return core.Options{}, err
+		}
+		opts.Impl = im
+	}
+	return opts, nil
+}
+
+// appCacheKey derives the artifact key for a built-in-app request. The
+// derivation (sections and their order) is load-bearing: disk artifact
+// tiers and fleet routing both address by it.
+func appCacheKey(name string, iters int, opts core.Options) cache.Key {
+	var itersBuf [8]byte
+	binary.BigEndian.PutUint64(itersBuf[:], uint64(iters))
+	return cache.KeyFrom(
+		[]byte("app:"+name), itersBuf[:],
+		[]byte(core.OptionsFingerprint(opts)),
+	)
+}
+
+// traceCacheKey derives the artifact key for an uploaded-trace request from
+// the raw trace bytes plus the options fingerprint.
+func traceCacheKey(raw []byte, opts core.Options) cache.Key {
+	return cache.KeyFrom(
+		[]byte("trace:"), raw,
+		[]byte(core.OptionsFingerprint(opts)),
+	)
+}
+
+// RequestKey computes the content-addressed artifact cache key a request
+// resolves to — the same derivation prepare uses — without building the
+// job. The fleet gateway consistent-hash routes every request on it, which
+// is what makes routing agree with caching: the worker that owns a key on
+// the ring is the worker whose cache fills with it.
+func RequestKey(req *SynthesizeRequest) (cache.Key, error) {
+	if (req.App == "") == (req.TraceBase64 == "") {
+		return "", errors.New("exactly one of app or trace_base64 is required")
+	}
+	opts, err := baseOptions(req)
+	if err != nil {
+		return "", err
+	}
+	if req.App != "" {
+		spec, err := apps.ByName(req.App)
+		if err != nil {
+			return "", err
+		}
+		if req.Ranks <= 0 {
+			return "", errors.New("ranks must be positive")
+		}
+		opts.Ranks = req.Ranks
+		return appCacheKey(spec.Name, req.Iters, opts), nil
+	}
+	raw, err := base64.StdEncoding.DecodeString(req.TraceBase64)
+	if err != nil {
+		return "", fmt.Errorf("trace_base64: %w", err)
+	}
+	tr, err := trace.Decode(raw)
+	if err != nil {
+		return "", fmt.Errorf("trace_base64: %w", err)
+	}
+	opts.Ranks = len(tr.Ranks)
+	return traceCacheKey(raw, opts), nil
 }
 
 // prepare validates a request and turns it into a ready-to-queue job with
@@ -129,20 +235,9 @@ func (s *Server) prepare(req *SynthesizeRequest) (*job, int, error) {
 	if (req.App == "") == (req.TraceBase64 == "") {
 		return nil, http.StatusBadRequest, errors.New("exactly one of app or trace_base64 is required")
 	}
-	opts := core.Options{Scale: req.Scale, Seed: req.Seed}
-	if req.Platform != "" {
-		p, err := platform.ByName(req.Platform)
-		if err != nil {
-			return nil, http.StatusBadRequest, err
-		}
-		opts.Platform = p
-	}
-	if req.Impl != "" {
-		im, err := netmodel.ByName(req.Impl)
-		if err != nil {
-			return nil, http.StatusBadRequest, err
-		}
-		opts.Impl = im
+	opts, err := baseOptions(req)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
 	}
 	timeout := s.cfg.JobTimeout
 	if req.TimeoutMS > 0 {
@@ -175,7 +270,23 @@ func (s *Server) prepare(req *SynthesizeRequest) (*job, int, error) {
 		return nil, http.StatusBadRequest, fmt.Errorf("encode request: %w", err)
 	}
 	jb := &job{timeout: timeout, parallelism: par, wantTrace: req.Trace,
-		wantAnalyze: req.Analyze, maxRetries: retries, reqJSON: reqJSON}
+		wantAnalyze: req.Analyze, maxRetries: retries, reqJSON: reqJSON,
+		worker: s.cfg.WorkerID}
+	// A handed-off checkpoint seeds the first attempt's resume. Garbage
+	// that does not even decode is the client's error; a well-formed
+	// checkpoint from a different synthesis is silently discarded by the
+	// fingerprint guard downstream.
+	if req.ResumeBase64 != "" {
+		blob, err := base64.StdEncoding.DecodeString(req.ResumeBase64)
+		if err != nil {
+			return nil, http.StatusBadRequest, fmt.Errorf("resume_base64: %w", err)
+		}
+		cp, err := core.DecodeCheckpoint(blob)
+		if err != nil {
+			return nil, http.StatusBadRequest, fmt.Errorf("resume_base64: %w", err)
+		}
+		jb.resume = cp
+	}
 	if req.App != "" {
 		spec, err := apps.ByName(req.App)
 		if err != nil {
@@ -190,12 +301,7 @@ func (s *Server) prepare(req *SynthesizeRequest) (*job, int, error) {
 			return nil, http.StatusBadRequest, err
 		}
 		jb.app, jb.ranks, jb.work = spec.Name, req.Ranks, work
-		var itersBuf [8]byte
-		binary.BigEndian.PutUint64(itersBuf[:], uint64(req.Iters))
-		jb.key = cache.KeyFrom(
-			[]byte("app:"+spec.Name), itersBuf[:],
-			[]byte(core.OptionsFingerprint(opts)),
-		)
+		jb.key = appCacheKey(spec.Name, req.Iters, opts)
 		return jb, 0, nil
 	}
 
@@ -209,10 +315,7 @@ func (s *Server) prepare(req *SynthesizeRequest) (*job, int, error) {
 	}
 	opts.Ranks = len(tr.Ranks)
 	jb.app, jb.ranks, jb.work = "trace", len(tr.Ranks), s.traceWork(tr, opts, req.Analyze)
-	jb.key = cache.KeyFrom(
-		[]byte("trace:"), raw,
-		[]byte(core.OptionsFingerprint(opts)),
-	)
+	jb.key = traceCacheKey(raw, opts)
 	return jb, 0, nil
 }
 
@@ -231,16 +334,31 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 
 	// Identical finished work is answered from the artifact cache without
 	// touching the queue — unless the request wants a trace or an
-	// analysis, which only a fresh run can record.
-	if _, ok := s.store.Get(jb.key); ok && !jb.wantTrace && !jb.wantAnalyze {
-		s.mHits.Inc()
-		s.registerCached(jb)
-		s.logEvent("cache_hit", map[string]any{"job": jb.id, "app": jb.app, "key": string(jb.key)})
-		writeJSON(w, http.StatusOK, SynthesizeResponse{
-			Job: jb.view(), Cached: true,
-			ArtifactURL: "/v1/jobs/" + jb.id + "/artifact",
-		})
-		return
+	// analysis, which only a fresh run can record. A local miss consults
+	// the fleet peers before conceding: an artifact computed by any
+	// replica answers here, and is adopted into the local tiers so the
+	// next hit is local.
+	if !jb.wantTrace && !jb.wantAnalyze {
+		_, hit := s.store.Get(jb.key)
+		if !hit && s.cfg.PeerFetch != nil {
+			if art, ok := s.cfg.PeerFetch(jb.key); ok && art != nil && art.Key == jb.key {
+				if perr := s.store.Put(art); perr != nil {
+					s.logEvent("cache_disk_error", map[string]any{"key": string(jb.key), "error": perr.Error()})
+				}
+				s.mPeerHits.Inc()
+				hit = true
+			}
+		}
+		if hit {
+			s.mHits.Inc()
+			s.registerCached(jb)
+			s.logEvent("cache_hit", map[string]any{"job": jb.id, "app": jb.app, "key": string(jb.key)})
+			writeJSON(w, http.StatusOK, SynthesizeResponse{
+				Job: jb.view(), Cached: true, CacheKey: string(jb.key),
+				ArtifactURL: "/v1/jobs/" + jb.id + "/artifact",
+			})
+			return
+		}
 	}
 	s.mMisses.Inc()
 
@@ -256,7 +374,7 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	}
 	s.logEvent("job_queued", map[string]any{"job": jb.id, "app": jb.app, "ranks": jb.ranks, "key": string(jb.key)})
 	writeJSON(w, http.StatusAccepted, SynthesizeResponse{
-		Job: jb.view(), Cached: false,
+		Job: jb.view(), Cached: false, CacheKey: string(jb.key),
 		ArtifactURL: "/v1/jobs/" + jb.id + "/artifact",
 	})
 }
@@ -385,4 +503,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	draining := s.draining
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "draining": draining})
+}
+
+// handleReadyz is the routing gate /healthz is not: liveness stays 200 for
+// as long as the process can answer at all, while readiness is 503 until
+// journal recovery has completed and again once draining starts — the
+// fleet gateway only routes to ready workers.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.Ready() {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+		return
+	}
+	writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "not ready"})
 }

@@ -38,6 +38,7 @@ type job struct {
 	wantAnalyze bool            // request asked for a static analysis ("analyze": true)
 	reqJSON     json.RawMessage // canonical request, journaled at admission
 	maxRetries  int             // in-process retry budget for transient failures
+	worker      string          // fleet node identity (Config.WorkerID); "" standalone
 	work        func(ctx context.Context, tracer *obs.Tracer, ck core.Checkpointer, resume *core.Checkpoint) (*cache.Artifact, []byte, error)
 
 	// recovered marks a job re-admitted from the journal (set before
@@ -73,16 +74,23 @@ type job struct {
 
 // JobView is the JSON shape of a job record.
 type JobView struct {
-	ID          string     `json:"id"`
-	App         string     `json:"app"`
-	Ranks       int        `json:"ranks"`
-	Parallelism int        `json:"parallelism,omitempty"`
-	Status      Status     `json:"status"`
-	Phase       string     `json:"phase,omitempty"`
-	Cached      bool       `json:"cached"`
-	Recovered   bool       `json:"recovered,omitempty"`
-	Attempts    int        `json:"attempts,omitempty"`
-	Error       string     `json:"error,omitempty"`
+	ID          string `json:"id"`
+	App         string `json:"app"`
+	Ranks       int    `json:"ranks"`
+	Parallelism int    `json:"parallelism,omitempty"`
+	Status      Status `json:"status"`
+	Phase       string `json:"phase,omitempty"`
+	Cached      bool   `json:"cached"`
+	Recovered   bool   `json:"recovered,omitempty"`
+	Attempts    int    `json:"attempts,omitempty"`
+	Error       string `json:"error,omitempty"`
+	// Worker names the fleet node that ran the job; empty standalone.
+	Worker string `json:"worker,omitempty"`
+	// CacheKey is the job's content-addressed artifact key, exposed from
+	// admission on so clients and peers can address the artifact directly
+	// (ArtifactKey repeats it once the job is done, kept for
+	// compatibility).
+	CacheKey    string     `json:"cache_key,omitempty"`
 	ArtifactKey string     `json:"artifact_key,omitempty"`
 	TraceURL    string     `json:"trace_url,omitempty"`
 	AnalysisURL string     `json:"analysis_url,omitempty"`
@@ -100,6 +108,7 @@ func (j *job) view() JobView {
 		ID: j.id, App: j.app, Ranks: j.ranks, Parallelism: j.parallelism,
 		Status: j.status, Phase: j.phase, Cached: j.cached, Error: j.errMsg,
 		Recovered: j.recovered, Attempts: j.attempts,
+		Worker: j.worker, CacheKey: string(j.key),
 		Created: j.created,
 	}
 	if !j.started.IsZero() {

@@ -19,7 +19,9 @@ import (
 	"io"
 	"log/slog"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"siesta/internal/apps"
@@ -78,6 +80,26 @@ type Config struct {
 	// max_retries field: in-process retries of transient (durability I/O)
 	// failures; default 3.
 	MaxRetries int
+	// WorkerID names this node in a fleet. It is stamped on every HTTP
+	// response as an X-Siesta-Worker header and reported in job views, so
+	// clients and the fleet gateway can tell which node served a request.
+	// Empty for a standalone service.
+	WorkerID string
+	// PeerFetch, when non-nil, is consulted on an artifact-cache miss
+	// before the job is queued: given the content-addressed cache key it
+	// may return a finished artifact held by a fleet peer, letting any
+	// replica answer a hit before recomputing. The call sits on the
+	// request path, so implementations must bound their own latency.
+	PeerFetch func(key cache.Key) (*cache.Artifact, bool)
+	// CheckpointSink, when non-nil, receives every phase-boundary
+	// checkpoint this node writes, keyed by the job's artifact cache key
+	// (location-independent, unlike the job id). The fleet worker
+	// replicates these to a hash-ring successor so a job whose owner dies
+	// can resume from its last boundary on another node. Called on the
+	// synthesis goroutine after local persistence; implementations must
+	// not block. A CheckpointSink without a StateDir still enables
+	// checkpointing — the blobs just live only in the sink's replicas.
+	CheckpointSink func(key cache.Key, ckpt []byte)
 }
 
 func (c Config) withDefaults() Config {
@@ -124,6 +146,12 @@ type Server struct {
 	draining  bool
 	drainDone chan struct{} // closed when all workers have exited
 
+	// ready flips true once construction — including journal recovery —
+	// has completed; /readyz serves 503 before that and again while
+	// draining, so a fleet gateway never routes to a node still replaying
+	// its WAL or on its way out.
+	ready atomic.Bool
+
 	logMu sync.Mutex
 
 	// phaseAgg accumulates per-phase wall times split by serial
@@ -136,7 +164,7 @@ type Server struct {
 	mHits, mMisses        *metrics.Counter
 	mDone, mFail, mCancel *metrics.Counter
 	mRecovered, mCkptW    *metrics.Counter
-	mRetries              *metrics.Counter
+	mRetries, mPeerHits   *metrics.Counter
 	mDiagInfo, mDiagWarn  *metrics.Counter
 	mDiagErr              *metrics.Counter
 	gQueued, gRunning     *metrics.Gauge
@@ -181,6 +209,7 @@ func New(cfg Config) (*Server, error) {
 		mRecovered: reg.Counter("siesta_jobs_recovered_total", "jobs re-admitted from the journal after a restart"),
 		mCkptW:     reg.Counter("siesta_checkpoints_written_total", "phase-boundary checkpoints persisted"),
 		mRetries:   reg.Counter("siesta_job_retries_total", "in-process retries of transient job failures"),
+		mPeerHits:  reg.Counter("siesta_peer_hits_total", "cache misses answered by a fleet peer's replica"),
 		mDiagInfo:  reg.Counter(`siesta_check_diagnostics_total{severity="info"}`, "static-verifier diagnostics by severity"),
 		mDiagWarn:  reg.Counter(`siesta_check_diagnostics_total{severity="warning"}`, "static-verifier diagnostics by severity"),
 		mDiagErr:   reg.Counter(`siesta_check_diagnostics_total{severity="error"}`, "static-verifier diagnostics by severity"),
@@ -190,6 +219,9 @@ func New(cfg Config) (*Server, error) {
 		hJobDur:    reg.Histogram("siesta_job_duration_seconds", "wall-clock synthesis duration", nil),
 		hAnalyze:   reg.Histogram("siesta_analyze_seconds", "wall-clock time of static communication-cost analyses", nil),
 	}
+	// Build metadata as a constant-1 gauge, the Prometheus idiom for
+	// joining version info onto other series by label.
+	reg.Gauge(buildInfoMetric(), "build metadata; the value is always 1").Set(1)
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -203,7 +235,48 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
+	// Readiness comes last: the journal has been replayed and every
+	// surviving job re-admitted, so routing traffic here is now safe.
+	s.ready.Store(true)
 	return s, nil
+}
+
+// buildInfoMetric renders the siesta_build_info metric name with its
+// constant labels: the module version when built from a tagged module, the
+// VCS revision when embedded, "dev" otherwise, plus the Go toolchain.
+func buildInfoMetric() string {
+	version := "dev"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if v := bi.Main.Version; v != "" && v != "(devel)" {
+			version = v
+		} else {
+			for _, kv := range bi.Settings {
+				if kv.Key == "vcs.revision" && len(kv.Value) >= 12 {
+					version = kv.Value[:12]
+				}
+			}
+		}
+	}
+	return fmt.Sprintf("siesta_build_info{version=%q,go=%q}", version, runtime.Version())
+}
+
+// Ready reports whether the service has finished journal recovery and is
+// not draining — the condition /readyz serves and the fleet worker
+// advertises in its heartbeats.
+func (s *Server) Ready() bool {
+	if !s.ready.Load() {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.draining
+}
+
+// Artifact returns the locally cached artifact under key, consulting the
+// memory LRU and the disk tier but never fleet peers — it backs the peer
+// endpoint itself, so a peer-to-peer fetch cannot recurse.
+func (s *Server) Artifact(key cache.Key) (*cache.Artifact, bool) {
+	return s.store.Get(key)
 }
 
 // Metrics returns the registry the server reports into.
@@ -467,8 +540,13 @@ func (s *Server) runAttempt(ctx context.Context, jb *job) (*cache.Artifact, []by
 	})
 
 	var ck core.Checkpointer
-	if s.ckpts != nil {
+	switch {
+	case s.ckpts != nil:
 		ck = jobCheckpointer{s: s, jb: jb}
+	case s.cfg.CheckpointSink != nil:
+		// No state dir, but a fleet sink still wants the phase-boundary
+		// blobs (and retries still want the in-memory resume).
+		ck = sinkCheckpointer{s: s, jb: jb}
 	}
 	art, analysisJSON, err := jb.work(ctx, tracer, ck, jb.latestResume())
 
