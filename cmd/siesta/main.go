@@ -24,7 +24,7 @@
 //	siesta worker [-addr 127.0.0.1:8081] [-registry http://127.0.0.1:8090]
 //	       [-advertise URL] [-id NAME] [-heartbeat 1s] [-state-dir DIR]
 //
-//	siesta bench [-app CG] [-ranks 8,32,64] [-reps 3] [-json BENCH_4.json]
+//	siesta bench [-app CG] [-ranks 8,32,64] [-reps 3] [-json BENCH_9.json] [-pprof cpu.pprof]
 //	siesta bench -exp table3|fig4..fig9|ablations|all [-quick] [-seed N]
 //
 //	siesta trace -app CG -n 16 [-o run.trace.json] [-format chrome|jsonl]

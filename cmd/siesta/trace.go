@@ -28,6 +28,7 @@ func runTrace(args []string) {
 	platName := fs.String("platform", "A", "generation platform: A, B or C")
 	implName := fs.String("impl", "openmpi", "MPI implementation: openmpi, mpich, mvapich")
 	seed := fs.Uint64("seed", 1, "random seed")
+	parallel := fs.Int("parallel", 0, "pipeline worker count (0 = GOMAXPROCS; >1 overlaps the baseline and traced runs)")
 	out := fs.String("o", "run.trace.json", "output file (\"-\" = stdout)")
 	format := fs.String("format", "chrome", "output format: chrome (trace_event JSON) or jsonl")
 	replay := fs.Bool("replay", true, "also run the generated proxy and record its replay timeline")
@@ -69,6 +70,7 @@ func runTrace(args []string) {
 	tracer.SetObserver(phaseLogger)
 	res, err := core.Synthesize(fn, core.Options{
 		Platform: plat, Impl: impl, Ranks: *ranks, Seed: *seed, Tracer: tracer,
+		Parallelism: *parallel,
 	})
 	if err != nil {
 		die(err)

@@ -16,6 +16,7 @@ import (
 	"siesta/internal/merge"
 	"siesta/internal/perfmodel"
 	"siesta/internal/platform"
+	"siesta/internal/qp"
 	"siesta/internal/trace"
 )
 
@@ -30,6 +31,12 @@ type Options struct {
 	// BenchNoise perturbs the micro-benchmark B matrix like real counter
 	// readings would; nil measures exactly.
 	BenchNoise *perfmodel.Noise
+	// BMatrix, when non-nil, is a pre-measured micro-benchmark matrix and
+	// Generate skips its own blocks.MeasureB call. core.Synthesize warms
+	// it concurrently with the overlapped simulated runs; the caller must
+	// have measured it from the same Platform and BenchNoise state that
+	// Generate would have used, so results are byte-identical either way.
+	BMatrix *qp.Matrix
 	// CommSamples are (function, bytes, duration) observations from the
 	// trace, used to fit the blocking-communication regression that
 	// drives communication shrinking. Required when Scale > 1.
@@ -272,7 +279,10 @@ func Generate(prog *merge.Program, opts Options) (*Generated, error) {
 
 	// Computation proxies: one constrained-QP search per cluster (§2.4),
 	// against targets divided by the scaling factor (§2.7).
-	bm := blocks.MeasureB(opts.Platform, opts.BenchNoise)
+	bm := opts.BMatrix
+	if bm == nil {
+		bm = blocks.MeasureB(opts.Platform, opts.BenchNoise)
+	}
 	g.Combos = make([]blocks.Combination, len(prog.Clusters))
 	g.SleepTimes = make([]float64, len(prog.Clusters))
 	for i, cl := range prog.Clusters {

@@ -133,6 +133,36 @@ func TestSynthesizeCancel(t *testing.T) {
 
 	// Rank goroutines of torn-down worlds must unwind; give the
 	// scheduler a moment before declaring a leak.
+	waitForGoroutines(t, before)
+}
+
+// TestSynthesizeCancelMidOverlap cancels while the baseline and traced
+// worlds run concurrently (Parallelism > 1, overlap on): both worlds must
+// tear down, Synthesize must report ErrCanceled, and no rank goroutine of
+// either world may outlive the call.
+func TestSynthesizeCancelMidOverlap(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := core.Options{Seed: 1, Parallelism: 4, Context: ctx, Tracer: obs.New()}
+	opts.Tracer.SetObserver(func(ev obs.PhaseEvent) {
+		// The baseline span opens just before both worlds launch, so the
+		// cancel lands while 2×ranks simulated processes are alive.
+		if ev.Name == "baseline" && !ev.End {
+			cancel()
+		}
+	})
+	_, err := synthesizeApp(t, "CG", 8, opts)
+	if !errors.Is(err, core.ErrCanceled) {
+		t.Fatalf("mid-overlap cancel: want ErrCanceled, got %v", err)
+	}
+	waitForGoroutines(t, before)
+}
+
+// waitForGoroutines polls until the goroutine count returns to within two
+// of the baseline or the grace period expires, then reports any leak.
+func waitForGoroutines(t *testing.T, before int) {
+	t.Helper()
 	deadline := time.Now().Add(2 * time.Second)
 	for {
 		runtime.GC()

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sync"
 
 	"siesta/internal/blocks"
 	"siesta/internal/check"
@@ -22,6 +23,7 @@ import (
 	"siesta/internal/perfmodel"
 	"siesta/internal/platform"
 	"siesta/internal/proxy"
+	"siesta/internal/qp"
 	"siesta/internal/trace"
 	"siesta/internal/vtime"
 )
@@ -75,13 +77,22 @@ type Options struct {
 	Deadline vtime.Duration
 
 	// Parallelism bounds the worker count for the synthesis pipeline's
-	// parallel stages: the tree-reduction terminal merge, per-rank grammar
-	// inference, and the losslessness check. 0 (or negative) selects
-	// GOMAXPROCS; 1 runs fully sequentially. Like Context, it participates
-	// in neither JSON encoding nor OptionsFingerprint: the parallel stages
-	// are deterministic by construction, so two runs differing only in
-	// Parallelism produce byte-identical programs and proxies.
+	// parallel stages: the overlapped baseline/traced simulated runs, the
+	// tree-reduction terminal merge, per-rank grammar inference, and the
+	// losslessness check. 0 (or negative) selects GOMAXPROCS; 1 runs fully
+	// sequentially. Like Context, it participates in neither JSON encoding
+	// nor OptionsFingerprint: the parallel stages are deterministic by
+	// construction, so two runs differing only in Parallelism produce
+	// byte-identical programs and proxies.
 	Parallelism int
+
+	// DisableOverlap forces the baseline and traced simulated runs to
+	// execute sequentially even when Parallelism > 1. The two worlds share
+	// seeds but no state, so overlapping them never changes any output;
+	// the knob exists so benchmarks can isolate the overlap's contribution
+	// and tests can pin overlap-on against overlap-off byte-for-byte. Like
+	// Parallelism it is excluded from JSON encoding and the fingerprint.
+	DisableOverlap bool
 
 	// SearchMemo caches computation-proxy QP solves (see blocks.Memo).
 	// nil selects the process-global blocks.DefaultMemo. Memoization never
@@ -244,6 +255,12 @@ func Synthesize(app func(*mpi.Rank), opts Options) (*Result, error) {
 	}
 
 	var err error
+	// bmatrix is the micro-benchmark B matrix codegen searches against.
+	// Overlapped runs warm it concurrently with the simulations; otherwise
+	// it is measured lazily at the codegen phase. Either way it is the
+	// first (and only) consumer of opts.BenchNoise, so the measured matrix
+	// is identical in both schedules.
+	var bmatrix *qp.Matrix
 	if resume != nil {
 		// The simulated executions are already captured in the encoded
 		// trace; restore it and the overhead they measured.
@@ -259,11 +276,6 @@ func Synthesize(app func(*mpi.Rank), opts Options) (*Result, error) {
 		res.Overhead = resume.Overhead
 		res.ResumedFrom = resume.Phase
 	} else {
-		// Ground-truth run, without instrumentation (the timeline observer
-		// charges no virtual-time cost, so the run stays bit-identical).
-		if err := phase("baseline"); err != nil {
-			return nil, fmt.Errorf("core: baseline run: %w", err)
-		}
 		baseCfg := mpi.Config{
 			Platform: opts.Platform, Impl: opts.Impl, Size: opts.Ranks,
 			NoiseSigma: opts.NoiseSigma, RunVariation: opts.RunVariation, Seed: opts.Seed,
@@ -272,31 +284,107 @@ func Synthesize(app func(*mpi.Rank), opts Options) (*Result, error) {
 		if tl := tr.NewTimeline("baseline", opts.Ranks); tl != nil {
 			baseCfg.Interceptor = tl
 		}
-		base := mpi.NewWorld(baseCfg)
-		if res.BaselineRun, err = base.Run(app); err != nil {
-			return nil, fmt.Errorf("core: baseline run: %w", err)
-		}
-
-		// Traced run: same seeds, plus the PMPI recorder.
-		if err := phase("trace"); err != nil {
-			return nil, fmt.Errorf("core: traced run: %w", err)
-		}
 		rec := trace.NewRecorder(opts.Ranks, opts.Trace)
-		traced := mpi.NewWorld(mpi.Config{
+		tracedCfg := mpi.Config{
 			Platform: opts.Platform, Impl: opts.Impl, Size: opts.Ranks,
 			NoiseSigma: opts.NoiseSigma, RunVariation: opts.RunVariation,
 			Seed: opts.Seed, Interceptor: rec,
 			Faults: opts.Faults, Deadline: opts.Deadline, Ctx: opts.Context,
-		})
-		if res.TracedRun, err = traced.Run(app); err != nil {
-			return nil, fmt.Errorf("core: traced run: %w", err)
 		}
-		res.Overhead = relDiff(float64(res.TracedRun.ExecTime), float64(res.BaselineRun.ExecTime))
-		res.Trace = rec.Trace(opts.Platform.Name, opts.Impl.Name)
-		if tr != nil {
-			cur.SetAttrs(
-				obs.Int("events", res.Trace.TotalEvents()),
-				obs.Int("raw_bytes", res.Trace.RawSize()))
+
+		if opts.Parallelism > 1 && !opts.DisableOverlap {
+			// Overlapped runs: the baseline and traced worlds share seeds
+			// but no mutable state, so they execute concurrently — the
+			// segment costs max(baseline, traced) instead of their sum —
+			// while a third worker warms the codegen B matrix. Each run
+			// still owns a full phase span; the spans overlap in wall
+			// clock and are tagged so exports and metrics can tell.
+			cur.End()
+			cur = nil
+			if ctx := opts.Context; ctx != nil && ctx.Err() != nil {
+				return nil, fmt.Errorf("core: baseline run: %w",
+					&mpi.CancelError{Cause: context.Cause(ctx)})
+			}
+			var baseSpan, traceSpan, warmSpan *obs.Span
+			if tr != nil {
+				baseSpan = tr.Phase("baseline",
+					obs.Int("ranks", opts.Ranks),
+					obs.Int("parallelism", opts.Parallelism),
+					obs.Bool("overlap", true))
+				traceSpan = tr.Phase("trace",
+					obs.Int("ranks", opts.Ranks),
+					obs.Int("parallelism", opts.Parallelism),
+					obs.Bool("overlap", true))
+				warmSpan = tr.Phase("warmup",
+					obs.Int("parallelism", opts.Parallelism),
+					obs.Bool("overlap", true))
+			}
+			var wg sync.WaitGroup
+			var baseErr, traceErr error
+			wg.Add(3)
+			go func() {
+				defer wg.Done()
+				defer baseSpan.End()
+				var e error
+				if res.BaselineRun, e = mpi.NewWorld(baseCfg).Run(app); e != nil {
+					baseErr = fmt.Errorf("core: baseline run: %w", e)
+				}
+			}()
+			go func() {
+				defer wg.Done()
+				defer traceSpan.End()
+				var e error
+				if res.TracedRun, e = mpi.NewWorld(tracedCfg).Run(app); e != nil {
+					traceErr = fmt.Errorf("core: traced run: %w", e)
+					return
+				}
+				res.Trace = rec.Trace(opts.Platform.Name, opts.Impl.Name)
+				if tr != nil {
+					traceSpan.SetAttrs(
+						obs.Int("events", res.Trace.TotalEvents()),
+						obs.Int("raw_bytes", res.Trace.RawSize()))
+				}
+			}()
+			go func() {
+				defer wg.Done()
+				defer warmSpan.End()
+				bmatrix = blocks.MeasureB(opts.Platform, opts.BenchNoise)
+			}()
+			wg.Wait()
+			if baseErr != nil {
+				return nil, baseErr
+			}
+			if traceErr != nil {
+				return nil, traceErr
+			}
+			res.Overhead = relDiff(float64(res.TracedRun.ExecTime), float64(res.BaselineRun.ExecTime))
+		} else {
+			// Ground-truth run, without instrumentation (the timeline
+			// observer charges no virtual-time cost, so the run stays
+			// bit-identical).
+			if err := phase("baseline"); err != nil {
+				return nil, fmt.Errorf("core: baseline run: %w", err)
+			}
+			base := mpi.NewWorld(baseCfg)
+			if res.BaselineRun, err = base.Run(app); err != nil {
+				return nil, fmt.Errorf("core: baseline run: %w", err)
+			}
+
+			// Traced run: same seeds, plus the PMPI recorder.
+			if err := phase("trace"); err != nil {
+				return nil, fmt.Errorf("core: traced run: %w", err)
+			}
+			traced := mpi.NewWorld(tracedCfg)
+			if res.TracedRun, err = traced.Run(app); err != nil {
+				return nil, fmt.Errorf("core: traced run: %w", err)
+			}
+			res.Overhead = relDiff(float64(res.TracedRun.ExecTime), float64(res.BaselineRun.ExecTime))
+			res.Trace = rec.Trace(opts.Platform.Name, opts.Impl.Name)
+			if tr != nil {
+				cur.SetAttrs(
+					obs.Int("events", res.Trace.TotalEvents()),
+					obs.Int("raw_bytes", res.Trace.RawSize()))
+			}
 		}
 		if err := save(PhaseTrace, func(cp *Checkpoint) {
 			traceBytes = res.Trace.Encode()
@@ -381,6 +469,7 @@ func Synthesize(app func(*mpi.Rank), opts Options) (*Result, error) {
 		Platform:   opts.Platform,
 		Scale:      opts.Scale,
 		BenchNoise: opts.BenchNoise,
+		BMatrix:    bmatrix, // non-nil after an overlapped run's warmup
 		SearchMemo: memo,
 		Check:      res.Check,
 	}

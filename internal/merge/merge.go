@@ -52,6 +52,24 @@ type Globalized struct {
 	Terminals []*trace.Record
 	Clusters  []*trace.Cluster
 	Seqs      [][]int // per-rank event sequences over global terminal ids
+
+	// seqBufs are the pooled buffers backing Seqs; see Release.
+	seqBufs []*trace.IntBuf
+}
+
+// Release returns the pooled buffers backing Seqs to the shared buffer
+// pool. After Release, Seqs must not be touched: the backing arrays may be
+// handed to an unrelated caller. Build releases its Globalized once the
+// losslessness check has passed; callers that keep a Globalized alive
+// (experiments, tests) simply never call Release and the buffers fall to
+// the garbage collector instead — pooling is an optimization, never an
+// obligation.
+func (g *Globalized) Release() {
+	for _, b := range g.seqBufs {
+		b.Unref()
+	}
+	g.seqBufs = nil
+	g.Seqs = nil
 }
 
 // Globalize merges the per-rank terminal tables and computation clusters
@@ -99,6 +117,10 @@ func Build(tr *trace.Trace, opts Options) (*Program, error) {
 	opts = opts.withDefaults()
 	par := opts.Parallelism
 	glob := GlobalizeParallel(tr, opts.ClusterThreshold, par)
+	// The globalized sequences are scratch: grammar inference and the
+	// losslessness check read them, the returned Program does not. Return
+	// their pooled buffers on every exit path.
+	defer glob.Release()
 
 	p := &Program{
 		NumRanks:    tr.NumRanks,
@@ -154,8 +176,9 @@ func Build(tr *trace.Trace, opts Options) (*Program, error) {
 		// depth, which are already in ruleMap — so body conversion and
 		// signature hashing parallelize freely; interning then stays serial
 		// in (rank, rule) order so merged rule ids come out identical to the
-		// sequential pass.
-		parfor(len(todo), par, func(k int) {
+		// sequential pass. Items are sub-microsecond, so small levels stay
+		// serial (parforSerialCutoff).
+		parforCheap(len(todo), par, func(k int) {
 			t := &todo[k]
 			t.body = convertBody(grammars[t.rank].Rules[t.li], ruleMap[t.rank])
 			t.sig = signature(t.body)
@@ -194,8 +217,12 @@ func Build(tr *trace.Trace, opts Options) (*Program, error) {
 		// first match). The similarity checks against existing groups are
 		// independent — each reads only the group's fixed representative —
 		// so they parallelize; only the LCS fold into the group is ordered.
+		// Dispatch is only worth it when the edit-distance DP brings real
+		// work: below ~2^16 total cells the checks finish faster than the
+		// workers spawn (measured; see DESIGN.md §14).
+		cells := len(body) * len(body) * len(groups)
 		placed := -1
-		if par <= 1 || len(groups) < 2 {
+		if par <= 1 || len(groups) < 2 || cells < similarParCutoffCells {
 			for gi, gr := range groups {
 				if similar(gr.rep, body, opts.MainSimilarity) {
 					placed = gi
@@ -304,6 +331,12 @@ func log2ceil(n int) int {
 // editCellCap bounds the DP table size; beyond it two mains are simply
 // declared dissimilar rather than spending quadratic memory.
 const editCellCap = 4 << 20
+
+// similarParCutoffCells is the estimated edit-distance DP cell count (body
+// length squared times group count) below which the per-rank similarity
+// checks run serially; at ~2ns per cell that is ~130µs of work, an order
+// of magnitude above the worker dispatch cost it must amortize.
+const similarParCutoffCells = 1 << 16
 
 // similar reports whether the normalized edit distance between two symbol
 // sequences is within the threshold.

@@ -34,14 +34,17 @@ type partial struct {
 	recIndex map[string]int
 	// recMaps maps each covered rank's original local table ids to this
 	// partial's record ids; sequences are rewritten once, at the root.
-	recMaps map[int][]int
+	// The id slices are pooled (trace.IntBuf): a merge that composes a
+	// child map into the parent releases the child's buffer, and the root
+	// releases everything after the sequence rewrite.
+	recMaps map[int]*trace.IntBuf
 }
 
 func newPartial(th float64) *partial {
 	return &partial{
 		cindex:   newClusterIndex(th),
 		recIndex: map[string]int{},
-		recMaps:  map[int][]int{},
+		recMaps:  map[int]*trace.IntBuf{},
 	}
 }
 
@@ -82,19 +85,20 @@ func (p *partial) addRecord(r *trace.Record, key string) int {
 // coarser than the tracing threshold.
 func leafPartial(rt *trace.RankTrace, th float64) *partial {
 	p := newPartial(th)
-	clusterMap := make([]int, len(rt.Clusters))
+	clusterMap := trace.GetInts(len(rt.Clusters))
 	for li, lc := range rt.Clusters {
 		cp := *lc
-		clusterMap[li] = p.addCluster(&cp, th)
+		clusterMap.S[li] = p.addCluster(&cp, th)
 	}
-	recMap := make([]int, len(rt.Table))
+	recMap := trace.GetInts(len(rt.Table))
 	for li, r := range rt.Table {
 		gr := r.Clone()
 		if gr.IsCompute() {
-			gr.ComputeCluster = clusterMap[gr.ComputeCluster]
+			gr.ComputeCluster = clusterMap.S[gr.ComputeCluster]
 		}
-		recMap[li] = p.addRecord(gr, gr.KeyString())
+		recMap.S[li] = p.addRecord(gr, gr.KeyString())
 	}
+	clusterMap.Unref()
 	p.recMaps[rt.Rank] = recMap
 	return p
 }
@@ -103,28 +107,32 @@ func leafPartial(rt *trace.RankTrace, th float64) *partial {
 // preserved, right's unmatched entries append in right order. This is the
 // pure pairwise merge the reduction tree is built from.
 func mergePartials(left, right *partial, th float64) {
-	clusterMap := make([]int, len(right.clusters))
+	clusterMap := trace.GetInts(len(right.clusters))
 	for i, rc := range right.clusters {
-		clusterMap[i] = left.addCluster(rc, th)
+		clusterMap.S[i] = left.addCluster(rc, th)
 	}
-	recMap := make([]int, len(right.records))
+	recMap := trace.GetInts(len(right.records))
 	for j, r := range right.records {
 		key := right.keys[j]
 		if r.IsCompute() {
-			if mapped := clusterMap[r.ComputeCluster]; mapped != r.ComputeCluster {
+			if mapped := clusterMap.S[r.ComputeCluster]; mapped != r.ComputeCluster {
 				r.ComputeCluster = mapped
 				key = r.KeyString()
 			}
 		}
-		recMap[j] = left.addRecord(r, key)
+		recMap.S[j] = left.addRecord(r, key)
 	}
+	clusterMap.Unref()
 	for rank, rm := range right.recMaps {
-		composed := make([]int, len(rm))
-		for i, id := range rm {
-			composed[i] = recMap[id]
+		composed := trace.GetInts(len(rm.S))
+		for i, id := range rm.S {
+			composed.S[i] = recMap.S[id]
 		}
+		rm.Unref()
 		left.recMaps[rank] = composed
 	}
+	recMap.Unref()
+	right.recMaps = nil
 }
 
 // GlobalizeParallel merges the per-rank terminal tables and computation
@@ -159,15 +167,21 @@ func GlobalizeParallel(tr *trace.Trace, clusterThreshold float64, parallelism in
 	root := parts[0]
 	g.Terminals = root.records
 	g.Clusters = root.clusters
+	g.seqBufs = make([]*trace.IntBuf, numRanks)
 	parfor(numRanks, parallelism, func(i int) {
 		rt := tr.Ranks[i]
 		rm := root.recMaps[rt.Rank]
-		seq := make([]int, len(rt.Events))
+		seq := trace.GetInts(len(rt.Events))
 		for j, id := range rt.Events {
-			seq[j] = rm[id]
+			seq.S[j] = rm.S[id]
 		}
-		g.Seqs[rt.Rank] = seq
+		g.seqBufs[rt.Rank] = seq
+		g.Seqs[rt.Rank] = seq.S
 	})
+	for _, rm := range root.recMaps {
+		rm.Unref()
+	}
+	root.recMaps = nil
 	return g
 }
 
@@ -266,7 +280,25 @@ func (ci *clusterIndex) lookup(clusters []*trace.Cluster, rep perfmodel.Counters
 
 // --- worker pool -----------------------------------------------------------
 
-// parfor runs fn(0..n-1) on up to par workers. Iterations must be
+// chunksPerWorker is how many chunks each worker claims on average: enough
+// slack to rebalance a straggling chunk, few enough that the per-chunk
+// atomic is amortized over many items. 4 is the conventional sweet spot —
+// with W workers the slowest worker idles for at most ~1/(4W) of the stage.
+const chunksPerWorker = 4
+
+// parforSerialCutoff is the item count below which a parfor over *cheap*
+// items (sub-microsecond each, e.g. one convertBody per rule) runs
+// serially. Measured by BenchmarkParforOverhead (see DESIGN.md §14): one
+// parfor dispatch costs ~1–5µs over the plain loop (par 2–8) in goroutine
+// create, schedule, and join, so a stage has to bring at least a few tens
+// of microseconds of real work before spreading it pays. Callers with heavy
+// items (whole-rank grammar inference, pairwise table merges) bypass this
+// via plain parfor, which only degenerates when n or par is 1.
+const parforSerialCutoff = 64
+
+// parfor runs fn(0..n-1) on up to par workers, claiming chunks of indices
+// with one atomic add per chunk. The calling goroutine participates as a
+// worker, so par=2 spawns a single goroutine. Iterations must be
 // independent; with par ≤ 1 it degenerates to a plain loop, which is what
 // makes sequential and parallel runs execute the same code.
 func parfor(n, par int, fn func(int)) {
@@ -282,20 +314,44 @@ func parfor(n, par int, fn func(int)) {
 		}
 		return
 	}
+	grain := n / (par * chunksPerWorker)
+	if grain < 1 {
+		grain = 1
+	}
 	var next atomic.Int64
+	work := func() {
+		for {
+			hi := int(next.Add(int64(grain)))
+			lo := hi - grain
+			if lo >= n {
+				return
+			}
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}
+	}
 	var wg sync.WaitGroup
-	for w := 0; w < par; w++ {
+	for w := 1; w < par; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				fn(i)
-			}
+			work()
 		}()
 	}
+	work()
 	wg.Wait()
+}
+
+// parforCheap is parfor for stages whose per-item cost is far below the
+// dispatch cost: it stays serial until the item count clears the measured
+// cutoff.
+func parforCheap(n, par int, fn func(int)) {
+	if n < parforSerialCutoff {
+		par = 1
+	}
+	parfor(n, par, fn)
 }

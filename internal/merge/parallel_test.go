@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 	"reflect"
+	"sync/atomic"
 	"testing"
 
 	"siesta/internal/perfmodel"
@@ -201,4 +202,40 @@ func TestParfor(t *testing.T) {
 		}
 	}
 	parfor(0, 4, func(int) { t.Fatal("parfor(0) must not invoke fn") })
+}
+
+func TestParforCheap(t *testing.T) {
+	// Below the cutoff parforCheap must not spawn: with par huge and fn
+	// recording goroutine-visible state serially, any spawned worker would
+	// race on the unsynchronized counter and -race would flag it.
+	n := parforSerialCutoff - 1
+	count := 0
+	parforCheap(n, 64, func(i int) { count++ })
+	if count != n {
+		t.Fatalf("parforCheap ran %d iterations, want %d", count, n)
+	}
+	// At or above the cutoff it must still cover every index exactly once.
+	n = parforSerialCutoff + 7
+	seen := make([]int32, n)
+	parforCheap(n, 4, func(i int) { atomic.AddInt32(&seen[i], 1) })
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d executed %d times", i, c)
+		}
+	}
+}
+
+// BenchmarkParforOverhead measures the fixed cost of one parfor dispatch —
+// goroutine spawn, chunk-claim atomics, and join — with a near-empty body.
+// This is the number parforSerialCutoff is derived from; see DESIGN.md §14.
+func BenchmarkParforOverhead(b *testing.B) {
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("par=%d", par), func(b *testing.B) {
+			var sink atomic.Int64
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				parfor(64, par, func(j int) { sink.Add(1) })
+			}
+		})
+	}
 }

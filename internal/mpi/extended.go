@@ -22,21 +22,24 @@ func (r *Rank) Ssend(c *Comm, dst, tag, bytes int) {
 	if dst != ProcNull {
 		w := r.world
 		r.clock.Advance(w.cfg.Impl.CallOverhead())
+		dstWorld := c.WorldRank(dst)
 		m := r.buildMessage(c, dst, tag, bytes, nil, nil)
 		m.eager = false // synchronous mode: always handshake
 		req := r.newRequest(reqSend)
 		req.describe(dst, tag)
 		m.sendReq = req
 		m.sender = r
-		w.mu.Lock()
-		w.postMessage(m)
-		w.waitCond(r, func() PendingOp {
+		makeOp := func() PendingOp {
 			op := r.pendingOp("synchronous handshake")
 			op.Peer, op.Tag = dst, tag
 			return op
-		}, func() bool { return req.done })
+		}
+		ready := func() bool { return req.done }
+		w.mu.Lock()
+		seq := w.postMessage(m)
+		w.waitCond(r, makeOp, ready)
 		w.mu.Unlock()
-		call.SentSeq, call.SentDst, call.SentBytes = m.seq+1, m.dstWorld, m.bytes
+		call.SentSeq, call.SentDst, call.SentBytes = seq+1, dstWorld, bytes
 		r.abortIfFailed()
 		r.clock.AdvanceTo(vtime.Time(req.time))
 	}
@@ -54,12 +57,14 @@ func (r *Rank) Probe(c *Comm, src, tag int) Status {
 		postTime: r.clock.Now(), owner: r,
 	}
 	var st Status
-	w.mu.Lock()
-	w.waitCond(r, func() PendingOp {
+	makeOp := func() PendingOp {
 		op := r.pendingOp("probing")
 		op.Peer, op.Tag = src, tag
 		return op
-	}, func() bool { return w.findUnexpected(probe) != nil })
+	}
+	ready := func() bool { return w.findUnexpected(probe) != nil }
+	w.mu.Lock()
+	w.waitCond(r, makeOp, ready)
 	if m := w.findUnexpected(probe); m != nil {
 		st = Status{Source: m.srcComm, Tag: m.tag, Bytes: m.bytes}
 		// The probe observes the message once it could have arrived.

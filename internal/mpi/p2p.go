@@ -59,40 +59,53 @@ func (pr *postedRecv) matches(m *message) bool {
 // blocked Probe is waiting for. A message the fault plan drops vanishes
 // here: the receiver keeps waiting (and a rendezvous sender keeps waiting
 // for the handshake), which the deadlock detector then reports.
-func (w *World) postMessage(m *message) {
-	ch := [2]int{m.srcWorld, m.dstWorld}
-	m.seq = w.msgCount[ch]
-	w.msgCount[ch] = m.seq + 1
+//
+// It returns the message's per-channel sequence number: posting hands
+// ownership of m to the router (a matched message is recycled on the
+// spot), so callers record the seq from the return value rather than
+// reading m afterwards.
+func (w *World) postMessage(m *message) int {
+	seq := w.msgCount.next(m.srcWorld, m.dstWorld)
+	m.seq = seq
 	if !w.routeFaults(m) {
-		return
+		putMessage(m)
+		return seq
 	}
 	queue := w.posted[m.dstWorld]
 	for i, pr := range queue {
 		if pr.matches(m) {
 			w.posted[m.dstWorld] = append(queue[:i:i], queue[i+1:]...)
 			completeMatch(m, pr)
-			return
+			putMessage(m)
+			putPostedRecv(pr)
+			return seq
 		}
 	}
 	w.mailbox[m.dstWorld] = append(w.mailbox[m.dstWorld], m)
 	w.ranks[m.dstWorld].cond.Broadcast()
+	return seq
 }
 
 // postRecv registers a receive: match against unexpected messages in arrival
-// order, or enqueue. Caller holds w.mu.
+// order, or enqueue. Caller holds w.mu. Posting hands ownership of pr to
+// the router — an immediate match recycles it, so callers must not touch
+// pr afterwards (completion is observed through pr.req).
 func (w *World) postRecv(pr *postedRecv) {
 	box := w.mailbox[pr.owner.rank]
 	for i, m := range box {
 		if pr.matches(m) {
 			w.mailbox[pr.owner.rank] = append(box[:i:i], box[i+1:]...)
 			completeMatch(m, pr)
+			putMessage(m)
+			putPostedRecv(pr)
 			return
 		}
 	}
 	w.posted[pr.owner.rank] = append(w.posted[pr.owner.rank], pr)
 }
 
-// buildMessage prices and assembles an outgoing message. dst is a rank in c.
+// buildMessage prices and assembles an outgoing message (drawn from the
+// free-list; the router recycles it on match). dst is a rank in c.
 func (r *Rank) buildMessage(c *Comm, dst, tag, bytes int, payload []byte, req *Request) *message {
 	w := r.world
 	dstWorld := c.WorldRank(dst)
@@ -100,7 +113,8 @@ func (r *Rank) buildMessage(c *Comm, dst, tag, bytes int, payload []byte, req *R
 	if payload != nil {
 		data = append([]byte(nil), payload...)
 	}
-	return &message{
+	m := getMessage()
+	*m = message{
 		commID:    c.id,
 		srcComm:   c.RankOf(r.rank),
 		srcWorld:  r.rank,
@@ -113,6 +127,7 @@ func (r *Rank) buildMessage(c *Comm, dst, tag, bytes int, payload []byte, req *R
 		wire:      vtime.Duration(float64(w.cfg.Impl.WireTime(w.cfg.Platform, r.rank, dstWorld, bytes)) * w.commJitter),
 		sendReq:   req,
 	}
+	return m
 }
 
 // Send performs a blocking standard-mode send of bytes to dst (rank in c)
@@ -133,27 +148,32 @@ func (r *Rank) sendPayload(c *Comm, dst, tag, bytes int, payload []byte) {
 	r.beginCall(call)
 	if dst != ProcNull {
 		w := r.world
-		r.clock.Advance(w.cfg.Impl.SendLocalCost(w.cfg.Platform, r.rank, c.WorldRank(dst), bytes))
+		dstWorld := c.WorldRank(dst)
+		r.clock.Advance(w.cfg.Impl.SendLocalCost(w.cfg.Platform, r.rank, dstWorld, bytes))
 		m := r.buildMessage(c, dst, tag, bytes, payload, nil)
 		if m.eager {
 			w.mu.Lock()
-			w.postMessage(m)
+			seq := w.postMessage(m)
 			w.mu.Unlock()
-			call.SentSeq, call.SentDst, call.SentBytes = m.seq+1, m.dstWorld, m.bytes
+			call.SentSeq, call.SentDst, call.SentBytes = seq+1, dstWorld, bytes
 		} else {
 			req := r.newRequest(reqSend)
 			req.describe(dst, tag)
 			m.sendReq = req
 			m.sender = r
-			w.mu.Lock()
-			w.postMessage(m)
-			w.waitCond(r, func() PendingOp {
+			// Closures built outside the critical section: their
+			// allocations would otherwise serialize under w.mu.
+			makeOp := func() PendingOp {
 				op := r.pendingOp("rendezvous handshake")
 				op.Peer, op.Tag = dst, tag
 				return op
-			}, func() bool { return req.done })
+			}
+			ready := func() bool { return req.done }
+			w.mu.Lock()
+			seq := w.postMessage(m)
+			w.waitCond(r, makeOp, ready)
 			w.mu.Unlock()
-			call.SentSeq, call.SentDst, call.SentBytes = m.seq+1, m.dstWorld, m.bytes
+			call.SentSeq, call.SentDst, call.SentBytes = seq+1, dstWorld, bytes
 			r.abortIfFailed()
 			r.clock.AdvanceTo(vtime.Time(req.time))
 		}
@@ -180,17 +200,20 @@ func (r *Rank) recvInto(c *Comm, src, tag int, buf []byte) Status {
 		w := r.world
 		req := r.newRequest(reqRecv)
 		req.describe(src, tag)
-		pr := &postedRecv{
+		pr := getPostedRecv()
+		*pr = postedRecv{
 			commID: c.id, src: src, tag: tag,
 			postTime: r.clock.Now(), req: req, owner: r, buf: buf,
 		}
-		w.mu.Lock()
-		w.postRecv(pr)
-		w.waitCond(r, func() PendingOp {
+		makeOp := func() PendingOp {
 			op := r.pendingOp("")
 			op.Peer, op.Tag = src, tag
 			return op
-		}, func() bool { return req.done })
+		}
+		ready := func() bool { return req.done }
+		w.mu.Lock()
+		w.postRecv(pr)
+		w.waitCond(r, makeOp, ready)
 		w.mu.Unlock()
 		r.abortIfFailed()
 		r.clock.AdvanceTo(vtime.Time(req.time))
@@ -216,6 +239,7 @@ func (r *Rank) Isend(c *Comm, dst, tag, bytes int) *Request {
 	} else {
 		req.describe(dst, tag)
 		r.clock.Advance(w.cfg.Impl.CallOverhead())
+		dstWorld := c.WorldRank(dst)
 		m := r.buildMessage(c, dst, tag, bytes, nil, req)
 		m.sender = r
 		if m.eager {
@@ -225,9 +249,9 @@ func (r *Rank) Isend(c *Comm, dst, tag, bytes int) *Request {
 			m.sendReq = nil
 		}
 		w.mu.Lock()
-		w.postMessage(m)
+		seq := w.postMessage(m)
 		w.mu.Unlock()
-		call.SentSeq, call.SentDst, call.SentBytes = m.seq+1, m.dstWorld, m.bytes
+		call.SentSeq, call.SentDst, call.SentBytes = seq+1, dstWorld, bytes
 	}
 	call.Request = req
 	r.endCall(call)
@@ -246,7 +270,8 @@ func (r *Rank) Irecv(c *Comm, src, tag int) *Request {
 	} else {
 		req.describe(src, tag)
 		r.clock.Advance(w.cfg.Impl.CallOverhead())
-		pr := &postedRecv{
+		pr := getPostedRecv()
+		*pr = postedRecv{
 			commID: c.id, src: src, tag: tag,
 			postTime: r.clock.Now(), req: req, owner: r,
 		}
@@ -289,15 +314,17 @@ func (r *Rank) waitOne(req *Request) Status {
 			"waiting on a request owned by rank %d", req.owner))
 	}
 	w := r.world
-	w.mu.Lock()
-	w.waitCond(r, func() PendingOp {
+	makeOp := func() PendingOp {
 		op := r.pendingOp(fmt.Sprintf("request #%d from %s", req.id, req.op))
 		op.Peer, op.Tag = req.peer, req.tag
 		if req.commID >= 0 {
 			op.Comm = req.commID
 		}
 		return op
-	}, func() bool { return req.done })
+	}
+	ready := func() bool { return req.done }
+	w.mu.Lock()
+	w.waitCond(r, makeOp, ready)
 	w.mu.Unlock()
 	r.abortIfFailed()
 	r.clock.AdvanceTo(vtime.Time(req.time))
@@ -343,6 +370,7 @@ func (r *Rank) Sendrecv(c *Comm, dst, sendTag, sendBytes, src, recvTag int) Stat
 	if dst != ProcNull {
 		sreq = r.newRequest(reqSend)
 		sreq.describe(dst, sendTag)
+		dstWorld := c.WorldRank(dst)
 		m := r.buildMessage(c, dst, sendTag, sendBytes, nil, sreq)
 		m.sender = r
 		if m.eager {
@@ -351,14 +379,15 @@ func (r *Rank) Sendrecv(c *Comm, dst, sendTag, sendBytes, src, recvTag int) Stat
 			m.sendReq = nil
 		}
 		w.mu.Lock()
-		w.postMessage(m)
+		seq := w.postMessage(m)
 		w.mu.Unlock()
-		call.SentSeq, call.SentDst, call.SentBytes = m.seq+1, m.dstWorld, m.bytes
+		call.SentSeq, call.SentDst, call.SentBytes = seq+1, dstWorld, sendBytes
 	}
 	if src != ProcNull {
 		rreq = r.newRequest(reqRecv)
 		rreq.describe(src, recvTag)
-		pr := &postedRecv{
+		pr := getPostedRecv()
+		*pr = postedRecv{
 			commID: c.id, src: src, tag: recvTag,
 			postTime: r.clock.Now(), req: rreq, owner: r,
 		}

@@ -71,6 +71,7 @@ func (r *Rank) Start(req *Request) {
 			req.done, req.nul = true, true
 			req.time = float64(r.clock.Now())
 		} else {
+			dstWorld := pa.comm.WorldRank(pa.peer)
 			m := r.buildMessage(pa.comm, pa.peer, pa.tag, pa.bytes, nil, req)
 			m.sender = r
 			if m.eager {
@@ -79,16 +80,17 @@ func (r *Rank) Start(req *Request) {
 				m.sendReq = nil
 			}
 			w.mu.Lock()
-			w.postMessage(m)
+			seq := w.postMessage(m)
 			w.mu.Unlock()
-			call.SentSeq, call.SentDst, call.SentBytes = m.seq+1, m.dstWorld, m.bytes
+			call.SentSeq, call.SentDst, call.SentBytes = seq+1, dstWorld, pa.bytes
 		}
 	} else {
 		if pa.peer == ProcNull {
 			req.done, req.nul = true, true
 			req.time = float64(r.clock.Now())
 		} else {
-			pr := &postedRecv{
+			pr := getPostedRecv()
+			*pr = postedRecv{
 				commID: pa.comm.id, src: pa.peer, tag: pa.tag,
 				postTime: r.clock.Now(), req: req, owner: r,
 			}

@@ -72,13 +72,13 @@ type World struct {
 	// msgSeq counts point-to-point messages per (src, dst) channel so
 	// fault decisions are deterministic in send order; nil when no fault
 	// plan is active.
-	msgSeq map[[2]int]int
+	msgSeq *chanCounter
 
 	// msgCount numbers every point-to-point message per (src, dst)
 	// channel in post order, independent of the fault plan's counter:
 	// the observability layer joins send and receive events into message
 	// edges by (src, dst, seq). Guarded by mu.
-	msgCount map[[2]int]int
+	msgCount *chanCounter
 
 	failed error
 	// stop mirrors failed != nil as an atomic flag so rank goroutines can
@@ -123,6 +123,63 @@ type postedRecv struct {
 	req      *Request
 	owner    *Rank
 	buf      []byte
+}
+
+// message and postedRecv structs churn once per point-to-point call, which
+// at 64 ranks is the dominant allocation inside w.mu. Both have a clean
+// lifetime: a matched (message, postedRecv) pair dies inside
+// postMessage/postRecv the moment completeMatch returns, so the match
+// functions recycle them there — under w.mu, after the last field read.
+// Callers follow one discipline: once a struct is posted it is never
+// touched again (postMessage returns the assigned seq so senders do not
+// read m.seq afterwards). Structs that never reach a match — mailbox
+// residue at teardown, probe templates — simply fall to the GC; recycling
+// is an optimization, never an obligation.
+var msgPool = sync.Pool{New: func() any { return new(message) }}
+
+func getMessage() *message  { return msgPool.Get().(*message) }
+func putMessage(m *message) { *m = message{}; msgPool.Put(m) }
+
+var prPool = sync.Pool{New: func() any { return new(postedRecv) }}
+
+func getPostedRecv() *postedRecv   { return prPool.Get().(*postedRecv) }
+func putPostedRecv(pr *postedRecv) { *pr = postedRecv{}; prPool.Put(pr) }
+
+// flatChanCutoff is the world size up to which per-channel message
+// counters use a dense size×size array instead of a map: one indexed add
+// per message instead of a map probe inside w.mu. 256 ranks cost 512KiB
+// per counter, well under the per-rank goroutine stacks at that scale.
+const flatChanCutoff = 256
+
+// chanCounter numbers messages per directed (src, dst) channel.
+type chanCounter struct {
+	size int
+	flat []int          // dense counters when size <= flatChanCutoff
+	m    map[[2]int]int // fallback for very large worlds
+}
+
+func newChanCounter(size int) *chanCounter {
+	cc := &chanCounter{size: size}
+	if size <= flatChanCutoff {
+		cc.flat = make([]int, size*size)
+	} else {
+		cc.m = make(map[[2]int]int)
+	}
+	return cc
+}
+
+// next returns the channel's current count and increments it. Caller holds
+// w.mu.
+func (cc *chanCounter) next(src, dst int) int {
+	if cc.flat != nil {
+		i := src*cc.size + dst
+		n := cc.flat[i]
+		cc.flat[i] = n + 1
+		return n
+	}
+	n := cc.m[[2]int{src, dst}]
+	cc.m[[2]int{src, dst}] = n + 1
+	return n
 }
 
 type collKey struct {
@@ -175,11 +232,11 @@ func NewWorld(cfg Config) *World {
 		mailbox:    make([][]*message, cfg.Size),
 		posted:     make([][]*postedRecv, cfg.Size),
 		colls:      make(map[collKey]*collSlot),
-		msgCount:   make(map[[2]int]int),
+		msgCount:   newChanCounter(cfg.Size),
 		nextCommID: 1,
 	}
 	if cfg.Faults != nil {
-		w.msgSeq = make(map[[2]int]int)
+		w.msgSeq = newChanCounter(cfg.Size)
 	}
 	ranks := make([]int, cfg.Size)
 	for i := range ranks {
@@ -472,9 +529,7 @@ func (w *World) routeFaults(m *message) bool {
 	if plan == nil {
 		return true
 	}
-	ch := [2]int{m.srcWorld, m.dstWorld}
-	n := w.msgSeq[ch]
-	w.msgSeq[ch] = n + 1
+	n := w.msgSeq.next(m.srcWorld, m.dstWorld)
 	if plan.DropMessage(m.srcWorld, m.dstWorld, m.tag, n) {
 		return false
 	}

@@ -97,10 +97,12 @@ type PhaseEvent struct {
 // spans plus any number of runtime timelines. A nil *Tracer is a valid,
 // disabled tracer: every method no-ops.
 //
-// Phase spans may be started and ended from any single goroutine at a time
-// (the pipeline is sequential across phases); timelines are written by
-// their rank goroutines without locking and must only be exported after
-// the run completes (mpi.World.Run's return is the happens-before edge).
+// Distinct phase spans may be open concurrently (the overlapped baseline
+// and traced runs each own one): a Span's fields are confined to the
+// goroutine that starts, annotates, and ends it, while commits and observer
+// lookups go through the tracer mutex. Timelines are written by their rank
+// goroutines without locking and must only be exported after the run
+// completes (mpi.World.Run's return is the happens-before edge).
 type Tracer struct {
 	epoch time.Time
 

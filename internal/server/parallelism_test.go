@@ -84,16 +84,27 @@ func TestParallelismMetricsAndCacheKey(t *testing.T) {
 		t.Errorf("metrics missing siesta_phase_parallelism 8:\n%s", text)
 	}
 	// One serial and one parallel job have completed, so every synthesis
-	// phase exposes a speedup gauge with a positive finite value.
-	for _, phase := range []string{"baseline", "trace", "merge", "check", "codegen"} {
-		re := regexp.MustCompile(`siesta_phase_speedup\{phase="` + phase + `"\} ([0-9.e+-]+)`)
+	// phase exposes a speedup gauge with a positive finite value. The
+	// parallel job ran with overlapped baseline/trace phases, so those two
+	// report on the overlap="true" series; the sequential tail phases
+	// report on overlap="false".
+	for phase, overlap := range map[string]string{
+		"baseline": "true", "trace": "true",
+		"merge": "false", "check": "false", "codegen": "false",
+	} {
+		re := regexp.MustCompile(`siesta_phase_speedup\{overlap="` + overlap + `",phase="` + phase + `"\} ([0-9.e+-]+)`)
 		mt := re.FindStringSubmatch(text)
 		if mt == nil {
-			t.Errorf("metrics missing siesta_phase_speedup for phase %q:\n%s", phase, text)
+			t.Errorf("metrics missing siesta_phase_speedup for phase %q overlap=%s:\n%s", phase, overlap, text)
 			continue
 		}
 		if mt[1] == "0" {
 			t.Errorf("phase %q speedup is zero", phase)
 		}
+	}
+	// The warmup phase only exists on overlapped runs: with no serial
+	// samples it must not publish a speedup gauge at all.
+	if strings.Contains(text, `siesta_phase_speedup{overlap="true",phase="warmup"}`) {
+		t.Error("warmup phase published a speedup gauge despite having no serial samples")
 	}
 }

@@ -174,11 +174,15 @@ type Server struct {
 }
 
 // phaseTimes aggregates one phase's observed wall times by execution mode.
+// Parallel samples are bucketed by whether the phase actually ran
+// overlapped with another phase (index 1) or not (index 0), so the speedup
+// gauges attribute gains to the overlap separately from worker-pool
+// parallelism.
 type phaseTimes struct {
 	serialSum float64
 	serialN   int
-	parSum    float64
-	parN      int
+	parSum    [2]float64
+	parN      [2]int
 }
 
 // New builds a service and starts its worker pool. With a StateDir
@@ -536,7 +540,14 @@ func (s *Server) runAttempt(ctx context.Context, jb *job) (*cache.Artifact, []by
 		secs := ev.Dur.Seconds()
 		s.reg.Histogram(fmt.Sprintf("siesta_phase_seconds{phase=%q}", ev.Name),
 			"wall-clock time per pipeline phase", nil).Observe(secs)
-		s.observePhase(ev.Name, secs, jb.parallelism)
+		overlap := false
+		for _, a := range ev.Attrs {
+			if a.Key == "overlap" {
+				overlap, _ = a.Value.(bool)
+				break
+			}
+		}
+		s.observePhase(ev.Name, secs, jb.parallelism, overlap)
 	})
 
 	var ck core.Checkpointer
@@ -600,10 +611,13 @@ func (s *Server) analyzeProgram(tracer *obs.Tracer, prog *merge.Program, plat *p
 }
 
 // observePhase folds one phase wall time into the serial/parallel
-// aggregates and refreshes the phase's speedup gauge (mean serial time over
-// mean parallel time) once both modes have samples. A value above 1 means
-// parallel jobs clear the phase faster.
-func (s *Server) observePhase(phase string, secs float64, parallelism int) {
+// aggregates and refreshes the phase's speedup gauges (mean serial time
+// over mean parallel time) once both modes have samples. A value above 1
+// means parallel jobs clear the phase faster. The overlap label separates
+// parallel samples where the phase ran concurrently with another phase
+// (the overlapped baseline/trace runs) from plain worker-pool parallelism,
+// so a regression in either shows up on its own series.
+func (s *Server) observePhase(phase string, secs float64, parallelism int, overlap bool) {
 	s.phaseMu.Lock()
 	defer s.phaseMu.Unlock()
 	pt := s.phaseAgg[phase]
@@ -615,13 +629,22 @@ func (s *Server) observePhase(phase string, secs float64, parallelism int) {
 		pt.serialSum += secs
 		pt.serialN++
 	} else {
-		pt.parSum += secs
-		pt.parN++
+		i := 0
+		if overlap {
+			i = 1
+		}
+		pt.parSum[i] += secs
+		pt.parN[i]++
 	}
-	if pt.serialN > 0 && pt.parN > 0 && pt.parSum > 0 {
-		speedup := (pt.serialSum / float64(pt.serialN)) / (pt.parSum / float64(pt.parN))
-		s.reg.GaugeFloat(fmt.Sprintf("siesta_phase_speedup{phase=%q}", phase),
-			"mean serial over mean parallel phase wall time").Set(speedup)
+	if pt.serialN == 0 {
+		return
+	}
+	for i, n := range pt.parN {
+		if n > 0 && pt.parSum[i] > 0 {
+			speedup := (pt.serialSum / float64(pt.serialN)) / (pt.parSum[i] / float64(n))
+			s.reg.GaugeFloat(fmt.Sprintf("siesta_phase_speedup{overlap=\"%t\",phase=%q}", i == 1, phase),
+				"mean serial over mean parallel phase wall time, split by run overlap").Set(speedup)
+		}
 	}
 }
 

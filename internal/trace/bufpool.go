@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Ref-counted buffer pooling for the synthesis hot paths. The pipeline's
+// inner loops — simulate/record/encode and the merge stage's per-rank
+// grammar scratch — churn through short-lived slices whose lifetimes are
+// easy to name but whose allocation pressure dominates profiles at high
+// rank counts. Buffers here follow a get()/unref() discipline:
+//
+//   - GetInts/GetBytes hand out a buffer with one reference and exactly
+//     the requested length. Contents are UNSPECIFIED (stale data from the
+//     previous user); callers must overwrite before reading.
+//   - Ref adds a reference when a second consumer will outlive the first
+//     (merge.Build holds one reference per stage that reads a rank's
+//     terminal sequence).
+//   - Unref drops a reference; the last drop returns the buffer to the
+//     pool. Unref after the last reference panics — an ownership bug that
+//     must fail loudly rather than corrupt a recycled buffer.
+//
+// Never retain b.S (or a sub-slice) past the final Unref: the next GetInts
+// may hand the same backing array to an unrelated goroutine. Ownership
+// rules per call site are catalogued in DESIGN.md §14.
+
+// IntBuf is a pooled, ref-counted []int.
+type IntBuf struct {
+	S    []int
+	refs atomic.Int32
+}
+
+// ByteBuf is a pooled, ref-counted []byte.
+type ByteBuf struct {
+	S    []byte
+	refs atomic.Int32
+}
+
+var (
+	intBufPool  = sync.Pool{New: func() any { return new(IntBuf) }}
+	byteBufPool = sync.Pool{New: func() any { return new(ByteBuf) }}
+)
+
+// GetInts returns a pooled buffer of length n (unspecified contents) with
+// one reference.
+func GetInts(n int) *IntBuf {
+	b := intBufPool.Get().(*IntBuf)
+	b.refs.Store(1)
+	if cap(b.S) < n {
+		b.S = make([]int, n)
+	} else {
+		b.S = b.S[:n]
+	}
+	return b
+}
+
+// Ref adds a reference.
+func (b *IntBuf) Ref() { b.refs.Add(1) }
+
+// Unref drops a reference, returning the buffer to the pool on the last
+// one. Nil-safe so optional buffers can be released unconditionally.
+func (b *IntBuf) Unref() {
+	if b == nil {
+		return
+	}
+	switch n := b.refs.Add(-1); {
+	case n == 0:
+		intBufPool.Put(b)
+	case n < 0:
+		panic("trace: IntBuf unref after final release")
+	}
+}
+
+// GetBytes returns a pooled buffer of length n (unspecified contents) with
+// one reference.
+func GetBytes(n int) *ByteBuf {
+	b := byteBufPool.Get().(*ByteBuf)
+	b.refs.Store(1)
+	if cap(b.S) < n {
+		b.S = make([]byte, n)
+	} else {
+		b.S = b.S[:n]
+	}
+	return b
+}
+
+// Ref adds a reference.
+func (b *ByteBuf) Ref() { b.refs.Add(1) }
+
+// Unref drops a reference, returning the buffer to the pool on the last
+// one. Nil-safe.
+func (b *ByteBuf) Unref() {
+	if b == nil {
+		return
+	}
+	switch n := b.refs.Add(-1); {
+	case n == 0:
+		byteBufPool.Put(b)
+	case n < 0:
+		panic("trace: ByteBuf unref after final release")
+	}
+}

@@ -61,6 +61,39 @@ func (e *Enc) Len() int { return e.buf.Len() }
 // Bytes returns the encoded buffer.
 func (e *Enc) Bytes() []byte { return e.buf.Bytes() }
 
+// Grow preallocates capacity for n more bytes, so a caller that knows the
+// exact encoded size up front (see Trace.Encode) pays one allocation total.
+func (e *Enc) Grow(n int) { e.buf.Grow(n) }
+
+// uvarintLen is the encoded size of an unsigned varint: one byte per
+// started 7-bit group.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// varintLen is the encoded size of a signed varint (zig-zag, like
+// binary.PutVarint).
+func varintLen(v int64) int {
+	return uvarintLen(uint64(v)<<1 ^ uint64(v>>63))
+}
+
+func intLen(v int) int { return varintLen(int64(v)) }
+
+func strLen(s string) int { return uvarintLen(uint64(len(s))) + len(s) }
+
+func intsLen(v []int) int {
+	n := uvarintLen(uint64(len(v)))
+	for _, x := range v {
+		n += intLen(x)
+	}
+	return n
+}
+
 // Dec decodes what Enc produced.
 type Dec struct {
 	r *bytes.Reader
@@ -162,8 +195,32 @@ func encodeRecord(e *Enc, r *Record) {
 	e.Str(r.FileName)
 }
 
-func decodeRecord(d *Dec) (*Record, error) {
-	var r Record
+// recordSize mirrors encodeRecord byte for byte, so Encode can compute the
+// exact output size in a first pass instead of growing a buffer as it goes.
+// Pinned against encodeRecord by TestRecordSizeExact.
+func recordSize(r *Record) int {
+	return strLen(r.Func) +
+		intLen(r.DestRel) +
+		intLen(r.SrcRel) +
+		intLen(r.Tag) +
+		intLen(r.Bytes) +
+		intLen(r.RecvTag) +
+		intLen(r.Root) +
+		strLen(r.Op) +
+		intLen(r.CommPool) +
+		intLen(r.NewCommPool) +
+		intLen(r.ReqPool) +
+		intsLen(r.ReqPools) +
+		intsLen(r.Counts) +
+		intLen(r.Color) +
+		intLen(r.Key) +
+		intLen(r.ComputeCluster) +
+		intLen(r.FilePool) +
+		intLen(r.OffsetRel) +
+		strLen(r.FileName)
+}
+
+func decodeRecord(d *Dec, r *Record) error {
 	var err error
 	read := func(dst *int) {
 		if err == nil {
@@ -171,7 +228,7 @@ func decodeRecord(d *Dec) (*Record, error) {
 		}
 	}
 	if r.Func, err = d.Str(); err != nil {
-		return nil, err
+		return err
 	}
 	read(&r.DestRel)
 	read(&r.SrcRel)
@@ -199,10 +256,7 @@ func decodeRecord(d *Dec) (*Record, error) {
 	if err == nil {
 		r.FileName, err = d.Str()
 	}
-	if err != nil {
-		return nil, err
-	}
-	return &r, nil
+	return err
 }
 
 // RawSize reports the byte size of the trace written in the uncompressed
@@ -212,16 +266,14 @@ func decodeRecord(d *Dec) (*Record, error) {
 func (t *Trace) RawSize() int {
 	total := 0
 	for _, rt := range t.Ranks {
-		var probe Enc
-		sizes := make([]int, len(rt.Table))
+		sizes := GetInts(len(rt.Table))
 		for id, r := range rt.Table {
-			before := probe.Len()
-			encodeRecord(&probe, r)
-			sizes[id] = probe.Len() - before
+			sizes.S[id] = recordSize(r)
 		}
 		for _, id := range rt.Events {
-			total += sizes[id] + 8 // record + timestamp
+			total += sizes.S[id] + 8 // record + timestamp
 		}
+		sizes.Unref()
 		// Per-cluster counter vectors appear once per *instance* in a
 		// raw trace (the raw tracer has no clustering).
 		for _, cl := range rt.Clusters {
@@ -232,9 +284,29 @@ func (t *Trace) RawSize() int {
 }
 
 // Encode serializes the trace (tables, cluster statistics, and event
-// sequences) in the compact binary format.
+// sequences) in the compact binary format. The encoded size is computed
+// exactly in a first pass, so the output buffer is allocated once and
+// filled without ever growing (pinned by TestTraceEncodeAllocs).
 func (t *Trace) Encode() []byte {
+	total := strLen("SIESTA-TRACE1") + intLen(t.NumRanks) +
+		strLen(t.Platform) + strLen(t.Impl)
+	clusterSize := 2*int(perfmodel.NumMetrics)*8 + 8 // Rep+Sum floats, TimeSum
+	for _, rt := range t.Ranks {
+		total += intLen(rt.Rank) + intLen(len(rt.Table))
+		for _, r := range rt.Table {
+			total += recordSize(r)
+		}
+		total += intLen(len(rt.Clusters))
+		for _, cl := range rt.Clusters {
+			total += clusterSize + intLen(cl.N)
+		}
+		total += intLen(len(rt.Events))
+		for _, id := range rt.Events {
+			total += uvarintLen(uint64(id))
+		}
+	}
 	var e Enc
+	e.Grow(total)
 	e.Str("SIESTA-TRACE1")
 	e.Int(t.NumRanks)
 	e.Str(t.Platform)
@@ -284,7 +356,7 @@ func Decode(data []byte) (*Trace, error) {
 	}
 	t.Ranks = make([]*RankTrace, t.NumRanks)
 	for i := 0; i < t.NumRanks; i++ {
-		rt := newRankTrace(0)
+		rt := &RankTrace{}
 		if rt.Rank, err = d.Int(); err != nil {
 			return nil, err
 		}
@@ -295,12 +367,17 @@ func Decode(data []byte) (*Trace, error) {
 		if err := d.boundedLen(nrec); err != nil {
 			return nil, err
 		}
+		// Records land in one slab per rank: the table's pointers then
+		// share a single allocation instead of one per record.
+		records := make([]Record, nrec)
+		rt.Table = make([]*Record, nrec)
+		rt.keyIndex = make(map[string]int, nrec)
 		for j := 0; j < nrec; j++ {
-			r, err := decodeRecord(d)
-			if err != nil {
+			r := &records[j]
+			if err := decodeRecord(d, r); err != nil {
 				return nil, err
 			}
-			rt.Table = append(rt.Table, r)
+			rt.Table[j] = r
 			rt.keyIndex[r.KeyString()] = j
 		}
 		ncl, err := d.Int()
@@ -310,8 +387,10 @@ func Decode(data []byte) (*Trace, error) {
 		if err := d.boundedLen(ncl); err != nil {
 			return nil, err
 		}
+		clusters := make([]Cluster, ncl)
+		rt.Clusters = make([]*Cluster, ncl)
 		for j := 0; j < ncl; j++ {
-			cl := &Cluster{}
+			cl := &clusters[j]
 			for m := 0; m < int(perfmodel.NumMetrics); m++ {
 				if cl.Rep[m], err = d.Float(); err != nil {
 					return nil, err
@@ -326,7 +405,7 @@ func Decode(data []byte) (*Trace, error) {
 			if cl.TimeSum, err = d.Float(); err != nil {
 				return nil, err
 			}
-			rt.Clusters = append(rt.Clusters, cl)
+			rt.Clusters[j] = cl
 		}
 		nev, err := d.Int()
 		if err != nil {

@@ -9,9 +9,8 @@
 package trace
 
 import (
-	"fmt"
 	"sort"
-	"strings"
+	"strconv"
 
 	"siesta/internal/perfmodel"
 )
@@ -69,27 +68,50 @@ func (r *Record) IsCompute() bool { return r.Func == "MPI_Compute" }
 // KeyString returns the canonical hash key of the record: equal keys mean
 // identical terminals. This is the string the paper stores in the per-rank
 // hash tables.
-func (r *Record) KeyString() string {
-	var b strings.Builder
-	b.WriteString(r.Func)
-	fmt.Fprintf(&b, "|d%d|s%d|t%d|n%d|rt%d|r%d|o%s|c%d|nc%d|q%d",
-		r.DestRel, r.SrcRel, r.Tag, r.Bytes, r.RecvTag, r.Root, r.Op,
-		r.CommPool, r.NewCommPool, r.ReqPool)
+func (r *Record) KeyString() string { return string(r.appendKey(nil)) }
+
+// appendKey appends the canonical key to b and returns the extended slice.
+// The recorder's hot path builds keys into a per-rank scratch buffer and
+// probes the intern table via map[string(b)] — which the compiler compiles
+// without materializing a string — so only genuinely new terminals pay a
+// string allocation.
+func (r *Record) appendKey(b []byte) []byte {
+	appendInt := func(b []byte, tag string, v int) []byte {
+		b = append(b, tag...)
+		return strconv.AppendInt(b, int64(v), 10)
+	}
+	b = append(b, r.Func...)
+	b = appendInt(b, "|d", r.DestRel)
+	b = appendInt(b, "|s", r.SrcRel)
+	b = appendInt(b, "|t", r.Tag)
+	b = appendInt(b, "|n", r.Bytes)
+	b = appendInt(b, "|rt", r.RecvTag)
+	b = appendInt(b, "|r", r.Root)
+	b = append(b, "|o"...)
+	b = append(b, r.Op...)
+	b = appendInt(b, "|c", r.CommPool)
+	b = appendInt(b, "|nc", r.NewCommPool)
+	b = appendInt(b, "|q", r.ReqPool)
 	if len(r.ReqPools) > 0 {
-		b.WriteString("|qs")
+		b = append(b, "|qs"...)
 		for _, q := range r.ReqPools {
-			fmt.Fprintf(&b, ",%d", q)
+			b = appendInt(b, ",", q)
 		}
 	}
 	if len(r.Counts) > 0 {
-		b.WriteString("|cn")
+		b = append(b, "|cn"...)
 		for _, c := range r.Counts {
-			fmt.Fprintf(&b, ",%d", c)
+			b = appendInt(b, ",", c)
 		}
 	}
-	fmt.Fprintf(&b, "|cl%d|ck%d|cc%d", r.Color, r.Key, r.ComputeCluster)
-	fmt.Fprintf(&b, "|f%d|fo%d|fn%s", r.FilePool, r.OffsetRel, r.FileName)
-	return b.String()
+	b = appendInt(b, "|cl", r.Color)
+	b = appendInt(b, "|ck", r.Key)
+	b = appendInt(b, "|cc", r.ComputeCluster)
+	b = appendInt(b, "|f", r.FilePool)
+	b = appendInt(b, "|fo", r.OffsetRel)
+	b = append(b, "|fn"...)
+	b = append(b, r.FileName...)
+	return b
 }
 
 // Clone deep-copies the record.
@@ -189,14 +211,21 @@ func (rt *RankTrace) append(r *Record) {
 // retained r (a new terminal — the caller must stop touching it) or r
 // duplicated an interned record and may be reused, slices and all.
 func (rt *RankTrace) appendOwned(r *Record) bool {
-	key := r.KeyString()
-	if id, ok := rt.keyIndex[key]; ok {
+	return rt.appendOwnedKeyed(r, r.appendKey(nil))
+}
+
+// appendOwnedKeyed is appendOwned with the key already rendered into a
+// caller-owned scratch buffer. The dedupe probe is allocation-free (the
+// map lookup on string(key) never materializes a string); only a new
+// terminal converts the key for insertion.
+func (rt *RankTrace) appendOwnedKeyed(r *Record, key []byte) bool {
+	if id, ok := rt.keyIndex[string(key)]; ok {
 		rt.Events = append(rt.Events, id)
 		return false
 	}
 	id := len(rt.Table)
 	rt.Table = append(rt.Table, r)
-	rt.keyIndex[key] = id
+	rt.keyIndex[string(key)] = id
 	rt.Events = append(rt.Events, id)
 	return true
 }

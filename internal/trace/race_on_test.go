@@ -1,0 +1,8 @@
+//go:build race
+
+package trace
+
+// raceEnabled gates allocation-count pins: the race detector instruments
+// sync.Pool and map access with extra allocations, so alloc-exactness is
+// only meaningful in uninstrumented builds.
+const raceEnabled = true

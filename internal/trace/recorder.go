@@ -65,6 +65,10 @@ type rankState struct {
 	// one per event. This is what keeps the per-event overhead flat once
 	// the terminal table saturates.
 	spare *Record
+	// keyBuf is the pooled scratch the canonical key is rendered into on
+	// every commit; the intern probe reads it without building a string.
+	// Held from NewRecorder until Trace() releases it.
+	keyBuf *ByteBuf
 }
 
 // newRecord hands out a Record initialized to the sentinel defaults,
@@ -88,7 +92,8 @@ func (rs *rankState) newRecord() *Record {
 
 // commit appends the event and reclaims the record unless the table kept it.
 func (rs *rankState) commit(r *Record) {
-	if !rs.rt.appendOwned(r) {
+	rs.keyBuf.S = r.appendKey(rs.keyBuf.S[:0])
+	if !rs.rt.appendOwnedKeyed(r, rs.keyBuf.S) {
 		rs.spare = r
 	}
 }
@@ -102,6 +107,7 @@ func NewRecorder(numRanks int, cfg Config) *Recorder {
 			reqPool:  NewPool(),
 			commPool: NewPool(),
 			filePool: NewPool(),
+			keyBuf:   GetBytes(0),
 		}
 		rs.commPool.Acquire(0) // MPI_COMM_WORLD is pool number 0
 		rec.ranks[i] = rs
@@ -316,6 +322,10 @@ func (rec *Recorder) Trace(platformName, implName string) *Trace {
 	}
 	for i, rs := range rec.ranks {
 		t.Ranks[i] = rs.rt
+		// The run is over: return the key scratch to the pool. Unref is
+		// nil-safe, so a second Trace() call is harmless.
+		rs.keyBuf.Unref()
+		rs.keyBuf = nil
 	}
 	return t
 }
