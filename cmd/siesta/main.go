@@ -32,6 +32,10 @@
 //
 //	siesta jobs -state-dir DIR [-json]
 //
+//	siesta upload -trace run.bin [-server http://127.0.0.1:8080] [-chunk 65536]
+//	       [-spill-high-water N] [-platform A] [-impl openmpi] [-seed N]
+//	       [-parallel N] [-wait 10m] [-o proxy.c] [-json]
+//
 // The check verb runs the static communication verifier over an encoded
 // program (written by -prog) or a raw trace (written by -trace; it is merged
 // first) and exits non-zero if any error-severity diagnostic is found. With
@@ -70,6 +74,12 @@
 // replays the write-ahead log and prints each job's durable state (pending
 // jobs are what the next serve incarnation will re-admit). See DESIGN.md
 // §11.
+//
+// The upload verb streams an encoded trace to a serve or gateway instance
+// over the chunked ingest API (POST /v1/traces): per-rank CRC-framed chunk
+// streams, uploaded round-robin interleaved, with grammar inference running
+// server-side while chunks arrive. The resulting proxy is byte-identical
+// to a one-shot trace_base64 upload. See DESIGN.md §15.
 //
 // All verbs take -log-level (debug, info, warn, error) for structured
 // log/slog diagnostics on stderr.
@@ -134,6 +144,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "jobs" {
 		runJobs(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "upload" {
+		runUpload(os.Args[2:])
 		return
 	}
 	appName := flag.String("app", "CG", "application to synthesize a proxy for")

@@ -1,0 +1,227 @@
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"siesta/internal/server"
+	"siesta/internal/server/cache"
+	"siesta/internal/trace"
+)
+
+// runUpload implements the `siesta upload` verb: stream an encoded trace
+// (the bytes `siesta -trace` writes) to a serve/gateway instance over the
+// chunked ingest API instead of one trace_base64 POST. Each rank's stream
+// is cut into -chunk byte pieces and the ranks are uploaded round-robin
+// interleaved, so the server's memory high-water tracks the chunk size,
+// not the trace size — and by the streaming equivalence contract the
+// resulting artifact is byte-identical to the one-shot path.
+func runUpload(args []string) {
+	fs := flag.NewFlagSet("siesta upload", flag.ExitOnError)
+	serverURL := fs.String("server", "http://127.0.0.1:8080", "siesta serve or gateway base URL")
+	tracePath := fs.String("trace", "", "encoded trace file to upload (required; written by `siesta -trace`)")
+	chunkSize := fs.Int("chunk", 64<<10, "upload chunk size in bytes")
+	spillHW := fs.Int("spill-high-water", 0, "server-side per-rank resident terminal-table byte budget; 0 = never spill")
+	platName := fs.String("platform", "", "generation platform: A, B or C (server default when empty)")
+	implName := fs.String("impl", "", "MPI implementation: openmpi, mpich, mvapich (server default when empty)")
+	seed := fs.Uint64("seed", 0, "synthesis seed")
+	parallel := fs.Int("parallel", 0, "requested synthesis parallelism (0 = server default)")
+	wait := fs.Duration("wait", 10*time.Minute, "how long to poll for the synthesis job to settle")
+	outC := fs.String("o", "", "write the generated C proxy-app to this file")
+	asJSON := fs.Bool("json", false, "emit the commit response and final artifact stats as JSON")
+	fs.Parse(args)
+
+	die := func(err error) {
+		fmt.Fprintf(os.Stderr, "siesta upload: %v\n", err)
+		os.Exit(1)
+	}
+	if *tracePath == "" {
+		die(fmt.Errorf("-trace is required"))
+	}
+	if *chunkSize <= 0 {
+		die(fmt.Errorf("-chunk must be positive"))
+	}
+	raw, err := os.ReadFile(*tracePath)
+	if err != nil {
+		die(err)
+	}
+	tr, err := trace.Decode(raw)
+	if err != nil {
+		die(fmt.Errorf("%s: %w", *tracePath, err))
+	}
+
+	// Chunk-encode every rank and pre-declare the content digest, so the
+	// open response already carries the cache key (and a gateway routes
+	// the session to the worker whose cache owns it).
+	streams := make([][]byte, len(tr.Ranks))
+	content := sha256.New()
+	var total int
+	for r, rt := range tr.Ranks {
+		streams[r] = trace.ChunkEncodeRank(rt)
+		sum := sha256.Sum256(streams[r])
+		content.Write(sum[:])
+		total += len(streams[r])
+	}
+
+	hc := &http.Client{Timeout: 30 * time.Second}
+	base := *serverURL
+	openReq := server.TraceOpenRequest{
+		NumRanks:       len(tr.Ranks),
+		Platform:       *platName,
+		Impl:           *implName,
+		Seed:           *seed,
+		Parallelism:    *parallel,
+		ContentSHA256:  hex.EncodeToString(content.Sum(nil)),
+		SpillHighWater: *spillHW,
+	}
+	var open server.TraceOpenResponse
+	if err := postJSONInto(hc, base+"/v1/traces", openReq, &open); err != nil {
+		die(err)
+	}
+	fmt.Fprintf(os.Stderr, "session %s: %d ranks, %d bytes in %d-byte chunks (key %s)\n",
+		open.ID, open.NumRanks, total, *chunkSize, open.CacheKey)
+
+	// Round-robin across ranks: the adversarial interleaving the server's
+	// equivalence contract absorbs, and the one that keeps every rank's
+	// incremental grammar advancing together.
+	offs := make([]int, len(streams))
+	for {
+		progress := false
+		for r, stream := range streams {
+			if offs[r] >= len(stream) {
+				continue
+			}
+			end := offs[r] + *chunkSize
+			if end > len(stream) {
+				end = len(stream)
+			}
+			url := fmt.Sprintf("%s/v1/traces/%s/ranks/%d", base, open.ID, r)
+			req, rerr := http.NewRequest(http.MethodPut, url, bytes.NewReader(stream[offs[r]:end]))
+			if rerr != nil {
+				die(rerr)
+			}
+			resp, rerr := hc.Do(req)
+			if rerr != nil {
+				die(rerr)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				die(fmt.Errorf("rank %d chunk: %s: %s", r, resp.Status, bytes.TrimSpace(body)))
+			}
+			offs[r] = end
+			progress = true
+		}
+		if !progress {
+			break
+		}
+	}
+
+	var commit server.TraceCommitResponse
+	if err := postJSONInto(hc, base+"/v1/traces/"+open.ID+"/commit", nil, &commit); err != nil {
+		die(err)
+	}
+	fmt.Fprintf(os.Stderr, "committed: job %s cached=%t spill: %d/%d terminals on disk (%d bytes)\n",
+		commit.Job.ID, commit.Cached, commit.Spill.Spilled, commit.Spill.Records, commit.Spill.SpilledBytes)
+
+	// Poll to a terminal state (a cache hit is already done).
+	view := commit.Job
+	deadline := time.Now().Add(*wait)
+	for view.Status != server.StatusDone && view.Status != server.StatusFailed && view.Status != server.StatusCanceled {
+		if time.Now().After(deadline) {
+			die(fmt.Errorf("job %s still %s after %v", view.ID, view.Status, *wait))
+		}
+		time.Sleep(200 * time.Millisecond)
+		if err := getJSONInto(hc, base+"/v1/jobs/"+view.ID, &view); err != nil {
+			die(err)
+		}
+	}
+	if view.Status != server.StatusDone {
+		die(fmt.Errorf("job %s settled %s: %s", view.ID, view.Status, view.Error))
+	}
+	var art cache.Artifact
+	if err := getJSONInto(hc, base+commit.ArtifactURL, &art); err != nil {
+		die(err)
+	}
+
+	if *outC != "" {
+		if err := os.WriteFile(*outC, []byte(art.CSource), 0o644); err != nil {
+			die(err)
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(map[string]any{
+			"job":       view,
+			"cache_key": commit.CacheKey,
+			"cached":    commit.Cached,
+			"spill":     commit.Spill,
+			"artifact": map[string]any{
+				"terminals": art.Terminals, "rules": art.Rules,
+				"size_c": art.SizeC, "ranks": art.Ranks,
+			},
+		}); err != nil {
+			die(err)
+		}
+		return
+	}
+	fmt.Printf("proxy ready: %d ranks, %d terminals, %d rules, %d bytes of C\n",
+		art.Ranks, art.Terminals, art.Rules, art.SizeC)
+	if *outC != "" {
+		fmt.Printf("wrote %s\n", *outC)
+	}
+}
+
+func postJSONInto(hc *http.Client, url string, body any, v any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, rd)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("POST %s: %s: %s", url, resp.Status, bytes.TrimSpace(raw))
+	}
+	return json.Unmarshal(raw, v)
+}
+
+func getJSONInto(hc *http.Client, url string, v any) error {
+	resp, err := hc.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s: %s", url, resp.Status, bytes.TrimSpace(raw))
+	}
+	return json.Unmarshal(raw, v)
+}

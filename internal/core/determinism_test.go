@@ -71,6 +71,7 @@ func TestSynthesisDeterministicAcrossParallelism(t *testing.T) {
 			}
 			var refProg []byte
 			var refSrc, refFP string
+			var refTrace *trace.Trace
 			for i, c := range configs {
 				opts := core.Options{Ranks: ranks, Seed: 1, Parallelism: c.par, DisableOverlap: c.noOverlap}
 				res, err := core.Synthesize(fn, opts)
@@ -82,6 +83,7 @@ func TestSynthesisDeterministicAcrossParallelism(t *testing.T) {
 				fp := core.OptionsFingerprint(res.Opts)
 				if i == 0 {
 					refProg, refSrc, refFP = prog, src, fp
+					refTrace = res.Trace
 					continue
 				}
 				if !bytes.Equal(prog, refProg) {
@@ -92,6 +94,32 @@ func TestSynthesisDeterministicAcrossParallelism(t *testing.T) {
 				}
 				if fp != refFP {
 					t.Errorf("Parallelism=%d overlap=%t: options fingerprint %s != %s — a throughput knob leaked into the cache key", c.par, !c.noOverlap, fp, refFP)
+				}
+			}
+
+			// The streamed ingest path is one more configuration of the same
+			// synthesis: chunked upload, incremental inference, spill-capable
+			// tables — all throughput machinery, none of it may move a byte
+			// of output or the cache key.
+			for _, par := range parallelisms() {
+				opts := core.Options{Ranks: ranks, Seed: 1, Parallelism: par}
+				in, err := core.NewIngest(ranks, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				streamTrace(t, in, refTrace, 512, nil)
+				res, err := core.SynthesizeIngest(in, opts)
+				if err != nil {
+					t.Fatalf("streamed Parallelism=%d: %v", par, err)
+				}
+				if !bytes.Equal(res.Program.Encode(), refProg) {
+					t.Errorf("streamed Parallelism=%d: encoded program differs from batch", par)
+				}
+				if res.Generated.CSource() != refSrc {
+					t.Errorf("streamed Parallelism=%d: generated C source differs from batch", par)
+				}
+				if fp := core.OptionsFingerprint(res.Opts); fp != refFP {
+					t.Errorf("streamed Parallelism=%d: options fingerprint %s != %s — the ingest path leaked into the cache key", par, fp, refFP)
 				}
 			}
 		})
@@ -129,6 +157,21 @@ func TestMergeDeterministicOnRandomPrograms(t *testing.T) {
 					ref = enc
 				} else if !bytes.Equal(enc, ref) {
 					t.Errorf("Parallelism=%d: encoded program differs from Parallelism=1", par)
+				}
+
+				// And the streamed merge at the same parallelism: chunked
+				// rank streams must reduce to the identical program.
+				in, err := merge.NewIngest(ranks, tr.Platform, tr.Impl, merge.Options{Parallelism: par})
+				if err != nil {
+					t.Fatal(err)
+				}
+				streamTrace(t, in, tr, 256, nil)
+				sprog, err := in.Build()
+				if err != nil {
+					t.Fatalf("streamed Parallelism=%d: %v", par, err)
+				}
+				if !bytes.Equal(sprog.Encode(), ref) {
+					t.Errorf("streamed Parallelism=%d: encoded program differs from batch", par)
 				}
 			}
 		})

@@ -51,6 +51,10 @@ type gwJob struct {
 	remote    string    // job id on the current owner
 	done      bool      // reached a terminal status; failover stops watching
 	failovers int
+	// noFailover marks a job born from a streamed ingest commit: its input
+	// chunks lived only on the worker that ran it, so there is nothing to
+	// re-submit — a dead owner settles the job as lost instead.
+	noFailover bool
 }
 
 // Gateway is the stateless routing tier: it owns no synthesis state, only
@@ -64,10 +68,12 @@ type Gateway struct {
 	hc  *http.Client
 	mr  *metrics.Registry
 
-	mu     sync.Mutex
-	routes *routes
-	jobs   map[string]*gwJob
-	nextID int
+	mu       sync.Mutex
+	routes   *routes
+	jobs     map[string]*gwJob
+	nextID   int
+	sessions map[string]*gwSession // open streamed-upload sessions, gt-%06d
+	nextSess int
 
 	logMu sync.Mutex
 
@@ -94,6 +100,7 @@ func NewGateway(cfg GatewayConfig) *Gateway {
 		mr:         mr,
 		routes:     newRoutes(Table{}),
 		jobs:       make(map[string]*gwJob),
+		sessions:   make(map[string]*gwSession),
 		mRouted:    mr.Counter("siesta_gateway_jobs_routed_total", "synthesize requests routed to a worker"),
 		mFailovers: mr.Counter("siesta_gateway_failovers_total", "jobs re-dispatched after their worker died"),
 		mProxyErr:  mr.Counter("siesta_gateway_proxy_errors_total", "proxied worker calls that failed"),
@@ -242,6 +249,11 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/artifact", g.handleArtifact)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", g.handleSubResource("trace"))
 	mux.HandleFunc("GET /v1/jobs/{id}/analysis", g.handleSubResource("analysis"))
+	mux.HandleFunc("POST /v1/traces", g.handleTraceOpen)
+	mux.HandleFunc("GET /v1/traces/{id}", g.handleTraceStatus)
+	mux.HandleFunc("PUT /v1/traces/{id}/ranks/{rank}", g.handleTraceAppend)
+	mux.HandleFunc("POST /v1/traces/{id}/commit", g.handleTraceCommit)
+	mux.HandleFunc("DELETE /v1/traces/{id}", g.handleTraceAbort)
 	mux.HandleFunc("GET /v1/apps", g.handleApps)
 	mux.HandleFunc("GET /healthz", g.handleHealthz)
 	mux.HandleFunc("GET /readyz", g.handleReadyz)
@@ -386,10 +398,21 @@ func (g *Gateway) handleJob(w http.ResponseWriter, r *http.Request) {
 		strings.TrimSuffix(addr, "/")+"/v1/jobs/"+remote, nil)
 	resp, err := g.hc.Do(req)
 	if err != nil {
+		g.mProxyErr.Inc()
+		j.mu.Lock()
+		lost := j.noFailover
+		j.mu.Unlock()
+		if lost {
+			// A streamed job's chunks lived only on that worker; nothing
+			// will re-home it, so a poller must see the loss, not a
+			// perpetual synthetic "running".
+			writeGatewayError(w, http.StatusBadGateway,
+				"worker %s holding streamed job %s is gone; the job cannot fail over", worker, j.id)
+			return
+		}
 		// The worker is (momentarily) unreachable. The job is not lost —
 		// the failover scan re-homes it — so answer with a synthetic
 		// running view rather than an error a polling client would trip on.
-		g.mProxyErr.Inc()
 		writeGatewayJSON(w, http.StatusOK, server.JobView{
 			ID: j.id, Status: server.StatusRunning, Phase: "failover-pending",
 			Worker: worker, CacheKey: string(j.key),
@@ -606,6 +629,15 @@ func (g *Gateway) checkFailovers(ctx context.Context) {
 		j.mu.Lock()
 		if j.done || rt.has(j.worker) {
 			j.mu.Unlock()
+			continue
+		}
+		if j.noFailover {
+			// The streamed chunks died with the worker; the job cannot be
+			// re-run anywhere. Settle it as lost so the scan stops watching.
+			j.done = true
+			j.mu.Unlock()
+			g.logEvent("job_lost", map[string]any{"job": j.id, "worker": j.worker,
+				"reason": "streamed ingest cannot fail over"})
 			continue
 		}
 		g.redispatchLocked(ctx, rt, j)

@@ -27,6 +27,15 @@ type Options struct {
 	// DisableMainMerge keeps every rank's main rule separate (ablation).
 	DisableMainMerge bool
 
+	// Spill bounds the resident memory of the streaming ingest path's
+	// per-rank terminal tables (see Ingest; the high-water mark applies to
+	// each rank's table separately): past the high-water mark,
+	// terminals spill to a temp file that is re-read once at Build and
+	// removed at Close. Batch Build ignores it. Spilling never changes a
+	// single output byte, so like Parallelism it is excluded from the
+	// JSON encoding and therefore from core.OptionsFingerprint.
+	Spill trace.SpillConfig `json:"-"`
+
 	// Parallelism bounds the worker count for the merge pipeline's
 	// parallel stages: the tree-reduction globalize, per-rank grammar
 	// inference and rule rewriting, and the losslessness check. It never
@@ -122,24 +131,47 @@ func Build(tr *trace.Trace, opts Options) (*Program, error) {
 	// their pooled buffers on every exit path.
 	defer glob.Release()
 
-	p := &Program{
-		NumRanks:    tr.NumRanks,
-		Platform:    tr.Platform,
-		Impl:        tr.Impl,
-		Terminals:   glob.Terminals,
-		Clusters:    glob.Clusters,
-		MergeRounds: log2ceil(tr.NumRanks),
-	}
-
 	// Intra-process grammar inference over global ids (§2.5). Each rank's
 	// grammar is independent of every other rank's, so this is the
 	// embarrassingly parallel stage.
 	grammars := make([]*sequitur.Grammar, len(glob.Seqs))
-	depths := make([][]int, len(glob.Seqs))
 	parfor(len(glob.Seqs), par, func(rank int) {
 		b := sequitur.NewWithOptions(!opts.DisableRunLength)
 		b.AppendAll(glob.Seqs[rank])
 		grammars[rank] = b.Grammar()
+	})
+
+	return assemble(tr.NumRanks, tr.Platform, tr.Impl,
+		glob.Terminals, glob.Clusters, grammars,
+		func(rank int) []int { return glob.Seqs[rank] }, opts)
+}
+
+// assemble is the merge pipeline's back half, shared verbatim by the batch
+// path (Build) and the streaming path (Ingest.Build): given the globalized
+// tables and one per-rank grammar over global terminal ids, it merges
+// non-terminals depth-first, clusters and LCS-merges main rules, and runs
+// the losslessness self-check against refSeq(rank) — the sequence each
+// rank's grammar is expected to expand to. Sharing this function is what
+// makes "streamed equals batch" structural rather than coincidental: once
+// the two paths agree on tables and grammars, every later byte is produced
+// by the same code. opts must already carry defaults.
+func assemble(numRanks int, platformName, implName string,
+	terminals []*trace.Record, clusters []*trace.Cluster,
+	grammars []*sequitur.Grammar, refSeq func(rank int) []int,
+	opts Options) (*Program, error) {
+
+	par := opts.Parallelism
+	p := &Program{
+		NumRanks:    numRanks,
+		Platform:    platformName,
+		Impl:        implName,
+		Terminals:   terminals,
+		Clusters:    clusters,
+		MergeRounds: log2ceil(numRanks),
+	}
+
+	depths := make([][]int, len(grammars))
+	parfor(len(grammars), par, func(rank int) {
 		depths[rank] = grammars[rank].Depths()
 	})
 
@@ -253,19 +285,20 @@ func Build(tr *trace.Trace, opts Options) (*Program, error) {
 	}
 
 	// Losslessness self-check: every rank's expansion must reproduce its
-	// globalized sequence exactly. Expansion only reads the finished
+	// reference sequence exactly. Expansion only reads the finished
 	// program, so ranks check concurrently; the lowest failing rank is
 	// reported, as in the sequential pass.
-	expandErrs := make([]error, len(glob.Seqs))
-	parfor(len(glob.Seqs), par, func(rank int) {
+	expandErrs := make([]error, len(grammars))
+	parfor(len(grammars), par, func(rank int) {
 		got, err := p.ExpandRank(rank)
 		if err != nil {
 			expandErrs[rank] = err
 			return
 		}
-		if !intsEqual(got, glob.Seqs[rank]) {
+		want := refSeq(rank)
+		if !intsEqual(got, want) {
 			expandErrs[rank] = fmt.Errorf("merge: rank %d expansion diverges from trace (%d vs %d events)",
-				rank, len(got), len(glob.Seqs[rank]))
+				rank, len(got), len(want))
 		}
 	})
 	for _, err := range expandErrs {

@@ -135,6 +135,25 @@ func mergePartials(left, right *partial, th float64) {
 	right.recMaps = nil
 }
 
+// reducePartials folds a slice of leaf partials (one per rank, in rank
+// order) down to its root with the ⌈log₂P⌉ pairwise reduction; round k
+// merges partials 2k·s apart, and every merge within a round is
+// independent. The tree's shape depends only on len(parts), so batch and
+// streaming leaves reduce through the identical merge DAG.
+func reducePartials(parts []*partial, clusterThreshold float64, parallelism int) *partial {
+	n := len(parts)
+	for stride := 1; stride < n; stride *= 2 {
+		var pairs [][2]int
+		for i := 0; i+stride < n; i += 2 * stride {
+			pairs = append(pairs, [2]int{i, i + stride})
+		}
+		parfor(len(pairs), parallelism, func(k int) {
+			mergePartials(parts[pairs[k][0]], parts[pairs[k][1]], clusterThreshold)
+		})
+	}
+	return parts[0]
+}
+
 // GlobalizeParallel merges the per-rank terminal tables and computation
 // clusters with the paper's pairwise tree reduction, using up to
 // parallelism workers per round. Output is byte-identical for every
@@ -152,19 +171,7 @@ func GlobalizeParallel(tr *trace.Trace, clusterThreshold float64, parallelism in
 		parts[i] = leafPartial(tr.Ranks[i], clusterThreshold)
 	})
 
-	// ⌈log₂P⌉ reduction rounds; round k merges partials 2k·s apart, and
-	// every merge within a round is independent.
-	for stride := 1; stride < numRanks; stride *= 2 {
-		var pairs [][2]int
-		for i := 0; i+stride < numRanks; i += 2 * stride {
-			pairs = append(pairs, [2]int{i, i + stride})
-		}
-		parfor(len(pairs), parallelism, func(k int) {
-			mergePartials(parts[pairs[k][0]], parts[pairs[k][1]], clusterThreshold)
-		})
-	}
-
-	root := parts[0]
+	root := reducePartials(parts, clusterThreshold, parallelism)
 	g.Terminals = root.records
 	g.Clusters = root.clusters
 	g.seqBufs = make([]*trace.IntBuf, numRanks)

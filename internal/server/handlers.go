@@ -126,6 +126,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/artifact", s.handleGetArtifact)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleGetTrace)
 	mux.HandleFunc("GET /v1/jobs/{id}/analysis", s.handleGetAnalysis)
+	mux.HandleFunc("POST /v1/traces", s.handleTraceOpen)
+	mux.HandleFunc("GET /v1/traces/{id}", s.handleTraceStatus)
+	mux.HandleFunc("PUT /v1/traces/{id}/ranks/{rank}", s.handleTraceAppend)
+	mux.HandleFunc("POST /v1/traces/{id}/commit", s.handleTraceCommit)
+	mux.HandleFunc("DELETE /v1/traces/{id}", s.handleTraceAbort)
 	mux.HandleFunc("GET /v1/apps", s.handleListApps)
 	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.HandleFunc("GET /healthz", s.handleHealthz)

@@ -80,6 +80,10 @@ type Config struct {
 	// max_retries field: in-process retries of transient (durability I/O)
 	// failures; default 3.
 	MaxRetries int
+	// MaxIngestSessions bounds concurrently open streaming-upload
+	// sessions (POST /v1/traces); opens past it are rejected with 429.
+	// Default 64.
+	MaxIngestSessions int
 	// WorkerID names this node in a fleet. It is stamped on every HTTP
 	// response as an X-Siesta-Worker header and reported in job views, so
 	// clients and the fleet gateway can tell which node served a request.
@@ -121,6 +125,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxRetries <= 0 {
 		c.MaxRetries = 3
 	}
+	if c.MaxIngestSessions <= 0 {
+		c.MaxIngestSessions = 64
+	}
 	return c
 }
 
@@ -154,6 +161,13 @@ type Server struct {
 
 	logMu sync.Mutex
 
+	// Streaming-upload sessions (POST /v1/traces), by session id. A
+	// session leaves the map on commit (ownership moves to the job) or
+	// abort; sessions are memory-only and do not survive a restart.
+	ingestMu   sync.Mutex
+	ingests    map[string]*ingestSession
+	nextIngest int
+
 	// phaseAgg accumulates per-phase wall times split by serial
 	// (parallelism 1) vs parallel jobs, backing the speedup gauges.
 	phaseMu  sync.Mutex
@@ -167,8 +181,10 @@ type Server struct {
 	mRetries, mPeerHits   *metrics.Counter
 	mDiagInfo, mDiagWarn  *metrics.Counter
 	mDiagErr              *metrics.Counter
+	mIngestBytes          *metrics.Counter
 	gQueued, gRunning     *metrics.Gauge
 	gPhasePar             *metrics.Gauge
+	gIngestRanks          *metrics.Gauge
 	hJobDur               *metrics.Histogram
 	hAnalyze              *metrics.Histogram
 }
@@ -201,27 +217,30 @@ func New(cfg Config) (*Server, error) {
 		reg:      reg,
 		queue:    make(chan *job, cfg.QueueDepth),
 		jobs:     make(map[string]*job),
+		ingests:  make(map[string]*ingestSession),
 		phaseAgg: make(map[string]*phaseTimes),
 
-		mAccepted:  reg.Counter("siesta_jobs_accepted_total", "synthesis jobs admitted to the queue"),
-		mRejected:  reg.Counter("siesta_jobs_rejected_total", "synthesis jobs rejected because the queue was full"),
-		mHits:      reg.Counter("siesta_cache_hits_total", "requests answered from the artifact cache"),
-		mMisses:    reg.Counter("siesta_cache_misses_total", "requests that required synthesis"),
-		mDone:      reg.Counter(`siesta_jobs_completed_total{status="done"}`, "jobs by final status"),
-		mFail:      reg.Counter(`siesta_jobs_completed_total{status="failed"}`, "jobs by final status"),
-		mCancel:    reg.Counter(`siesta_jobs_completed_total{status="canceled"}`, "jobs by final status"),
-		mRecovered: reg.Counter("siesta_jobs_recovered_total", "jobs re-admitted from the journal after a restart"),
-		mCkptW:     reg.Counter("siesta_checkpoints_written_total", "phase-boundary checkpoints persisted"),
-		mRetries:   reg.Counter("siesta_job_retries_total", "in-process retries of transient job failures"),
-		mPeerHits:  reg.Counter("siesta_peer_hits_total", "cache misses answered by a fleet peer's replica"),
-		mDiagInfo:  reg.Counter(`siesta_check_diagnostics_total{severity="info"}`, "static-verifier diagnostics by severity"),
-		mDiagWarn:  reg.Counter(`siesta_check_diagnostics_total{severity="warning"}`, "static-verifier diagnostics by severity"),
-		mDiagErr:   reg.Counter(`siesta_check_diagnostics_total{severity="error"}`, "static-verifier diagnostics by severity"),
-		gQueued:    reg.Gauge("siesta_queue_depth", "jobs waiting in the queue"),
-		gRunning:   reg.Gauge("siesta_jobs_running", "jobs currently synthesizing"),
-		gPhasePar:  reg.Gauge("siesta_phase_parallelism", "synthesis parallelism of the most recently started job"),
-		hJobDur:    reg.Histogram("siesta_job_duration_seconds", "wall-clock synthesis duration", nil),
-		hAnalyze:   reg.Histogram("siesta_analyze_seconds", "wall-clock time of static communication-cost analyses", nil),
+		mAccepted:    reg.Counter("siesta_jobs_accepted_total", "synthesis jobs admitted to the queue"),
+		mRejected:    reg.Counter("siesta_jobs_rejected_total", "synthesis jobs rejected because the queue was full"),
+		mHits:        reg.Counter("siesta_cache_hits_total", "requests answered from the artifact cache"),
+		mMisses:      reg.Counter("siesta_cache_misses_total", "requests that required synthesis"),
+		mDone:        reg.Counter(`siesta_jobs_completed_total{status="done"}`, "jobs by final status"),
+		mFail:        reg.Counter(`siesta_jobs_completed_total{status="failed"}`, "jobs by final status"),
+		mCancel:      reg.Counter(`siesta_jobs_completed_total{status="canceled"}`, "jobs by final status"),
+		mRecovered:   reg.Counter("siesta_jobs_recovered_total", "jobs re-admitted from the journal after a restart"),
+		mCkptW:       reg.Counter("siesta_checkpoints_written_total", "phase-boundary checkpoints persisted"),
+		mRetries:     reg.Counter("siesta_job_retries_total", "in-process retries of transient job failures"),
+		mPeerHits:    reg.Counter("siesta_peer_hits_total", "cache misses answered by a fleet peer's replica"),
+		mDiagInfo:    reg.Counter(`siesta_check_diagnostics_total{severity="info"}`, "static-verifier diagnostics by severity"),
+		mDiagWarn:    reg.Counter(`siesta_check_diagnostics_total{severity="warning"}`, "static-verifier diagnostics by severity"),
+		mDiagErr:     reg.Counter(`siesta_check_diagnostics_total{severity="error"}`, "static-verifier diagnostics by severity"),
+		mIngestBytes: reg.Counter("siesta_ingest_bytes_total", "trace bytes accepted by streaming ingest"),
+		gIngestRanks: reg.Gauge("siesta_ingest_ranks_open", "rank streams currently open across ingest sessions"),
+		gQueued:      reg.Gauge("siesta_queue_depth", "jobs waiting in the queue"),
+		gRunning:     reg.Gauge("siesta_jobs_running", "jobs currently synthesizing"),
+		gPhasePar:    reg.Gauge("siesta_phase_parallelism", "synthesis parallelism of the most recently started job"),
+		hJobDur:      reg.Histogram("siesta_job_duration_seconds", "wall-clock synthesis duration", nil),
+		hAnalyze:     reg.Histogram("siesta_analyze_seconds", "wall-clock time of static communication-cost analyses", nil),
 	}
 	// Build metadata as a constant-1 gauge, the Prometheus idiom for
 	// joining version info onto other series by label.

@@ -1,0 +1,77 @@
+package statics_test
+
+import (
+	"testing"
+
+	"siesta/internal/apps"
+	"siesta/internal/merge"
+	"siesta/internal/mpi"
+	"siesta/internal/statics"
+	"siesta/internal/trace"
+)
+
+func findApp(t *testing.T, name string) *apps.Spec {
+	t.Helper()
+	for _, spec := range apps.All() {
+		if spec.Name == name {
+			return spec
+		}
+	}
+	t.Fatalf("%s app not registered", name)
+	return nil
+}
+
+// spilledStreamProgram is traceProgram through the streaming ingest path
+// with every terminal forced to disk: the same recorded run, chunk-encoded
+// per rank and fed in small pieces to a merge.Ingest whose spill tables
+// have a one-byte high-water mark.
+func spilledStreamProgram(t *testing.T, traced *trace.Trace) *merge.Program {
+	t.Helper()
+	opts := merge.Options{Spill: trace.SpillConfig{HighWater: 1, Dir: t.TempDir()}}
+	in, err := merge.NewIngest(len(traced.Ranks), traced.Platform, traced.Impl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, rt := range traced.Ranks {
+		stream := trace.ChunkEncodeRank(rt)
+		for len(stream) > 0 {
+			n := 128
+			if n > len(stream) {
+				n = len(stream)
+			}
+			if err := in.Rank(r).Feed(stream[:n]); err != nil {
+				t.Fatalf("rank %d: %v", r, err)
+			}
+			stream = stream[n:]
+		}
+	}
+	if st := in.SpillStats(); st.Spilled != st.Records || st.Records == 0 {
+		t.Fatalf("expected every terminal spilled: %+v", st)
+	}
+	p, err := in.Build()
+	if err != nil {
+		t.Fatalf("ingest build: %v", err)
+	}
+	return p
+}
+
+// The static analysis must agree with the observed run exactly even when
+// the analyzed grammar came out of a fully-spilled streaming ingest —
+// the spilled store may not perturb a single metric.
+func TestAgreementWithSpilledStreamedProgram(t *testing.T) {
+	spec := findApp(t, "CG")
+	for _, ranks := range validRankCounts(t, spec) {
+		rec := trace.NewRecorder(ranks, trace.Config{})
+		w := mpi.NewWorld(mpi.Config{Size: ranks, Interceptor: rec, NoiseSigma: testNoise, Seed: testSeed})
+		if _, err := w.Run(buildApp(t, spec, ranks, 2)); err != nil {
+			t.Fatalf("traced run: %v", err)
+		}
+		prog := spilledStreamProgram(t, rec.Trace("A", "openmpi"))
+		tl := observeRun(t, spec, ranks, 2)
+		rep, err := statics.Analyze(prog, nil, statics.Options{ExactBytes: true})
+		if err != nil {
+			t.Fatalf("%d ranks: %v", ranks, err)
+		}
+		assertAgreement(t, rep, prog, tl)
+	}
+}
